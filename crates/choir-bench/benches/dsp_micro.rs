@@ -1,0 +1,67 @@
+//! Micro-benchmarks for the DSP substrate: the per-symbol operations the
+//! decoder's cost model is built from.
+
+use choir_dsp::complex::C64;
+use choir_dsp::fft::FftPlan;
+use choir_dsp::linalg::least_squares;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn tone(n: usize, f: f64) -> Vec<C64> {
+    (0..n)
+        .map(|t| C64::cis(2.0 * std::f64::consts::PI * f * t as f64 / n as f64))
+        .collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for &n in &[256usize, 1024, 2560usize] {
+        let plan = FftPlan::new(n);
+        let x = tone(n, 10.3);
+        g.bench_function(format!("forward_{n}"), |b| {
+            b.iter_batched(
+                || x.clone(),
+                |mut buf| plan.forward(&mut buf),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    // The paper's 10×-padded symbol transform (SF8).
+    let plan = FftPlan::new(2560);
+    let x = tone(256, 50.4);
+    g.bench_function("padded_10x_sf8", |b| b.iter(|| plan.forward_padded(&x)));
+    g.finish();
+}
+
+fn bench_least_squares(c: &mut Criterion) {
+    let n = 256;
+    let basis: Vec<Vec<C64>> = [10.2, 55.7, 130.4, 201.9]
+        .iter()
+        .map(|&f| tone(n, f))
+        .collect();
+    let y: Vec<C64> = (0..n)
+        .map(|t| basis.iter().map(|b| b[t]).sum())
+        .collect();
+    c.bench_function("least_squares_4tones_256", |b| {
+        b.iter(|| least_squares(&basis, &y).unwrap())
+    });
+}
+
+fn bench_modem(c: &mut Criterion) {
+    let params = lora_phy::params::PhyParams::default();
+    let modem = lora_phy::modem::Modem::new(params);
+    let wave = modem.modulate(&[42u16; 16]);
+    c.bench_function("lora_demod_16_symbols_sf8", |b| {
+        b.iter(|| modem.demodulate(&wave, 0, 16))
+    });
+    let payload = vec![0xA5u8; 16];
+    c.bench_function("lora_frame_encode_16B", |b| {
+        b.iter(|| lora_phy::frame::encode_frame(&params, &payload))
+    });
+    let syms = lora_phy::frame::encode_frame(&params, &payload);
+    c.bench_function("lora_frame_decode_16B", |b| {
+        b.iter(|| lora_phy::frame::decode_frame(&params, &syms).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_fft, bench_least_squares, bench_modem);
+criterion_main!(benches);

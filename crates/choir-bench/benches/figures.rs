@@ -1,0 +1,20 @@
+//! The figure-regeneration harness: runs every experiment of the paper's
+//! evaluation once (Quick scale) and prints the same rows/series the
+//! paper's tables and figures report, followed by the ablation studies.
+//! This is intentionally a one-shot harness rather than a repeated timing
+//! loop: each "benchmark" here is an end-to-end experiment whose output —
+//! not its latency — is the artefact.
+
+use choir_testbed::experiments::{self, Scale};
+
+fn main() {
+    println!("################ Choir figure regeneration (Quick scale) ################");
+    for r in experiments::run_all(Scale::Quick) {
+        println!("{r}");
+    }
+    println!("################ Ablations ################");
+    for r in choir_testbed::ablations::run_all(Scale::Quick) {
+        println!("{r}");
+    }
+    println!("(run `cargo run --release -p choir-testbed --bin figures -- all --full` for paper-scale trial counts)");
+}

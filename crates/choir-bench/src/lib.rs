@@ -1,0 +1,33 @@
+//! # choir-bench — benchmark harness
+//!
+//! Criterion micro-benchmarks for the hot DSP/decoder paths, plus the
+//! figure-regeneration harness: `cargo bench -p choir-bench` times the
+//! pipeline stages and prints every paper figure and ablation table (the
+//! `figures` bench target runs each experiment once at Quick scale; use
+//! `cargo run --release -p choir-testbed --bin figures -- all --full` for
+//! paper-scale trial counts).
+
+#![warn(missing_docs)]
+
+use choir_channel::impairments::HardwareProfile;
+use choir_channel::scenario::{CollisionScenario, ScenarioBuilder};
+use lora_phy::params::PhyParams;
+
+/// A standard two-user collision used by several benches.
+pub fn two_user_scenario(seed: u64) -> CollisionScenario {
+    let params = PhyParams::default();
+    let bin = params.bin_hz();
+    let mk = |bins: f64, toff: f64| HardwareProfile {
+        cfo_hz: bins * bin,
+        timing_offset_symbols: toff,
+        phase: 0.7,
+        cfo_jitter_hz: 0.0,
+        timing_jitter_symbols: 0.0,
+    };
+    ScenarioBuilder::new(params)
+        .snrs_db(&[20.0, 17.0])
+        .payload_len(8)
+        .profiles(vec![mk(7.3, 0.1), mk(-12.6, 0.3)])
+        .seed(seed)
+        .build()
+}

@@ -1,0 +1,147 @@
+//! Receiver ADC model: quantization and clipping.
+//!
+//! Sec. 5.2 of the paper: "our approach, like traditional outdoor networks,
+//! is always limited by the resolution of the analog-to-digital converter.
+//! As a result, extremely weak transmitters are likely to be missed if they
+//! are not registered by the analog components." The USRP N210 carries a
+//! 14-bit ADC; a strong nearby transmitter forces the AGC full-scale up and
+//! the quantisation floor swallows clients tens of dB weaker.
+
+use choir_dsp::complex::{c64, C64};
+
+/// A uniform mid-rise quantizer with clipping, applied per I/Q rail.
+#[derive(Clone, Copy, Debug)]
+pub struct Adc {
+    /// Bits per rail (the N210: 14).
+    pub bits: u32,
+    /// Full-scale amplitude per rail; inputs beyond ±full_scale clip.
+    pub full_scale: f64,
+}
+
+impl Adc {
+    /// An effectively ideal converter (useful default in tests): enough
+    /// bits that the step is far below any signal of interest.
+    pub fn ideal() -> Self {
+        Adc {
+            bits: 54,
+            full_scale: 1e9,
+        }
+    }
+
+    /// A 14-bit N210-like converter with the given full scale.
+    pub fn n210(full_scale: f64) -> Self {
+        Adc {
+            bits: 14,
+            full_scale,
+        }
+    }
+
+    /// Step size between adjacent codes.
+    pub fn step(&self) -> f64 {
+        2.0 * self.full_scale / (1u64 << self.bits) as f64
+    }
+
+    /// Quantizes one rail.
+    fn rail(&self, x: f64) -> f64 {
+        let clipped = x.clamp(-self.full_scale, self.full_scale);
+        let q = self.step();
+        // Mid-rise: round to the centre of the containing cell, clamping
+        // the code so outputs never exceed full scale.
+        let half = (1u64 << (self.bits - 1)) as f64;
+        let code = (clipped / q).floor().clamp(-half, half - 1.0);
+        (code + 0.5) * q
+    }
+
+    /// Quantizes one complex sample.
+    pub fn convert(&self, x: C64) -> C64 {
+        c64(self.rail(x.re), self.rail(x.im))
+    }
+
+    /// Quantizes a buffer in place.
+    pub fn convert_buffer(&self, x: &mut [C64]) {
+        for v in x.iter_mut() {
+            *v = self.convert(*v);
+        }
+    }
+
+    /// Dynamic range in dB between full scale and one step — the deepest a
+    /// weak signal can sit below a full-scale blocker and still toggle
+    /// codes (≈ 6.02·bits dB).
+    pub fn dynamic_range_db(&self) -> f64 {
+        20.0 * ((1u64 << self.bits) as f64).log10()
+    }
+
+    /// Scales the converter so `peak` maps to full scale (a crude AGC).
+    pub fn with_agc(bits: u32, peak: f64) -> Self {
+        Adc {
+            bits,
+            full_scale: peak.max(1e-12),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_is_transparent_enough() {
+        let adc = Adc::ideal();
+        let x = c64(0.1234567, -0.7654321);
+        let y = adc.convert(x);
+        assert!((x - y).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clipping_at_full_scale() {
+        let adc = Adc::n210(1.0);
+        let y = adc.convert(c64(5.0, -5.0));
+        assert!(y.re <= 1.0 && y.re > 0.99);
+        assert!(y.im >= -1.0 && y.im < -0.99);
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_step() {
+        let adc = Adc::n210(1.0);
+        let q = adc.step();
+        for i in 0..1000 {
+            let x = c64((i as f64 / 500.0) - 1.0, ((i * 7 % 1000) as f64 / 500.0) - 1.0);
+            let y = adc.convert(x);
+            assert!((x.re - y.re).abs() <= q / 2.0 + 1e-15);
+            assert!((x.im - y.im).abs() <= q / 2.0 + 1e-15);
+        }
+    }
+
+    #[test]
+    fn dynamic_range_14_bits() {
+        let adc = Adc::n210(1.0);
+        assert!((adc.dynamic_range_db() - 84.3).abs() < 0.1);
+    }
+
+    #[test]
+    fn weak_signal_below_lsb_vanishes_structurally() {
+        // A signal 100 dB below full scale cannot move a 14-bit converter
+        // by more than one code; its quantised version carries (almost) no
+        // usable structure: correlation against the clean signal is tiny.
+        let adc = Adc::n210(1.0);
+        let weak_amp = 1e-5; // −100 dBFS
+        let clean: Vec<C64> = (0..4096).map(|i| C64::cis(0.05 * i as f64).scale(weak_amp)).collect();
+        let quant: Vec<C64> = clean.iter().map(|&v| adc.convert(v)).collect();
+        // Every quantised sample sits in one of the four cells adjacent to
+        // zero (mid-rise has no zero code) — no amplitude structure left.
+        let distinct: std::collections::HashSet<(i64, i64)> = quant
+            .iter()
+            .map(|z| ((z.re / adc.step()).floor() as i64, (z.im / adc.step()).floor() as i64))
+            .collect();
+        assert!(distinct.len() <= 4, "codes used: {}", distinct.len());
+        for (a, b) in &distinct {
+            assert!((-1..=0).contains(a) && (-1..=0).contains(b));
+        }
+    }
+
+    #[test]
+    fn agc_scales_to_peak() {
+        let adc = Adc::with_agc(14, 3.7);
+        assert_eq!(adc.full_scale, 3.7);
+    }
+}

@@ -1,0 +1,158 @@
+//! Shadowing and small-scale fading.
+//!
+//! * Log-normal shadowing: a per-location dB offset (σ ≈ 8 dB urban),
+//!   constant for a static sensor.
+//! * Block fading: one complex coefficient per packet — Rayleigh for
+//!   non-line-of-sight urban links, Rician with a K-factor when a dominant
+//!   path exists. LP-WAN packets (~10 ms) are far shorter than urban
+//!   coherence times, so per-packet constancy is the right model (and is
+//!   what Sec. 6.2 of the paper relies on for user tracking).
+
+use choir_dsp::complex::{c64, C64};
+use rand::Rng;
+
+/// Log-normal shadowing sampler.
+#[derive(Clone, Copy, Debug)]
+pub struct Shadowing {
+    /// Standard deviation in dB (typical urban: 6–10).
+    pub sigma_db: f64,
+}
+
+impl Default for Shadowing {
+    fn default() -> Self {
+        Shadowing { sigma_db: 8.0 }
+    }
+}
+
+impl Shadowing {
+    /// Draws a shadowing offset in dB (zero-mean Gaussian).
+    pub fn sample_db<R: Rng>(&self, rng: &mut R) -> f64 {
+        gaussian(rng) * self.sigma_db
+    }
+}
+
+/// Small-scale fading models for the per-packet channel coefficient.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Fading {
+    /// No fading: unit magnitude, uniform random phase.
+    None,
+    /// Rayleigh: complex Gaussian, E[|h|²] = 1.
+    Rayleigh,
+    /// Rician with linear K-factor (power ratio of dominant to scattered).
+    Rician {
+        /// Dominant-to-scattered power ratio (linear, ≥ 0).
+        k: f64,
+    },
+}
+
+impl Fading {
+    /// Draws one unit-mean-power channel coefficient.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> C64 {
+        match *self {
+            Fading::None => C64::cis(rng.gen_range(0.0..std::f64::consts::TAU)),
+            Fading::Rayleigh => {
+                let s = std::f64::consts::FRAC_1_SQRT_2;
+                c64(gaussian(rng) * s, gaussian(rng) * s)
+            }
+            Fading::Rician { k } => {
+                assert!(k >= 0.0, "Rician K must be non-negative");
+                let los_amp = (k / (k + 1.0)).sqrt();
+                let scat = (1.0 / (k + 1.0)).sqrt() * std::f64::consts::FRAC_1_SQRT_2;
+                let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+                C64::cis(phase).scale(los_amp)
+                    + c64(gaussian(rng) * scat, gaussian(rng) * scat)
+            }
+        }
+    }
+}
+
+/// Standard normal via Box–Muller.
+pub fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let v = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        if v.is_finite() {
+            return v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn shadowing_scales_sigma() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = Shadowing { sigma_db: 8.0 };
+        let n = 20_000;
+        let vals: Vec<f64> = (0..n).map(|_| s.sample_db(&mut rng)).collect();
+        let var = vals.iter().map(|v| v * v).sum::<f64>() / n as f64;
+        assert!((var.sqrt() - 8.0).abs() < 0.3, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn rayleigh_unit_mean_power() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 50_000;
+        let p: f64 = (0..n)
+            .map(|_| Fading::Rayleigh.sample(&mut rng).norm_sqr())
+            .sum::<f64>()
+            / n as f64;
+        assert!((p - 1.0).abs() < 0.03, "power {p}");
+    }
+
+    #[test]
+    fn rician_unit_mean_power_and_concentration() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 50_000;
+        let k = 10.0;
+        let samples: Vec<C64> = (0..n).map(|_| Fading::Rician { k }.sample(&mut rng)).collect();
+        let p: f64 = samples.iter().map(|h| h.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((p - 1.0).abs() < 0.03, "power {p}");
+        // High K → magnitudes concentrate near 1 (less variance than Rayleigh).
+        let var_mag: f64 = samples
+            .iter()
+            .map(|h| (h.abs() - 1.0).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!(var_mag < 0.1, "magnitude variance {var_mag}");
+    }
+
+    #[test]
+    fn no_fading_is_unit_magnitude_random_phase() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let mut phases = Vec::new();
+        for _ in 0..1000 {
+            let h = Fading::None.sample(&mut rng);
+            assert!((h.abs() - 1.0).abs() < 1e-12);
+            phases.push(h.arg());
+        }
+        // Phases spread over the circle.
+        let mean_vec: C64 = phases.iter().map(|&p| C64::cis(p)).sum();
+        assert!(mean_vec.abs() / 1000.0 < 0.1);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(Fading::Rayleigh.sample(&mut a), Fading::Rayleigh.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Client hardware imperfections — the raw material Choir feeds on.
+//!
+//! Low-cost LP-WAN radios have cheap crystal oscillators whose frequency
+//! error (tens of ppm at 915 MHz → kHz-scale CFO) differs from board to
+//! board, plus imperfect slot timing after beacon synchronisation
+//! (sub-symbol timing offsets). Sec. 9.1 of the paper measures that across
+//! 30 boards these offsets (a) cover the whole fractional range roughly
+//! uniformly, and (b) stay essentially constant within a packet (mean
+//! error 1.84 % of a symbol for timing, 0.04 % of a bin for CFO+TO).
+//!
+//! [`OscillatorModel`] draws per-node offsets with exactly those
+//! properties; [`HardwareProfile`] is the per-node sample the channel
+//! mixer consumes, including small within-packet jitter so estimators face
+//! realistic (not mathematically exact) stability.
+
+use rand::Rng;
+
+use crate::fading::gaussian;
+
+/// Generative model for per-node hardware offsets.
+#[derive(Clone, Copy, Debug)]
+pub struct OscillatorModel {
+    /// Maximum oscillator error magnitude in parts-per-million. Cheap
+    /// crystals: 10–25 ppm.
+    pub max_ppm: f64,
+    /// Carrier frequency in Hz (915 MHz band).
+    pub carrier_hz: f64,
+    /// Standard deviation of beacon-slot timing error, in *symbols*
+    /// (sub-symbol: the paper measures ≪ 1 symbol; default 0.2).
+    pub timing_sigma_symbols: f64,
+    /// Within-packet CFO jitter standard deviation, Hz per symbol step
+    /// (random walk). Fig. 7(d) measures 0.02–0.12 Hz depending on SNR.
+    pub cfo_jitter_hz: f64,
+    /// Within-packet timing jitter standard deviation, in symbols per
+    /// symbol step. Fig. 7(c) measures ~1e-5–3e-5 relative.
+    pub timing_jitter_symbols: f64,
+}
+
+impl Default for OscillatorModel {
+    fn default() -> Self {
+        OscillatorModel {
+            max_ppm: 20.0,
+            carrier_hz: 902e6,
+            timing_sigma_symbols: 0.2,
+            cfo_jitter_hz: 0.05,
+            timing_jitter_symbols: 2e-5,
+        }
+    }
+}
+
+/// One node's hardware state for one packet.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HardwareProfile {
+    /// Carrier frequency offset in Hz (constant part).
+    pub cfo_hz: f64,
+    /// Timing offset of the packet start relative to the nominal slot, in
+    /// symbols (fractional, may be negative).
+    pub timing_offset_symbols: f64,
+    /// Transmitter initial phase (radians).
+    pub phase: f64,
+    /// Within-packet CFO random-walk step (Hz per symbol).
+    pub cfo_jitter_hz: f64,
+    /// Within-packet timing random-walk step (symbols per symbol).
+    pub timing_jitter_symbols: f64,
+}
+
+impl OscillatorModel {
+    /// Draws the *board-level* oscillator error (ppm), fixed for a node's
+    /// lifetime. Uniform over ±max_ppm, matching the observed flat CDF of
+    /// offsets across boards (Fig. 7(a,b)).
+    pub fn sample_ppm<R: Rng>(&self, rng: &mut R) -> f64 {
+        rng.gen_range(-self.max_ppm..self.max_ppm)
+    }
+
+    /// CFO in Hz corresponding to a board error of `ppm`.
+    pub fn cfo_hz(&self, ppm: f64) -> f64 {
+        ppm * 1e-6 * self.carrier_hz
+    }
+
+    /// Draws a complete per-packet profile for a node with board error
+    /// `ppm` (from [`Self::sample_ppm`]).
+    pub fn sample_profile<R: Rng>(&self, ppm: f64, rng: &mut R) -> HardwareProfile {
+        HardwareProfile {
+            cfo_hz: self.cfo_hz(ppm),
+            // Clients respond to the beacon after a non-negative processing
+            // delay, so slot timing offsets are positive sub-symbol delays
+            // (half-normal with the configured sigma).
+            timing_offset_symbols: gaussian(rng).abs() * self.timing_sigma_symbols,
+            phase: rng.gen_range(0.0..std::f64::consts::TAU),
+            cfo_jitter_hz: self.cfo_jitter_hz,
+            timing_jitter_symbols: self.timing_jitter_symbols,
+        }
+    }
+}
+
+impl HardwareProfile {
+    /// A mathematically ideal transmitter (no offsets) — useful in tests.
+    pub fn ideal() -> Self {
+        HardwareProfile {
+            cfo_hz: 0.0,
+            timing_offset_symbols: 0.0,
+            phase: 0.0,
+            cfo_jitter_hz: 0.0,
+            timing_jitter_symbols: 0.0,
+        }
+    }
+
+    /// The *aggregate* frequency shift in FFT bins that this profile
+    /// produces in a dechirped symbol spectrum: CFO contributes
+    /// `cfo/bin_hz` bins and a timing offset of `Δt` symbols contributes
+    /// `−Δt·N` bins (Eqn. 5 of the paper; the dechirp maps time to
+    /// frequency with slope `−B/T`).
+    pub fn aggregate_shift_bins(&self, bin_hz: f64, chips_per_symbol: usize) -> f64 {
+        self.cfo_hz / bin_hz - self.timing_offset_symbols * chips_per_symbol as f64
+    }
+
+    /// The fractional part of the aggregate shift, in `[0, 1)` — the
+    /// user-identifying feature of Sec. 4.
+    pub fn fractional_shift(&self, bin_hz: f64, chips_per_symbol: usize) -> f64 {
+        self.aggregate_shift_bins(bin_hz, chips_per_symbol).rem_euclid(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use choir_dsp::stats::ks_distance_uniform;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ppm_within_bounds_and_diverse() {
+        let m = OscillatorModel::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let ppms: Vec<f64> = (0..1000).map(|_| m.sample_ppm(&mut rng)).collect();
+        assert!(ppms.iter().all(|p| p.abs() <= 20.0));
+        // Roughly uniform: KS distance against U(−20, 20) small.
+        let d = ks_distance_uniform(&ppms, -20.0, 20.0);
+        assert!(d < 0.05, "KS {d}");
+    }
+
+    #[test]
+    fn cfo_scale_is_khz_at_915mhz() {
+        let m = OscillatorModel::default();
+        // 10 ppm at 902 MHz ≈ 9.02 kHz.
+        assert!((m.cfo_hz(10.0) - 9020.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn fractional_shifts_cover_the_bin_uniformly() {
+        // The paper's Fig. 7(a,b): fractional offsets across boards span
+        // the whole range ~uniformly. kHz-scale CFOs against a ~488 Hz bin
+        // wrap many times, uniformising the fractional part.
+        let m = OscillatorModel::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let bin_hz = 488.28;
+        let fracs: Vec<f64> = (0..2000)
+            .map(|_| {
+                let ppm = m.sample_ppm(&mut rng);
+                let prof = m.sample_profile(ppm, &mut rng);
+                prof.fractional_shift(bin_hz, 256)
+            })
+            .collect();
+        let d = ks_distance_uniform(&fracs, 0.0, 1.0);
+        assert!(d < 0.05, "KS {d}");
+    }
+
+    #[test]
+    fn aggregate_shift_combines_cfo_and_timing() {
+        let p = HardwareProfile {
+            cfo_hz: 976.5625, // exactly 2 bins at 488.28125 Hz/bin
+            timing_offset_symbols: 0.25,
+            phase: 0.0,
+            cfo_jitter_hz: 0.0,
+            timing_jitter_symbols: 0.0,
+        };
+        let shift = p.aggregate_shift_bins(488.28125, 256);
+        // 2 bins from CFO − 0.25·256 = −64 bins from timing.
+        assert!((shift - (2.0 - 64.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ideal_profile_zero_shift() {
+        let p = HardwareProfile::ideal();
+        assert_eq!(p.aggregate_shift_bins(488.0, 256), 0.0);
+        assert_eq!(p.fractional_shift(488.0, 256), 0.0);
+    }
+
+    #[test]
+    fn profiles_differ_across_nodes() {
+        let m = OscillatorModel::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = m.sample_profile(m.sample_ppm(&mut rng), &mut rng);
+        let b = m.sample_profile(m.sample_ppm(&mut rng), &mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn board_ppm_stable_across_packets() {
+        // The same board keeps its CFO (up to jitter) across packets: the
+        // model separates board ppm (drawn once) from per-packet profile.
+        let m = OscillatorModel::default();
+        let mut rng = StdRng::seed_from_u64(21);
+        let ppm = m.sample_ppm(&mut rng);
+        let p1 = m.sample_profile(ppm, &mut rng);
+        let p2 = m.sample_profile(ppm, &mut rng);
+        assert_eq!(p1.cfo_hz, p2.cfo_hz);
+        assert_ne!(p1.timing_offset_symbols, p2.timing_offset_symbols);
+    }
+}

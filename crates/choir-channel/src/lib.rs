@@ -1,0 +1,38 @@
+//! # choir-channel — urban wireless channel and hardware-impairment
+//! simulator
+//!
+//! This crate substitutes for the hardware the Choir paper (SIGCOMM 2017)
+//! deployed — USRP N210 base stations and SX1276 clients across 10 km² of
+//! urban terrain — at the same interface the paper's decoder consumes:
+//! received baseband IQ samples.
+//!
+//! * [`pathloss`] / [`fading`] — log-distance urban propagation, log-normal
+//!   shadowing, Rayleigh/Rician block fading;
+//! * [`impairments`] — per-board oscillator CFO (ppm model), sub-symbol
+//!   timing offsets, within-packet jitter (matching the measurements of
+//!   Sec. 9.1 / Fig. 7);
+//! * [`noise`] / [`adc`] — thermal floor, AWGN, 14-bit quantization and
+//!   clipping (the near-far ceiling of Sec. 5.2);
+//! * [`mix`] — the superposition engine rendering colliding impaired
+//!   transmitters sample-exactly;
+//! * [`link`] — the end-to-end budget that puts the single-node urban
+//!   decode limit at ~1 km, as the paper measures;
+//! * [`scenario`] — one-call collision synthesis with ground truth;
+//! * [`antenna`] — multi-antenna channels for the MU-MIMO baseline.
+
+#![warn(missing_docs)]
+
+pub mod adc;
+pub mod antenna;
+pub mod fading;
+pub mod impairments;
+pub mod link;
+pub mod mix;
+pub mod noise;
+pub mod pathloss;
+pub mod scenario;
+
+pub use impairments::{HardwareProfile, OscillatorModel};
+pub use link::LinkBudget;
+pub use mix::{mix, MixConfig, Transmission};
+pub use scenario::{CollisionScenario, ScenarioBuilder, UserGroundTruth};

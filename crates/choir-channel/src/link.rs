@@ -1,0 +1,150 @@
+//! End-to-end link budget: transmit power → path loss → received SNR →
+//! baseband amplitude.
+//!
+//! All baseband simulation is carried out with the noise power normalised
+//! to 1.0 per complex sample, so a link at `snr_db` contributes a signal of
+//! amplitude `10^(snr_db/20)`.
+
+use crate::noise::{db_to_lin, noise_floor_dbm};
+use crate::pathloss::LogDistance;
+use lora_phy::params::{PhyParams, SpreadingFactor};
+
+/// A complete link budget for the Choir testbed.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkBudget {
+    /// Client transmit power in dBm (LoRa clients: "few milliwatts";
+    /// 14 dBm = 25 mW is the US915 default).
+    pub tx_power_dbm: f64,
+    /// Client antenna gain (dBi).
+    pub tx_gain_db: f64,
+    /// Base-station antenna + LNA gain (dBi + dB; the paper's S469AM-915
+    /// plus ZX60-0916LN+).
+    pub rx_gain_db: f64,
+    /// Receiver noise figure (dB). The USRP N210 front end is ~5–8 dB.
+    pub noise_figure_db: f64,
+    /// Path-loss model.
+    pub pathloss: LogDistance,
+}
+
+impl Default for LinkBudget {
+    fn default() -> Self {
+        LinkBudget {
+            tx_power_dbm: 14.0,
+            tx_gain_db: 0.0,
+            rx_gain_db: 3.0,
+            noise_figure_db: 6.0,
+            pathloss: LogDistance::urban(),
+        }
+    }
+}
+
+impl LinkBudget {
+    /// Received power in dBm at distance `d_m`, before shadowing/fading.
+    pub fn rx_power_dbm(&self, d_m: f64) -> f64 {
+        self.tx_power_dbm + self.tx_gain_db + self.rx_gain_db - self.pathloss.loss_db(d_m)
+    }
+
+    /// Per-sample SNR in dB at distance `d_m` for bandwidth `bw_hz`
+    /// (shadowing in dB can be added by the caller).
+    pub fn snr_db(&self, d_m: f64, bw_hz: f64) -> f64 {
+        self.rx_power_dbm(d_m) - noise_floor_dbm(bw_hz, self.noise_figure_db)
+    }
+
+    /// Baseband signal amplitude for unit-power noise at distance `d_m`.
+    pub fn amplitude(&self, d_m: f64, bw_hz: f64) -> f64 {
+        db_to_lin(self.snr_db(d_m, bw_hz)).sqrt()
+    }
+
+    /// Maximum decodable distance for a single node at the given PHY
+    /// (ignoring shadowing): where SNR falls to the SF's demodulation
+    /// floor. This is the paper's ~1 km urban single-node range.
+    pub fn max_range_m(&self, params: &PhyParams) -> f64 {
+        let bw = params.bw.hz();
+        let floor = noise_floor_dbm(bw, self.noise_figure_db);
+        let min_rx_dbm = floor + params.sf.demod_floor_db();
+        let max_pl = self.tx_power_dbm + self.tx_gain_db + self.rx_gain_db - min_rx_dbm;
+        self.pathloss.distance_for_loss(max_pl)
+    }
+
+    /// Picks the fastest spreading factor whose demodulation floor the
+    /// link at `d_m` still clears — the paper's "nodes transmit at the
+    /// fastest data rate that can be supported by the SNR" rate
+    /// adaptation. Returns `None` when even SF12 cannot close the link.
+    pub fn fastest_sf(&self, d_m: f64, bw_hz: f64) -> Option<SpreadingFactor> {
+        let snr = self.snr_db(d_m, bw_hz);
+        SpreadingFactor::ALL
+            .into_iter()
+            .find(|sf| snr >= sf.demod_floor_db())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_phy::params::{Bandwidth, CodeRate};
+
+    fn sf8_params() -> PhyParams {
+        PhyParams {
+            sf: SpreadingFactor::Sf8,
+            bw: Bandwidth::Khz125,
+            cr: CodeRate::Cr48,
+            preamble_len: 8,
+            explicit_crc: true,
+        }
+    }
+
+    #[test]
+    fn rx_power_decreases_with_distance() {
+        let lb = LinkBudget::default();
+        assert!(lb.rx_power_dbm(100.0) > lb.rx_power_dbm(1000.0));
+    }
+
+    #[test]
+    fn urban_single_node_range_near_1km() {
+        // The paper: "one client in the network could reach at best a
+        // distance of 1 km". Our default budget must land in that regime.
+        let lb = LinkBudget::default();
+        let r = lb.max_range_m(&sf8_params());
+        assert!((700.0..1500.0).contains(&r), "range {r} m");
+    }
+
+    #[test]
+    fn snr_at_close_range_is_high() {
+        let lb = LinkBudget::default();
+        let snr = lb.snr_db(50.0, 125e3);
+        assert!(snr > 20.0, "snr {snr}");
+    }
+
+    #[test]
+    fn amplitude_matches_snr() {
+        let lb = LinkBudget::default();
+        let snr = lb.snr_db(300.0, 125e3);
+        let a = lb.amplitude(300.0, 125e3);
+        assert!((20.0 * a.log10() - snr).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_adaptation_picks_faster_sf_closer() {
+        let lb = LinkBudget::default();
+        let near = lb.fastest_sf(100.0, 125e3).unwrap();
+        let far = lb.fastest_sf(1200.0, 125e3).unwrap();
+        assert!(near <= far, "near {near:?} far {far:?}");
+        assert_eq!(near, SpreadingFactor::Sf7);
+    }
+
+    #[test]
+    fn beyond_all_sf_range_returns_none() {
+        let lb = LinkBudget::default();
+        assert!(lb.fastest_sf(50_000.0, 125e3).is_none());
+    }
+
+    #[test]
+    fn higher_sf_reaches_further() {
+        let lb = LinkBudget::default();
+        let mut p = sf8_params();
+        let r8 = lb.max_range_m(&p);
+        p.sf = SpreadingFactor::Sf12;
+        let r12 = lb.max_range_m(&p);
+        assert!(r12 > 1.3 * r8, "r8 {r8} r12 {r12}");
+    }
+}

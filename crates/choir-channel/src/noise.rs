@@ -1,0 +1,113 @@
+//! Thermal noise and dB bookkeeping.
+
+use choir_dsp::complex::{c64, C64};
+use rand::Rng;
+
+use crate::fading::gaussian;
+
+/// dB → linear power ratio.
+pub fn db_to_lin(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Linear power ratio → dB.
+pub fn lin_to_db(lin: f64) -> f64 {
+    10.0 * lin.log10()
+}
+
+/// Thermal noise floor in dBm for a given bandwidth and receiver noise
+/// figure: `−174 + 10·log₁₀(BW) + NF`.
+pub fn noise_floor_dbm(bandwidth_hz: f64, noise_figure_db: f64) -> f64 {
+    -174.0 + 10.0 * bandwidth_hz.log10() + noise_figure_db
+}
+
+/// Draws `len` samples of circularly-symmetric complex Gaussian noise with
+/// total power `power` (variance `power/2` per real dimension).
+pub fn awgn<R: Rng>(rng: &mut R, len: usize, power: f64) -> Vec<C64> {
+    assert!(power >= 0.0, "awgn: negative power");
+    let s = (power / 2.0).sqrt();
+    (0..len)
+        .map(|_| c64(gaussian(rng) * s, gaussian(rng) * s))
+        .collect()
+}
+
+/// Adds AWGN of the given power to a signal in place.
+pub fn add_awgn<R: Rng>(rng: &mut R, signal: &mut [C64], power: f64) {
+    let s = (power / 2.0).sqrt();
+    for v in signal.iter_mut() {
+        *v += c64(gaussian(rng) * s, gaussian(rng) * s);
+    }
+}
+
+/// Measures the empirical SNR of `signal + noise` given the clean signal.
+pub fn measured_snr_db(clean: &[C64], noisy: &[C64]) -> f64 {
+    assert_eq!(clean.len(), noisy.len());
+    let sig: f64 = clean.iter().map(|z| z.norm_sqr()).sum();
+    let err: f64 = clean
+        .iter()
+        .zip(noisy)
+        .map(|(c, n)| (n - c).norm_sqr())
+        .sum();
+    lin_to_db(sig / err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn db_roundtrip() {
+        for db in [-30.0, -3.0, 0.0, 10.0, 27.5] {
+            assert!((lin_to_db(db_to_lin(db)) - db).abs() < 1e-12);
+        }
+        assert!((db_to_lin(3.0) - 1.9953).abs() < 1e-3);
+    }
+
+    #[test]
+    fn lorawan_noise_floor() {
+        // 125 kHz, NF 6 dB → ≈ −117 dBm.
+        let nf = noise_floor_dbm(125e3, 6.0);
+        assert!((nf - (-117.03)).abs() < 0.1, "floor {nf}");
+    }
+
+    #[test]
+    fn awgn_power_calibrated() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let noise = awgn(&mut rng, n, 2.5);
+        let p: f64 = noise.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((p - 2.5).abs() < 0.05, "power {p}");
+    }
+
+    #[test]
+    fn awgn_circular_symmetry() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let noise = awgn(&mut rng, 50_000, 1.0);
+        let mean: C64 = noise.iter().sum();
+        assert!(mean.abs() / 50_000.0 < 0.01);
+        let re_pow: f64 = noise.iter().map(|z| z.re * z.re).sum::<f64>() / 50_000.0;
+        let im_pow: f64 = noise.iter().map(|z| z.im * z.im).sum::<f64>() / 50_000.0;
+        assert!((re_pow - 0.5).abs() < 0.02);
+        assert!((im_pow - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn add_awgn_hits_target_snr() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let clean: Vec<C64> = (0..20_000).map(|i| C64::cis(0.01 * i as f64)).collect();
+        // Signal power 1.0; add noise at power 0.1 → 10 dB SNR.
+        let mut noisy = clean.clone();
+        add_awgn(&mut rng, &mut noisy, 0.1);
+        let snr = measured_snr_db(&clean, &noisy);
+        assert!((snr - 10.0).abs() < 0.3, "snr {snr}");
+    }
+
+    #[test]
+    fn zero_power_noise_is_zero() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let noise = awgn(&mut rng, 10, 0.0);
+        assert!(noise.iter().all(|z| z.abs() == 0.0));
+    }
+}

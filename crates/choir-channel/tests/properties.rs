@@ -1,0 +1,104 @@
+//! Property-based tests for the channel substrate.
+
+use choir_channel::impairments::{HardwareProfile, OscillatorModel};
+use choir_channel::mix::{mix, MixConfig, Transmission};
+use choir_channel::noise::{db_to_lin, lin_to_db};
+use choir_channel::pathloss::LogDistance;
+use choir_channel::scenario::ScenarioBuilder;
+use choir_dsp::complex::C64;
+use lora_phy::chirp::PacketWaveform;
+use lora_phy::params::PhyParams;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn db_roundtrip(db in -120.0f64..60.0) {
+        prop_assert!((lin_to_db(db_to_lin(db)) - db).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pathloss_monotone(d1 in 1.0f64..5000.0, d2 in 1.0f64..5000.0) {
+        let m = LogDistance::urban();
+        let (lo, hi) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(m.loss_db(lo) <= m.loss_db(hi) + 1e-12);
+    }
+
+    #[test]
+    fn pathloss_inverse_consistent(d in 1.0f64..5000.0) {
+        let m = LogDistance::urban();
+        let pl = m.loss_db(d);
+        prop_assert!((m.distance_for_loss(pl) - d).abs() / d < 1e-9);
+    }
+
+    #[test]
+    fn mix_is_linear_in_amplitude(amp in 0.1f64..10.0, sym in 0u16..128) {
+        // Doubling a transmitter's amplitude doubles its (noise-free)
+        // contribution sample by sample.
+        let n = 128usize;
+        let mk = |a: f64| Transmission {
+            waveform: PacketWaveform::new(n, vec![sym]),
+            channel: C64::ONE,
+            amplitude: a,
+            profile: HardwareProfile::ideal(),
+            start_sample: 0.0,
+        };
+        let cfg = MixConfig { bw_hz: 125e3, noise_power: 0.0 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let y1 = mix(&[mk(amp)], n, &cfg, &mut rng);
+        let mut rng = StdRng::seed_from_u64(1);
+        let y2 = mix(&[mk(2.0 * amp)], n, &cfg, &mut rng);
+        for (a, b) in y1.iter().zip(&y2) {
+            prop_assert!((b - a.scale(2.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn superposition_of_two_transmitters(s1 in 0u16..128, s2 in 0u16..128) {
+        // mix(A ∪ B) == mix(A) + mix(B) without noise/jitter.
+        let n = 128usize;
+        let mk = |sym: u16, cfo: f64| Transmission {
+            waveform: PacketWaveform::new(n, vec![sym]),
+            channel: C64::ONE,
+            amplitude: 1.0,
+            profile: HardwareProfile { cfo_hz: cfo, ..HardwareProfile::ideal() },
+            start_sample: 0.0,
+        };
+        let cfg = MixConfig { bw_hz: 125e3, noise_power: 0.0 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let both = mix(&[mk(s1, 300.0), mk(s2, -500.0)], n, &cfg, &mut rng);
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = mix(&[mk(s1, 300.0)], n, &cfg, &mut rng);
+        let mut rng = StdRng::seed_from_u64(2);
+        let b = mix(&[mk(s2, -500.0)], n, &cfg, &mut rng);
+        for i in 0..n {
+            prop_assert!((both[i] - (a[i] + b[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn oscillator_offsets_bounded(seed in any::<u64>()) {
+        let m = OscillatorModel::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ppm = m.sample_ppm(&mut rng);
+        prop_assert!(ppm.abs() <= m.max_ppm);
+        let p = m.sample_profile(ppm, &mut rng);
+        prop_assert!(p.timing_offset_symbols >= 0.0, "beacon delays are non-negative");
+        prop_assert!((p.cfo_hz - m.cfo_hz(ppm)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scenario_deterministic_and_sized(seed in any::<u64>(), k in 1usize..5) {
+        let snrs = vec![12.0; k];
+        let a = ScenarioBuilder::new(PhyParams::default()).snrs_db(&snrs).seed(seed).build();
+        let b = ScenarioBuilder::new(PhyParams::default()).snrs_db(&snrs).seed(seed).build();
+        prop_assert_eq!(a.users.len(), k);
+        prop_assert_eq!(a.samples.len(), b.samples.len());
+        for (x, y) in a.samples.iter().zip(&b.samples) {
+            prop_assert_eq!(x, y);
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Mapping spectral components to users — Sec. 6.2.
+//!
+//! Within a packet, each user is identified by features that stay constant
+//! while data changes: the *fractional* part of its peak position (hardware
+//! offsets are not integer multiples of a bin), its channel magnitude, and
+//! its (drift-corrected) channel phase. This module provides:
+//!
+//! * circular feature arithmetic;
+//! * [`merge_tracks`] — agglomerates per-window component estimates into
+//!   per-user tracks (used on the preamble, where positions are static);
+//! * [`assign_components`] — constrained assignment of data-window
+//!   components to known users: observations in one window compete, and a
+//!   user may legitimately own up to two peaks per window (the
+//!   inter-symbol pair of Sec. 6.1), both sharing its fractional offset.
+
+use crate::estimator::ComponentEstimate;
+
+/// Circular distance between `a` and `b` modulo `m` (result in `[0, m/2]`).
+pub fn circular_dist(a: f64, b: f64, m: f64) -> f64 {
+    let d = (a - b).rem_euclid(m);
+    d.min(m - d)
+}
+
+/// Circular mean of values modulo `m` (vector averaging).
+pub fn circular_mean(values: &[f64], m: f64) -> f64 {
+    assert!(!values.is_empty(), "circular_mean: empty input");
+    let (mut s, mut c) = (0.0, 0.0);
+    for &v in values {
+        let th = v / m * std::f64::consts::TAU;
+        s += th.sin();
+        c += th.cos();
+    }
+    (s.atan2(c) / std::f64::consts::TAU * m).rem_euclid(m)
+}
+
+/// A user track accumulated over several windows.
+#[derive(Clone, Debug)]
+pub struct Track {
+    /// Circular-mean peak position in bins.
+    pub pos_bins: f64,
+    /// Mean channel magnitude.
+    pub mag: f64,
+    /// Per-window observations: `(window index, component)`.
+    pub members: Vec<(usize, ComponentEstimate)>,
+}
+
+impl Track {
+    /// Number of windows this track was seen in.
+    pub fn support(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Phase advance per window (radians), estimated as the circular mean
+    /// of consecutive phase differences. For the preamble this equals
+    /// `2π · CFO/bin` (mod 2π) — the feature that lets Choir separate true
+    /// frequency offset from timing offset (Sec. 6).
+    pub fn phase_slope(&self) -> Option<f64> {
+        if self.members.len() < 2 {
+            return None;
+        }
+        let mut diffs = Vec::new();
+        for pair in self.members.windows(2) {
+            let (w0, c0) = &pair[0];
+            let (w1, c1) = &pair[1];
+            if w1 - w0 == 1 {
+                let d = (c1.channel.arg() - c0.channel.arg())
+                    .rem_euclid(std::f64::consts::TAU);
+                diffs.push(d);
+            }
+        }
+        if diffs.is_empty() {
+            None
+        } else {
+            Some(circular_mean(&diffs, std::f64::consts::TAU))
+        }
+    }
+}
+
+/// Agglomerates components observed across consecutive windows into
+/// tracks: a component joins the nearest existing track within
+/// `tol_bins` (circular over the `n`-bin alphabet), else founds a new one.
+/// Tracks seen in fewer than `min_support` windows are discarded.
+pub fn merge_tracks(
+    windows: &[Vec<ComponentEstimate>],
+    n: usize,
+    tol_bins: f64,
+    min_support: usize,
+) -> Vec<Track> {
+    let m = n as f64;
+    let mut tracks: Vec<Track> = Vec::new();
+    for (w, comps) in windows.iter().enumerate() {
+        // Within one window, components are distinct users (cannot-link):
+        // each may extend a different track, greedily by distance.
+        let mut taken: Vec<bool> = vec![false; tracks.len()];
+        let mut pairs: Vec<(f64, usize, usize)> = Vec::new(); // (dist, comp, track)
+        for (ci, c) in comps.iter().enumerate() {
+            for (ti, t) in tracks.iter().enumerate() {
+                let d = circular_dist(c.freq_bins, t.pos_bins, m);
+                if d <= tol_bins {
+                    pairs.push((d, ci, ti));
+                }
+            }
+        }
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut comp_used = vec![false; comps.len()];
+        for (_, ci, ti) in pairs {
+            if comp_used[ci] || taken[ti] {
+                continue;
+            }
+            comp_used[ci] = true;
+            taken[ti] = true;
+            let t = &mut tracks[ti];
+            t.members.push((w, comps[ci]));
+            let positions: Vec<f64> = t.members.iter().map(|(_, c)| c.freq_bins).collect();
+            t.pos_bins = circular_mean(&positions, m);
+            t.mag = t.members.iter().map(|(_, c)| c.channel.abs()).sum::<f64>()
+                / t.members.len() as f64;
+        }
+        for (ci, c) in comps.iter().enumerate() {
+            if !comp_used[ci] {
+                tracks.push(Track {
+                    pos_bins: c.freq_bins,
+                    mag: c.channel.abs(),
+                    members: vec![(w, *c)],
+                });
+            }
+        }
+    }
+    tracks.retain(|t| t.support() >= min_support);
+    // Strongest first — the order SIC would surface them.
+    tracks.sort_by(|a, b| b.mag.total_cmp(&a.mag));
+    tracks
+}
+
+/// A user signature distilled from its preamble track.
+#[derive(Clone, Copy, Debug)]
+pub struct UserSignature {
+    /// Fractional part of the aggregate offset, `[0, 1)`.
+    pub frac: f64,
+    /// Expected channel magnitude.
+    pub mag: f64,
+}
+
+/// Assignment weights for [`assign_components`].
+#[derive(Clone, Copy, Debug)]
+pub struct AssignConfig {
+    /// Maximum fractional-offset distance (circular in `[0,1)`) for a
+    /// component to be considered a user's.
+    pub max_frac_dist: f64,
+    /// Weight of the relative-magnitude mismatch term (fractional distance
+    /// has weight 1).
+    pub mag_weight: f64,
+}
+
+impl Default for AssignConfig {
+    fn default() -> Self {
+        AssignConfig {
+            max_frac_dist: 0.18,
+            mag_weight: 0.05,
+        }
+    }
+}
+
+/// Assigns one window's components to users by fractional offset (primary)
+/// and channel magnitude (secondary). Returns, for each component, the user
+/// index or `None`. A user may own several components (ISI head + tail),
+/// but every component gets at most one user.
+pub fn assign_components(
+    users: &[UserSignature],
+    comps: &[ComponentEstimate],
+    cfg: &AssignConfig,
+) -> Vec<Option<usize>> {
+    comps
+        .iter()
+        .map(|c| {
+            let frac = c.freq_bins.fract();
+            let mag = c.channel.abs();
+            users
+                .iter()
+                .enumerate()
+                .filter_map(|(u, sig)| {
+                    let fd = circular_dist(frac, sig.frac, 1.0);
+                    if fd > cfg.max_frac_dist {
+                        return None;
+                    }
+                    let md = if sig.mag > 0.0 {
+                        ((mag - sig.mag) / sig.mag).abs()
+                    } else {
+                        0.0
+                    };
+                    Some((u, fd + cfg.mag_weight * md))
+                })
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(u, _)| u)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use choir_dsp::complex::C64;
+
+    fn comp(pos: f64, mag: f64) -> ComponentEstimate {
+        ComponentEstimate::tone(pos, C64::from_polar(mag, 0.3))
+    }
+
+    #[test]
+    fn circular_distance_wraps() {
+        assert!((circular_dist(0.1, 127.9, 128.0) - 0.2).abs() < 1e-9);
+        assert_eq!(circular_dist(5.0, 5.0, 128.0), 0.0);
+        assert!((circular_dist(0.95, 0.05, 1.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circular_mean_handles_wrap() {
+        let m = circular_mean(&[0.05, 0.95], 1.0);
+        assert!(m < 0.02 || m > 0.98, "mean {m}");
+        let m2 = circular_mean(&[10.0, 12.0], 128.0);
+        assert!((m2 - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_two_stable_users() {
+        // Two users at stable positions over 6 windows.
+        let windows: Vec<Vec<ComponentEstimate>> = (0..6)
+            .map(|_| vec![comp(40.3, 1.0), comp(90.7, 0.5)])
+            .collect();
+        let tracks = merge_tracks(&windows, 128, 0.3, 4);
+        assert_eq!(tracks.len(), 2);
+        assert!((tracks[0].pos_bins - 40.3).abs() < 1e-6);
+        assert_eq!(tracks[0].support(), 6);
+        assert!((tracks[1].pos_bins - 90.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spurious_single_window_component_dropped() {
+        let mut windows: Vec<Vec<ComponentEstimate>> =
+            (0..6).map(|_| vec![comp(40.3, 1.0)]).collect();
+        windows[2].push(comp(77.7, 0.9)); // one-off glitch
+        let tracks = merge_tracks(&windows, 128, 0.3, 3);
+        assert_eq!(tracks.len(), 1);
+    }
+
+    #[test]
+    fn close_users_not_merged_within_window() {
+        // Two users 0.5 bins apart: cannot-link within a window keeps them
+        // as two tracks even though each is within tol of the other.
+        let windows: Vec<Vec<ComponentEstimate>> = (0..5)
+            .map(|_| vec![comp(60.2, 1.0), comp(60.7, 0.9)])
+            .collect();
+        let tracks = merge_tracks(&windows, 128, 0.6, 4);
+        assert_eq!(tracks.len(), 2, "tracks: {tracks:?}");
+    }
+
+    #[test]
+    fn track_positions_wrap_around_alphabet() {
+        let windows: Vec<Vec<ComponentEstimate>> = (0..4)
+            .map(|i| vec![comp(if i % 2 == 0 { 127.95 } else { 0.05 }, 1.0)])
+            .collect();
+        let tracks = merge_tracks(&windows, 128, 0.3, 4);
+        assert_eq!(tracks.len(), 1);
+        let p = tracks[0].pos_bins;
+        assert!(p < 0.1 || p > 127.9, "pos {p}");
+    }
+
+    #[test]
+    fn phase_slope_measured() {
+        // Phases advancing by 0.5 rad per window.
+        let windows: Vec<Vec<ComponentEstimate>> = (0..6)
+            .map(|w| {
+                vec![ComponentEstimate::tone(
+                    30.4,
+                    C64::from_polar(1.0, 0.5 * w as f64),
+                )]
+            })
+            .collect();
+        let tracks = merge_tracks(&windows, 128, 0.3, 4);
+        let slope = tracks[0].phase_slope().unwrap();
+        assert!((slope - 0.5).abs() < 1e-9, "slope {slope}");
+    }
+
+    #[test]
+    fn phase_slope_none_for_single_member() {
+        let t = Track {
+            pos_bins: 1.0,
+            mag: 1.0,
+            members: vec![(0, comp(1.0, 1.0))],
+        };
+        assert!(t.phase_slope().is_none());
+    }
+
+    #[test]
+    fn assignment_by_fractional_part() {
+        let users = [
+            UserSignature { frac: 0.30, mag: 1.0 },
+            UserSignature { frac: 0.71, mag: 0.5 },
+        ];
+        // Data moved the integer parts; fractional parts identify owners.
+        let comps = [comp(17.31, 1.02), comp(95.70, 0.48)];
+        let got = assign_components(&users, &comps, &AssignConfig::default());
+        assert_eq!(got, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn unmatched_component_gets_none() {
+        let users = [UserSignature { frac: 0.2, mag: 1.0 }];
+        let comps = [comp(50.55, 1.0)]; // frac 0.55: too far from 0.2
+        let got = assign_components(&users, &comps, &AssignConfig::default());
+        assert_eq!(got, vec![None]);
+    }
+
+    #[test]
+    fn magnitude_breaks_fractional_ties() {
+        // Both users share (nearly) the same fractional offset; magnitude
+        // decides.
+        let users = [
+            UserSignature { frac: 0.50, mag: 2.0 },
+            UserSignature { frac: 0.52, mag: 0.2 },
+        ];
+        let comps = [comp(80.51, 0.21)];
+        let cfg = AssignConfig {
+            mag_weight: 1.0,
+            ..AssignConfig::default()
+        };
+        let got = assign_components(&users, &comps, &cfg);
+        assert_eq!(got, vec![Some(1)]);
+    }
+
+    #[test]
+    fn user_may_own_two_isi_peaks() {
+        let users = [UserSignature { frac: 0.4, mag: 1.0 }];
+        let comps = [comp(20.4, 0.8), comp(93.4, 0.25)]; // head + tail
+        let got = assign_components(&users, &comps, &AssignConfig::default());
+        assert_eq!(got, vec![Some(0), Some(0)]);
+    }
+}

@@ -1,0 +1,1177 @@
+//! The end-to-end Choir base-station pipeline.
+//!
+//! 1. **Discover users** (Sec. 5): run phased SIC on each interior preamble
+//!    window — the preamble is a train of identical up-chirps, so every
+//!    window yields one stable peak per user at its aggregate hardware
+//!    offset — then merge per-window components into user tracks.
+//! 2. **Split time from frequency** (Sec. 6): a user's aggregate offset
+//!    `μ = cfo − Δ` confounds CFO and timing, but two extra observables
+//!    break the tie: the phase of its preamble peak advances by
+//!    `2π·cfo/bin` per symbol, and the boundary of the fitted ISI step sits
+//!    at its chip delay `Δ`. Together they give `Δ` in (fractional) chips.
+//! 3. **Per-user aligned demodulation + packet-level SIC** (Secs. 5.2,
+//!    6.1): strongest user first, realign windows to the user's own symbol
+//!    clock (integer shift + windowed-sinc fractional resampling — this
+//!    removes inter-symbol interference entirely), demodulate each symbol
+//!    as the argmax over the user's *fractional comb* (integer values +
+//!    its fractional offset), reconstruct its exact waveform (per-symbol
+//!    complex gain fit) and subtract before decoding the next user.
+//! 4. **Frame-decode** each user's symbol stream through the standard LoRa
+//!    chain (Gray/interleave/Hamming/CRC) from `lora-phy`.
+
+use choir_dsp::complex::C64;
+use choir_dsp::resample::fractional_delay;
+use lora_phy::chirp::symbol_sample;
+use lora_phy::frame::{decode_frame, DecodedFrame, SYNC_SYMBOLS};
+use lora_phy::params::PhyParams;
+
+use crate::cluster::circular_dist;
+use crate::estimator::{EstimatorConfig, OffsetEstimator};
+use crate::sic::{phased_sic, SicConfig};
+
+/// Full decoder configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ChoirConfig {
+    /// Offset-estimator settings (zero-padding, search radius…).
+    pub estimator: EstimatorConfig,
+    /// Phased-SIC settings (used on the preamble windows).
+    pub sic: SicConfig,
+    /// Drop decoded "users" whose sync word did not match. Preamble-stage
+    /// tracking occasionally promotes residual skirt or noise into a user
+    /// candidate; a real transmitter always lands the known sync symbols.
+    pub require_sync: bool,
+    /// Taps per side of the windowed-sinc fractional resampler.
+    pub resample_taps: usize,
+    /// Packet-level SIC passes: pass 1 decodes strongest-first under
+    /// residual interference; later passes re-decode each user with every
+    /// other user's reconstruction removed. Two passes handle dense
+    /// (8–10 user) collisions; one suffices for small ones.
+    pub sic_passes: usize,
+}
+
+impl Default for ChoirConfig {
+    fn default() -> Self {
+        ChoirConfig {
+            estimator: EstimatorConfig::default(),
+            sic: SicConfig::default(),
+            require_sync: true,
+            resample_taps: 10,
+            sic_passes: 2,
+        }
+    }
+}
+
+impl ChoirConfig {
+    /// Preamble track-merge tolerance in bins.
+    const TRACK_TOL_BINS: f64 = 0.35;
+}
+
+/// A user discovered from the preamble.
+#[derive(Clone, Copy, Debug)]
+pub struct UserEstimate {
+    /// Aggregate hardware offset in fractional bins, `[0, 2^SF)` — CFO
+    /// plus timing, the quantity every subsequent peak is displaced by.
+    pub offset_bins: f64,
+    /// Fractional part of the offset (the user-identifying feature).
+    pub frac: f64,
+    /// Mean channel magnitude over the preamble.
+    pub mag: f64,
+    /// Channel estimate from the first preamble window observed.
+    pub channel: C64,
+    /// Phase advance per symbol (radians), when measurable — equals
+    /// `2π·CFO/bin (mod 2π)`, separating true CFO from timing offset.
+    pub phase_slope: Option<f64>,
+    /// Estimated timing offset in chips (delay past the slot boundary),
+    /// reconstructed from the ISI step boundary (integer part) and the
+    /// phase slope (fractional part).
+    pub timing_chips: f64,
+    /// Number of preamble windows the user was tracked in.
+    pub support: usize,
+}
+
+impl UserEstimate {
+    /// CFO in bins implied by the offset and timing estimates (mod `n`).
+    pub fn cfo_bins(&self, n: usize) -> f64 {
+        (self.offset_bins + self.timing_chips).rem_euclid(n as f64)
+    }
+}
+
+/// Per-window comb decision with its top alternatives (for list decoding).
+#[derive(Clone, Copy, Debug)]
+struct CombDecision {
+    /// Top three candidate values with scores, best first.
+    cands: [(u16, f64); 3],
+}
+
+impl CombDecision {
+    fn value(&self) -> u16 {
+        self.cands[0].0
+    }
+
+    fn winner_score(&self) -> f64 {
+        self.cands[0].1
+    }
+}
+
+impl Default for CombDecision {
+    fn default() -> Self {
+        CombDecision {
+            cands: [(0, 0.0); 3],
+        }
+    }
+}
+
+/// One user's decoded output.
+#[derive(Clone, Debug)]
+pub struct DecodedUser {
+    /// The preamble-derived user estimate.
+    pub user: UserEstimate,
+    /// Recovered data symbols (sync symbols stripped).
+    pub symbols: Vec<u16>,
+    /// How many of the two sync symbols failed to match (0 = clean sync).
+    pub sync_errors: usize,
+    /// Number of windows where no symbol could be recovered.
+    pub erasures: usize,
+    /// Frame-level decode of the symbol stream, when structurally valid.
+    pub frame: Option<DecodedFrame>,
+}
+
+impl DecodedUser {
+    /// True when the frame decoded with a passing CRC.
+    pub fn payload_ok(&self) -> bool {
+        self.frame.as_ref().map(|f| f.crc_ok).unwrap_or(false)
+    }
+}
+
+/// The Choir collision decoder for one PHY configuration.
+#[derive(Clone, Debug)]
+pub struct ChoirDecoder {
+    params: PhyParams,
+    cfg: ChoirConfig,
+    est: OffsetEstimator,
+}
+
+impl ChoirDecoder {
+    /// Builds a decoder with default configuration.
+    pub fn new(params: PhyParams) -> Self {
+        Self::with_config(params, ChoirConfig::default())
+    }
+
+    /// Builds a decoder with explicit configuration.
+    pub fn with_config(params: PhyParams, cfg: ChoirConfig) -> Self {
+        let est = OffsetEstimator::new(params.samples_per_symbol(), cfg.estimator);
+        ChoirDecoder { params, cfg, est }
+    }
+
+    /// The PHY parameters in use.
+    pub fn params(&self) -> &PhyParams {
+        &self.params
+    }
+
+    /// The underlying per-symbol estimator.
+    pub fn estimator(&self) -> &OffsetEstimator {
+        &self.est
+    }
+
+    fn window<'a>(&self, samples: &'a [C64], slot_start: usize, idx: usize) -> Option<&'a [C64]> {
+        let n = self.params.samples_per_symbol();
+        let lo = slot_start + idx * n;
+        let hi = lo + n;
+        samples.get(lo..hi)
+    }
+
+    /// Stage 1+2: discovers colliding users from the preamble (Sec. 5) and
+    /// splits each user's aggregate offset into timing and CFO (Sec. 6).
+    pub fn discover_users(&self, samples: &[C64], slot_start: usize) -> Vec<UserEstimate> {
+        let p = self.params.preamble_len;
+        let n = self.est.n();
+        let mut per_window = Vec::new();
+        // Interior windows only: window 0 may straddle the packet edge for
+        // delayed users; windows 1..P−1 are pure preamble for any
+        // sub-symbol delay.
+        for w in 1..p {
+            let Some(win) = self.window(samples, slot_start, w) else {
+                break;
+            };
+            per_window.push(phased_sic(&self.est, win, &self.cfg.sic).components);
+        }
+        if per_window.is_empty() {
+            return Vec::new();
+        }
+        let min_support = (per_window.len() / 2).max(2).min(per_window.len());
+        let tracks = crate::cluster::merge_tracks(
+            &per_window,
+            n,
+            ChoirConfig::TRACK_TOL_BINS,
+            min_support,
+        );
+        let mut users: Vec<UserEstimate> = tracks
+            .into_iter()
+            .map(|t| UserEstimate {
+                offset_bins: t.pos_bins,
+                frac: t.pos_bins.fract(),
+                mag: t.mag,
+                channel: t.members[0].1.channel,
+                phase_slope: t.phase_slope(),
+                timing_chips: 0.0,
+                support: t.support(),
+            })
+            .collect();
+        // Timing estimation (Sec. 6): coarse integer part from the
+        // preamble→sync transition window, precise fractional part from a
+        // direct alignment scan. Integer errors of a few chips are benign
+        // (a chirp's time shift and the matching frequency shift cancel in
+        // both the comb demodulator and the subtraction template).
+        let transition = self
+            .window(samples, slot_start, p)
+            .map(|win| phased_sic(&self.est, win, &self.cfg.sic).components)
+            .unwrap_or_default();
+        for u in users.iter_mut() {
+            let coarse = self.timing_from_transition(&transition, u, n);
+            // Alternate timing and offset refinement: each conditions the
+            // other (the timing score reads energy at the expected comb
+            // position; the offset is read from windows aligned by the
+            // timing).
+            u.timing_chips = self.refine_timing(samples, slot_start, u, coarse);
+            for _ in 0..2 {
+                u.offset_bins = self.refine_offset_aligned(samples, slot_start, u);
+                u.frac = u.offset_bins.fract();
+                u.timing_chips =
+                    self.refine_timing(samples, slot_start, u, u.timing_chips);
+            }
+        }
+        users
+    }
+
+    /// Re-reads a user's aggregate offset from *aligned* preamble windows:
+    /// once the timing is compensated, the preamble dechirps to a clean
+    /// single tone at `μ + Δ` with no boundary phase step, so its position
+    /// can be localised to milli-bins by a golden search on correlation
+    /// energy.
+    fn refine_offset_aligned(
+        &self,
+        samples: &[C64],
+        slot_start: usize,
+        user: &UserEstimate,
+    ) -> f64 {
+        let n = self.est.n() as f64;
+        let delta = user.timing_chips;
+        let init = (user.offset_bins + delta).rem_euclid(n);
+        let score = |pos: f64| -> f64 {
+            let mut s = 0.0;
+            for sym_idx in [2usize, 4, 6] {
+                s += self.tone_energy(samples, slot_start, sym_idx, delta, pos);
+            }
+            -s
+        };
+        let (pos, _) = choir_dsp::optim::golden_section(score, init - 0.6, init + 0.6, 1e-3);
+        (pos - delta).rem_euclid(n)
+    }
+
+    /// Coarse integer timing from the preamble→sync transition window: the
+    /// window holds the tail of the last preamble chirp (peak at `μ`) and
+    /// the head of the first sync chirp (peak at `μ + SYNC_SYMBOLS[0]`).
+    /// Both components' fitted boundary-split terms place their segment
+    /// edge exactly at the user's chip delay `Δ`, so the boundary is read
+    /// off directly. Returns 0 when neither component carries a step
+    /// (sub-chip delays — exactly the case where 0 is correct to a chip).
+    fn timing_from_transition(
+        &self,
+        transition: &[crate::estimator::ComponentEstimate],
+        user: &UserEstimate,
+        n: usize,
+    ) -> f64 {
+        let m = n as f64;
+        let find = |target: f64| -> Option<&crate::estimator::ComponentEstimate> {
+            transition
+                .iter()
+                .filter(|c| circular_dist(c.freq_bins, target, m) < 0.6)
+                .max_by(|a, b| {
+                    let ta = a.channel.abs() + a.step.map(|s| s.coeff.abs()).unwrap_or(0.0);
+                    let tb = b.channel.abs() + b.step.map(|s| s.coeff.abs()).unwrap_or(0.0);
+                    ta.total_cmp(&tb)
+                })
+        };
+        let head = find((user.offset_bins + SYNC_SYMBOLS[0] as f64).rem_euclid(m));
+        if let Some(st) = head.and_then(|c| c.step) {
+            return st.boundary as f64;
+        }
+        let tail = find(user.offset_bins);
+        if let Some(st) = tail.and_then(|c| c.step) {
+            return st.boundary as f64;
+        }
+        0.0
+    }
+
+    /// Correlation energy of an aligned window against a tone at `pos`
+    /// bins (direct evaluation — no FFT, one fractional frequency).
+    fn tone_energy(
+        &self,
+        samples: &[C64],
+        slot_start: usize,
+        sym_idx: usize,
+        delta: f64,
+        pos: f64,
+    ) -> f64 {
+        let n = self.est.n();
+        let Some(al) = self.aligned_window(samples, slot_start, sym_idx, delta) else {
+            return 0.0;
+        };
+        let de = self.est.dechirp(&al);
+        let w = -2.0 * std::f64::consts::PI * pos / n as f64;
+        let acc: C64 = de
+            .iter()
+            .enumerate()
+            .map(|(t, v)| v * C64::cis(w * t as f64))
+            .sum();
+        acc.norm_sqr()
+    }
+
+    /// Energy of the user's expected comb tone in one aligned window.
+    fn comb_energy(
+        &self,
+        samples: &[C64],
+        slot_start: usize,
+        sym_idx: usize,
+        delta: f64,
+        expected_value: u16,
+        offset_bins: f64,
+    ) -> f64 {
+        let n = self.est.n() as f64;
+        let pos = (expected_value as f64 + offset_bins + delta).rem_euclid(n);
+        self.tone_energy(samples, slot_start, sym_idx, delta, pos)
+    }
+
+    /// Timing refinement (Sec. 6): the preamble is periodic in whole chips,
+    /// so preamble windows pin only the *fractional* chip alignment; the
+    /// known sync symbols break integer ambiguities (a grossly wrong
+    /// integer shift slides the window off the sync chirps entirely).
+    /// Scans {coarse, 0} integer candidates × a fractional grid, scoring
+    /// preamble + sync comb energy, then golden-refines.
+    fn refine_timing(
+        &self,
+        samples: &[C64],
+        slot_start: usize,
+        user: &UserEstimate,
+        coarse: f64,
+    ) -> f64 {
+        let p = self.params.preamble_len;
+        let score = |delta: f64| -> f64 {
+            if delta < 0.0 {
+                return -1.0;
+            }
+            let mut s = 0.0;
+            for sym_idx in [2usize, 4, 6] {
+                s += self.comb_energy(samples, slot_start, sym_idx, delta, 0, user.offset_bins);
+            }
+            for (i, &sync) in SYNC_SYMBOLS.iter().enumerate() {
+                s += self.comb_energy(samples, slot_start, p + i, delta, sync, user.offset_bins);
+            }
+            s
+        };
+        let mut ints: Vec<f64> = vec![coarse.max(0.0).round(), 0.0];
+        ints.dedup();
+        let mut best = (0.0f64, -1.0f64);
+        for &base in &ints {
+            for j in 0..8 {
+                let cand = base + j as f64 / 8.0 - 0.5;
+                let sc = score(cand);
+                if sc > best.1 {
+                    best = (cand, sc);
+                }
+            }
+        }
+        let (lo, hi) = (best.0 - 0.125, best.0 + 0.125);
+        let (x, neg_s) =
+            choir_dsp::optim::golden_section(|d| -score(d), lo.max(0.0), hi, 5e-3);
+        if -neg_s >= best.1 {
+            x
+        } else {
+            best.0
+        }
+    }
+
+    /// Extracts the user-aligned window for symbol index `sym_idx` (global
+    /// over preamble+sync+data): integer shift by `floor(Δ)` plus
+    /// windowed-sinc resampling by `frac(Δ)`.
+    fn aligned_window(
+        &self,
+        samples: &[C64],
+        slot_start: usize,
+        sym_idx: usize,
+        timing_chips: f64,
+    ) -> Option<Vec<C64>> {
+        let n = self.est.n();
+        let taps = self.cfg.resample_taps;
+        let m = timing_chips.floor();
+        let delta = timing_chips - m; // in [0,1): signal delayed by delta
+        let a = slot_start as i64 + (sym_idx * n) as i64 + m as i64;
+        let lo = a - taps as i64;
+        let hi = a + (n + taps) as i64;
+        if lo < 0 || hi as usize > samples.len() {
+            return None;
+        }
+        let slice = &samples[lo as usize..hi as usize];
+        if delta < 1e-9 {
+            return Some(slice[taps..taps + n].to_vec());
+        }
+        // The signal is delayed by `delta`; advance it by resampling with
+        // a negative delay.
+        let shifted = fractional_delay(slice, -delta, taps);
+        Some(shifted[taps..taps + n].to_vec())
+    }
+
+    /// Demodulates one aligned window on the user's fractional comb: the
+    /// peak must sit at `value + cfo_bins (mod n)`.
+    ///
+    /// Each hypothesis `s` is scored per *constant-phase segment*: the
+    /// chirp's internal frequency wrap sits `N − s` chips into the symbol,
+    /// and any residual sub-chip misalignment turns it into a phase step
+    /// that would partially cancel a whole-window correlation. Combining
+    /// the two segments by magnitude (`(|pre| + |post|)²` — the maximum of
+    /// the coherent sum over the unknown step phase) makes the decision
+    /// invariant to the step.
+    fn comb_demod(&self, aligned: &[C64], comb_offset: f64) -> CombDecision {
+        let n = self.est.n();
+        let de = self.est.dechirp(aligned);
+        let mut top = [(0u16, -1.0f64); 3];
+        for s in 0..n {
+            let pos = (s as f64 + comb_offset).rem_euclid(n as f64);
+            let w = -2.0 * std::f64::consts::PI * pos / n as f64;
+            let wrap = n - s;
+            let mut pre = C64::ZERO;
+            let mut post = C64::ZERO;
+            for (t, v) in de.iter().enumerate() {
+                let c = v * C64::cis(w * t as f64);
+                if t < wrap {
+                    pre += c;
+                } else {
+                    post += c;
+                }
+            }
+            let score = (pre.abs() + post.abs()).powi(2);
+            if score > top[2].1 {
+                top[2] = (s as u16, score);
+                if top[2].1 > top[1].1 {
+                    top.swap(1, 2);
+                }
+                if top[1].1 > top[0].1 {
+                    top.swap(0, 1);
+                }
+            }
+        }
+        for t in top.iter_mut() {
+            t.1 = t.1.max(0.0);
+        }
+        CombDecision { cands: top }
+    }
+
+    /// Reconstructs and subtracts one user's symbol from the capture:
+    /// fits a single complex gain of the analytically generated symbol
+    /// waveform (chirp shifted by `Δ`, rotated by the CFO comb) over its
+    /// actual sample span. When `contrib` is provided, the subtracted
+    /// contribution is also accumulated there (so a later SIC pass can add
+    /// it back).
+    #[allow(clippy::too_many_arguments)]
+    fn subtract_symbol(
+        &self,
+        work: &mut [C64],
+        slot_start: usize,
+        sym_idx: usize,
+        value: u16,
+        timing_chips: f64,
+        cfo_bins: f64,
+    ) {
+        self.subtract_symbol_tracked(work, None, slot_start, sym_idx, value, timing_chips, cfo_bins)
+    }
+
+    /// [`Self::subtract_symbol`] with optional contribution tracking.
+    #[allow(clippy::too_many_arguments)]
+    fn subtract_symbol_tracked(
+        &self,
+        work: &mut [C64],
+        mut contrib: Option<&mut [C64]>,
+        slot_start: usize,
+        sym_idx: usize,
+        value: u16,
+        timing_chips: f64,
+        cfo_bins: f64,
+    ) {
+        let n = self.est.n();
+        let n_f = n as f64;
+        let start = slot_start as f64 + sym_idx as f64 * n_f + timing_chips;
+        let first = start.ceil().max(0.0) as usize;
+        let last = ((start + n_f).ceil().max(0.0) as usize).min(work.len());
+        if first >= last {
+            return;
+        }
+        let w_cfo = 2.0 * std::f64::consts::PI * cfo_bins / n_f;
+        // Template over the span.
+        let mut template = Vec::with_capacity(last - first);
+        for i in first..last {
+            let tau = i as f64 - start;
+            let s = symbol_sample(n, value, tau);
+            template.push(s * C64::cis(w_cfo * (i as f64 - slot_start as f64)));
+        }
+        // Fit one complex gain per constant-phase segment: the chirp wraps
+        // from +B/2 to −B/2 at `N − value` chips into the symbol, and any
+        // sub-chip timing error turns that wrap into a phase step.
+        // Independent per-segment gains absorb it exactly.
+        let wrap_global = start + (n - value as usize) as f64;
+        let wrap = (wrap_global.ceil().max(first as f64) as usize).min(last);
+        let subtract_segment = |lo: usize, hi: usize, work: &mut [C64], contrib: &mut Option<&mut [C64]>| {
+            if hi <= lo {
+                return;
+            }
+            let num: C64 = work[lo..hi]
+                .iter()
+                .zip(&template[lo - first..hi - first])
+                .map(|(y, t)| y * t.conj())
+                .sum();
+            let den: f64 = template[lo - first..hi - first]
+                .iter()
+                .map(|t| t.norm_sqr())
+                .sum();
+            if den <= 1e-12 {
+                return;
+            }
+            let g = num / den;
+            for (i, t) in (lo..hi).zip(&template[lo - first..hi - first]) {
+                work[i] -= g * t;
+                if let Some(c) = contrib.as_deref_mut() {
+                    c[i] += g * t;
+                }
+            }
+        };
+        subtract_segment(first, wrap, work, &mut contrib);
+        subtract_segment(wrap, last, work, &mut contrib);
+    }
+
+    /// Golden-refines a user's CFO (bins) by minimising the energy left
+    /// after subtracting its reconstructed symbols from a few probe
+    /// windows. Gain fitting is per segment, so this isolates the pure
+    /// frequency error that per-window gains cannot absorb.
+    fn refine_cfo_for_subtraction(
+        &self,
+        work: &[C64],
+        slot_start: usize,
+        symbols: &[u16],
+        timing_chips: f64,
+        cfo_init: f64,
+    ) -> f64 {
+        let probes: Vec<usize> = [1usize, 3, 5]
+            .into_iter()
+            .filter(|&i| i < symbols.len())
+            .collect();
+        if probes.is_empty() {
+            return cfo_init;
+        }
+        let n = self.est.n();
+        let score = |cfo: f64| -> f64 {
+            let mut total = 0.0;
+            for &sym_idx in &probes {
+                let mut probe_buf: Vec<C64> = {
+                    let lo = slot_start + sym_idx * n;
+                    let hi = (lo + 2 * n).min(work.len());
+                    work[lo..hi].to_vec()
+                };
+                // subtract_symbol indexes globally; rebase to the slice.
+                self.subtract_symbol(
+                    &mut probe_buf,
+                    0,
+                    0,
+                    symbols[sym_idx],
+                    timing_chips,
+                    cfo,
+                );
+                total += probe_buf
+                    .iter()
+                    .take(n + timing_chips.ceil() as usize)
+                    .map(|z| z.norm_sqr())
+                    .sum::<f64>();
+            }
+            total
+        };
+        let (best, _) = choir_dsp::optim::golden_section(
+            score,
+            cfo_init - 0.15,
+            cfo_init + 0.15,
+            1e-4,
+        );
+        best
+    }
+
+    /// One acquisition+demodulation pass for a single user against the
+    /// current (partially cleaned) signal: re-acquire coarse integer
+    /// timing from the preamble→sync transition, refine fractional timing
+    /// (keeping whichever candidate scores better on the sync windows),
+    /// re-read the offset from aligned windows, then demodulate every
+    /// symbol on the user's comb. Updates `user` in place.
+    fn acquire_and_demod(
+        &self,
+        work: &[C64],
+        slot_start: usize,
+        user: &mut UserEstimate,
+        total_syms: usize,
+    ) -> (Vec<CombDecision>, usize) {
+        let n = self.est.n();
+        let p = self.params.preamble_len;
+        let transition = self
+            .window(work, slot_start, p)
+            .map(|win| phased_sic(&self.est, win, &self.cfg.sic).components)
+            .unwrap_or_default();
+        let coarse = self.timing_from_transition(&transition, user, n);
+        let cand_a = self.refine_timing(work, slot_start, user, coarse);
+        let cand_b = self.refine_timing(work, slot_start, user, user.timing_chips);
+        let sync_score = |delta: f64| -> f64 {
+            let mut s = 0.0;
+            for (i, &sync) in SYNC_SYMBOLS.iter().enumerate() {
+                s += self.comb_energy(work, slot_start, p + i, delta, sync, user.offset_bins);
+            }
+            s
+        };
+        user.timing_chips = if sync_score(cand_a) >= sync_score(cand_b) {
+            cand_a
+        } else {
+            cand_b
+        };
+        user.offset_bins = self.refine_offset_aligned(work, slot_start, user);
+        user.frac = user.offset_bins.fract();
+        let cfo_bins = user.cfo_bins(n);
+        let mut erasures = 0usize;
+        let mut decisions = Vec::with_capacity(total_syms);
+        for sym_idx in 0..total_syms {
+            let d = match self.aligned_window(work, slot_start, sym_idx, user.timing_chips) {
+                Some(aligned) => self.comb_demod(&aligned, cfo_bins),
+                None => {
+                    erasures += 1;
+                    CombDecision::default()
+                }
+            };
+            decisions.push(d);
+        }
+        (decisions, erasures)
+    }
+
+    /// Stages 3–4: decodes every user's data given the expected number of
+    /// data symbols (sync symbols are consumed internally). Returns one
+    /// entry per validated user, strongest first.
+    pub fn decode(
+        &self,
+        samples: &[C64],
+        slot_start: usize,
+        num_data_symbols: usize,
+    ) -> Vec<DecodedUser> {
+        let users = self.discover_users(samples, slot_start);
+        self.decode_with_users(samples, slot_start, num_data_symbols, users)
+    }
+
+    /// [`Self::decode`] with externally supplied user estimates (used by
+    /// experiments that sweep discovery settings separately).
+    pub fn decode_with_users(
+        &self,
+        samples: &[C64],
+        slot_start: usize,
+        num_data_symbols: usize,
+        users: Vec<UserEstimate>,
+    ) -> Vec<DecodedUser> {
+        if users.is_empty() {
+            return Vec::new();
+        }
+        let n = self.est.n();
+        let p = self.params.preamble_len;
+        let total_syms = p + 2 + num_data_symbols;
+        let mut work = samples.to_vec();
+        // Per-user subtracted contributions, so later SIC passes can put a
+        // user back and re-decode it against an otherwise-cleaned signal.
+        let mut contribs: Vec<Vec<C64>> = vec![vec![C64::ZERO; work.len()]; users.len()];
+        #[allow(clippy::type_complexity)]
+        let mut states: Vec<(UserEstimate, Vec<CombDecision>, Vec<u16>, usize)> =
+            Vec::with_capacity(users.len());
+        // Strongest first: discover_users returns tracks sorted by
+        // magnitude, which is the packet-level SIC order.
+        for (uidx, mut user) in users.into_iter().enumerate() {
+            let (decisions, erasures) =
+                self.acquire_and_demod(&work, slot_start, &mut user, total_syms);
+            let symbols: Vec<u16> = decisions.iter().map(|d| d.value()).collect();
+            // Refine the CFO against the actual subtraction residual: deep
+            // near-far demands ~milli-bin accuracy so that the strong
+            // user's residue sinks below the weakest client of interest.
+            let cfo_bins = self.refine_cfo_for_subtraction(
+                &work,
+                slot_start,
+                &symbols,
+                user.timing_chips,
+                user.cfo_bins(n),
+            );
+            // Subtract this user's reconstructed packet before moving to
+            // weaker users (packet-level SIC).
+            for (sym_idx, &value) in symbols.iter().enumerate() {
+                self.subtract_symbol_tracked(
+                    &mut work,
+                    Some(&mut contribs[uidx]),
+                    slot_start,
+                    sym_idx,
+                    value,
+                    user.timing_chips,
+                    cfo_bins,
+                );
+            }
+            states.push((user, decisions, symbols, erasures));
+        }
+
+        // Later SIC passes: re-decode each user with *every other* user's
+        // contribution removed (the first pass decoded the strong users
+        // under full interference, so its symbol errors left full-power
+        // residue that cascades; re-acquisition against the cleaned signal
+        // breaks the cascade).
+        for _pass in 1..self.cfg.sic_passes.max(1) {
+            for (uidx, state) in states.iter_mut().enumerate() {
+                // Put this user back.
+                for (w, c) in work.iter_mut().zip(&contribs[uidx]) {
+                    *w += *c;
+                }
+                contribs[uidx].iter_mut().for_each(|c| *c = C64::ZERO);
+                let (ref mut user, ref mut decisions, ref mut symbols, ref mut erasures) =
+                    *state;
+                let (decs, eras) =
+                    self.acquire_and_demod(&work, slot_start, user, total_syms);
+                *decisions = decs;
+                *symbols = decisions.iter().map(|d| d.value()).collect();
+                *erasures = eras;
+                let cfo_bins = self.refine_cfo_for_subtraction(
+                    &work,
+                    slot_start,
+                    symbols,
+                    user.timing_chips,
+                    user.cfo_bins(n),
+                );
+                for (sym_idx, &value) in symbols.iter().enumerate() {
+                    self.subtract_symbol_tracked(
+                        &mut work,
+                        Some(&mut contribs[uidx]),
+                        slot_start,
+                        sym_idx,
+                        value,
+                        user.timing_chips,
+                        cfo_bins,
+                    );
+                }
+            }
+        }
+
+        let mut decoded = Vec::with_capacity(states.len());
+        for (user, decisions, symbols, erasures) in states {
+            let sync_errors = symbols[p..p + 2]
+                .iter()
+                .zip(SYNC_SYMBOLS)
+                .filter(|(&got, want)| got != *want)
+                .count();
+            let preamble_errors = symbols[..p].iter().filter(|&&v| v != 0).count();
+            let mut data: Vec<u16> = symbols[p + 2..].to_vec();
+            let mut frame = decode_frame(&self.params, &data).ok();
+            let crc_ok = frame.as_ref().map(|f| f.crc_ok).unwrap_or(false);
+            if !crc_ok {
+                // CRC-guided list decoding: in dense collisions, residual
+                // interference occasionally pushes the true symbol to the
+                // runner-up slot. Re-try the lowest-confidence windows with
+                // their runner-up values until the CRC validates.
+                if let Some((fixed_data, fixed_frame)) =
+                    self.list_decode(&decisions[p + 2..], &data)
+                {
+                    data = fixed_data;
+                    frame = Some(fixed_frame);
+                }
+            }
+            if self.cfg.require_sync && (sync_errors > 0 || preamble_errors > p / 2) {
+                continue;
+            }
+            decoded.push(DecodedUser {
+                user,
+                symbols: data,
+                sync_errors,
+                erasures,
+                frame,
+            });
+        }
+        dedup_ghosts(decoded)
+    }
+
+    /// Tries alternative values at the most-suspect data windows until a
+    /// CRC-passing frame emerges. A window is suspect when its winning
+    /// score is low relative to the user's typical winning score — the
+    /// signature of the user's own peak having been beaten by residual
+    /// interference. Searches the product of the top-3 candidates over up
+    /// to `LIST_DECODE_WINDOWS` windows (≤ 3⁸ ≈ 6.6k cheap frame decodes).
+    fn list_decode(
+        &self,
+        decisions: &[CombDecision],
+        data: &[u16],
+    ) -> Option<(Vec<u16>, DecodedFrame)> {
+        const LIST_DECODE_WINDOWS: usize = 8;
+        if decisions.is_empty() {
+            return None;
+        }
+        // Typical winning score (median) as the reference.
+        let mut scores: Vec<f64> = decisions.iter().map(|d| d.winner_score()).collect();
+        scores.sort_by(f64::total_cmp);
+        let median = scores[scores.len() / 2];
+        // Rank windows by deviation of the winner score from the user's
+        // median: too-low means the user's own peak was degraded, too-high
+        // means an interferer's peak won outright.
+        let mut ranked: Vec<(f64, usize)> = decisions
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let dev = (d.winner_score().max(1e-12) / median.max(1e-12)).ln().abs();
+                (dev, i)
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let flagged: Vec<usize> = ranked
+            .iter()
+            .take(LIST_DECODE_WINDOWS)
+            .filter(|(dev, _)| *dev > 0.2)
+            .map(|&(_, i)| i)
+            .collect();
+        if flagged.is_empty() {
+            return None;
+        }
+        // Odometer over candidate indices (0..3 per flagged window).
+        let k = flagged.len();
+        let mut digits = vec![0usize; k];
+        let mut trial = data.to_vec();
+        loop {
+            // Advance odometer.
+            let mut carry = 0usize;
+            loop {
+                digits[carry] += 1;
+                if digits[carry] < 3 {
+                    break;
+                }
+                digits[carry] = 0;
+                carry += 1;
+                if carry == k {
+                    return None; // exhausted
+                }
+            }
+            for (d, &w) in digits.iter().zip(&flagged) {
+                trial[w] = decisions[w].cands[*d].0;
+            }
+            if let Ok(frame) = decode_frame(&self.params, &trial) {
+                if frame.crc_ok {
+                    return Some((trial, frame));
+                }
+            }
+        }
+    }
+
+    /// Convenience: decode when the payload length (bytes) is known, as in
+    /// the scheduled-uplink experiments.
+    pub fn decode_known_len(
+        &self,
+        samples: &[C64],
+        slot_start: usize,
+        payload_len: usize,
+    ) -> Vec<DecodedUser> {
+        let nsyms = lora_phy::frame::frame_symbol_count(&self.params, payload_len);
+        self.decode(samples, slot_start, nsyms)
+    }
+
+    /// Returns true when `offset` is plausibly one of the users' offsets —
+    /// a helper for experiment ground-truth matching.
+    pub fn matches_offset(users: &[UserEstimate], offset: f64, n: usize, tol: f64) -> bool {
+        users
+            .iter()
+            .any(|u| circular_dist(u.offset_bins, offset, n as f64) < tol)
+    }
+}
+
+/// Removes ghost users: preamble tracking can promote a residual artifact
+/// of a real transmitter into a user candidate whose offset and timing are
+/// both wrong by cancelling amounts — it then decodes the *same* symbol
+/// stream as its parent. Keep the strongest of any identical-stream group.
+fn dedup_ghosts(mut decoded: Vec<DecodedUser>) -> Vec<DecodedUser> {
+    decoded.sort_by(|a, b| b.user.mag.total_cmp(&a.user.mag));
+    let mut out: Vec<DecodedUser> = Vec::with_capacity(decoded.len());
+    for d in decoded {
+        let dup = out.iter().any(|kept| {
+            let same = kept
+                .symbols
+                .iter()
+                .zip(&d.symbols)
+                .filter(|(a, b)| a == b)
+                .count();
+            let len = kept.symbols.len().min(d.symbols.len()).max(1);
+            // Distinct users share only the frame header (~25 % of a short
+            // packet); a ghost reproduces most of its parent's stream.
+            same * 10 >= len * 6 // ≥60 % identical symbols
+        });
+        if !dup {
+            out.push(d);
+        }
+    }
+    out
+}
+
+/// Window-aligned ISI stream reconstruction (Sec. 6.1) — the fallback used
+/// when per-user realignment is disabled (ablation benches): window `k`
+/// holds the head of symbol `k` and, for a delayed user, the tail of
+/// symbol `k−1` at the same position. Pick, per window, the strongest
+/// candidate that is not a duplicate of the previous symbol; fall back to
+/// the duplicate (a genuine repeat shows up as a single merged peak);
+/// count an erasure when a window is empty.
+pub fn reconstruct_stream(cands: &[Vec<(u16, f64)>], total_syms: usize) -> (Vec<u16>, usize) {
+    let mut out = Vec::with_capacity(total_syms);
+    let mut erasures = 0usize;
+    // The preamble ends with value 0 (its chirps sit exactly at the user's
+    // offset), so the tail bleeding into the first sync window reads as 0.
+    let mut prev: u16 = 0;
+    for k in 0..total_syms {
+        let mut sorted = cands[k].clone();
+        sorted.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let fresh = sorted.iter().find(|(v, _)| *v != prev);
+        let value = match fresh {
+            Some(&(v, _)) => v,
+            None => match sorted.first() {
+                Some(&(v, _)) => v, // only the duplicate seen: a repeat
+                None => {
+                    erasures += 1;
+                    prev // erasure: hold the previous value
+                }
+            },
+        };
+        out.push(value);
+        prev = value;
+    }
+    (out, erasures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use choir_channel::impairments::{HardwareProfile, OscillatorModel};
+    use choir_channel::scenario::ScenarioBuilder;
+
+    fn params() -> PhyParams {
+        PhyParams::default() // SF8, 125 kHz, CR4/8
+    }
+
+    fn profile(cfo_bins: f64, toff_symbols: f64) -> HardwareProfile {
+        let bin_hz = 125e3 / 256.0;
+        HardwareProfile {
+            cfo_hz: cfo_bins * bin_hz,
+            timing_offset_symbols: toff_symbols,
+            phase: 1.0,
+            cfo_jitter_hz: 0.0,
+            timing_jitter_symbols: 0.0,
+        }
+    }
+
+    #[test]
+    fn two_users_clean_collision_decoded() {
+        let s = ScenarioBuilder::new(params())
+            .snrs_db(&[20.0, 17.0])
+            .payload_len(10)
+            .profiles(vec![profile(2.3, 0.1), profile(-7.6, 0.32)])
+            .seed(1)
+            .build();
+        let dec = ChoirDecoder::new(s.params);
+        let out = dec.decode_known_len(&s.samples, s.slot_start, 10);
+        assert_eq!(out.len(), 2, "users found: {}", out.len());
+        let mut payloads: Vec<Vec<u8>> = out
+            .iter()
+            .map(|d| {
+                assert!(d.payload_ok(), "sync_errors {} erasures {}", d.sync_errors, d.erasures);
+                d.frame.as_ref().unwrap().payload.clone()
+            })
+            .collect();
+        payloads.sort();
+        let mut truth: Vec<Vec<u8>> = s.users.iter().map(|u| u.payload.clone()).collect();
+        truth.sort();
+        assert_eq!(payloads, truth);
+    }
+
+    #[test]
+    fn offsets_estimated_accurately() {
+        let truth_shift = |p: &HardwareProfile| {
+            p.aggregate_shift_bins(125e3 / 256.0, 256).rem_euclid(256.0)
+        };
+        let p1 = profile(5.37, 0.05);
+        let p2 = profile(-3.21, 0.4);
+        let s = ScenarioBuilder::new(params())
+            .snrs_db(&[25.0, 22.0])
+            .profiles(vec![p1, p2])
+            .seed(2)
+            .build();
+        let dec = ChoirDecoder::new(s.params);
+        // Decode-time estimates are the system's final offsets (refined on
+        // the SIC-cleaned, alignment-compensated signal — what Fig. 7 of
+        // the paper characterises).
+        let out = dec.decode_known_len(&s.samples, s.slot_start, 8);
+        assert_eq!(out.len(), 2);
+        for truth in [truth_shift(&p1), truth_shift(&p2)] {
+            let best = out
+                .iter()
+                .map(|d| circular_dist(d.user.offset_bins, truth, 256.0))
+                .fold(f64::INFINITY, f64::min);
+            assert!(best < 0.05, "offset error {best} for truth {truth}");
+        }
+    }
+
+    #[test]
+    fn timing_offsets_recovered() {
+        let p1 = profile(5.37, 0.05); // Δ = 12.8 chips
+        let p2 = profile(-3.21, 0.4); // Δ = 102.4 chips
+        let s = ScenarioBuilder::new(params())
+            .snrs_db(&[25.0, 22.0])
+            .profiles(vec![p1, p2])
+            .seed(2)
+            .build();
+        let dec = ChoirDecoder::new(s.params);
+        let users = dec.discover_users(&s.samples, s.slot_start);
+        assert!(users.len() >= 2);
+        // Only the fractional chip timing is physically identifiable from
+        // the preamble (and only it matters: integer chip errors cancel
+        // against the matching frequency shift). Check it to 0.15 chips.
+        for truth_chips in [12.8f64, 102.4] {
+            let best = users[..2]
+                .iter()
+                .map(|u| {
+                    crate::cluster::circular_dist(
+                        u.timing_chips.rem_euclid(1.0),
+                        truth_chips.rem_euclid(1.0),
+                        1.0,
+                    )
+                })
+                .fold(f64::INFINITY, f64::min);
+            assert!(best < 0.15, "fractional timing error {best} for truth {truth_chips}");
+        }
+    }
+
+    #[test]
+    fn five_users_all_decoded() {
+        let profiles = vec![
+            profile(3.13, 0.08),
+            profile(-10.62, 0.21),
+            profile(25.44, 0.02),
+            profile(-40.91, 0.33),
+            profile(60.27, 0.15),
+        ];
+        let s = ScenarioBuilder::new(params())
+            .snrs_db(&[22.0, 20.0, 18.0, 16.0, 14.0])
+            .payload_len(8)
+            .profiles(profiles)
+            .seed(3)
+            .build();
+        let dec = ChoirDecoder::new(s.params);
+        let out = dec.decode_known_len(&s.samples, s.slot_start, 8);
+        let ok = out.iter().filter(|d| d.payload_ok()).count();
+        assert!(ok >= 4, "only {ok}/5 decoded (found {})", out.len());
+    }
+
+    #[test]
+    fn near_far_25db_both_decoded() {
+        let s = ScenarioBuilder::new(params())
+            .snrs_db(&[30.0, 5.0])
+            .payload_len(6)
+            .profiles(vec![profile(12.3, 0.12), profile(-20.7, 0.28)])
+            .seed(4)
+            .build();
+        let dec = ChoirDecoder::new(s.params);
+        let out = dec.decode_known_len(&s.samples, s.slot_start, 6);
+        assert_eq!(out.len(), 2, "users: {}", out.len());
+        assert!(out[0].payload_ok(), "strong user failed");
+        assert!(out[1].payload_ok(), "weak user failed (near-far)");
+    }
+
+    #[test]
+    fn single_user_degenerate_case() {
+        let s = ScenarioBuilder::new(params())
+            .snrs_db(&[15.0])
+            .payload_len(12)
+            .seed(5)
+            .build();
+        let dec = ChoirDecoder::new(s.params);
+        let out = dec.decode_known_len(&s.samples, s.slot_start, 12);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].payload_ok());
+        assert_eq!(out[0].frame.as_ref().unwrap().payload, s.users[0].payload);
+    }
+
+    #[test]
+    fn pure_noise_no_users() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let noise = choir_channel::noise::awgn(&mut rng, 256 * 40, 1.0);
+        let dec = ChoirDecoder::new(params());
+        assert!(dec.discover_users(&noise, 0).is_empty());
+        assert!(dec.decode(&noise, 0, 10).is_empty());
+    }
+
+    #[test]
+    fn large_timing_offset_isi_handled() {
+        // Nearly half-symbol delays: window-aligned processing would see a
+        // strong tail peak in every window; per-user realignment must make
+        // this case clean.
+        let s = ScenarioBuilder::new(params())
+            .snrs_db(&[20.0, 18.0])
+            .payload_len(9)
+            .profiles(vec![profile(8.42, 0.45), profile(-15.18, 0.49)])
+            .seed(7)
+            .build();
+        let dec = ChoirDecoder::new(s.params);
+        let out = dec.decode_known_len(&s.samples, s.slot_start, 9);
+        assert_eq!(out.len(), 2);
+        for d in &out {
+            assert!(d.payload_ok(), "sync {} erasures {}", d.sync_errors, d.erasures);
+        }
+    }
+
+    #[test]
+    fn randomized_oscillator_population() {
+        // Ten trials with oscillator-model-drawn offsets: expect ≥ 8/10
+        // two-user collisions fully decoded (fractional offsets can
+        // occasionally collide — the scaling limit the paper acknowledges).
+        let mut full = 0;
+        for seed in 0..10 {
+            let s = ScenarioBuilder::new(params())
+                .snrs_db(&[20.0, 16.0])
+                .payload_len(8)
+                .oscillator(OscillatorModel::default())
+                .seed(100 + seed)
+                .build();
+            let dec = ChoirDecoder::new(s.params);
+            let out = dec.decode_known_len(&s.samples, s.slot_start, 8);
+            if out.len() == 2 && out.iter().all(|d| d.payload_ok()) {
+                full += 1;
+            }
+        }
+        assert!(full >= 8, "only {full}/10 fully decoded");
+    }
+
+    #[test]
+    fn reconstruct_stream_dedups_and_repeats() {
+        // Simulated candidates: symbol sequence 24, 48, 7, 7, 9 with tails.
+        let cands = vec![
+            vec![(24u16, 1.0), (0u16, 0.4)],  // sync1 head + preamble tail
+            vec![(48, 1.0), (24, 0.4)],       // sync2 + tail of sync1
+            vec![(7, 1.0), (48, 0.4)],        // data 7 + tail
+            vec![(7, 1.0)],                   // repeat 7: merged single peak
+            vec![(9, 1.0), (7, 0.4)],         // data 9 + tail of the repeat
+            vec![(9, 0.4)],                   // trailing tail window
+        ];
+        let (syms, erasures) = reconstruct_stream(&cands, 5);
+        assert_eq!(syms, vec![24, 48, 7, 7, 9]);
+        assert_eq!(erasures, 0);
+    }
+
+    #[test]
+    fn reconstruct_stream_counts_erasures() {
+        let cands = vec![vec![(24u16, 1.0)], vec![], vec![(5, 1.0)], vec![]];
+        let (syms, erasures) = reconstruct_stream(&cands, 3);
+        assert_eq!(syms.len(), 3);
+        assert_eq!(erasures, 1);
+        assert_eq!(syms[1], 24); // held previous value
+    }
+}

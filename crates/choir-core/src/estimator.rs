@@ -1,0 +1,599 @@
+//! Fractional frequency-offset estimation — Sec. 5.1 / Algorithm 1.
+//!
+//! For one received symbol window containing `K` colliding chirps, the
+//! estimator (1) dechirps and takes a zero-padded FFT, (2) reads coarse
+//! peak positions, (3) fits complex channels by least squares (Eqn. 2),
+//! (4) reconstructs the signal and measures the residual power (Eqn. 3),
+//! and (5) searches the neighbourhood of the coarse positions for the
+//! offsets that minimise the residual (Eqn. 4). The residual surface is
+//! locally convex (Fig. 4), so cyclic coordinate descent with a shrinking
+//! bracket converges quickly; multi-start guards against side-lobe minima.
+
+use choir_dsp::complex::C64;
+use choir_dsp::fft::FftPlan;
+use choir_dsp::linalg::{least_squares, residual_energy};
+use choir_dsp::optim::cyclic_coordinate_descent;
+use choir_dsp::peaks::{find_peaks, Peak, PeakConfig};
+use lora_phy::chirp::base_downchirp;
+
+/// One disentangled component of a collision: a frequency position (in
+/// fractional bins) and the complex channel that best explains it.
+///
+/// A transmitter delayed by a fractional number of chips contributes, in a
+/// receiver-aligned window, a tone with a *phase step* at the symbol
+/// boundary: the tail of its previous chirp and the head of the current one
+/// alias to the same discrete frequency but with phases differing by
+/// `2π·frac(Δ_chips)`. The optional [`Step`] captures that second segment
+/// exactly: the component's time-domain model is
+/// `(channel + step.coeff·1{t < step.boundary}) · e^{j2πft/N}`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ComponentEstimate {
+    /// Tone position in fractional FFT bins, `[0, 2^SF)`. For a preamble
+    /// chirp this is the user's aggregate hardware offset; for a data chirp
+    /// it is offset + data.
+    pub freq_bins: f64,
+    /// Complex channel (amplitude × phase) of the tone over the whole
+    /// window (the head segment's value).
+    pub channel: C64,
+    /// Optional boundary-split term (ISI phase step, Sec. 6.1).
+    pub step: Option<Step>,
+}
+
+/// Extra complex amplitude applied over `[0, boundary)` chips.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Step {
+    /// Additional coefficient on the leading segment.
+    pub coeff: C64,
+    /// Boundary chip index (the delayed transmitter's symbol edge).
+    pub boundary: usize,
+}
+
+impl ComponentEstimate {
+    /// A pure tone without a step term.
+    pub fn tone(freq_bins: f64, channel: C64) -> Self {
+        ComponentEstimate {
+            freq_bins,
+            channel,
+            step: None,
+        }
+    }
+}
+
+/// Configuration for the estimator.
+#[derive(Clone, Copy, Debug)]
+pub struct EstimatorConfig {
+    /// Zero-padding factor for the coarse FFT (the paper uses 10).
+    pub pad: usize,
+    /// Peak-detection settings.
+    pub peaks: PeakConfig,
+    /// Residual-search bracket around each coarse position, in bins.
+    /// Coarse positions are accurate to ~1/pad bins, so ±0.5/pad plus
+    /// margin is enough.
+    pub search_radius_bins: f64,
+    /// Convergence tolerance of the offset search, in bins.
+    pub tol_bins: f64,
+    /// Maximum coordinate-descent sweeps.
+    pub max_sweeps: usize,
+    /// Whether to fit the boundary-split (ISI step) term per component.
+    /// Required for accurate reconstruction when transmitters carry
+    /// multi-chip fractional timing offsets.
+    pub fit_steps: bool,
+    /// Minimum relative residual improvement for a step term to be kept.
+    pub step_gain_threshold: f64,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        let pad = 10;
+        EstimatorConfig {
+            pad,
+            peaks: PeakConfig {
+                pad,
+                ..PeakConfig::default()
+            },
+            search_radius_bins: 0.15,
+            tol_bins: 1e-4,
+            max_sweeps: 12,
+            fit_steps: true,
+            step_gain_threshold: 0.02,
+        }
+    }
+}
+
+/// Reusable per-symbol estimator for a fixed symbol length `2^SF`.
+#[derive(Clone, Debug)]
+pub struct OffsetEstimator {
+    n: usize,
+    cfg: EstimatorConfig,
+    downchirp: Vec<C64>,
+    fft_padded: FftPlan,
+}
+
+impl OffsetEstimator {
+    /// Builds an estimator for symbols of `n = 2^SF` chips.
+    pub fn new(n: usize, cfg: EstimatorConfig) -> Self {
+        assert!(n.is_power_of_two(), "symbol length must be a power of two");
+        assert!(cfg.pad >= 1);
+        OffsetEstimator {
+            n,
+            cfg,
+            downchirp: base_downchirp(n),
+            fft_padded: FftPlan::new(n * cfg.pad),
+        }
+    }
+
+    /// Symbol length in chips.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EstimatorConfig {
+        &self.cfg
+    }
+
+    /// Dechirps a window (must be exactly `n` samples).
+    pub fn dechirp(&self, window: &[C64]) -> Vec<C64> {
+        assert_eq!(window.len(), self.n, "dechirp: wrong window length");
+        window
+            .iter()
+            .zip(&self.downchirp)
+            .map(|(a, b)| a * b)
+            .collect()
+    }
+
+    /// Zero-padded spectrum of a dechirped window.
+    pub fn padded_spectrum(&self, dechirped: &[C64]) -> Vec<C64> {
+        self.fft_padded.forward_padded(dechirped)
+    }
+
+    /// Coarse stage: dechirp, pad, detect peaks. Returned positions are in
+    /// fractional bins with ~`1/pad`-bin granularity.
+    pub fn coarse(&self, window: &[C64]) -> Vec<Peak> {
+        let de = self.dechirp(window);
+        let spec = self.padded_spectrum(&de);
+        find_peaks(&spec, &self.cfg.peaks)
+    }
+
+    /// Basis vector `e^{j2π f t / n}` for a tone at `freq_bins`.
+    fn basis(&self, freq_bins: f64) -> Vec<C64> {
+        let w = 2.0 * std::f64::consts::PI * freq_bins / self.n as f64;
+        (0..self.n).map(|t| C64::cis(w * t as f64)).collect()
+    }
+
+    /// Least-squares channel fit (Eqn. 2) at the given tone positions,
+    /// returning the channels and the residual power (Eqn. 3). Positions
+    /// too close together make the system singular; in that case the
+    /// residual is reported as the full signal energy (worst possible fit).
+    pub fn fit(&self, dechirped: &[C64], freqs: &[f64]) -> (Vec<C64>, f64) {
+        assert!(!freqs.is_empty(), "fit: need at least one tone");
+        let basis: Vec<Vec<C64>> = freqs.iter().map(|&f| self.basis(f)).collect();
+        match least_squares(&basis, dechirped) {
+            Some(channels) => {
+                let r = residual_energy(&basis, &channels, dechirped);
+                (channels, r)
+            }
+            None => (
+                vec![C64::ZERO; freqs.len()],
+                choir_dsp::complex::energy(dechirped),
+            ),
+        }
+    }
+
+    /// Fine stage (Eqn. 4): jointly refines the coarse positions by
+    /// minimising the reconstruction residual. Returns one estimate per
+    /// input position (order preserved).
+    pub fn refine(&self, window: &[C64], coarse_bins: &[f64]) -> Vec<ComponentEstimate> {
+        assert!(!coarse_bins.is_empty(), "refine: no coarse positions");
+        let de = self.dechirp(window);
+        let objective = |f: &[f64]| self.fit(&de, f).1;
+        let opt = cyclic_coordinate_descent(
+            objective,
+            coarse_bins,
+            self.cfg.search_radius_bins,
+            self.cfg.tol_bins,
+            self.cfg.max_sweeps,
+        );
+        let (channels, _) = self.fit(&de, &opt.x);
+        opt.x
+            .iter()
+            .zip(channels)
+            .map(|(&f, h)| ComponentEstimate::tone(f.rem_euclid(self.n as f64), h))
+            .collect()
+    }
+
+    /// Full-model residual energy of a component set against a dechirped
+    /// window (tones and step terms included).
+    pub fn full_residual(&self, dechirped: &[C64], comps: &[ComponentEstimate]) -> f64 {
+        let mut resid = dechirped.to_vec();
+        for c in comps {
+            for (r, m) in resid.iter_mut().zip(self.component_model(c)) {
+                *r -= m;
+            }
+        }
+        resid.iter().map(|z| z.norm_sqr()).sum()
+    }
+
+    /// Dechirped-domain model of one component (tone plus optional step).
+    fn component_model(&self, c: &ComponentEstimate) -> Vec<C64> {
+        let b = self.basis(c.freq_bins);
+        b.into_iter()
+            .enumerate()
+            .map(|(t, bv)| {
+                let amp = match &c.step {
+                    Some(st) if t < st.boundary => c.channel + st.coeff,
+                    _ => c.channel,
+                };
+                amp * bv
+            })
+            .collect()
+    }
+
+    /// Fits the boundary-split term of each component (Sec. 6.1): scans the
+    /// boundary over a coarse chip grid (then a fine scan) and keeps the
+    /// split that best explains the residual, provided it improves it by at
+    /// least `step_gain_threshold`. Runs `passes` greedy rounds so coupled
+    /// components (e.g. a user's head and tail peaks) converge jointly.
+    /// Operates in the dechirped domain.
+    fn fit_steps(&self, dechirped: &[C64], comps: &mut [ComponentEstimate], passes: usize) {
+        for _ in 0..passes {
+            self.fit_steps_once(dechirped, comps);
+        }
+    }
+
+    fn fit_steps_once(&self, dechirped: &[C64], comps: &mut [ComponentEstimate]) {
+        let n = self.n;
+        // Current residual with all components (tone-only at this point).
+        let mut resid: Vec<C64> = dechirped.to_vec();
+        for c in comps.iter() {
+            for (r, m) in resid.iter_mut().zip(self.component_model(c)) {
+                *r -= m;
+            }
+        }
+        // Strongest components first.
+        let mut order: Vec<usize> = (0..comps.len()).collect();
+        order.sort_by(|&a, &b| comps[b].channel.abs().total_cmp(&comps[a].channel.abs()));
+        for idx in order {
+            // Add this component's model back; refit it with a step.
+            let model_before = self.component_model(&comps[idx]);
+            for (r, m) in resid.iter_mut().zip(&model_before) {
+                *r += *m;
+            }
+            let base = self.basis(comps[idx].freq_bins);
+            let target = &resid;
+            let tone_only = least_squares(&[base.clone()], target)
+                .map(|h| (h[0], residual_energy(&[base.clone()], &[h[0]], target)))
+                .unwrap_or((comps[idx].channel, f64::INFINITY));
+            let mut best: (C64, Option<Step>, f64) = (tone_only.0, None, tone_only.1);
+            if self.cfg.fit_steps {
+                let try_boundary = |c_b: usize| -> Option<(C64, Step, f64)> {
+                    if c_b == 0 || c_b >= n {
+                        return None;
+                    }
+                    let rect: Vec<C64> = base
+                        .iter()
+                        .enumerate()
+                        .map(|(t, &bv)| if t < c_b { bv } else { C64::ZERO })
+                        .collect();
+                    let coeffs = least_squares(&[base.clone(), rect.clone()], target)?;
+                    let r = residual_energy(&[base.clone(), rect], &coeffs, target);
+                    Some((
+                        coeffs[0],
+                        Step {
+                            coeff: coeffs[1],
+                            boundary: c_b,
+                        },
+                        r,
+                    ))
+                };
+                // Coarse grid over the window, then a fine scan around the
+                // best cell: the boundary is the transmitter's (fractional)
+                // chip delay and rarely falls on a grid point.
+                let mut best_step: Option<(C64, Step, f64)> = None;
+                for k in 1..16 {
+                    if let Some(cand) = try_boundary(k * n / 16) {
+                        if best_step.as_ref().map(|b| cand.2 < b.2).unwrap_or(true) {
+                            best_step = Some(cand);
+                        }
+                    }
+                }
+                if let Some(coarse_best) = &best_step {
+                    let centre = coarse_best.1.boundary;
+                    let span = n / 16;
+                    let fine_step = (n / 128).max(1);
+                    let mut c_b = centre.saturating_sub(span);
+                    while c_b <= (centre + span).min(n - 1) {
+                        if let Some(cand) = try_boundary(c_b) {
+                            if best_step.as_ref().map(|b| cand.2 < b.2).unwrap_or(true) {
+                                best_step = Some(cand);
+                            }
+                        }
+                        c_b += fine_step;
+                    }
+                    // Final single-chip resolution around the fine winner.
+                    let centre = best_step.as_ref().unwrap().1.boundary;
+                    for c_b in centre.saturating_sub(fine_step)..=(centre + fine_step).min(n - 1) {
+                        if let Some(cand) = try_boundary(c_b) {
+                            if best_step.as_ref().map(|b| cand.2 < b.2).unwrap_or(true) {
+                                best_step = Some(cand);
+                            }
+                        }
+                    }
+                }
+                if let Some((g1, st, r)) = best_step {
+                    if r < best.2 * (1.0 - self.cfg.step_gain_threshold) {
+                        best = (g1, Some(st), r);
+                    }
+                }
+            }
+            comps[idx].channel = best.0;
+            comps[idx].step = best.1;
+            for (r, m) in resid.iter_mut().zip(self.component_model(&comps[idx])) {
+                *r -= m;
+            }
+        }
+    }
+
+    /// Coarse + fine in one call: detects peaks, jointly refines their
+    /// frequencies, then fits each component's boundary-split (ISI) term
+    /// and re-refines frequencies against the step-corrected residual.
+    pub fn estimate(&self, window: &[C64]) -> Vec<ComponentEstimate> {
+        let peaks = self.coarse(window);
+        if peaks.is_empty() {
+            return Vec::new();
+        }
+        let coarse: Vec<f64> = peaks.iter().map(|p| p.pos).collect();
+        self.refine_with_steps(window, &coarse)
+    }
+
+    /// Joint frequency refinement plus per-component step fitting, starting
+    /// from the given coarse positions (Algorithm 1's fine stage with the
+    /// boundary-split extension).
+    pub fn refine_with_steps(&self, window: &[C64], coarse: &[f64]) -> Vec<ComponentEstimate> {
+        let mut comps = self.refine(window, coarse);
+        if self.cfg.fit_steps {
+            let de = self.dechirp(window);
+            self.fit_steps(&de, &mut comps, 2);
+            // Alternate frequency refinement (against the step-corrected
+            // signal — the step term absorbs the skirt that biases the
+            // tone-only fit) with step re-fitting. A boundary-split tone's
+            // coarse peak can sit half a bin off, so the first corrected
+            // pass searches a wider bracket.
+            let narrow = comps.clone();
+            let narrow_residual = self.full_residual(&de, &narrow);
+            for (pass, radius) in [(0usize, 0.6f64), (1, self.cfg.search_radius_bins)] {
+                let _ = pass;
+                let steps_model = {
+                    let mut m = vec![C64::ZERO; self.n];
+                    for c in &comps {
+                        if let Some(st) = &c.step {
+                            let b = self.basis(c.freq_bins);
+                            for (t, bv) in b.into_iter().enumerate() {
+                                if t < st.boundary {
+                                    m[t] += st.coeff * bv;
+                                }
+                            }
+                        }
+                    }
+                    m
+                };
+                let corrected: Vec<C64> = de
+                    .iter()
+                    .zip(&steps_model)
+                    .map(|(d, s)| d - s)
+                    .collect();
+                let freqs: Vec<f64> = comps.iter().map(|c| c.freq_bins).collect();
+                let objective = |f: &[f64]| self.fit(&corrected, f).1;
+                let opt = cyclic_coordinate_descent(
+                    objective,
+                    &freqs,
+                    radius,
+                    self.cfg.tol_bins,
+                    self.cfg.max_sweeps,
+                );
+                let (channels, _) = self.fit(&corrected, &opt.x);
+                for ((c, &f), h) in comps.iter_mut().zip(&opt.x).zip(channels) {
+                    c.freq_bins = f.rem_euclid(self.n as f64);
+                    c.channel = h;
+                }
+                // Re-fit the steps against the refreshed frequencies so the
+                // reconstruction (and hence SIC subtraction) is consistent.
+                self.fit_steps(&de, &mut comps, 1);
+            }
+            // The wide corrected pass rescues boundary-split tones whose
+            // coarse peak sat on a side lobe, but it can wander when two
+            // genuine tones sit within a bin of each other. Keep whichever
+            // solution actually explains the window better.
+            if self.full_residual(&de, &comps) > narrow_residual {
+                comps = narrow;
+            }
+        }
+        comps
+    }
+
+    /// Reconstructs the time-domain contribution of the given components
+    /// (in the *received*, chirped domain) so it can be subtracted from a
+    /// window — the SIC building block. Step terms are included.
+    pub fn reconstruct(&self, components: &[ComponentEstimate]) -> Vec<C64> {
+        let mut de = vec![C64::ZERO; self.n];
+        for c in components {
+            for (d, m) in de.iter_mut().zip(self.component_model(c)) {
+                *d += m;
+            }
+        }
+        // Undo the dechirp: multiply by the up-chirp (conjugate of down).
+        de.iter()
+            .zip(&self.downchirp)
+            .map(|(d, dc)| d * dc.conj())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use choir_dsp::complex::c64;
+    use lora_phy::chirp::symbol_sample;
+
+    const N: usize = 128;
+
+    fn est() -> OffsetEstimator {
+        OffsetEstimator::new(N, EstimatorConfig::default())
+    }
+
+    /// A preamble chirp (symbol 0) with an exact fractional tone offset
+    /// `f` bins and channel `h`, rendered in the received domain.
+    fn chirp_with_offset(f: f64, h: C64) -> Vec<C64> {
+        (0..N)
+            .map(|t| {
+                let s = symbol_sample(N, 0, t as f64);
+                let rot = C64::cis(2.0 * std::f64::consts::PI * f * t as f64 / N as f64);
+                h * s * rot
+            })
+            .collect()
+    }
+
+    fn add(a: &mut [C64], b: &[C64]) {
+        for (x, y) in a.iter_mut().zip(b) {
+            *x += *y;
+        }
+    }
+
+    #[test]
+    fn single_component_refined_to_high_precision() {
+        let e = est();
+        let truth = 50.43;
+        let h = C64::from_polar(1.0, 0.7);
+        let window = chirp_with_offset(truth, h);
+        let comps = e.estimate(&window);
+        assert_eq!(comps.len(), 1);
+        assert!(
+            (comps[0].freq_bins - truth).abs() < 1e-3,
+            "freq {}",
+            comps[0].freq_bins
+        );
+        assert!((comps[0].channel - h).abs() < 1e-3);
+    }
+
+    #[test]
+    fn two_components_fractionally_separated() {
+        // The paper's running example: peaks 50.4 bins apart, both
+        // fractional — coarse reads ~50.3/50.4; refinement nails both.
+        let e = est();
+        let (f1, f2) = (10.17, 60.57);
+        let (h1, h2) = (c64(0.9, 0.3), c64(-0.2, 0.8));
+        let mut w = chirp_with_offset(f1, h1);
+        add(&mut w, &chirp_with_offset(f2, h2));
+        let mut comps = e.estimate(&w);
+        assert_eq!(comps.len(), 2);
+        comps.sort_by(|a, b| a.freq_bins.total_cmp(&b.freq_bins));
+        assert!((comps[0].freq_bins - f1).abs() < 2e-3, "f1 {}", comps[0].freq_bins);
+        assert!((comps[1].freq_bins - f2).abs() < 2e-3, "f2 {}", comps[1].freq_bins);
+        assert!((comps[0].channel - h1).abs() < 5e-3);
+        assert!((comps[1].channel - h2).abs() < 5e-3);
+    }
+
+    #[test]
+    fn close_components_one_bin_apart() {
+        // Closely spaced users are the hard case for leakage: 1.4 bins.
+        // The ISI-aware peak rejection is conservative at this distance, so
+        // the second user surfaces through phased SIC rather than in the
+        // first peak-detection pass.
+        let e = est();
+        let (f1, f2) = (80.2, 81.6);
+        let mut w = chirp_with_offset(f1, C64::ONE);
+        add(&mut w, &chirp_with_offset(f2, c64(0.0, -0.9)));
+        let r = crate::sic::phased_sic(&e, &w, &crate::sic::SicConfig::default());
+        let mut comps = r.components.clone();
+        assert!(comps.len() >= 2, "found {} comps", comps.len());
+        comps.sort_by(|a, b| b.channel.abs().total_cmp(&a.channel.abs()));
+        let near = |f: f64| {
+            comps
+                .iter()
+                .map(|c| (c.freq_bins - f).abs())
+                .fold(f64::INFINITY, f64::min)
+        };
+        assert!(near(f1) < 0.1, "f1 err {}", near(f1));
+        assert!(near(f2) < 0.1, "f2 err {}", near(f2));
+    }
+
+    #[test]
+    fn refinement_beats_coarse() {
+        let e = est();
+        let truth = 30.449; // deliberately between 1/10-bin grid points
+        let w = chirp_with_offset(truth, C64::ONE);
+        let coarse = e.coarse(&w);
+        let refined = e.refine(&w, &[coarse[0].pos]);
+        let coarse_err = (coarse[0].pos - truth).abs();
+        let fine_err = (refined[0].freq_bins - truth).abs();
+        assert!(fine_err < coarse_err, "fine {fine_err} vs coarse {coarse_err}");
+        assert!(fine_err < 1e-3);
+    }
+
+    #[test]
+    fn residual_minimum_at_truth() {
+        // Scan the residual along one coordinate: minimum within tolerance
+        // of the true offset (the local-convexity picture of Fig. 4).
+        let e = est();
+        let truth = 42.37;
+        let w = chirp_with_offset(truth, C64::ONE);
+        let de = e.dechirp(&w);
+        let mut best = (0.0, f64::INFINITY);
+        let mut prev = f64::INFINITY;
+        let mut decreasing = true;
+        for k in 0..100 {
+            let f = truth - 0.5 + k as f64 * 0.01;
+            let (_, r) = e.fit(&de, &[f]);
+            if r < best.1 {
+                best = (f, r);
+            }
+            // Check convexity shape: residual decreases then increases.
+            if f < truth && r > prev + 1e-9 {
+                decreasing = false;
+            }
+            prev = r;
+        }
+        assert!((best.0 - truth).abs() < 0.02, "min at {}", best.0);
+        assert!(decreasing, "residual not monotone while approaching truth");
+    }
+
+    #[test]
+    fn reconstruct_then_subtract_cancels() {
+        let e = est();
+        let w = chirp_with_offset(25.68, c64(0.7, -0.4));
+        let comps = e.estimate(&w);
+        let recon = e.reconstruct(&comps);
+        let resid: f64 = w
+            .iter()
+            .zip(&recon)
+            .map(|(a, b)| (a - b).norm_sqr())
+            .sum();
+        let orig: f64 = w.iter().map(|z| z.norm_sqr()).sum();
+        assert!(resid / orig < 1e-4, "relative residual {}", resid / orig);
+    }
+
+    #[test]
+    fn near_far_20db_both_recovered_after_refine() {
+        let e = est();
+        let (f1, f2) = (20.33, 97.71);
+        let mut w = chirp_with_offset(f1, C64::ONE);
+        add(&mut w, &chirp_with_offset(f2, c64(0.1, 0.0))); // −20 dB
+        let mut comps = e.estimate(&w);
+        assert!(comps.len() >= 2);
+        comps.sort_by(|a, b| b.channel.abs().total_cmp(&a.channel.abs()));
+        assert!((comps[0].freq_bins - f1).abs() < 1e-2);
+        assert!((comps[1].freq_bins - f2).abs() < 5e-2, "weak at {}", comps[1].freq_bins);
+    }
+
+    #[test]
+    fn empty_window_no_components() {
+        let e = est();
+        assert!(e.estimate(&vec![C64::ZERO; N]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong window length")]
+    fn wrong_window_length_panics() {
+        est().dechirp(&[C64::ZERO; 64]);
+    }
+}

@@ -1,0 +1,375 @@
+//! Semi-supervised constrained clustering — the HMRF-KMeans approach the
+//! paper adopts from Basu, Bilenko & Mooney (KDD 2004) for mapping symbols
+//! to users (Sec. 6.2).
+//!
+//! Observations are per-window spectral peaks with features
+//! `{fractional position, channel magnitude, channel phase}`; the prior
+//! knowledge is encoded as pairwise constraints:
+//!
+//! * **cannot-link** — two peaks in the *same* symbol window belong to
+//!   different users;
+//! * **must-link** — externally known co-assignments (e.g. a preamble
+//!   track already established).
+//!
+//! The objective is the HMRF posterior energy: the sum of distances to
+//! cluster centroids plus a penalty for each violated constraint;
+//! minimised by ICM-style alternating assignment/update sweeps.
+
+use crate::cluster::{circular_dist, circular_mean};
+
+/// One observation (a spectral peak attributed to an unknown user).
+#[derive(Clone, Copy, Debug)]
+pub struct Obs {
+    /// Fractional peak position in `[0, 1)` (circular).
+    pub frac: f64,
+    /// Channel magnitude.
+    pub mag: f64,
+    /// Channel phase in radians (circular; pass 0 with weight 0 to ignore).
+    pub phase: f64,
+    /// Symbol-window index the peak was seen in.
+    pub window: usize,
+}
+
+/// Feature weights for the metric.
+#[derive(Clone, Copy, Debug)]
+pub struct Weights {
+    /// Weight of the circular fractional-position distance.
+    pub frac: f64,
+    /// Weight of the relative magnitude distance.
+    pub mag: f64,
+    /// Weight of the circular phase distance.
+    pub phase: f64,
+    /// Penalty added per violated constraint.
+    pub constraint: f64,
+}
+
+impl Default for Weights {
+    fn default() -> Self {
+        Weights {
+            frac: 1.0,
+            mag: 0.15,
+            phase: 0.0,
+            constraint: 1.0,
+        }
+    }
+}
+
+/// A pairwise constraint between observation indices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Constraint {
+    /// The two observations are the same user.
+    MustLink(usize, usize),
+    /// The two observations are different users.
+    CannotLink(usize, usize),
+}
+
+/// Cluster centroids in the feature space.
+#[derive(Clone, Debug)]
+pub struct Centroid {
+    /// Circular mean fractional position.
+    pub frac: f64,
+    /// Mean magnitude.
+    pub mag: f64,
+    /// Circular mean phase.
+    pub phase: f64,
+}
+
+/// Result of a clustering run.
+#[derive(Clone, Debug)]
+pub struct Clustering {
+    /// Per-observation cluster index.
+    pub assignment: Vec<usize>,
+    /// Final centroids.
+    pub centroids: Vec<Centroid>,
+    /// Final objective value (distances + penalties).
+    pub energy: f64,
+}
+
+fn feature_dist(o: &Obs, c: &Centroid, w: &Weights) -> f64 {
+    let df = circular_dist(o.frac, c.frac, 1.0);
+    let dm = if c.mag > 0.0 {
+        ((o.mag - c.mag) / c.mag).abs()
+    } else {
+        0.0
+    };
+    let dp = circular_dist(o.phase, c.phase, std::f64::consts::TAU) / std::f64::consts::PI;
+    w.frac * df + w.mag * dm + w.phase * dp
+}
+
+/// Builds the implicit cannot-link set of Sec. 6.2: every pair of
+/// observations sharing a window is a distinct-user pair.
+pub fn same_window_cannot_links(obs: &[Obs]) -> Vec<Constraint> {
+    let mut out = Vec::new();
+    for i in 0..obs.len() {
+        for j in (i + 1)..obs.len() {
+            if obs[i].window == obs[j].window {
+                out.push(Constraint::CannotLink(i, j));
+            }
+        }
+    }
+    out
+}
+
+/// Runs constrained k-means (HMRF ICM): seeds centroids from the window
+/// holding the most observations (those are guaranteed distinct users),
+/// then alternates penalty-aware assignment with centroid updates.
+pub fn cluster(
+    obs: &[Obs],
+    k: usize,
+    constraints: &[Constraint],
+    weights: &Weights,
+    max_iters: usize,
+) -> Clustering {
+    assert!(k >= 1, "need at least one cluster");
+    assert!(!obs.is_empty(), "no observations");
+
+    // Seed: the most-populated window's peaks are distinct users.
+    let max_window = obs.iter().map(|o| o.window).max().unwrap();
+    let mut best_seed_window = 0usize;
+    let mut best_count = 0usize;
+    for w in 0..=max_window {
+        let c = obs.iter().filter(|o| o.window == w).count();
+        if c > best_count {
+            best_count = c;
+            best_seed_window = w;
+        }
+    }
+    let mut centroids: Vec<Centroid> = obs
+        .iter()
+        .filter(|o| o.window == best_seed_window)
+        .take(k)
+        .map(|o| Centroid {
+            frac: o.frac,
+            mag: o.mag,
+            phase: o.phase,
+        })
+        .collect();
+    // Top up missing seeds with spread-out fractional positions.
+    while centroids.len() < k {
+        let idx = centroids.len();
+        centroids.push(Centroid {
+            frac: idx as f64 / k as f64,
+            mag: obs.iter().map(|o| o.mag).sum::<f64>() / obs.len() as f64,
+            phase: 0.0,
+        });
+    }
+
+    let mut assignment: Vec<usize> = obs
+        .iter()
+        .map(|o| {
+            (0..k)
+                .min_by(|&a, &b| {
+                    feature_dist(o, &centroids[a], weights)
+                        .total_cmp(&feature_dist(o, &centroids[b], weights))
+                })
+                .unwrap()
+        })
+        .collect();
+
+    let mut energy = f64::INFINITY;
+    for _ in 0..max_iters {
+        // ICM assignment sweep: each observation picks the label minimising
+        // its local energy given everyone else's current labels.
+        for i in 0..obs.len() {
+            let mut best = (assignment[i], f64::INFINITY);
+            for cand in 0..k {
+                let mut e = feature_dist(&obs[i], &centroids[cand], weights);
+                for c in constraints {
+                    match *c {
+                        Constraint::MustLink(a, b) => {
+                            let other = if a == i { Some(b) } else if b == i { Some(a) } else { None };
+                            if let Some(o) = other {
+                                if assignment[o] != cand {
+                                    e += weights.constraint;
+                                }
+                            }
+                        }
+                        Constraint::CannotLink(a, b) => {
+                            let other = if a == i { Some(b) } else if b == i { Some(a) } else { None };
+                            if let Some(o) = other {
+                                if assignment[o] == cand {
+                                    e += weights.constraint;
+                                }
+                            }
+                        }
+                    }
+                }
+                if e < best.1 {
+                    best = (cand, e);
+                }
+            }
+            assignment[i] = best.0;
+        }
+        // Centroid update.
+        for (ci, centroid) in centroids.iter_mut().enumerate() {
+            let members: Vec<&Obs> = obs
+                .iter()
+                .zip(&assignment)
+                .filter(|(_, &a)| a == ci)
+                .map(|(o, _)| o)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let fracs: Vec<f64> = members.iter().map(|o| o.frac).collect();
+            let phases: Vec<f64> = members.iter().map(|o| o.phase).collect();
+            centroid.frac = circular_mean(&fracs, 1.0);
+            centroid.phase = circular_mean(&phases, std::f64::consts::TAU);
+            centroid.mag = members.iter().map(|o| o.mag).sum::<f64>() / members.len() as f64;
+        }
+        // Total energy; stop at a fixed point.
+        let mut e = 0.0;
+        for (o, &a) in obs.iter().zip(&assignment) {
+            e += feature_dist(o, &centroids[a], weights);
+        }
+        for c in constraints {
+            match *c {
+                Constraint::MustLink(a, b) if assignment[a] != assignment[b] => {
+                    e += weights.constraint;
+                }
+                Constraint::CannotLink(a, b) if assignment[a] == assignment[b] => {
+                    e += weights.constraint;
+                }
+                _ => {}
+            }
+        }
+        if (energy - e).abs() < 1e-12 {
+            energy = e;
+            break;
+        }
+        energy = e;
+    }
+
+    Clustering {
+        assignment,
+        centroids,
+        energy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(frac: f64, mag: f64, window: usize) -> Obs {
+        Obs {
+            frac,
+            mag,
+            phase: 0.0,
+            window,
+        }
+    }
+
+    /// Two users over 6 windows with distinct fractional offsets.
+    fn two_user_scene() -> Vec<Obs> {
+        let mut v = Vec::new();
+        for w in 0..6 {
+            v.push(obs(0.22 + 0.005 * (w % 2) as f64, 1.0, w));
+            v.push(obs(0.71 - 0.004 * (w % 3) as f64, 0.5, w));
+        }
+        v
+    }
+
+    #[test]
+    fn separates_two_users_by_fraction() {
+        let o = two_user_scene();
+        let cons = same_window_cannot_links(&o);
+        let c = cluster(&o, 2, &cons, &Weights::default(), 20);
+        // Alternating pattern: even indices one cluster, odd the other.
+        let a0 = c.assignment[0];
+        let a1 = c.assignment[1];
+        assert_ne!(a0, a1);
+        for (i, &a) in c.assignment.iter().enumerate() {
+            assert_eq!(a, if i % 2 == 0 { a0 } else { a1 }, "obs {i}");
+        }
+        // Centroids land on the true fractions.
+        let mut fr: Vec<f64> = c.centroids.iter().map(|x| x.frac).collect();
+        fr.sort_by(f64::total_cmp);
+        assert!((fr[0] - 0.22).abs() < 0.02);
+        assert!((fr[1] - 0.71).abs() < 0.02);
+    }
+
+    #[test]
+    fn cannot_link_splits_identical_features() {
+        // Two peaks per window with identical fractions — only the
+        // cannot-link constraint (and magnitude) can split them.
+        let mut o = Vec::new();
+        for w in 0..5 {
+            o.push(obs(0.40, 1.0, w));
+            o.push(obs(0.40, 0.3, w));
+        }
+        let cons = same_window_cannot_links(&o);
+        let w = Weights {
+            mag: 1.0,
+            ..Weights::default()
+        };
+        let c = cluster(&o, 2, &cons, &w, 25);
+        for pair in c.assignment.chunks(2) {
+            assert_ne!(pair[0], pair[1], "same-window peaks merged");
+        }
+        // Magnitude separation recovered.
+        let mags: Vec<f64> = c.centroids.iter().map(|x| x.mag).collect();
+        assert!((mags[0] - mags[1]).abs() > 0.4);
+    }
+
+    #[test]
+    fn must_link_overrides_feature_noise() {
+        // Observation 3 is noisy (fraction halfway between users) but a
+        // must-link to observation 1 pins it.
+        let mut o = two_user_scene();
+        o.push(Obs {
+            frac: 0.46,
+            mag: 0.9,
+            phase: 0.0,
+            window: 6,
+        });
+        let mut cons = same_window_cannot_links(&o);
+        cons.push(Constraint::MustLink(o.len() - 1, 0));
+        let w = Weights {
+            constraint: 5.0,
+            ..Weights::default()
+        };
+        let c = cluster(&o, 2, &cons, &w, 25);
+        assert_eq!(c.assignment[o.len() - 1], c.assignment[0]);
+    }
+
+    #[test]
+    fn wraparound_fractions_cluster_together() {
+        // 0.98 and 0.02 are 0.04 apart circularly.
+        let mut o = Vec::new();
+        for w in 0..4 {
+            o.push(obs(if w % 2 == 0 { 0.98 } else { 0.02 }, 1.0, w));
+            o.push(obs(0.5, 1.0, w));
+        }
+        let cons = same_window_cannot_links(&o);
+        let c = cluster(&o, 2, &cons, &Weights::default(), 20);
+        let a0 = c.assignment[0];
+        for (i, &a) in c.assignment.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(a, a0, "wraparound obs {i} strayed");
+            } else {
+                assert_ne!(a, a0);
+            }
+        }
+    }
+
+    #[test]
+    fn energy_is_finite_and_constraints_reduce_violations() {
+        let o = two_user_scene();
+        let cons = same_window_cannot_links(&o);
+        let with = cluster(&o, 2, &cons, &Weights::default(), 20);
+        assert!(with.energy.is_finite());
+        // No same-window pair shares a cluster in the final solution.
+        for c in &cons {
+            if let Constraint::CannotLink(a, b) = *c {
+                assert_ne!(with.assignment[a], with.assignment[b]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no observations")]
+    fn empty_input_panics() {
+        cluster(&[], 2, &[], &Weights::default(), 5);
+    }
+}

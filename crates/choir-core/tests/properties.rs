@@ -1,0 +1,106 @@
+//! Property-based tests for the Choir decoder's estimation core.
+
+use choir_core::estimator::{EstimatorConfig, OffsetEstimator};
+use choir_core::cluster::{circular_dist, circular_mean};
+use choir_dsp::complex::C64;
+use lora_phy::chirp::symbol_sample;
+use proptest::prelude::*;
+
+const N: usize = 128;
+
+fn chirp_with_offset(f: f64, h: C64, n: usize) -> Vec<C64> {
+    (0..n)
+        .map(|t| {
+            let s = symbol_sample(n, 0, t as f64);
+            let rot = C64::cis(2.0 * std::f64::consts::PI * f * t as f64 / n as f64);
+            h * s * rot
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn single_offset_recovered_anywhere_in_alphabet(
+        f in 1.0f64..127.0,
+        mag in 0.3f64..3.0,
+        phase in 0.0f64..6.28,
+    ) {
+        let est = OffsetEstimator::new(N, EstimatorConfig::default());
+        let h = C64::from_polar(mag, phase);
+        let w = chirp_with_offset(f, h, N);
+        let comps = est.estimate(&w);
+        prop_assert!(!comps.is_empty());
+        let best = comps
+            .iter()
+            .map(|c| circular_dist(c.freq_bins, f, N as f64))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!(best < 5e-3, "offset error {best} at f={f}");
+        // Channel magnitude recovered too.
+        let c = comps
+            .iter()
+            .min_by(|a, b| {
+                circular_dist(a.freq_bins, f, N as f64)
+                    .total_cmp(&circular_dist(b.freq_bins, f, N as f64))
+            })
+            .unwrap();
+        prop_assert!((c.channel.abs() - mag).abs() / mag < 0.02);
+    }
+
+    #[test]
+    fn two_well_separated_offsets_recovered(
+        f1 in 5.0f64..50.0,
+        gap in 8.0f64..60.0,
+        m2 in 0.3f64..1.0,
+    ) {
+        let est = OffsetEstimator::new(N, EstimatorConfig::default());
+        let f2 = f1 + gap;
+        let mut w = chirp_with_offset(f1, C64::ONE, N);
+        for (a, b) in w.iter_mut().zip(chirp_with_offset(f2, C64::from_polar(m2, 1.0), N)) {
+            *a += b;
+        }
+        let comps = est.estimate(&w);
+        prop_assert!(comps.len() >= 2, "found {}", comps.len());
+        for f in [f1, f2] {
+            let best = comps
+                .iter()
+                .map(|c| circular_dist(c.freq_bins, f, N as f64))
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(best < 0.02, "err {best} at {f}");
+        }
+    }
+
+    #[test]
+    fn reconstruction_matches_input(f in 1.0f64..127.0) {
+        let est = OffsetEstimator::new(N, EstimatorConfig::default());
+        let w = chirp_with_offset(f, C64::from_polar(1.0, 0.4), N);
+        let comps = est.estimate(&w);
+        let recon = est.reconstruct(&comps);
+        let err: f64 = w.iter().zip(&recon).map(|(a, b)| (a - b).norm_sqr()).sum();
+        let pow: f64 = w.iter().map(|z| z.norm_sqr()).sum();
+        prop_assert!(err / pow < 1e-3, "relative residual {}", err / pow);
+    }
+
+    #[test]
+    fn circular_dist_axioms(a in 0.0f64..256.0, b in 0.0f64..256.0) {
+        let m = 256.0;
+        let d = circular_dist(a, b, m);
+        prop_assert!(d >= 0.0 && d <= m / 2.0 + 1e-12);
+        prop_assert!((circular_dist(b, a, m) - d).abs() < 1e-12);
+        prop_assert!(circular_dist(a, a, m) < 1e-12);
+        // Shift invariance.
+        let d2 = circular_dist((a + 17.3) % m, (b + 17.3) % m, m);
+        prop_assert!((d - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn circular_mean_near_cluster(center in 0.0f64..256.0, spread in 0.01f64..2.0) {
+        let m = 256.0;
+        let vals: Vec<f64> = (-2..=2)
+            .map(|k| (center + k as f64 * spread / 2.0).rem_euclid(m))
+            .collect();
+        let mean = circular_mean(&vals, m);
+        prop_assert!(circular_dist(mean, center, m) < spread + 1e-9);
+    }
+}

@@ -1,0 +1,413 @@
+//! Fast Fourier transforms.
+//!
+//! Choir's decoder takes one FFT per received symbol (size `2^SF`) plus a
+//! zero-padded FFT (`pad · 2^SF`, the paper uses `pad = 10`) per offset
+//! estimate. The approved dependency set has no FFT crate, so this module
+//! implements:
+//!
+//! * an iterative radix-2 decimation-in-time FFT for power-of-two sizes, and
+//! * Bluestein's chirp-z algorithm for arbitrary sizes (e.g. `10·128`),
+//!   built on top of the radix-2 kernel.
+//!
+//! [`FftPlan`] precomputes twiddle factors (and, for Bluestein, the chirp
+//! sequence and its transform) once; planning is cheap enough to do per
+//! experiment but should be hoisted out of per-symbol loops.
+
+use crate::complex::C64;
+
+/// Sign convention: forward transform uses `e^{-j2πkn/N}`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Direction {
+    Forward,
+    Inverse,
+}
+
+/// A reusable FFT plan for a fixed size `n` (any `n ≥ 1`).
+#[derive(Clone, Debug)]
+pub struct FftPlan {
+    n: usize,
+    kind: PlanKind,
+}
+
+#[derive(Clone, Debug)]
+enum PlanKind {
+    /// `n` is a power of two: iterative radix-2 with a precomputed
+    /// half-length twiddle table.
+    Radix2 { twiddles: Vec<C64> },
+    /// Arbitrary `n` via Bluestein's algorithm: an `m`-point radix-2
+    /// convolution with the chirp sequence `e^{-jπk²/n}`.
+    Bluestein {
+        /// Inner power-of-two convolution length, `m ≥ 2n-1`.
+        inner: Box<FftPlan>,
+        /// `b[k] = e^{-jπ k²/n}` for `k in 0..n`.
+        chirp: Vec<C64>,
+        /// Forward `m`-point transform of the zero-extended conjugate chirp.
+        chirp_ft: Vec<C64>,
+    },
+}
+
+impl FftPlan {
+    /// Plans a transform of length `n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "FftPlan: size must be non-zero");
+        if n.is_power_of_two() {
+            let half = n / 2;
+            let twiddles = (0..half)
+                .map(|k| C64::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
+                .collect();
+            FftPlan {
+                n,
+                kind: PlanKind::Radix2 { twiddles },
+            }
+        } else {
+            // Bluestein: X[k] = b[k] · Σ_n x[n] b[n] · conj(b[k-n])
+            // — a linear convolution of a[n] = x[n]b[n] with conj(b),
+            // computed as a circular convolution of length m ≥ 2n-1.
+            let m = (2 * n - 1).next_power_of_two();
+            let inner = FftPlan::new(m);
+            let chirp: Vec<C64> = (0..n)
+                .map(|k| {
+                    // k² mod 2n avoids precision loss for large k.
+                    let ksq = (k as u64 * k as u64) % (2 * n as u64);
+                    C64::cis(-std::f64::consts::PI * ksq as f64 / n as f64)
+                })
+                .collect();
+            let mut c = vec![C64::ZERO; m];
+            c[0] = chirp[0].conj();
+            for k in 1..n {
+                let v = chirp[k].conj();
+                c[k] = v;
+                c[m - k] = v;
+            }
+            inner.transform(&mut c, Direction::Forward);
+            FftPlan {
+                n,
+                kind: PlanKind::Bluestein {
+                    inner: Box::new(inner),
+                    chirp,
+                    chirp_ft: c,
+                },
+            }
+        }
+    }
+
+    /// Transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false — a plan has length ≥ 1 by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn transform(&self, x: &mut [C64], dir: Direction) {
+        debug_assert_eq!(x.len(), self.n);
+        match &self.kind {
+            PlanKind::Radix2 { twiddles } => radix2(x, twiddles, dir),
+            PlanKind::Bluestein {
+                inner,
+                chirp,
+                chirp_ft,
+            } => {
+                let n = self.n;
+                let m = inner.len();
+                // The inverse transform is the conjugated forward transform:
+                // conjugate in, run forward Bluestein, conjugate out.
+                if dir == Direction::Inverse {
+                    for v in x.iter_mut() {
+                        *v = v.conj();
+                    }
+                }
+                let mut a = vec![C64::ZERO; m];
+                for k in 0..n {
+                    a[k] = x[k] * chirp[k];
+                }
+                inner.transform(&mut a, Direction::Forward);
+                for (av, cv) in a.iter_mut().zip(chirp_ft) {
+                    *av = *av * cv;
+                }
+                inner.transform(&mut a, Direction::Inverse);
+                // The private inverse kernel is unnormalised; fold the 1/m in
+                // here.
+                let scale = 1.0 / m as f64;
+                for k in 0..n {
+                    x[k] = (a[k] * chirp[k]).scale(scale);
+                }
+                if dir == Direction::Inverse {
+                    for v in x.iter_mut() {
+                        *v = v.conj();
+                    }
+                }
+            }
+        }
+    }
+
+    /// In-place forward transform. `x.len()` must equal [`Self::len`].
+    pub fn forward(&self, x: &mut [C64]) {
+        assert_eq!(x.len(), self.n, "forward: buffer length != plan length");
+        self.transform(x, Direction::Forward);
+    }
+
+    /// In-place inverse transform, normalised by `1/n` so that
+    /// `inverse(forward(x)) == x`.
+    pub fn inverse(&self, x: &mut [C64]) {
+        assert_eq!(x.len(), self.n, "inverse: buffer length != plan length");
+        self.transform(x, Direction::Inverse);
+        let s = 1.0 / self.n as f64;
+        for v in x.iter_mut() {
+            *v = v.scale(s);
+        }
+    }
+
+    /// Out-of-place forward transform of `x`, zero-padded (or truncated) to
+    /// the plan length. This is the common "dechirp then pad by 10×" call in
+    /// the Choir pipeline.
+    pub fn forward_padded(&self, x: &[C64]) -> Vec<C64> {
+        let mut buf = vec![C64::ZERO; self.n];
+        let k = x.len().min(self.n);
+        buf[..k].copy_from_slice(&x[..k]);
+        self.forward(&mut buf);
+        buf
+    }
+}
+
+/// Iterative radix-2 DIT FFT. `twiddles[k] = e^{-j2πk/n}` for `k < n/2`.
+fn radix2(x: &mut [C64], twiddles: &[C64], dir: Direction) {
+    let n = x.len();
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 0..n - 1 {
+        if i < j {
+            x.swap(i, j);
+        }
+        let mut mask = n >> 1;
+        while j & mask != 0 {
+            j ^= mask;
+            mask >>= 1;
+        }
+        j |= mask;
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let half = len / 2;
+        let stride = n / len;
+        for start in (0..n).step_by(len) {
+            for k in 0..half {
+                let tw = twiddles[k * stride];
+                let tw = match dir {
+                    Direction::Forward => tw,
+                    Direction::Inverse => tw.conj(),
+                };
+                let a = x[start + k];
+                let b = x[start + k + half] * tw;
+                x[start + k] = a + b;
+                x[start + k + half] = a - b;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// One-shot forward FFT (plans internally). Prefer [`FftPlan`] in loops.
+pub fn fft(x: &[C64]) -> Vec<C64> {
+    let plan = FftPlan::new(x.len());
+    let mut buf = x.to_vec();
+    plan.forward(&mut buf);
+    buf
+}
+
+/// One-shot inverse FFT (normalised). Prefer [`FftPlan`] in loops.
+pub fn ifft(x: &[C64]) -> Vec<C64> {
+    let plan = FftPlan::new(x.len());
+    let mut buf = x.to_vec();
+    plan.inverse(&mut buf);
+    buf
+}
+
+/// Reference O(n²) DFT, used by tests and available for tiny sizes.
+pub fn dft_naive(x: &[C64]) -> Vec<C64> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            (0..n)
+                .map(|m| {
+                    x[m] * C64::cis(-2.0 * std::f64::consts::PI * (k * m % n) as f64 / n as f64)
+                })
+                .sum()
+        })
+        .collect()
+}
+
+/// Swaps the two halves of a spectrum so that DC sits in the middle
+/// (`fftshift`). For odd lengths the extra sample goes to the first half of
+/// the output, matching NumPy's convention.
+pub fn fftshift<T: Clone>(x: &[T]) -> Vec<T> {
+    let n = x.len();
+    let half = n.div_ceil(2);
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(&x[half..]);
+    out.extend_from_slice(&x[..half]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    fn assert_close(a: &[C64], b: &[C64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() < tol,
+                "index {i}: {x:?} vs {y:?} (tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn impulse_gives_flat_spectrum() {
+        let mut x = vec![C64::ZERO; 8];
+        x[0] = C64::ONE;
+        let y = fft(&x);
+        for v in &y {
+            assert!((v - C64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_hits_single_bin() {
+        let n = 64;
+        let k0 = 5;
+        let x: Vec<C64> = (0..n)
+            .map(|t| C64::cis(2.0 * std::f64::consts::PI * k0 as f64 * t as f64 / n as f64))
+            .collect();
+        let y = fft(&x);
+        for (k, v) in y.iter().enumerate() {
+            if k == k0 {
+                assert!((v.abs() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(v.abs() < 1e-9, "bin {k} leaked {}", v.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_pow2() {
+        let x: Vec<C64> = (0..32)
+            .map(|i| c64((i as f64 * 0.37).sin(), (i as f64 * 0.91).cos()))
+            .collect();
+        assert_close(&fft(&x), &dft_naive(&x), 1e-9);
+    }
+
+    #[test]
+    fn matches_naive_dft_arbitrary_sizes() {
+        for n in [1usize, 2, 3, 5, 6, 7, 10, 12, 15, 17, 20, 48, 100, 160, 1280] {
+            let x: Vec<C64> = (0..n)
+                .map(|i| c64((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos() * 0.5))
+                .collect();
+            let tol = 1e-7 * (n as f64).max(1.0);
+            assert_close(&fft(&x), &dft_naive(&x), tol);
+        }
+    }
+
+    #[test]
+    fn roundtrip_pow2() {
+        let x: Vec<C64> = (0..128).map(|i| c64(i as f64, -(i as f64) * 0.5)).collect();
+        assert_close(&ifft(&fft(&x)), &x, 1e-9);
+    }
+
+    #[test]
+    fn roundtrip_bluestein() {
+        let x: Vec<C64> = (0..1280)
+            .map(|i| c64((i as f64 * 0.123).sin(), (i as f64 * 0.456).cos()))
+            .collect();
+        assert_close(&ifft(&fft(&x)), &x, 1e-7);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 40;
+        let a: Vec<C64> = (0..n).map(|i| c64(i as f64, 0.0)).collect();
+        let b: Vec<C64> = (0..n).map(|i| c64(0.0, (i as f64).sqrt())).collect();
+        let sum: Vec<C64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let fa = fft(&a);
+        let fb = fft(&b);
+        let fsum = fft(&sum);
+        let manual: Vec<C64> = fa.iter().zip(&fb).map(|(x, y)| x + y).collect();
+        assert_close(&fsum, &manual, 1e-8);
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let x: Vec<C64> = (0..256)
+            .map(|i| c64((i as f64 * 0.05).sin(), (i as f64 * 0.02).cos()))
+            .collect();
+        let y = fft(&x);
+        let ex = crate::complex::energy(&x);
+        let ey = crate::complex::energy(&y) / x.len() as f64;
+        assert!((ex - ey).abs() / ex < 1e-10);
+    }
+
+    #[test]
+    fn forward_padded_zero_pads() {
+        let plan = FftPlan::new(16);
+        let x = [C64::ONE; 4];
+        let y = plan.forward_padded(&x);
+        assert_eq!(y.len(), 16);
+        // DC bin equals the sum of the input samples.
+        assert!((y[0] - c64(4.0, 0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forward_padded_truncates() {
+        let plan = FftPlan::new(4);
+        let x = [C64::ONE; 8];
+        let y = plan.forward_padded(&x);
+        assert_eq!(y.len(), 4);
+        assert!((y[0] - c64(4.0, 0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fftshift_even_odd() {
+        assert_eq!(fftshift(&[0, 1, 2, 3]), vec![2, 3, 0, 1]);
+        assert_eq!(fftshift(&[0, 1, 2, 3, 4]), vec![3, 4, 0, 1, 2]);
+        assert_eq!(fftshift(&[7]), vec![7]);
+    }
+
+    #[test]
+    fn zero_padding_interpolates_spectrum() {
+        // A tone at fractional frequency: the padded spectrum's maximum must
+        // land within one unpadded-bin of the true frequency, at 10× finer
+        // resolution.
+        let n = 128;
+        let pad = 10;
+        let f0 = 30.37; // cycles per n samples
+        let x: Vec<C64> = (0..n)
+            .map(|t| C64::cis(2.0 * std::f64::consts::PI * f0 * t as f64 / n as f64))
+            .collect();
+        let plan = FftPlan::new(n * pad);
+        let y = plan.forward_padded(&x);
+        let (kmax, _) = y
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+            .unwrap();
+        let est = kmax as f64 / pad as f64;
+        assert!((est - f0).abs() < 0.06, "est {est} vs {f0}");
+    }
+
+    #[test]
+    #[should_panic(expected = "size must be non-zero")]
+    fn zero_size_plan_panics() {
+        let _ = FftPlan::new(0);
+    }
+}

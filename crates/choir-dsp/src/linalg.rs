@@ -1,0 +1,401 @@
+//! Small dense complex linear algebra.
+//!
+//! The offset estimator solves, per symbol, the least-squares system of
+//! Eqn. 2 of the paper: `[h1 … hK] = (EᴴE)⁻¹ Eᴴ y`, where `E`'s columns are
+//! the `K` hypothesised complex exponentials and `y` is the dechirped
+//! symbol. `K` is the number of colliding users (≤ ~16), so naïve `O(K³)`
+//! Gaussian elimination is ideal — no external linear-algebra crate needed.
+
+use crate::complex::C64;
+
+/// A dense row-major complex matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl CMat {
+    /// Allocates a `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMat {
+            rows,
+            cols,
+            data: vec![C64::ZERO; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<C64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "CMat: data length mismatch");
+        CMat { rows, cols, data }
+    }
+
+    /// Builds a matrix whose columns are the given equal-length vectors.
+    pub fn from_cols(cols: &[Vec<C64>]) -> Self {
+        let ncols = cols.len();
+        assert!(ncols > 0, "CMat::from_cols: no columns");
+        let nrows = cols[0].len();
+        for c in cols {
+            assert_eq!(c.len(), nrows, "CMat::from_cols: ragged columns");
+        }
+        let mut m = CMat::zeros(nrows, ncols);
+        for (j, col) in cols.iter().enumerate() {
+            for (i, &v) in col.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C64::ONE;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Conjugate (Hermitian) transpose.
+    pub fn hermitian(&self) -> CMat {
+        let mut out = CMat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &CMat) -> CMat {
+        assert_eq!(self.cols, rhs.rows, "matmul: dimension mismatch");
+        let mut out = CMat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == C64::ZERO {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self · x`.
+    pub fn matvec(&self, x: &[C64]) -> Vec<C64> {
+        assert_eq!(self.cols, x.len(), "matvec: dimension mismatch");
+        (0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self[(i, j)] * x[j]).sum())
+            .collect()
+    }
+
+    /// Solves the square system `self · x = b` by Gaussian elimination with
+    /// partial pivoting. Returns `None` when the matrix is (numerically)
+    /// singular.
+    pub fn solve(&self, b: &[C64]) -> Option<Vec<C64>> {
+        assert_eq!(self.rows, self.cols, "solve: matrix must be square");
+        assert_eq!(self.rows, b.len(), "solve: rhs length mismatch");
+        let n = self.rows;
+        // Augmented working copy.
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        for col in 0..n {
+            // Partial pivot on magnitude.
+            let (piv, pmag) = (col..n)
+                .map(|r| (r, a[r * n + col].norm_sqr()))
+                .max_by(|u, v| u.1.total_cmp(&v.1))?;
+            if pmag < 1e-300 {
+                return None;
+            }
+            if piv != col {
+                for j in 0..n {
+                    a.swap(col * n + j, piv * n + j);
+                }
+                x.swap(col, piv);
+            }
+            let inv = a[col * n + col].inv();
+            for r in col + 1..n {
+                let factor = a[r * n + col] * inv;
+                if factor == C64::ZERO {
+                    continue;
+                }
+                for j in col..n {
+                    let v = a[col * n + j];
+                    a[r * n + j] -= factor * v;
+                }
+                let bc = x[col];
+                x[r] -= factor * bc;
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut s = x[col];
+            for j in col + 1..n {
+                s -= a[col * n + j] * x[j];
+            }
+            x[col] = s / a[col * n + col];
+        }
+        Some(x)
+    }
+
+    /// Inverse of a square matrix, or `None` if singular.
+    pub fn inverse(&self) -> Option<CMat> {
+        assert_eq!(self.rows, self.cols, "inverse: matrix must be square");
+        let n = self.rows;
+        let mut cols = Vec::with_capacity(n);
+        for j in 0..n {
+            let mut e = vec![C64::ZERO; n];
+            e[j] = C64::ONE;
+            cols.push(self.solve(&e)?);
+        }
+        Some(CMat::from_cols(&cols))
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for CMat {
+    type Output = C64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &C64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for CMat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut C64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Solves the over-determined least-squares problem `min_x ‖E·x − y‖²` via
+/// the normal equations `(EᴴE)x = Eᴴy`, where `E`'s columns are `basis` and
+/// `y = rhs`. This is Eqn. 2 of the paper with `basis[k][t] = e^{j2π f_k t}`.
+///
+/// Returns `None` when the basis is rank-deficient (e.g. two identical
+/// frequency hypotheses).
+pub fn least_squares(basis: &[Vec<C64>], rhs: &[C64]) -> Option<Vec<C64>> {
+    let k = basis.len();
+    assert!(k > 0, "least_squares: empty basis");
+    let n = rhs.len();
+    for b in basis {
+        assert_eq!(b.len(), n, "least_squares: basis/rhs length mismatch");
+    }
+    // Gram matrix G = EᴴE (k×k) and projected rhs p = Eᴴy.
+    let mut g = CMat::zeros(k, k);
+    for i in 0..k {
+        for j in i..k {
+            let v: C64 = basis[i]
+                .iter()
+                .zip(&basis[j])
+                .map(|(a, b)| a.conj() * b)
+                .sum();
+            g[(i, j)] = v;
+            if i != j {
+                g[(j, i)] = v.conj();
+            }
+        }
+    }
+    let p: Vec<C64> = (0..k)
+        .map(|i| basis[i].iter().zip(rhs).map(|(a, y)| a.conj() * y).sum())
+        .collect();
+    g.solve(&p)
+}
+
+/// Residual energy `‖y − Σ_k x_k · basis_k‖²` of a least-squares fit.
+pub fn residual_energy(basis: &[Vec<C64>], coeffs: &[C64], rhs: &[C64]) -> f64 {
+    assert_eq!(basis.len(), coeffs.len());
+    let mut acc = 0.0;
+    for (t, &y) in rhs.iter().enumerate() {
+        let mut model = C64::ZERO;
+        for (b, &c) in basis.iter().zip(coeffs) {
+            model += c * b[t];
+        }
+        acc += (y - model).norm_sqr();
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    fn vec_close(a: &[C64], b: &[C64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn identity_solve() {
+        let id = CMat::identity(3);
+        let b = vec![c64(1.0, 2.0), c64(3.0, -1.0), c64(0.0, 0.5)];
+        vec_close(&id.solve(&b).unwrap(), &b, 1e-12);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // [[2, 1], [1, 3j]] x = [5, 1+6j]  with x = [2, 1] ... verify by
+        // construction: pick x, compute b = A x, then solve.
+        let a = CMat::from_rows(
+            2,
+            2,
+            vec![c64(2.0, 0.0), c64(1.0, 0.0), c64(1.0, 0.0), c64(0.0, 3.0)],
+        );
+        let x_true = vec![c64(2.0, -1.0), c64(1.0, 1.0)];
+        let b = a.matvec(&x_true);
+        let x = a.solve(&b).unwrap();
+        vec_close(&x, &x_true, 1e-10);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = CMat::from_rows(
+            2,
+            2,
+            vec![C64::ZERO, C64::ONE, C64::ONE, C64::ZERO],
+        );
+        let x = a.solve(&[c64(3.0, 0.0), c64(7.0, 0.0)]).unwrap();
+        vec_close(&x, &[c64(7.0, 0.0), c64(3.0, 0.0)], 1e-12);
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        let a = CMat::from_rows(
+            2,
+            2,
+            vec![C64::ONE, C64::ONE, C64::ONE, C64::ONE],
+        );
+        assert!(a.solve(&[C64::ONE, C64::ONE]).is_none());
+    }
+
+    #[test]
+    fn inverse_times_self_is_identity() {
+        let a = CMat::from_rows(
+            3,
+            3,
+            vec![
+                c64(4.0, 1.0),
+                c64(2.0, 0.0),
+                c64(0.0, -1.0),
+                c64(1.0, 0.0),
+                c64(3.0, 2.0),
+                c64(1.0, 1.0),
+                c64(0.0, 0.0),
+                c64(1.0, -1.0),
+                c64(2.0, 0.0),
+            ],
+        );
+        let inv = a.inverse().unwrap();
+        let prod = a.matmul(&inv);
+        let id = CMat::identity(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((prod[(i, j)] - id[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn hermitian_transpose() {
+        let a = CMat::from_rows(1, 2, vec![c64(1.0, 2.0), c64(3.0, -4.0)]);
+        let h = a.hermitian();
+        assert_eq!(h.rows(), 2);
+        assert_eq!(h.cols(), 1);
+        assert_eq!(h[(0, 0)], c64(1.0, -2.0));
+        assert_eq!(h[(1, 0)], c64(3.0, 4.0));
+    }
+
+    #[test]
+    fn least_squares_exact_recovery() {
+        // y = 2·e1 + (1-j)·e2 with orthogonal exponentials → exact coeffs.
+        let n = 64;
+        let e1: Vec<C64> = (0..n)
+            .map(|t| C64::cis(2.0 * std::f64::consts::PI * 5.0 * t as f64 / n as f64))
+            .collect();
+        let e2: Vec<C64> = (0..n)
+            .map(|t| C64::cis(2.0 * std::f64::consts::PI * 11.0 * t as f64 / n as f64))
+            .collect();
+        let y: Vec<C64> = (0..n)
+            .map(|t| e1[t] * 2.0 + e2[t] * c64(1.0, -1.0))
+            .collect();
+        let coeffs = least_squares(&[e1.clone(), e2.clone()], &y).unwrap();
+        vec_close(&coeffs, &[c64(2.0, 0.0), c64(1.0, -1.0)], 1e-9);
+        assert!(residual_energy(&[e1, e2], &coeffs, &y) < 1e-18);
+    }
+
+    #[test]
+    fn least_squares_nonorthogonal_basis() {
+        // Fractional frequencies: basis vectors are correlated but
+        // independent; LS must still recover the generating coefficients.
+        let n = 128;
+        let make = |f: f64| -> Vec<C64> {
+            (0..n)
+                .map(|t| C64::cis(2.0 * std::f64::consts::PI * f * t as f64 / n as f64))
+                .collect()
+        };
+        let b1 = make(20.3);
+        let b2 = make(21.1);
+        let (c1, c2) = (c64(0.7, 0.2), c64(-0.4, 0.9));
+        let y: Vec<C64> = (0..n).map(|t| b1[t] * c1 + b2[t] * c2).collect();
+        let coeffs = least_squares(&[b1, b2], &y).unwrap();
+        vec_close(&coeffs, &[c1, c2], 1e-8);
+    }
+
+    #[test]
+    fn least_squares_duplicate_basis_is_singular() {
+        let b: Vec<C64> = (0..16).map(|t| C64::cis(0.3 * t as f64)).collect();
+        let y = b.clone();
+        assert!(least_squares(&[b.clone(), b], &y).is_none());
+    }
+
+    #[test]
+    fn residual_energy_of_perfect_fit_is_zero() {
+        let b: Vec<C64> = (0..8).map(|t| C64::cis(0.5 * t as f64)).collect();
+        let y: Vec<C64> = b.iter().map(|v| v * c64(3.0, 1.0)).collect();
+        let r = residual_energy(&[b], &[c64(3.0, 1.0)], &y);
+        assert!(r < 1e-20);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = CMat::from_rows(2, 2, vec![c64(1.0, 1.0), c64(2.0, 0.0), c64(0.0, 3.0), c64(4.0, -1.0)]);
+        let prod = a.matmul(&CMat::identity(2));
+        assert_eq!(prod, a);
+    }
+
+    #[test]
+    fn fro_norm() {
+        let a = CMat::from_rows(1, 2, vec![c64(3.0, 0.0), c64(0.0, 4.0)]);
+        assert!((a.fro_norm() - 5.0).abs() < 1e-12);
+    }
+}

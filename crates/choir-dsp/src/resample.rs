@@ -1,0 +1,183 @@
+//! Fractional delays, decimation and spectrograms.
+//!
+//! The channel simulator generates each transmitter's waveform analytically
+//! at its own (offset) clock, but receiver-side processing sometimes needs
+//! to shift an already-sampled signal by a fraction of a sample — e.g. when
+//! reconstructing a hypothesis for interference cancellation. Windowed-sinc
+//! interpolation gives near-ideal fractional delay for band-limited signals.
+
+use crate::complex::C64;
+
+/// Delays `x` by `delay` samples (may be fractional and/or negative) using
+/// windowed-sinc interpolation with `taps` taps per side (Hann-windowed).
+/// Samples that would come from outside the signal are treated as zero.
+pub fn fractional_delay(x: &[C64], delay: f64, taps: usize) -> Vec<C64> {
+    assert!(taps >= 1, "fractional_delay: need at least one tap");
+    let n = x.len();
+    let int_part = delay.floor();
+    let frac = delay - int_part;
+    let int_shift = int_part as i64;
+    if frac.abs() < 1e-12 {
+        return integer_shift(x, int_shift);
+    }
+    let mut out = vec![C64::ZERO; n];
+    let t = taps as i64;
+    for (i, o) in out.iter_mut().enumerate() {
+        // out[i] = Σ_k x[i - int_shift - k] · sinc(k - frac) · w(k)
+        let mut acc = C64::ZERO;
+        for k in -t..=t {
+            let src = i as i64 - int_shift - k;
+            if src < 0 || src >= n as i64 {
+                continue;
+            }
+            let u = k as f64 - frac;
+            let s = sinc(u);
+            // Hann window over the tap span.
+            let w = 0.5 + 0.5 * (std::f64::consts::PI * u / (t as f64 + 1.0)).cos();
+            acc += x[src as usize].scale(s * w.max(0.0));
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// Integer sample shift with zero fill (positive = delay).
+pub fn integer_shift(x: &[C64], shift: i64) -> Vec<C64> {
+    let n = x.len() as i64;
+    (0..n)
+        .map(|i| {
+            let src = i - shift;
+            if src < 0 || src >= n {
+                C64::ZERO
+            } else {
+                x[src as usize]
+            }
+        })
+        .collect()
+}
+
+/// Normalised sinc `sin(πx)/(πx)`.
+pub fn sinc(x: f64) -> f64 {
+    if x.abs() < 1e-12 {
+        1.0
+    } else {
+        let px = std::f64::consts::PI * x;
+        px.sin() / px
+    }
+}
+
+/// Keeps every `factor`-th sample (no anti-alias filter; callers decimate
+/// signals that are already band-limited by construction).
+pub fn decimate(x: &[C64], factor: usize) -> Vec<C64> {
+    assert!(factor >= 1, "decimate: zero factor");
+    x.iter().step_by(factor).copied().collect()
+}
+
+/// Short-time Fourier transform magnitude (spectrogram), used to render the
+/// chirp figures (Fig. 2/3). Returns `frames × fft_size` magnitudes.
+pub fn spectrogram(x: &[C64], fft_size: usize, hop: usize) -> Vec<Vec<f64>> {
+    assert!(fft_size > 0 && hop > 0, "spectrogram: bad geometry");
+    let plan = crate::fft::FftPlan::new(fft_size);
+    let mut frames = Vec::new();
+    let mut start = 0usize;
+    while start + fft_size <= x.len() {
+        let spec = plan.forward_padded(&x[start..start + fft_size]);
+        frames.push(spec.iter().map(|z| z.abs()).collect());
+        start += hop;
+    }
+    frames
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sinc_values() {
+        assert_eq!(sinc(0.0), 1.0);
+        assert!(sinc(1.0).abs() < 1e-12);
+        assert!(sinc(2.0).abs() < 1e-12);
+        assert!((sinc(0.5) - 2.0 / std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integer_shift_behaviour() {
+        let x: Vec<C64> = (0..4).map(|i| C64::from_re(i as f64)).collect();
+        let d = integer_shift(&x, 1);
+        assert_eq!(d[0], C64::ZERO);
+        assert_eq!(d[1], C64::from_re(0.0));
+        assert_eq!(d[3], C64::from_re(2.0));
+        let a = integer_shift(&x, -1);
+        assert_eq!(a[0], C64::from_re(1.0));
+        assert_eq!(a[3], C64::ZERO);
+    }
+
+    #[test]
+    fn zero_fractional_delay_is_identity() {
+        let x: Vec<C64> = (0..16).map(|i| C64::cis(0.3 * i as f64)).collect();
+        let y = fractional_delay(&x, 0.0, 8);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fractional_delay_shifts_tone_phase() {
+        // Delaying a band-limited tone by d samples multiplies its phasor by
+        // e^{-j2πf d}. Check in the interior away from edge effects.
+        let n = 256;
+        let f = 0.1; // cycles/sample — well inside the band
+        let x: Vec<C64> = (0..n)
+            .map(|i| C64::cis(2.0 * std::f64::consts::PI * f * i as f64))
+            .collect();
+        let d = 0.37;
+        let y = fractional_delay(&x, d, 24);
+        let expected_rot = C64::cis(-2.0 * std::f64::consts::PI * f * d);
+        for i in 64..192 {
+            let actual = y[i] / x[i];
+            assert!(
+                (actual - expected_rot).abs() < 0.01,
+                "sample {i}: {actual:?} vs {expected_rot:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fractional_delay_half_sample_energy_preserved() {
+        let n = 128;
+        let x: Vec<C64> = (0..n)
+            .map(|i| C64::cis(2.0 * std::f64::consts::PI * 0.05 * i as f64))
+            .collect();
+        let y = fractional_delay(&x, 0.5, 16);
+        let ex = crate::complex::energy(&x[20..108]);
+        let ey = crate::complex::energy(&y[20..108]);
+        assert!((ex - ey).abs() / ex < 0.02, "energy {ex} vs {ey}");
+    }
+
+    #[test]
+    fn decimate_keeps_every_kth() {
+        let x: Vec<C64> = (0..10).map(|i| C64::from_re(i as f64)).collect();
+        let y = decimate(&x, 3);
+        assert_eq!(y.len(), 4);
+        assert_eq!(y[1], C64::from_re(3.0));
+    }
+
+    #[test]
+    fn spectrogram_geometry_and_tone() {
+        let n = 512;
+        let f = 16.0 / 64.0; // bin 16 of a 64-point frame
+        let x: Vec<C64> = (0..n)
+            .map(|i| C64::cis(2.0 * std::f64::consts::PI * f * i as f64))
+            .collect();
+        let frames = spectrogram(&x, 64, 32);
+        assert_eq!(frames.len(), (n - 64) / 32 + 1);
+        for fr in &frames {
+            let (kmax, _) = fr
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap();
+            assert_eq!(kmax, 16);
+        }
+    }
+}

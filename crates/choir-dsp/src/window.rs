@@ -1,0 +1,123 @@
+//! Window functions.
+//!
+//! The dechirped symbol is effectively a rectangular-windowed complex
+//! exponential, which is what gives the Dirichlet leakage Choir exploits.
+//! Tapered windows are provided for spectrogram rendering (Fig. 2/3) and
+//! for ablations that trade leakage against main-lobe width.
+
+/// Supported window shapes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Window {
+    /// All-ones window (the LoRa demodulator's implicit window).
+    Rectangular,
+    /// Hann: `0.5 − 0.5·cos(2πn/(N−1))`.
+    Hann,
+    /// Hamming: `0.54 − 0.46·cos(2πn/(N−1))`.
+    Hamming,
+    /// Blackman (a0=0.42, a1=0.5, a2=0.08).
+    Blackman,
+}
+
+impl Window {
+    /// Generates the window coefficients for length `n` (symmetric form).
+    pub fn coefficients(self, n: usize) -> Vec<f64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![1.0];
+        }
+        let denom = (n - 1) as f64;
+        (0..n)
+            .map(|i| {
+                let x = 2.0 * std::f64::consts::PI * i as f64 / denom;
+                match self {
+                    Window::Rectangular => 1.0,
+                    Window::Hann => 0.5 - 0.5 * x.cos(),
+                    Window::Hamming => 0.54 - 0.46 * x.cos(),
+                    Window::Blackman => 0.42 - 0.5 * x.cos() + 0.08 * (2.0 * x).cos(),
+                }
+            })
+            .collect()
+    }
+
+    /// Coherent gain: mean of the coefficients (1.0 for rectangular).
+    pub fn coherent_gain(self, n: usize) -> f64 {
+        let c = self.coefficients(n);
+        if c.is_empty() {
+            0.0
+        } else {
+            c.iter().sum::<f64>() / c.len() as f64
+        }
+    }
+}
+
+/// Multiplies a complex signal by a window in place.
+///
+/// # Panics
+/// Panics when lengths differ.
+pub fn apply_window(x: &mut [crate::complex::C64], w: &[f64]) {
+    assert_eq!(x.len(), w.len(), "apply_window: length mismatch");
+    for (v, &wi) in x.iter_mut().zip(w) {
+        *v = v.scale(wi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{c64, C64};
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        assert_eq!(Window::Rectangular.coefficients(4), vec![1.0; 4]);
+    }
+
+    #[test]
+    fn hann_endpoints_zero_and_symmetric() {
+        let w = Window::Hann.coefficients(9);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[8].abs() < 1e-12);
+        assert!((w[4] - 1.0).abs() < 1e-12);
+        for i in 0..4 {
+            assert!((w[i] - w[8 - i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hamming_endpoints_nonzero() {
+        let w = Window::Hamming.coefficients(8);
+        assert!((w[0] - 0.08).abs() < 1e-12);
+        assert!(w.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn blackman_peak_near_unity() {
+        let w = Window::Blackman.coefficients(101);
+        let max = w.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((max - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        assert!(Window::Hann.coefficients(0).is_empty());
+        assert_eq!(Window::Hann.coefficients(1), vec![1.0]);
+        assert_eq!(Window::Hann.coherent_gain(0), 0.0);
+    }
+
+    #[test]
+    fn coherent_gain_rectangular() {
+        assert_eq!(Window::Rectangular.coherent_gain(16), 1.0);
+        let g = Window::Hann.coherent_gain(1024);
+        assert!((g - 0.5).abs() < 0.01, "hann gain {g}");
+    }
+
+    #[test]
+    fn apply_window_scales() {
+        let mut x = vec![c64(2.0, 2.0); 3];
+        apply_window(&mut x, &[0.0, 0.5, 1.0]);
+        assert_eq!(x[0], C64::ZERO);
+        assert_eq!(x[1], c64(1.0, 1.0));
+        assert_eq!(x[2], c64(2.0, 2.0));
+    }
+}

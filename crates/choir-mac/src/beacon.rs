@@ -1,0 +1,189 @@
+//! Beacon-driven team scheduling — Sec. 7.1, "Whom do we coordinate?"
+//!
+//! The base station knows (or learns) each sensor's SNR. Sensors that can
+//! be decoded alone get individual slots; sensors beyond range are grouped
+//! into teams just large enough that the team's combining margin clears
+//! the decoding threshold — "larger groups of sensors for transmitters
+//! that are further away", so resolution degrades gracefully with
+//! distance.
+
+/// Combining gain (dB) of an `m`-member team under non-coherent power
+/// combining (see `choir-core::lowsnr`).
+pub fn team_gain_db(members: usize) -> f64 {
+    5.0 * (members.max(1) as f64).log10()
+}
+
+/// One scheduled uplink entity.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScheduleEntry {
+    /// A single in-range sensor with its own slot.
+    Individual(usize),
+    /// A team of beyond-range sensors sharing one beacon slot.
+    Team(Vec<usize>),
+    /// Sensors that cannot be served even by the largest allowed team.
+    Unreachable(Vec<usize>),
+}
+
+/// Builds a schedule: sensors at or above `solo_floor_db` transmit alone;
+/// the rest are sorted weakest-last and greedily packed into teams whose
+/// *weakest member* still clears `solo_floor_db − team_gain` with
+/// `margin_db` to spare, up to `max_team` members.
+pub fn schedule_teams(
+    snrs_db: &[f64],
+    solo_floor_db: f64,
+    margin_db: f64,
+    max_team: usize,
+) -> Vec<ScheduleEntry> {
+    assert!(max_team >= 1);
+    let mut out = Vec::new();
+    let mut far: Vec<usize> = Vec::new();
+    for (i, &s) in snrs_db.iter().enumerate() {
+        if s >= solo_floor_db + margin_db {
+            out.push(ScheduleEntry::Individual(i));
+        } else {
+            far.push(i);
+        }
+    }
+    // Strongest far sensors first: they need the smallest teams, and
+    // grouping nearby-SNR sensors keeps team sizes minimal overall.
+    far.sort_by(|&a, &b| snrs_db[b].total_cmp(&snrs_db[a]));
+    let mut idx = 0usize;
+    let mut unreachable = Vec::new();
+    while idx < far.len() {
+        // Grow a team until its weakest member clears the threshold.
+        let mut team = Vec::new();
+        let mut satisfied = false;
+        while idx < far.len() && team.len() < max_team {
+            team.push(far[idx]);
+            idx += 1;
+            let weakest = team
+                .iter()
+                .map(|&i| snrs_db[i])
+                .fold(f64::INFINITY, f64::min);
+            if weakest + team_gain_db(team.len()) >= solo_floor_db + margin_db {
+                satisfied = true;
+                // Keep absorbing equally-weak neighbours only if they'd
+                // still be served; stop at the first satisfied size.
+                break;
+            }
+        }
+        if satisfied {
+            out.push(ScheduleEntry::Team(team));
+        } else if idx >= far.len() || team.len() >= max_team {
+            // Could not satisfy even at max size: everyone left in this
+            // team (and weaker) is unreachable at max_team.
+            unreachable.extend(team);
+            // The remaining sensors are weaker still — but a later sensor
+            // may combine with others; continue trying with the rest.
+        }
+    }
+    if !unreachable.is_empty() {
+        out.push(ScheduleEntry::Unreachable(unreachable));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gain_monotone() {
+        assert_eq!(team_gain_db(1), 0.0);
+        assert!(team_gain_db(10) > team_gain_db(2));
+        assert!((team_gain_db(10) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_range_sensors_go_solo() {
+        let snrs = [10.0, 0.0, 25.0];
+        let sched = schedule_teams(&snrs, -10.0, 3.0, 8);
+        let solos: Vec<usize> = sched
+            .iter()
+            .filter_map(|e| match e {
+                ScheduleEntry::Individual(i) => Some(*i),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(solos, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn far_sensors_form_minimal_teams() {
+        // Floor −10, margin 3 → target −7. Sensors at −10: need
+        // 5·log10(m) ≥ 3 → m ≥ 4.
+        let snrs = vec![-10.0; 8];
+        let sched = schedule_teams(&snrs, -10.0, 3.0, 10);
+        let teams: Vec<&Vec<usize>> = sched
+            .iter()
+            .filter_map(|e| match e {
+                ScheduleEntry::Team(t) => Some(t),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(teams.len(), 2);
+        for t in teams {
+            assert_eq!(t.len(), 4);
+        }
+    }
+
+    #[test]
+    fn weaker_sensors_get_larger_teams() {
+        // −12 dB needs 5·log10(m) ≥ 5 → m ≥ 10; −8.5 needs m ≥ 2.
+        let mut snrs = vec![-8.5; 2];
+        snrs.extend(vec![-12.0; 10]);
+        let sched = schedule_teams(&snrs, -10.0, 3.0, 16);
+        let sizes: Vec<usize> = sched
+            .iter()
+            .filter_map(|e| match e {
+                ScheduleEntry::Team(t) => Some(t.len()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sizes, vec![2, 10], "strong pair first, then the big team");
+    }
+
+    #[test]
+    fn hopeless_sensors_marked_unreachable() {
+        let snrs = vec![-40.0; 3];
+        let sched = schedule_teams(&snrs, -10.0, 3.0, 8);
+        match &sched[0] {
+            ScheduleEntry::Unreachable(v) => assert_eq!(v.len(), 3),
+            other => panic!("expected unreachable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_sensor_scheduled_exactly_once() {
+        let snrs: Vec<f64> = (0..20).map(|i| 15.0 - 2.0 * i as f64).collect();
+        let sched = schedule_teams(&snrs, -10.0, 3.0, 6);
+        let mut seen = vec![false; snrs.len()];
+        for e in &sched {
+            let ids: Vec<usize> = match e {
+                ScheduleEntry::Individual(i) => vec![*i],
+                ScheduleEntry::Team(t) => t.clone(),
+                ScheduleEntry::Unreachable(u) => u.clone(),
+            };
+            for i in ids {
+                assert!(!seen[i], "sensor {i} scheduled twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn scheduled_teams_actually_clear_the_threshold() {
+        let snrs: Vec<f64> = (0..16).map(|i| -8.0 - 0.5 * i as f64).collect();
+        let (floor, margin) = (-10.0, 3.0);
+        for e in schedule_teams(&snrs, floor, margin, 12) {
+            if let ScheduleEntry::Team(t) = e {
+                let weakest = t.iter().map(|&i| snrs[i]).fold(f64::INFINITY, f64::min);
+                assert!(
+                    weakest + team_gain_db(t.len()) >= floor + margin - 1e-9,
+                    "team {t:?} does not clear the threshold"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Network-level metrics — the three quantities every Fig. 8 panel plots.
+
+/// Outcome of one simulation run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunMetrics {
+    /// Successfully delivered payload bits per second of simulated time.
+    pub throughput_bps: f64,
+    /// Mean time from packet readiness to successful delivery (seconds).
+    pub avg_latency_s: f64,
+    /// Transmissions (including retransmissions) per successfully
+    /// delivered packet — the battery-drain proxy of Fig. 8(c)/(f).
+    pub tx_per_packet: f64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Total transmissions attempted.
+    pub transmissions: u64,
+    /// Simulated wall-clock duration (seconds).
+    pub sim_time_s: f64,
+}
+
+/// Accumulator used by the simulators.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsCollector {
+    delivered: u64,
+    transmissions: u64,
+    delivered_bits: u64,
+    latency_sum_s: f64,
+    sim_time_s: f64,
+}
+
+impl MetricsCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one transmission attempt.
+    pub fn record_tx(&mut self) {
+        self.transmissions += 1;
+    }
+
+    /// Records a successful delivery of `payload_bits` with the given
+    /// readiness-to-delivery latency.
+    pub fn record_delivery(&mut self, payload_bits: u64, latency_s: f64) {
+        self.delivered += 1;
+        self.delivered_bits += payload_bits;
+        self.latency_sum_s += latency_s;
+    }
+
+    /// Advances simulated time.
+    pub fn advance_time(&mut self, dt_s: f64) {
+        self.sim_time_s += dt_s;
+    }
+
+    /// Elapsed simulated time so far.
+    pub fn sim_time_s(&self) -> f64 {
+        self.sim_time_s
+    }
+
+    /// Finalises the run.
+    pub fn finish(&self) -> RunMetrics {
+        RunMetrics {
+            throughput_bps: if self.sim_time_s > 0.0 {
+                self.delivered_bits as f64 / self.sim_time_s
+            } else {
+                0.0
+            },
+            avg_latency_s: if self.delivered > 0 {
+                self.latency_sum_s / self.delivered as f64
+            } else {
+                f64::INFINITY
+            },
+            tx_per_packet: if self.delivered > 0 {
+                self.transmissions as f64 / self.delivered as f64
+            } else {
+                f64::INFINITY
+            },
+            delivered: self.delivered,
+            transmissions: self.transmissions,
+            sim_time_s: self.sim_time_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_run_degenerate_metrics() {
+        let m = MetricsCollector::new().finish();
+        assert_eq!(m.throughput_bps, 0.0);
+        assert!(m.avg_latency_s.is_infinite());
+        assert!(m.tx_per_packet.is_infinite());
+    }
+
+    #[test]
+    fn basic_accounting() {
+        let mut c = MetricsCollector::new();
+        for _ in 0..4 {
+            c.record_tx();
+        }
+        c.record_delivery(800, 0.5);
+        c.record_delivery(800, 1.5);
+        c.advance_time(2.0);
+        let m = c.finish();
+        assert_eq!(m.delivered, 2);
+        assert_eq!(m.transmissions, 4);
+        assert!((m.throughput_bps - 800.0).abs() < 1e-9);
+        assert!((m.avg_latency_s - 1.0).abs() < 1e-12);
+        assert!((m.tx_per_packet - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,15 @@
+//! # choir-mimo — the uplink MU-MIMO baseline and Choir+MIMO combining
+//!
+//! The Sec. 9.5 comparator: with `A` antennas, linear MU-MIMO (here MMSE,
+//! with genie channel and timing knowledge — a generous baseline) can
+//! separate at most `A` concurrent streams. Choir's gains are shown to be
+//! complementary: running the Choir decoder per antenna and
+//! selection-combining the results beats both.
+
+#![warn(missing_docs)]
+
+pub mod uplink;
+pub mod zf;
+
+pub use uplink::{choir_multi_antenna, mu_mimo_decode};
+pub use zf::{separate, separation_matrix, MimoError};

@@ -1,0 +1,185 @@
+//! Linear uplink MU-MIMO separation: zero-forcing and MMSE.
+//!
+//! The state-of-the-art baseline the paper compares against (Sec. 9.5)
+//! separates up to `A` concurrent streams with `A` antennas by inverting
+//! the channel matrix — its gain is structurally capped at the antenna
+//! count, which is the limitation Choir escapes.
+
+use choir_dsp::complex::C64;
+use choir_dsp::linalg::CMat;
+
+/// Errors from the separation stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MimoError {
+    /// More streams than antennas: the linear system is underdetermined.
+    TooManyStreams,
+    /// Channel matrix numerically singular (colinear user channels).
+    SingularChannel,
+    /// Antenna streams have mismatched lengths.
+    LengthMismatch,
+}
+
+impl std::fmt::Display for MimoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MimoError::TooManyStreams => write!(f, "more streams than antennas"),
+            MimoError::SingularChannel => write!(f, "singular channel matrix"),
+            MimoError::LengthMismatch => write!(f, "antenna stream length mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for MimoError {}
+
+/// Builds the separation matrix `W` (users × antennas) for channel `H`
+/// (`channels[a][u]`): zero-forcing `W = (HᴴH)⁻¹Hᴴ`, or MMSE
+/// `W = (HᴴH + σ²I)⁻¹Hᴴ` when `noise_power > 0`.
+pub fn separation_matrix(
+    channels: &[Vec<C64>],
+    noise_power: f64,
+) -> Result<CMat, MimoError> {
+    let antennas = channels.len();
+    if antennas == 0 {
+        return Err(MimoError::SingularChannel);
+    }
+    let users = channels[0].len();
+    if users > antennas {
+        return Err(MimoError::TooManyStreams);
+    }
+    let mut h = CMat::zeros(antennas, users);
+    for (a, row) in channels.iter().enumerate() {
+        if row.len() != users {
+            return Err(MimoError::LengthMismatch);
+        }
+        for (u, &v) in row.iter().enumerate() {
+            h[(a, u)] = v;
+        }
+    }
+    let hh = h.hermitian();
+    let mut gram = hh.matmul(&h);
+    if noise_power > 0.0 {
+        for u in 0..users {
+            gram[(u, u)] += C64::from_re(noise_power);
+        }
+    }
+    let inv = gram.inverse().ok_or(MimoError::SingularChannel)?;
+    Ok(inv.matmul(&hh))
+}
+
+/// Applies a separation matrix to per-antenna sample streams, producing
+/// one stream per user.
+pub fn separate(
+    w: &CMat,
+    antenna_streams: &[Vec<C64>],
+) -> Result<Vec<Vec<C64>>, MimoError> {
+    let antennas = antenna_streams.len();
+    if antennas != w.cols() {
+        return Err(MimoError::LengthMismatch);
+    }
+    let len = antenna_streams[0].len();
+    if antenna_streams.iter().any(|s| s.len() != len) {
+        return Err(MimoError::LengthMismatch);
+    }
+    let users = w.rows();
+    let mut out = vec![vec![C64::ZERO; len]; users];
+    for t in 0..len {
+        for (u, stream) in out.iter_mut().enumerate() {
+            let mut acc = C64::ZERO;
+            for a in 0..antennas {
+                acc += w[(u, a)] * antenna_streams[a][t];
+            }
+            stream[t] = acc;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use choir_dsp::complex::c64;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_c(rng: &mut StdRng) -> C64 {
+        c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn zero_forcing_inverts_exactly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let antennas = 3;
+        let users = 3;
+        let channels: Vec<Vec<C64>> = (0..antennas)
+            .map(|_| (0..users).map(|_| rand_c(&mut rng)).collect())
+            .collect();
+        // Random user streams.
+        let len = 64;
+        let x: Vec<Vec<C64>> = (0..users)
+            .map(|_| (0..len).map(|_| rand_c(&mut rng)).collect())
+            .collect();
+        // Received = H x.
+        let y: Vec<Vec<C64>> = (0..antennas)
+            .map(|a| {
+                (0..len)
+                    .map(|t| (0..users).map(|u| channels[a][u] * x[u][t]).sum())
+                    .collect()
+            })
+            .collect();
+        let w = separation_matrix(&channels, 0.0).unwrap();
+        let sep = separate(&w, &y).unwrap();
+        for u in 0..users {
+            for t in 0..len {
+                assert!((sep[u][t] - x[u][t]).abs() < 1e-9, "u={u} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_streams_rejected() {
+        let channels = vec![vec![C64::ONE; 4]; 3]; // 3 antennas, 4 users
+        assert_eq!(
+            separation_matrix(&channels, 0.0),
+            Err(MimoError::TooManyStreams)
+        );
+    }
+
+    #[test]
+    fn colinear_channels_singular() {
+        // Two users with identical array responses.
+        let channels = vec![vec![C64::ONE, C64::ONE], vec![C64::ONE, C64::ONE]];
+        assert_eq!(
+            separation_matrix(&channels, 0.0),
+            Err(MimoError::SingularChannel)
+        );
+    }
+
+    #[test]
+    fn mmse_handles_near_singular() {
+        let eps = 1e-7;
+        let channels = vec![
+            vec![C64::ONE, C64::ONE + c64(eps, 0.0)],
+            vec![C64::ONE, C64::ONE],
+        ];
+        // ZF blows up (giant inverse); MMSE stays bounded.
+        let w = separation_matrix(&channels, 0.1).unwrap();
+        assert!(w.fro_norm() < 100.0, "norm {}", w.fro_norm());
+    }
+
+    #[test]
+    fn fewer_users_than_antennas_ok() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let channels: Vec<Vec<C64>> = (0..3).map(|_| vec![rand_c(&mut rng)]).collect();
+        let w = separation_matrix(&channels, 0.0).unwrap();
+        assert_eq!(w.rows(), 1);
+        assert_eq!(w.cols(), 3);
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let channels = vec![vec![C64::ONE], vec![C64::ONE]];
+        let w = separation_matrix(&channels, 0.0).unwrap();
+        let bad = vec![vec![C64::ZERO; 8], vec![C64::ZERO; 9]];
+        assert_eq!(separate(&w, &bad), Err(MimoError::LengthMismatch));
+    }
+}

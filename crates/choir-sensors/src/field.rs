@@ -1,0 +1,307 @@
+//! Synthetic spatially-correlated temperature/humidity field.
+//!
+//! Substitutes for the paper's BME280 sensors on four floors of two CMU
+//! buildings. The evaluation (Fig. 10, Fig. 11(a)) depends only on the
+//! field's *correlation structure*: readings near the building façade
+//! track the outdoor value, interior readings track the HVAC setpoint,
+//! nearby sensors read nearly the same value. The model:
+//!
+//! `T(p) = T_in + (T_out − T_in)·exp(−d(p)/λ) + floor_gradient·z + ε(p)`
+//!
+//! where `d(p)` is the distance to the nearest façade, `ε` is a smooth
+//! correlated perturbation (sum of fixed random low-frequency modes) plus
+//! white sensor noise. Humidity uses the same spatial weighting with its
+//! own endpoints.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A position inside the building: metres in-plane, floor index.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Position {
+    /// Metres along the building's long axis.
+    pub x: f64,
+    /// Metres along the short axis.
+    pub y: f64,
+    /// Floor number (0-based).
+    pub floor: usize,
+}
+
+/// Building geometry (the paper's sensor building: ~95 m × 40 m, 4 floors).
+#[derive(Clone, Copy, Debug)]
+pub struct Building {
+    /// Length (m).
+    pub width: f64,
+    /// Depth (m).
+    pub depth: f64,
+    /// Number of floors.
+    pub floors: usize,
+}
+
+impl Default for Building {
+    fn default() -> Self {
+        Building {
+            width: 95.0,
+            depth: 40.0,
+            floors: 4,
+        }
+    }
+}
+
+impl Building {
+    /// Distance from `p` to the nearest façade (m).
+    pub fn facade_distance(&self, p: Position) -> f64 {
+        let dx = p.x.min(self.width - p.x);
+        let dy = p.y.min(self.depth - p.y);
+        dx.min(dy).max(0.0)
+    }
+
+    /// Distance from the building core (m) — the grouping feature
+    /// Fig. 11(a) finds best. Measured through the nearest façade
+    /// (`depth/2 − facade_distance`): in a long, thin floor plan this is
+    /// what "distance from the centre of the floor" actually proxies —
+    /// how exposed a sensor is to the outdoor climate.
+    pub fn center_distance(&self, p: Position) -> f64 {
+        (self.depth / 2.0 - self.facade_distance(p)).max(0.0)
+    }
+
+    /// Places `count` sensors pseudo-randomly (uniform per floor,
+    /// round-robin over floors), reproducibly from `seed`.
+    pub fn place_sensors(&self, count: usize, seed: u64) -> Vec<Position> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|i| Position {
+                x: rng.gen_range(0.0..self.width),
+                y: rng.gen_range(0.0..self.depth),
+                floor: i % self.floors,
+            })
+            .collect()
+    }
+}
+
+/// One smooth random mode of the correlated perturbation.
+#[derive(Clone, Copy, Debug)]
+struct Mode {
+    kx: f64,
+    ky: f64,
+    phase: f64,
+    amp: f64,
+}
+
+/// The environmental field.
+#[derive(Clone, Debug)]
+pub struct EnvField {
+    /// Outdoor temperature (°C).
+    pub t_out: f64,
+    /// Indoor setpoint (°C).
+    pub t_in: f64,
+    /// Outdoor relative humidity (%).
+    pub h_out: f64,
+    /// Indoor relative humidity (%).
+    pub h_in: f64,
+    /// Façade influence length scale (m).
+    pub lambda: f64,
+    /// Per-floor temperature offset (°C per floor — thermal stratification).
+    pub floor_gradient: f64,
+    /// White sensor-noise standard deviation (°C / %RH).
+    pub sensor_noise: f64,
+    building: Building,
+    modes: Vec<Mode>,
+    seed: u64,
+}
+
+impl EnvField {
+    /// Builds a field over the given building, reproducibly from `seed`.
+    pub fn new(building: Building, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF1E1D);
+        let modes = (0..6)
+            .map(|_| Mode {
+                kx: rng.gen_range(0.02..0.12),
+                ky: rng.gen_range(0.02..0.2),
+                phase: rng.gen_range(0.0..std::f64::consts::TAU),
+                amp: rng.gen_range(0.1..0.35),
+            })
+            .collect();
+        EnvField {
+            t_out: 4.0,
+            t_in: 22.0,
+            h_out: 78.0,
+            h_in: 35.0,
+            lambda: 6.0,
+            floor_gradient: 1.5,
+            sensor_noise: 0.15,
+            building,
+            modes,
+            seed,
+        }
+    }
+
+    /// The building this field covers.
+    pub fn building(&self) -> &Building {
+        &self.building
+    }
+
+    fn smooth_perturbation(&self, p: Position) -> f64 {
+        self.modes
+            .iter()
+            .map(|m| m.amp * (m.kx * p.x + m.ky * p.y + m.phase + p.floor as f64).sin())
+            .sum()
+    }
+
+    fn facade_weight(&self, p: Position) -> f64 {
+        (-self.building.facade_distance(p) / self.lambda).exp()
+    }
+
+    /// Noiseless temperature at `p` (°C).
+    pub fn temperature_true(&self, p: Position) -> f64 {
+        self.t_in
+            + (self.t_out - self.t_in) * self.facade_weight(p)
+            + self.floor_gradient * p.floor as f64
+            + self.smooth_perturbation(p)
+    }
+
+    /// Noiseless relative humidity at `p` (%).
+    pub fn humidity_true(&self, p: Position) -> f64 {
+        self.h_in
+            + (self.h_out - self.h_in) * self.facade_weight(p)
+            + 2.5 * self.smooth_perturbation(p)
+    }
+
+    /// A sensor's temperature *reading* (true value plus sensor noise),
+    /// reproducible per `(sensor_id, epoch)`.
+    pub fn temperature_reading(&self, p: Position, sensor_id: usize, epoch: u64) -> f64 {
+        self.temperature_true(p) + self.noise(sensor_id, epoch, 0)
+    }
+
+    /// A sensor's humidity reading (%).
+    pub fn humidity_reading(&self, p: Position, sensor_id: usize, epoch: u64) -> f64 {
+        self.humidity_true(p) + 2.0 * self.noise(sensor_id, epoch, 1)
+    }
+
+    fn noise(&self, sensor_id: usize, epoch: u64, salt: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(sensor_id as u64)
+                .wrapping_add(epoch.wrapping_mul(0xD1B54A32D192ED03))
+                .wrapping_add(salt),
+        );
+        choir_channel_free_gaussian(&mut rng) * self.sensor_noise
+    }
+}
+
+/// Local standard normal (avoids a dependency cycle with choir-channel).
+fn choir_channel_free_gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field() -> EnvField {
+        EnvField::new(Building::default(), 42)
+    }
+
+    fn pos(x: f64, y: f64, floor: usize) -> Position {
+        Position { x, y, floor }
+    }
+
+    #[test]
+    fn facade_distance_geometry() {
+        let b = Building::default();
+        assert_eq!(b.facade_distance(pos(0.0, 20.0, 0)), 0.0);
+        assert_eq!(b.facade_distance(pos(47.5, 20.0, 0)), 20.0);
+        assert_eq!(b.facade_distance(pos(3.0, 20.0, 0)), 3.0);
+    }
+
+    #[test]
+    fn center_distance_geometry() {
+        let b = Building::default();
+        // The core of the building (≥ depth/2 from every wall) is 0.
+        assert!(b.center_distance(pos(47.5, 20.0, 0)) < 1e-9);
+        // On a wall: maximal exposure.
+        assert!((b.center_distance(pos(0.0, 20.0, 0)) - 20.0).abs() < 1e-9);
+        assert!((b.center_distance(pos(47.5, 0.0, 0)) - 20.0).abs() < 1e-9);
+        // Monotone in wall proximity.
+        assert!(b.center_distance(pos(47.5, 5.0, 0)) > b.center_distance(pos(47.5, 15.0, 0)));
+    }
+
+    #[test]
+    fn interior_warmer_than_facade_in_winter() {
+        let f = field();
+        let interior = f.temperature_true(pos(47.5, 20.0, 0));
+        let edge = f.temperature_true(pos(0.5, 20.0, 0));
+        assert!(interior > edge + 5.0, "interior {interior} edge {edge}");
+    }
+
+    #[test]
+    fn humidity_higher_near_facade() {
+        let f = field();
+        let interior = f.humidity_true(pos(47.5, 20.0, 0));
+        let edge = f.humidity_true(pos(0.5, 20.0, 0));
+        assert!(edge > interior + 10.0);
+    }
+
+    #[test]
+    fn nearby_sensors_read_similar_values() {
+        let f = field();
+        let a = f.temperature_true(pos(30.0, 15.0, 1));
+        let b = f.temperature_true(pos(31.0, 15.5, 1));
+        assert!((a - b).abs() < 0.5, "a {a} b {b}");
+    }
+
+    #[test]
+    fn distant_sensors_differ_more_than_near_ones() {
+        let f = field();
+        let base = pos(47.5, 20.0, 0);
+        let near = pos(45.0, 20.0, 0);
+        let far = pos(1.0, 1.0, 0);
+        let d_near = (f.temperature_true(base) - f.temperature_true(near)).abs();
+        let d_far = (f.temperature_true(base) - f.temperature_true(far)).abs();
+        assert!(d_far > d_near);
+    }
+
+    #[test]
+    fn readings_reproducible_and_noisy() {
+        let f = field();
+        let p = pos(10.0, 10.0, 2);
+        let r1 = f.temperature_reading(p, 7, 3);
+        let r2 = f.temperature_reading(p, 7, 3);
+        assert_eq!(r1, r2);
+        let r3 = f.temperature_reading(p, 7, 4);
+        assert_ne!(r1, r3);
+        assert!((r1 - f.temperature_true(p)).abs() < 1.0);
+    }
+
+    #[test]
+    fn floor_gradient_applied() {
+        let f = field();
+        let low = f.temperature_true(pos(47.5, 20.0, 0));
+        let high = f.temperature_true(pos(47.5, 20.0, 3));
+        // The gradient is 4.5 °C over three floors, well above the smooth
+        // perturbation.
+        assert!(high > low + 2.0);
+    }
+
+    #[test]
+    fn sensor_placement_reproducible_in_bounds() {
+        let b = Building::default();
+        let s1 = b.place_sensors(36, 9);
+        let s2 = b.place_sensors(36, 9);
+        assert_eq!(s1.len(), 36);
+        for (a, bb) in s1.iter().zip(&s2) {
+            assert_eq!(a, bb);
+        }
+        for p in &s1 {
+            assert!(p.x >= 0.0 && p.x <= b.width);
+            assert!(p.y >= 0.0 && p.y <= b.depth);
+            assert!(p.floor < b.floors);
+        }
+        // Floors covered.
+        let floors: std::collections::HashSet<_> = s1.iter().map(|p| p.floor).collect();
+        assert_eq!(floors.len(), 4);
+    }
+}

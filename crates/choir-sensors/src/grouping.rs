@@ -1,0 +1,141 @@
+//! Sensor grouping strategies — Fig. 11(a).
+//!
+//! Which sensors should answer a beacon together? Team members transmit
+//! identical MSB chunks only to the extent their *readings* agree, so the
+//! grouping strategy directly sets the recovered resolution. The paper
+//! compares three: random, by floor, and by distance from the floor
+//! centre (the winner — distance to the façade is the dominant axis of
+//! the temperature field).
+
+use crate::field::{Building, Position};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Grouping strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Uniformly random assignment.
+    Random,
+    /// Group sensors on the same floor together.
+    ByFloor,
+    /// Sort by distance from the floor centre and group neighbours in
+    /// that ordering.
+    ByCenterDistance,
+}
+
+impl Strategy {
+    /// All strategies, in the order Fig. 11(a) plots them.
+    pub const ALL: [Strategy; 3] = [Strategy::Random, Strategy::ByFloor, Strategy::ByCenterDistance];
+
+    /// Human-readable label matching the figure.
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::Random => "Random",
+            Strategy::ByFloor => "Floor",
+            Strategy::ByCenterDistance => "Center Dist.",
+        }
+    }
+}
+
+/// Partitions sensor indices into groups of (up to) `group_size` following
+/// the strategy. Every sensor lands in exactly one group.
+pub fn make_groups(
+    building: &Building,
+    sensors: &[Position],
+    strategy: Strategy,
+    group_size: usize,
+    seed: u64,
+) -> Vec<Vec<usize>> {
+    assert!(group_size >= 1, "group_size must be positive");
+    let mut order: Vec<usize> = (0..sensors.len()).collect();
+    match strategy {
+        Strategy::Random => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            order.shuffle(&mut rng);
+        }
+        Strategy::ByFloor => {
+            // Stable by floor, then by x to keep same-floor neighbours
+            // together inside the floor's groups.
+            order.sort_by(|&a, &b| {
+                sensors[a]
+                    .floor
+                    .cmp(&sensors[b].floor)
+                    .then(sensors[a].x.total_cmp(&sensors[b].x))
+            });
+        }
+        Strategy::ByCenterDistance => {
+            order.sort_by(|&a, &b| {
+                building
+                    .center_distance(sensors[a])
+                    .total_cmp(&building.center_distance(sensors[b]))
+            });
+        }
+    }
+    order
+        .chunks(group_size)
+        .map(|c| c.to_vec())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::Building;
+
+    fn setup() -> (Building, Vec<Position>) {
+        let b = Building::default();
+        let sensors = b.place_sensors(36, 1);
+        (b, sensors)
+    }
+
+    #[test]
+    fn every_sensor_in_exactly_one_group() {
+        let (b, sensors) = setup();
+        for strat in Strategy::ALL {
+            let groups = make_groups(&b, &sensors, strat, 5, 2);
+            let mut seen = vec![false; sensors.len()];
+            for g in &groups {
+                assert!(g.len() <= 5);
+                for &i in g {
+                    assert!(!seen[i], "{strat:?}: sensor {i} duplicated");
+                    seen[i] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "{strat:?}: sensor missing");
+        }
+    }
+
+    #[test]
+    fn by_floor_groups_share_floor() {
+        let (b, sensors) = setup();
+        // 36 sensors, 4 floors → 9 per floor; group size 9 aligns exactly.
+        let groups = make_groups(&b, &sensors, Strategy::ByFloor, 9, 0);
+        for g in &groups {
+            let f0 = sensors[g[0]].floor;
+            assert!(g.iter().all(|&i| sensors[i].floor == f0));
+        }
+    }
+
+    #[test]
+    fn by_center_distance_is_sorted() {
+        let (b, sensors) = setup();
+        let groups = make_groups(&b, &sensors, Strategy::ByCenterDistance, 6, 0);
+        let flat: Vec<usize> = groups.iter().flatten().copied().collect();
+        for w in flat.windows(2) {
+            assert!(
+                b.center_distance(sensors[w[0]]) <= b.center_distance(sensors[w[1]]) + 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn random_reproducible_and_seed_sensitive() {
+        let (b, sensors) = setup();
+        let g1 = make_groups(&b, &sensors, Strategy::Random, 5, 7);
+        let g2 = make_groups(&b, &sensors, Strategy::Random, 5, 7);
+        assert_eq!(g1, g2);
+        let g3 = make_groups(&b, &sensors, Strategy::Random, 5, 8);
+        assert_ne!(g1, g3);
+    }
+}

@@ -1,0 +1,25 @@
+//! # choir-sensors — correlated sensor data for range-extension teams
+//!
+//! The substrate behind the paper's Sec. 7 / Figs. 10–11 experiments:
+//!
+//! * [`field`] — a synthetic spatially correlated temperature/humidity
+//!   field over a 4-floor building (substituting for the paper's BME280
+//!   deployment; the façade-gradient correlation structure is what the
+//!   grouping comparison measures);
+//! * [`grouping`] — random / by-floor / by-centre-distance team formation
+//!   (Fig. 11(a));
+//! * [`splice`] — MSB-first chunk splicing so that coding cannot destroy
+//!   the overlap between co-located sensors' packets (Sec. 7.2);
+//! * [`recover`] — coarse-view reconstruction and the normalised
+//!   resolution-error metric (Fig. 10).
+
+#![warn(missing_docs)]
+
+pub mod field;
+pub mod grouping;
+pub mod recover;
+pub mod splice;
+
+pub use field::{Building, EnvField, Position};
+pub use grouping::{make_groups, Strategy};
+pub use recover::{mean_group_error, recover_group, GroupRecovery, Quantizer};

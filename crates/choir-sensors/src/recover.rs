@@ -1,0 +1,188 @@
+//! Coarse-view reconstruction and resolution metrics — Figs. 10, 11(a).
+//!
+//! A team's transmission delivers the MSB chunks its members agree on
+//! (those chunks' signals are identical and combine in power; disagreeing
+//! chunks don't). The base station reconstructs each member's reading from
+//! the recovered common prefix; the per-sensor error against ground truth
+//! is the "resolution" the paper plots.
+
+use crate::splice::{common_chunks, dequantize, quantize, reassemble, splice};
+
+/// Quantisation geometry for one physical quantity.
+#[derive(Clone, Copy, Debug)]
+pub struct Quantizer {
+    /// Lower bound of the representable range.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Total bits.
+    pub bits: u32,
+    /// Bits per spliced chunk.
+    pub chunk_bits: u32,
+}
+
+impl Quantizer {
+    /// Temperature default: [−10, 40] °C, 12 bits, 2-bit chunks.
+    /// Narrow chunks degrade gracefully: each recovered chunk quarters the
+    /// uncertainty, and the first chunk's cells are wide enough that
+    /// co-located sensors rarely straddle a boundary.
+    pub fn temperature() -> Self {
+        Quantizer {
+            lo: -10.0,
+            hi: 40.0,
+            bits: 12,
+            chunk_bits: 2,
+        }
+    }
+
+    /// Humidity default: [0, 100] %, 12 bits, 2-bit chunks.
+    pub fn humidity() -> Self {
+        Quantizer {
+            lo: 0.0,
+            hi: 100.0,
+            bits: 12,
+            chunk_bits: 2,
+        }
+    }
+
+    /// Number of chunks per reading.
+    pub fn num_chunks(&self) -> usize {
+        self.bits.div_ceil(self.chunk_bits) as usize
+    }
+}
+
+/// Result of recovering one group's readings.
+#[derive(Clone, Debug)]
+pub struct GroupRecovery {
+    /// Chunks recovered (common prefix length, possibly further limited by
+    /// the channel).
+    pub chunks_recovered: usize,
+    /// Reconstructed physical value (identical for all members — the
+    /// coarse view).
+    pub reconstructed: f64,
+    /// Mean absolute error across members, normalised by the quantiser
+    /// range — the "normalized error / user" of Fig. 10.
+    pub mean_normalized_error: f64,
+}
+
+/// Simulates recovery of a group's common data: the members' readings are
+/// quantised and spliced; the recoverable chunks are the common prefix,
+/// further capped by `channel_chunk_limit` (how many chunk packets the
+/// link budget delivered — `usize::MAX` when the channel is not the
+/// bottleneck).
+pub fn recover_group(
+    readings: &[f64],
+    q: &Quantizer,
+    channel_chunk_limit: usize,
+) -> GroupRecovery {
+    assert!(!readings.is_empty(), "recover_group: empty group");
+    let codes: Vec<u32> = readings
+        .iter()
+        .map(|&r| quantize(r, q.lo, q.hi, q.bits))
+        .collect();
+    let agree = common_chunks(&codes, q.bits, q.chunk_bits);
+    let recovered = agree.min(channel_chunk_limit);
+    // The recovered prefix is shared by every member; take member 0's.
+    let chunks_full = splice(codes[0], q.bits, q.chunk_bits);
+    let chunks: Vec<Option<u8>> = (0..chunks_full.len())
+        .map(|i| if i < recovered { Some(chunks_full[i]) } else { None })
+        .collect();
+    let code = reassemble(&chunks, q.bits, q.chunk_bits);
+    let reconstructed = dequantize(code, q.lo, q.hi, q.bits);
+    let range = q.hi - q.lo;
+    let mean_normalized_error = readings
+        .iter()
+        .map(|&r| (r - reconstructed).abs() / range)
+        .sum::<f64>()
+        / readings.len() as f64;
+    GroupRecovery {
+        chunks_recovered: recovered,
+        reconstructed,
+        mean_normalized_error,
+    }
+}
+
+/// Mean normalised error over many groups (the Fig. 11(a) bar height for
+/// one strategy).
+pub fn mean_group_error(
+    groups: &[Vec<f64>],
+    q: &Quantizer,
+    channel_chunk_limit: usize,
+) -> f64 {
+    assert!(!groups.is_empty());
+    groups
+        .iter()
+        .map(|g| recover_group(g, q, channel_chunk_limit).mean_normalized_error)
+        .sum::<f64>()
+        / groups.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_readings_full_resolution() {
+        let q = Quantizer::temperature();
+        let r = recover_group(&[21.5, 21.5, 21.5], &q, usize::MAX);
+        assert_eq!(r.chunks_recovered, q.num_chunks());
+        assert!((r.reconstructed - 21.5).abs() < 0.02);
+        assert!(r.mean_normalized_error < 0.001);
+    }
+
+    #[test]
+    fn tight_group_low_error() {
+        let q = Quantizer::temperature();
+        let r = recover_group(&[21.4, 21.5, 21.6], &q, usize::MAX);
+        assert!(r.mean_normalized_error < 0.05, "err {}", r.mean_normalized_error);
+    }
+
+    #[test]
+    fn loose_group_higher_error() {
+        let q = Quantizer::temperature();
+        let tight = recover_group(&[21.4, 21.5, 21.6], &q, usize::MAX);
+        let loose = recover_group(&[12.0, 21.5, 31.0], &q, usize::MAX);
+        assert!(loose.mean_normalized_error > tight.mean_normalized_error);
+    }
+
+    #[test]
+    fn channel_limit_caps_resolution() {
+        let q = Quantizer::temperature();
+        let full = recover_group(&[21.5, 21.5], &q, usize::MAX);
+        let capped = recover_group(&[21.5, 21.5], &q, 1);
+        assert_eq!(capped.chunks_recovered, 1);
+        assert!(capped.mean_normalized_error > full.mean_normalized_error);
+        // One 2-bit chunk over the range: worst error ≈ range/4/2.
+        assert!(capped.mean_normalized_error < (1.0 / 8.0) + 0.01);
+    }
+
+    #[test]
+    fn error_bounded_by_recovered_chunks() {
+        // Instance error is not strictly monotone (a lucky midpoint fill
+        // can beat a longer prefix), but the worst-case bound halves with
+        // every recovered chunk — assert that bound.
+        let q = Quantizer::temperature();
+        for limit in 0..=6u32 {
+            let r = recover_group(&[23.7, 23.7], &q, limit as usize);
+            let bound = 0.5 / (1u64 << (limit * q.chunk_bits)) as f64 + 1e-6;
+            assert!(
+                r.mean_normalized_error <= bound,
+                "limit {limit}: {} > {bound}",
+                r.mean_normalized_error
+            );
+        }
+        // Full recovery is quantisation-limited.
+        let full = recover_group(&[23.7, 23.7], &q, usize::MAX);
+        assert!(full.mean_normalized_error < 1.0 / (1 << q.bits) as f64 + 1e-9);
+    }
+
+    #[test]
+    fn mean_group_error_averages() {
+        let q = Quantizer::temperature();
+        let groups = vec![vec![20.0, 20.0], vec![10.0, 30.0]];
+        let m = mean_group_error(&groups, &q, usize::MAX);
+        let a = recover_group(&groups[0], &q, usize::MAX).mean_normalized_error;
+        let b = recover_group(&groups[1], &q, usize::MAX).mean_normalized_error;
+        assert!((m - (a + b) / 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,188 @@
+//! MSB-first data splicing — Sec. 7.2, "Dealing with Collisions" point (2).
+//!
+//! Interleaving and coding would scramble two readings that differ in one
+//! low-order bit into packets with few coded bits in common, destroying
+//! the power-combining gain. Choir's fix: splice the sensed value into
+//! small chunks of *consecutive* bits, most significant first, and send
+//! each chunk as its own (tiny) packet. Co-located sensors then transmit
+//! *identical* MSB chunk packets, which combine; low-order chunks differ
+//! and are sacrificed at range.
+
+/// Fixed-point quantisation of a physical reading into `bits` bits over
+/// `[lo, hi]` (clamped).
+pub fn quantize(value: f64, lo: f64, hi: f64, bits: u32) -> u32 {
+    assert!(hi > lo, "quantize: empty range");
+    assert!(bits >= 1 && bits <= 31, "quantize: bits out of range");
+    let levels = (1u64 << bits) as f64;
+    let t = ((value - lo) / (hi - lo)).clamp(0.0, 1.0);
+    ((t * (levels - 1.0)).round() as u32).min((1u32 << bits) - 1)
+}
+
+/// Inverse of [`quantize`] (cell midpoint reconstruction).
+pub fn dequantize(code: u32, lo: f64, hi: f64, bits: u32) -> f64 {
+    let levels = (1u64 << bits) as f64;
+    lo + (code as f64 / (levels - 1.0)) * (hi - lo)
+}
+
+/// Splits a `bits`-wide code into MSB-first chunks of `chunk_bits` each
+/// (the final chunk may be narrower).
+pub fn splice(code: u32, bits: u32, chunk_bits: u32) -> Vec<u8> {
+    assert!(chunk_bits >= 1 && chunk_bits <= 8, "splice: chunk width");
+    assert!(bits >= 1 && bits <= 31);
+    let mut out = Vec::new();
+    let mut remaining = bits;
+    while remaining > 0 {
+        let w = remaining.min(chunk_bits);
+        let shift = remaining - w;
+        out.push(((code >> shift) & ((1u32 << w) - 1)) as u8);
+        remaining -= w;
+    }
+    out
+}
+
+/// Reassembles a code from MSB-first chunks; missing (un-decoded) trailing
+/// chunks are filled with the midpoint of their range, which minimises the
+/// worst-case reconstruction error.
+pub fn reassemble(chunks: &[Option<u8>], bits: u32, chunk_bits: u32) -> u32 {
+    let mut code: u32 = 0;
+    let mut remaining = bits;
+    let mut idx = 0usize;
+    let mut rest_filled = false;
+    while remaining > 0 {
+        let w = remaining.min(chunk_bits);
+        let shift = remaining - w;
+        let chunk = chunks.get(idx).copied().flatten();
+        match chunk {
+            Some(c) if !rest_filled => {
+                code |= ((c as u32) & ((1u32 << w) - 1)) << shift;
+            }
+            _ => {
+                // First missing chunk: fill the entire remaining tail with
+                // its midpoint, then ignore later chunks (they cannot be
+                // trusted without the ones above them).
+                if !rest_filled && remaining >= 1 {
+                    code |= 1u32 << (remaining - 1); // midpoint of the tail
+                    rest_filled = true;
+                }
+            }
+        }
+        idx += 1;
+        remaining -= w;
+    }
+    code
+}
+
+/// Number of leading MSB chunks on which *all* codes agree — the chunks a
+/// co-located team transmits identically (and which therefore combine in
+/// power at the base station).
+pub fn common_chunks(codes: &[u32], bits: u32, chunk_bits: u32) -> usize {
+    assert!(!codes.is_empty(), "common_chunks: no codes");
+    let spliced: Vec<Vec<u8>> = codes.iter().map(|&c| splice(c, bits, chunk_bits)).collect();
+    let nchunks = spliced[0].len();
+    for k in 0..nchunks {
+        let first = spliced[0][k];
+        if spliced.iter().any(|s| s[k] != first) {
+            return k;
+        }
+    }
+    nchunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_roundtrip_error_bounded() {
+        let (lo, hi, bits) = (0.0, 40.0, 12);
+        for i in 0..100 {
+            let v = i as f64 * 0.4;
+            let q = quantize(v, lo, hi, bits);
+            let r = dequantize(q, lo, hi, bits);
+            assert!((v - r).abs() <= (hi - lo) / (1 << bits) as f64, "v={v} r={r}");
+        }
+    }
+
+    #[test]
+    fn quantize_clamps() {
+        assert_eq!(quantize(-5.0, 0.0, 10.0, 8), 0);
+        assert_eq!(quantize(99.0, 0.0, 10.0, 8), 255);
+    }
+
+    #[test]
+    fn splice_msb_first() {
+        // 12-bit code 0xABC in 4-bit chunks → [0xA, 0xB, 0xC].
+        assert_eq!(splice(0xABC, 12, 4), vec![0xA, 0xB, 0xC]);
+        // Uneven tail: 10 bits in 4-bit chunks → widths 4,4,2.
+        assert_eq!(splice(0b10_1101_0111, 10, 4), vec![0b1011, 0b0101, 0b11]);
+    }
+
+    #[test]
+    fn reassemble_full() {
+        let chunks = vec![Some(0xA), Some(0xB), Some(0xC)];
+        assert_eq!(reassemble(&chunks, 12, 4), 0xABC);
+    }
+
+    #[test]
+    fn reassemble_partial_fills_midpoint() {
+        // Only the first chunk decoded: tail (8 bits) filled with midpoint
+        // 0x80.
+        let chunks = vec![Some(0xA), None, None];
+        assert_eq!(reassemble(&chunks, 12, 4), 0xA80);
+        // Later chunk present but an earlier one missing: ignored.
+        let chunks2 = vec![Some(0xA), None, Some(0xC)];
+        assert_eq!(reassemble(&chunks2, 12, 4), 0xA80);
+        // Nothing decoded: global midpoint.
+        assert_eq!(reassemble(&[None, None, None], 12, 4), 0x800);
+    }
+
+    #[test]
+    fn reconstruction_error_halves_per_recovered_chunk() {
+        let (lo, hi, bits, cb) = (0.0, 40.0, 12u32, 4u32);
+        let v = 23.71;
+        let q = quantize(v, lo, hi, bits);
+        let full = splice(q, bits, cb);
+        let mut worst_prev = f64::INFINITY;
+        for k in 0..=full.len() {
+            let chunks: Vec<Option<u8>> = (0..full.len())
+                .map(|i| if i < k { Some(full[i]) } else { None })
+                .collect();
+            let rec = dequantize(reassemble(&chunks, bits, cb), lo, hi, bits);
+            let worst = (hi - lo) / (1 << (k as u32 * cb)) as f64;
+            assert!(
+                (v - rec).abs() <= worst + 0.01,
+                "k={k}: err {} bound {worst}",
+                (v - rec).abs()
+            );
+            assert!(worst < worst_prev);
+            worst_prev = worst;
+        }
+    }
+
+    #[test]
+    fn common_chunks_detects_agreement_depth() {
+        // 20.0 °C vs 20.05 °C on [0,40]/12 bits: codes 0x800 and 0x805 —
+        // two common nibbles. (Readings straddling a coarse quantisation
+        // boundary can share no chunks at all; that cliff is inherent to
+        // prefix splicing and the paper's scheme alike.)
+        let (lo, hi, bits, cb) = (0.0, 40.0, 12, 4);
+        let a = quantize(20.0, lo, hi, bits);
+        let b = quantize(20.05, lo, hi, bits);
+        let k = common_chunks(&[a, b], bits, cb);
+        assert_eq!(k, 2, "k = {k}");
+        // Identical values share everything.
+        assert_eq!(common_chunks(&[a, a, a], bits, cb), 3);
+        // Wildly different values share nothing.
+        let c = quantize(39.0, lo, hi, bits);
+        assert_eq!(common_chunks(&[a, c], bits, cb), 0);
+    }
+
+    #[test]
+    fn closer_readings_share_more_chunks() {
+        let (lo, hi, bits, cb) = (0.0, 40.0, 12, 2);
+        let base = quantize(20.0, lo, hi, bits);
+        let near = quantize(20.05, lo, hi, bits);
+        let far = quantize(24.0, lo, hi, bits);
+        assert!(common_chunks(&[base, near], bits, cb) >= common_chunks(&[base, far], bits, cb));
+    }
+}

@@ -1,0 +1,54 @@
+//! CLI: regenerate the paper's figures.
+//!
+//! ```text
+//! cargo run --release -p choir-testbed --bin figures -- all
+//! cargo run --release -p choir-testbed --bin figures -- fig08d --full
+//! cargo run --release -p choir-testbed --bin figures -- fig10 --json
+//! ```
+
+use choir_testbed::experiments::{self, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    let reports = match which.as_str() {
+        "all" => {
+            let mut v = experiments::run_all(scale);
+            v.extend(choir_testbed::ablations::run_all(scale));
+            v
+        }
+        "fig03" => vec![experiments::fig03::run(scale)],
+        "fig04" => vec![experiments::fig04::run(scale)],
+        "fig07" => vec![experiments::fig07::run(scale)],
+        "fig08abc" => vec![experiments::fig08::run_snr(scale)],
+        "fig08def" | "fig08d" => vec![experiments::fig08::run_users(scale)],
+        "fig09a" => vec![experiments::fig09::run_throughput(scale)],
+        "fig09b" => vec![experiments::fig09::run_range(scale)],
+        "fig10" => vec![experiments::fig10::run(scale)],
+        "fig11a" => vec![experiments::fig11::run_grouping(scale)],
+        "fig11b" => vec![experiments::fig11::run_end_to_end(scale)],
+        "fig12" => vec![experiments::fig12::run(scale)],
+        "ablations" => choir_testbed::ablations::run_all(scale),
+        other => {
+            eprintln!("unknown figure id: {other}");
+            std::process::exit(2);
+        }
+    };
+    if args.iter().any(|a| a == "--json") {
+        let items: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+        println!("[{}]", items.join(","));
+    } else {
+        for r in reports {
+            println!("{r}");
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Fig. 3 — decoding collisions: the spectrogram/FFT view of two collided
+//! chirps. Reproduces the paper's running example: two transmitters whose
+//! aggregate offsets sit ~50.4 bins apart produce two Fourier peaks
+//! (bins "207" and "257" in the paper), and zero-padding exposes the sinc
+//! side-lobes that carry the fractional offset.
+
+use crate::report::{FigureReport, Series};
+use choir_channel::impairments::HardwareProfile;
+use choir_channel::scenario::ScenarioBuilder;
+use choir_core::estimator::{EstimatorConfig, OffsetEstimator};
+use lora_phy::params::PhyParams;
+
+use super::Scale;
+
+/// Runs the two-collided-chirps demonstration.
+pub fn run(_scale: Scale) -> FigureReport {
+    let params = PhyParams::default(); // SF8: 256 bins
+    let n = params.samples_per_symbol();
+    let bin = params.bin_hz();
+    // Offsets chosen to land the peaks near the paper's bins 207 / 257 —
+    // here 207.0 and 257.4 of a 10×-padded 256-bin alphabet → aggregate
+    // offsets 207.0/10 and 257.4/10 bins... we instead use the unpadded
+    // convention: peaks at 207/10=20.7 and 25.74 bins apart from zero.
+    let mk = |bins: f64, toff: f64| HardwareProfile {
+        cfo_hz: bins * bin,
+        timing_offset_symbols: toff,
+        phase: 0.3,
+        cfo_jitter_hz: 0.0,
+        timing_jitter_symbols: 0.0,
+    };
+    let s = ScenarioBuilder::new(params)
+        .snrs_db(&[22.0, 20.0])
+        .shared_payload(vec![0x11, 0x22, 0x33])
+        .profiles(vec![mk(20.70, 0.0), mk(25.74, 0.0)])
+        .no_noise()
+        .seed(3)
+        .build();
+    let est = OffsetEstimator::new(n, EstimatorConfig::default());
+    let win = &s.samples[s.slot_start + n..s.slot_start + 2 * n];
+
+    let mut report = FigureReport::new(
+        "fig03",
+        "Two collided chirps: FFT peaks and zero-padded sinc structure",
+    );
+
+    // Unpadded 2^n-point transform: two coarse peaks.
+    let de = est.dechirp(win);
+    let spec = choir_dsp::fft::fft(&de);
+    let mut coarse: Vec<(usize, f64)> = spec.iter().enumerate().map(|(i, z)| (i, z.abs())).collect();
+    coarse.sort_by(|a, b| b.1.total_cmp(&a.1));
+    report.push_series(Series::from_labels(
+        "coarse peaks (bin)",
+        &[
+            ("first", coarse[0].0 as f64),
+            ("second", coarse[1].0 as f64),
+        ],
+    ));
+
+    // 10×-padded: refined fractional positions via the full estimator.
+    let comps = est.estimate(win);
+    let mut pos: Vec<f64> = comps.iter().map(|c| c.freq_bins).collect();
+    pos.sort_by(f64::total_cmp);
+    report.push_series(Series::from_labels(
+        "refined position (bins)",
+        &[("first", pos[0]), ("second", pos[1])],
+    ));
+    report.push_series(Series::from_labels(
+        "separation (bins)",
+        &[("refined", pos[1] - pos[0])],
+    ));
+    report.note(format!(
+        "truth separation 5.04 bins; measured {:.4}",
+        pos[1] - pos[0]
+    ));
+    report.note("paper: peaks at integer bins 207/257; fractional part (\"50.4\") only visible after zero-padding + leakage modelling");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separation_recovered_to_centibins() {
+        let r = run(Scale::Quick);
+        let sep = r.value("separation (bins)", "refined").unwrap();
+        assert!((sep - 5.04).abs() < 0.02, "sep {sep}");
+        // Coarse peaks are 5 bins apart (integer truncation).
+        let a = r.value("coarse peaks (bin)", "first").unwrap();
+        let b = r.value("coarse peaks (bin)", "second").unwrap();
+        assert_eq!((a - b).abs(), 5.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Fig. 8 — disentangling collisions: throughput, latency and
+//! transmissions-per-packet for ALOHA, the oracle TDMA scheduler and
+//! Choir, (a–c) across SNR regimes for two users and (d–f) across 2–10
+//! concurrent users.
+//!
+//! Methodology (DESIGN.md §4): Choir's per-slot decode probabilities are
+//! *calibrated from the real IQ-level decoder* ([`calibrate`]) and fed to
+//! the long MAC simulations; the baselines use the collision-fatal LoRaWAN
+//! PHY. Absolute bit rates depend on the workload (documented in
+//! EXPERIMENTS.md); the paper-comparable quantities are the ratios.
+
+use crate::report::{FigureReport, Series};
+use choir_mac::{
+    calibrate_choir_phy, run_sim, CollisionFatalPhy, IdealPhy, MacScheme, SimConfig,
+    TabulatedChoirPhy,
+};
+use lora_phy::params::{PhyParams, SpreadingFactor};
+
+use super::Scale;
+
+/// SNR regimes of Fig. 8(a–c), with the spreading factor the paper's rate
+/// adaptation would pick for each.
+pub const REGIMES: [(&str, (f64, f64), SpreadingFactor); 3] = [
+    ("Low", (0.0, 5.0), SpreadingFactor::Sf10),
+    ("Medium", (5.0, 20.0), SpreadingFactor::Sf8),
+    ("High", (20.0, 30.0), SpreadingFactor::Sf7),
+];
+
+/// Workload shared by every Fig. 8 run.
+pub fn sim_config(params: PhyParams, num_nodes: usize, slots: usize, snr: (f64, f64)) -> SimConfig {
+    SimConfig {
+        params,
+        payload_len: 8,
+        num_nodes,
+        slots,
+        snr_range_db: snr,
+        beacon_overhead_s: 0.01,
+        max_backoff_exp: 6,
+        traffic: choir_mac::Traffic::Saturated,
+        seed: 8,
+    }
+}
+
+/// Calibrates Choir's per-user decode probability for each user count in
+/// `1..=max_users` by running the real decoder on synthesised collisions.
+pub fn calibrate(
+    params: PhyParams,
+    max_users: usize,
+    trials: usize,
+    snr: (f64, f64),
+) -> Vec<f64> {
+    calibrate_choir_phy(params, 8, max_users, trials, snr, 88)
+}
+
+/// Fig. 8(a–c) given per-regime calibration tables (`tables[i]` matches
+/// `REGIMES[i]`).
+pub fn run_snr_with_tables(tables: &[Vec<f64>], scale: Scale) -> FigureReport {
+    assert_eq!(tables.len(), REGIMES.len());
+    let slots = scale.trials(150, 500);
+    let mut tput = Vec::new();
+    let mut lat = Vec::new();
+    let mut txs = Vec::new();
+    for ((label, snr, sf), table) in REGIMES.iter().zip(tables) {
+        let params = PhyParams {
+            sf: *sf,
+            ..PhyParams::default()
+        };
+        let cfg = sim_config(params, 2, slots, *snr);
+        let mut fatal = CollisionFatalPhy { params };
+        let aloha = run_sim(MacScheme::Aloha, &cfg, &mut fatal);
+        let mut fatal2 = CollisionFatalPhy { params };
+        let oracle = run_sim(MacScheme::Oracle, &cfg, &mut fatal2);
+        let mut choir_phy = TabulatedChoirPhy::new(table.clone(), 5);
+        let choir = run_sim(MacScheme::Choir, &cfg, &mut choir_phy);
+        tput.push((*label, aloha.throughput_bps, oracle.throughput_bps, choir.throughput_bps));
+        lat.push((*label, aloha.avg_latency_s, oracle.avg_latency_s, choir.avg_latency_s));
+        txs.push((*label, aloha.tx_per_packet, oracle.tx_per_packet, choir.tx_per_packet));
+    }
+    let mut report = FigureReport::new(
+        "fig08abc",
+        "Two users across SNR regimes: throughput / latency / transmissions",
+    );
+    for (metric, rows) in [("thrpt bps", &tput), ("latency s", &lat), ("tx/pkt", &txs)] {
+        for (idx, scheme) in ["ALOHA", "Oracle", "Choir"].iter().enumerate() {
+            let pts: Vec<(&str, f64)> = rows
+                .iter()
+                .map(|r| (r.0, [r.1, r.2, r.3][idx]))
+                .collect();
+            report.push_series(Series::from_labels(&format!("{metric} {scheme}"), &pts));
+        }
+    }
+    report.note("paper (2 users): Choir ≈2.58×/2.11× ALOHA/Oracle throughput; latency ÷3.9/÷1.5; tx ÷3.05");
+    report
+}
+
+/// Fig. 8(a–c) end to end (calibrates per regime — slow; used by the bench
+/// harness and the figures binary).
+pub fn run_snr(scale: Scale) -> FigureReport {
+    let trials = scale.trials(2, 6);
+    let tables: Vec<Vec<f64>> = REGIMES
+        .iter()
+        .map(|(_, snr, sf)| {
+            let params = PhyParams {
+                sf: *sf,
+                ..PhyParams::default()
+            };
+            calibrate(params, 2, trials, *snr)
+        })
+        .collect();
+    run_snr_with_tables(&tables, scale)
+}
+
+/// Fig. 8(d–f) given a calibration table for the medium regime.
+pub fn run_users_with_table(table: &[f64], scale: Scale) -> FigureReport {
+    let params = PhyParams::default(); // SF8
+    let slots = scale.trials(150, 500);
+    let snr = (8.0, 22.0);
+    let user_counts: Vec<usize> = (2..=10).collect();
+    let mut series: Vec<(&str, Vec<(f64, f64)>, fn(&choir_mac::RunMetrics) -> f64)> = vec![];
+    let metrics: [(&str, fn(&choir_mac::RunMetrics) -> f64); 3] = [
+        ("thrpt bps", |m| m.throughput_bps),
+        ("latency s", |m| m.avg_latency_s),
+        ("tx/pkt", |m| m.tx_per_packet),
+    ];
+    let _ = &mut series;
+    let mut report = FigureReport::new(
+        "fig08def",
+        "2–10 concurrent users: throughput / latency / transmissions",
+    );
+    for (mname, get) in metrics {
+        let mut rows: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 4]; // aloha, oracle, choir, ideal
+        for &k in &user_counts {
+            let cfg = sim_config(params, k, slots, snr);
+            let mut fatal = CollisionFatalPhy { params };
+            rows[0].push((k as f64, get(&run_sim(MacScheme::Aloha, &cfg, &mut fatal))));
+            let mut fatal2 = CollisionFatalPhy { params };
+            rows[1].push((k as f64, get(&run_sim(MacScheme::Oracle, &cfg, &mut fatal2))));
+            let mut choir_phy = TabulatedChoirPhy::new(table.to_vec(), 5);
+            rows[2].push((k as f64, get(&run_sim(MacScheme::Choir, &cfg, &mut choir_phy))));
+            rows[3].push((k as f64, get(&run_sim(MacScheme::Choir, &cfg, &mut IdealPhy))));
+        }
+        for (r, scheme) in rows.into_iter().zip(["ALOHA", "Oracle", "Choir", "Ideal"]) {
+            if mname != "thrpt bps" && scheme == "Ideal" {
+                continue; // the paper plots the Ideal line only for throughput
+            }
+            report.push_series(Series::from_xy(&format!("{mname} {scheme}"), &r));
+        }
+    }
+    report.note("paper (10 users): Choir ≈29×/6.84× ALOHA/Oracle throughput; latency ÷19.4/÷4.88; tx ÷4.54");
+    report.note("our decoder's density knee sits near 6–8 users (EXPERIMENTS.md discusses the offset-collision statistics)");
+    report
+}
+
+/// Fig. 8(d–f) end to end (IQ calibration for k=1..10 — slow).
+pub fn run_users(scale: Scale) -> FigureReport {
+    let trials = scale.trials(2, 6);
+    let table = calibrate(PhyParams::default(), 10, trials, (8.0, 22.0));
+    let mut r = run_users_with_table(&table, scale);
+    r.note(format!("IQ-calibrated p(k): {table:?}"));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A plausible calibration shape (validated against the IQ decoder in
+    /// `timings`-style runs): perfect to ~5 users, degrading beyond.
+    fn synthetic_table() -> Vec<f64> {
+        vec![1.0, 1.0, 0.97, 0.95, 0.9, 0.62, 0.6, 0.55, 0.35, 0.2]
+    }
+
+    #[test]
+    fn users_sweep_shapes() {
+        let r = run_users_with_table(&synthetic_table(), Scale::Quick);
+        // Choir throughput beats Oracle everywhere and grows with density
+        // up to the knee.
+        let c2 = r.value("thrpt bps Choir", "2").unwrap();
+        let c8 = r.value("thrpt bps Choir", "8").unwrap();
+        let o8 = r.value("thrpt bps Oracle", "8").unwrap();
+        let a8 = r.value("thrpt bps ALOHA", "8").unwrap();
+        assert!(c8 > c2, "density should increase Choir throughput");
+        assert!(c8 > 3.0 * o8, "Choir {c8} vs Oracle {o8}");
+        // Our ALOHA baseline is slotted (stronger than the paper's
+        // unsynchronised ALOHA), so gains over it are conservative.
+        assert!(c8 > 5.0 * a8, "Choir {c8} vs ALOHA {a8}");
+        // Ideal upper-bounds Choir.
+        let i8 = r.value("thrpt bps Ideal", "8").unwrap();
+        assert!(i8 >= c8);
+        // Latency: Choir below Oracle (no round-robin wait).
+        let lo = r.value("latency s Oracle", "8").unwrap();
+        let lc = r.value("latency s Choir", "8").unwrap();
+        assert!(lc < lo);
+        // Retransmissions: ALOHA ≫ Choir.
+        let ta = r.value("tx/pkt ALOHA", "8").unwrap();
+        let tc = r.value("tx/pkt Choir", "8").unwrap();
+        // Slotted ALOHA with backoff retransmits moderately (the paper's
+        // unslotted baseline wastes 4.5×); the ordering is what matters.
+        assert!(ta > 1.2 * tc, "aloha {ta} choir {tc}");
+    }
+
+    #[test]
+    fn snr_regimes_shapes() {
+        // Tables: 2-user decode probability per regime (near-perfect, as
+        // measured for 2-user collisions at all regimes).
+        let tables = vec![vec![1.0, 0.95], vec![1.0, 0.98], vec![1.0, 0.99]];
+        let r = run_snr_with_tables(&tables, Scale::Quick);
+        for regime in ["Low", "Medium", "High"] {
+            let c = r.value("thrpt bps Choir", regime).unwrap();
+            let o = r.value("thrpt bps Oracle", regime).unwrap();
+            let a = r.value("thrpt bps ALOHA", regime).unwrap();
+            assert!(c > 1.5 * o, "{regime}: choir {c} oracle {o}");
+            assert!(c > 1.7 * a, "{regime}: choir {c} aloha {a}");
+        }
+        // Rate adaptation: higher regime ⇒ faster SF ⇒ more throughput.
+        let low = r.value("thrpt bps Choir", "Low").unwrap();
+        let high = r.value("thrpt bps Choir", "High").unwrap();
+        assert!(high > 2.0 * low, "high {high} low {low}");
+    }
+}

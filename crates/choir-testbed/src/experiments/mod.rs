@@ -1,0 +1,49 @@
+//! One module per paper figure. Every experiment exposes
+//! `run(scale) -> FigureReport` printing the same rows/series the paper
+//! plots; `Scale::Quick` keeps CI runtimes sane, `Scale::Full` is the
+//! bench-harness setting.
+
+pub mod fig03;
+pub mod fig04;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+
+/// Experiment effort.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Few trials — smoke-test sized.
+    Quick,
+    /// Paper-comparable trial counts.
+    Full,
+}
+
+impl Scale {
+    /// Scales a trial count.
+    pub fn trials(self, quick: usize, full: usize) -> usize {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// Runs every figure at the given scale, in paper order.
+pub fn run_all(scale: Scale) -> Vec<crate::report::FigureReport> {
+    vec![
+        fig03::run(scale),
+        fig04::run(scale),
+        fig07::run(scale),
+        fig08::run_snr(scale),
+        fig08::run_users(scale),
+        fig09::run_throughput(scale),
+        fig09::run_range(scale),
+        fig10::run(scale),
+        fig11::run_grouping(scale),
+        fig11::run_end_to_end(scale),
+        fig12::run(scale),
+    ]
+}

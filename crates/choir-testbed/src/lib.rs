@@ -1,0 +1,18 @@
+//! # choir-testbed — the experiment harness
+//!
+//! Reproduces every table and figure of the Choir paper's evaluation
+//! (Sec. 9) on the simulated urban testbed: one module per figure under
+//! [`experiments`], each returning a [`report::FigureReport`] with the
+//! same rows/series the paper plots. The `figures` binary runs them from
+//! the command line; `choir-bench` wraps them in Criterion benches.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod experiments;
+pub mod report;
+pub mod topology;
+
+pub use experiments::{run_all, Scale};
+pub use report::{FigureReport, Series};
+pub use topology::{Location, Topology};

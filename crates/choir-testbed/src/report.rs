@@ -1,0 +1,228 @@
+//! Figure/table reporting: every experiment produces a [`FigureReport`]
+//! whose rows/series mirror what the paper plots, printed as aligned text.
+
+use std::fmt;
+
+/// One plotted series (a line or bar group in the paper's figure).
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label (e.g. "ALOHA", "Oracle", "Choir").
+    pub label: String,
+    /// `(x label, y value)` points.
+    pub points: Vec<(String, f64)>,
+}
+
+impl Series {
+    /// Builds a series from numeric x values.
+    pub fn from_xy(label: &str, pts: &[(f64, f64)]) -> Self {
+        Series {
+            label: label.to_string(),
+            points: pts
+                .iter()
+                .map(|(x, y)| (format!("{x}"), *y))
+                .collect(),
+        }
+    }
+
+    /// Builds a series from string-labelled categories.
+    pub fn from_labels(label: &str, pts: &[(&str, f64)]) -> Self {
+        Series {
+            label: label.to_string(),
+            points: pts.iter().map(|(x, y)| (x.to_string(), *y)).collect(),
+        }
+    }
+}
+
+/// A reproduced figure: id, title, series and free-form notes
+/// (paper-vs-measured commentary recorded into EXPERIMENTS.md).
+#[derive(Clone, Debug)]
+pub struct FigureReport {
+    /// Figure identifier, e.g. "fig08d".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// The plotted series.
+    pub series: Vec<Series>,
+    /// Notes (assumptions, paper values for comparison).
+    pub notes: Vec<String>,
+}
+
+impl FigureReport {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str) -> Self {
+        FigureReport {
+            id: id.to_string(),
+            title: title.to_string(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn push_series(&mut self, s: Series) {
+        self.series.push(s);
+    }
+
+    /// Adds a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Looks up a value by series label and x label.
+    pub fn value(&self, series: &str, x: &str) -> Option<f64> {
+        self.series
+            .iter()
+            .find(|s| s.label == series)?
+            .points
+            .iter()
+            .find(|(px, _)| px == x)
+            .map(|(_, y)| *y)
+    }
+}
+
+impl fmt::Display for FigureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} — {} ===", self.id, self.title)?;
+        if self.series.is_empty() {
+            writeln!(f, "(no data)")?;
+        } else {
+            // Union of x labels, in first-seen order.
+            let mut xs: Vec<String> = Vec::new();
+            for s in &self.series {
+                for (x, _) in &s.points {
+                    if !xs.contains(x) {
+                        xs.push(x.clone());
+                    }
+                }
+            }
+            let xw = xs.iter().map(|x| x.len()).max().unwrap_or(1).max(4);
+            write!(f, "{:>xw$}", "x")?;
+            for s in &self.series {
+                write!(f, "  {:>12}", truncate(&s.label, 12))?;
+            }
+            writeln!(f)?;
+            for x in &xs {
+                write!(f, "{x:>xw$}")?;
+                for s in &self.series {
+                    match s.points.iter().find(|(px, _)| px == x) {
+                        Some((_, y)) => write!(f, "  {y:>12.4}")?,
+                        None => write!(f, "  {:>12}", "-")?,
+                    }
+                }
+                writeln!(f)?;
+            }
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FigureReport {
+    /// Serialises the report as JSON (hand-rolled — no serde dependency):
+    /// `{"id", "title", "series": [{"label", "points": [[x, y], …]}],
+    /// "notes": […]}`. Values are emitted as numbers when the x label
+    /// parses as one, else as strings.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn num(y: f64) -> String {
+            if y.is_finite() {
+                format!("{y}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let series: Vec<String> = self
+            .series
+            .iter()
+            .map(|s| {
+                let pts: Vec<String> = s
+                    .points
+                    .iter()
+                    .map(|(x, y)| {
+                        let xs = match x.parse::<f64>() {
+                            Ok(v) => format!("{v}"),
+                            Err(_) => format!("\"{}\"", esc(x)),
+                        };
+                        format!("[{xs},{}]", num(*y))
+                    })
+                    .collect();
+                format!(
+                    "{{\"label\":\"{}\",\"points\":[{}]}}",
+                    esc(&s.label),
+                    pts.join(",")
+                )
+            })
+            .collect();
+        let notes: Vec<String> = self.notes.iter().map(|n| format!("\"{}\"", esc(n))).collect();
+        format!(
+            "{{\"id\":\"{}\",\"title\":\"{}\",\"series\":[{}],\"notes\":[{}]}}",
+            esc(&self.id),
+            esc(&self.title),
+            series.join(","),
+            notes.join(",")
+        )
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        s.chars().take(n).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrip_and_lookup() {
+        let mut r = FigureReport::new("fig00", "test");
+        r.push_series(Series::from_xy("a", &[(1.0, 10.0), (2.0, 20.0)]));
+        r.push_series(Series::from_labels("b", &[("1", 5.0)]));
+        r.note("hello");
+        assert_eq!(r.value("a", "2"), Some(20.0));
+        assert_eq!(r.value("b", "1"), Some(5.0));
+        assert_eq!(r.value("b", "2"), None);
+        assert_eq!(r.value("c", "1"), None);
+        let text = format!("{r}");
+        assert!(text.contains("fig00"));
+        assert!(text.contains("hello"));
+        assert!(text.contains("20.0"));
+        // Missing cell rendered as '-'.
+        assert!(text.contains('-'));
+    }
+
+    #[test]
+    fn json_export_well_formed() {
+        let mut r = FigureReport::new("figX", "quote \" test");
+        r.push_series(Series::from_xy("s1", &[(1.0, 2.5), (2.0, f64::INFINITY)]));
+        r.push_series(Series::from_labels("s2", &[("Low", 7.0)]));
+        r.note("a note");
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"id\":\"figX\""));
+        assert!(j.contains("[1,2.5]"));
+        assert!(j.contains("[2,null]"), "{j}");
+        assert!(j.contains("[\"Low\",7]"));
+        assert!(j.contains("\\\"")); // the escaped quote in the title
+        // Balanced braces/brackets as a cheap well-formedness check.
+        let opens = j.matches('{').count();
+        let closes = j.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+}

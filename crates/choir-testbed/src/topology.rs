@@ -1,0 +1,153 @@
+//! The 10 km² urban testbed: base stations on building roofs, client
+//! locations spread over a 3.4 km × 3.2 km neighbourhood (Fig. 6(b) of the
+//! paper), with per-location shadowing frozen for reproducibility.
+
+use choir_channel::fading::Shadowing;
+use choir_channel::link::LinkBudget;
+use lora_phy::params::PhyParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A client location in metres, relative to the map's south-west corner.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Location {
+    /// Easting (m).
+    pub x: f64,
+    /// Northing (m).
+    pub y: f64,
+}
+
+/// The urban deployment map.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// Map extent (m): the paper's testbed is 3.4 km × 3.2 km.
+    pub extent: (f64, f64),
+    /// Base-station position (roof of a central tall building).
+    pub base_station: Location,
+    /// Link budget (path loss, gains, noise).
+    pub link: LinkBudget,
+    /// Per-location log-normal shadowing.
+    pub shadowing: Shadowing,
+    seed: u64,
+}
+
+impl Topology {
+    /// The default campus-neighbourhood topology.
+    pub fn cmu_campus(seed: u64) -> Self {
+        Topology {
+            extent: (3400.0, 3200.0),
+            base_station: Location { x: 1700.0, y: 1600.0 },
+            link: LinkBudget::default(),
+            shadowing: Shadowing::default(),
+            seed,
+        }
+    }
+
+    /// Distance from a location to the base station (m).
+    pub fn distance(&self, loc: Location) -> f64 {
+        ((loc.x - self.base_station.x).powi(2) + (loc.y - self.base_station.y).powi(2)).sqrt()
+    }
+
+    /// Draws `count` uniform random client locations.
+    pub fn random_locations(&self, count: usize) -> Vec<Location> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xA11CE);
+        (0..count)
+            .map(|_| Location {
+                x: rng.gen_range(0.0..self.extent.0),
+                y: rng.gen_range(0.0..self.extent.1),
+            })
+            .collect()
+    }
+
+    /// Per-location shadowing in dB — frozen per location (static sensors;
+    /// hashing the coordinates seeds the draw).
+    pub fn shadowing_db(&self, loc: Location) -> f64 {
+        let h = (loc.x * 131.0 + loc.y * 7919.0) as u64 ^ self.seed;
+        let mut rng = StdRng::seed_from_u64(h);
+        self.shadowing.sample_db(&mut rng)
+    }
+
+    /// Received SNR (dB) for a client at `loc` under `params`, shadowing
+    /// included.
+    pub fn snr_db(&self, loc: Location, params: &PhyParams) -> f64 {
+        self.link.snr_db(self.distance(loc), params.bw.hz()) + self.shadowing_db(loc)
+    }
+
+    /// Received SNR at an exact distance (no shadowing) — used by the
+    /// range-sweep experiments.
+    pub fn snr_at_distance_db(&self, d_m: f64, params: &PhyParams) -> f64 {
+        self.link.snr_db(d_m, params.bw.hz())
+    }
+
+    /// Distance at which the (shadowing-free) SNR equals `snr_db`.
+    pub fn distance_for_snr(&self, snr_db: f64, params: &PhyParams) -> f64 {
+        // Invert: snr = tx + gains − PL(d) − floor.
+        let bw = params.bw.hz();
+        let floor = choir_channel::noise::noise_floor_dbm(bw, self.link.noise_figure_db);
+        let pl = self.link.tx_power_dbm + self.link.tx_gain_db + self.link.rx_gain_db
+            - snr_db
+            - floor;
+        self.link.pathloss.distance_for_loss(pl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> PhyParams {
+        PhyParams::default()
+    }
+
+    #[test]
+    fn locations_in_bounds_and_reproducible() {
+        let t = Topology::cmu_campus(1);
+        let a = t.random_locations(100);
+        let b = t.random_locations(100);
+        assert_eq!(a, b);
+        for l in &a {
+            assert!(l.x >= 0.0 && l.x <= 3400.0);
+            assert!(l.y >= 0.0 && l.y <= 3200.0);
+        }
+    }
+
+    #[test]
+    fn snr_decreases_with_distance() {
+        let t = Topology::cmu_campus(2);
+        let near = Location { x: 1750.0, y: 1600.0 };
+        let far = Location { x: 3300.0, y: 100.0 };
+        // Compare shadowing-free to avoid randomness.
+        let p = params();
+        assert!(
+            t.snr_at_distance_db(t.distance(near), &p)
+                > t.snr_at_distance_db(t.distance(far), &p)
+        );
+    }
+
+    #[test]
+    fn shadowing_frozen_per_location() {
+        let t = Topology::cmu_campus(3);
+        let l = Location { x: 100.0, y: 200.0 };
+        assert_eq!(t.shadowing_db(l), t.shadowing_db(l));
+        let l2 = Location { x: 101.0, y: 200.0 };
+        assert_ne!(t.shadowing_db(l), t.shadowing_db(l2));
+    }
+
+    #[test]
+    fn distance_for_snr_inverts() {
+        let t = Topology::cmu_campus(4);
+        let p = params();
+        for d in [200.0, 900.0, 2600.0] {
+            let snr = t.snr_at_distance_db(d, &p);
+            let back = t.distance_for_snr(snr, &p);
+            assert!((back - d).abs() / d < 1e-9, "{back} vs {d}");
+        }
+    }
+
+    #[test]
+    fn map_covers_about_10_sq_km() {
+        let t = Topology::cmu_campus(5);
+        let area_km2 = t.extent.0 * t.extent.1 / 1e6;
+        assert!((area_km2 - 10.88).abs() < 0.1);
+    }
+}

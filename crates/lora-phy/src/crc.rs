@@ -1,0 +1,77 @@
+//! CRC-16/CCITT-FALSE — the payload integrity check LoRa appends when the
+//! explicit-CRC flag is set, plus the small header checksum.
+
+/// CRC-16/CCITT-FALSE: polynomial `0x1021`, initial value `0xFFFF`, no
+/// reflection, no final XOR.
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &b in data {
+        crc ^= (b as u16) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ 0x1021;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// 4-bit header checksum: XOR-fold of the header bytes, as a cheap guard on
+/// the PHY header fields (length, code rate, CRC flag).
+pub fn header_checksum(bytes: &[u8]) -> u8 {
+    let mut x = 0u8;
+    for &b in bytes {
+        x ^= b;
+    }
+    (x >> 4) ^ (x & 0x0F)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc16_known_vector() {
+        // Standard check value for CRC-16/CCITT-FALSE over "123456789".
+        assert_eq!(crc16(b"123456789"), 0x29B1);
+    }
+
+    #[test]
+    fn crc16_empty_is_init() {
+        assert_eq!(crc16(&[]), 0xFFFF);
+    }
+
+    #[test]
+    fn crc16_detects_any_single_byte_change() {
+        let base = b"choir lpwan payload".to_vec();
+        let c0 = crc16(&base);
+        for i in 0..base.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut m = base.clone();
+                m[i] ^= flip;
+                assert_ne!(crc16(&m), c0, "i={i} flip={flip:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn crc16_order_sensitive() {
+        assert_ne!(crc16(b"ab"), crc16(b"ba"));
+    }
+
+    #[test]
+    fn header_checksum_fits_four_bits() {
+        for a in 0u8..=255 {
+            assert!(header_checksum(&[a, a.wrapping_mul(3)]) < 16);
+        }
+    }
+
+    #[test]
+    fn header_checksum_detects_nibble_flip() {
+        let h = [0x12u8, 0x34];
+        let c = header_checksum(&h);
+        assert_ne!(header_checksum(&[0x13, 0x34]), c);
+    }
+}

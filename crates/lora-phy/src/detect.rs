@@ -1,0 +1,250 @@
+//! Single-user packet detection, synchronisation and decoding — the
+//! standard LoRaWAN receive path that Choir's baselines use.
+//!
+//! Detection: the preamble is a train of identical base up-chirps, so any
+//! symbol-length window fully inside it dechirps to a single strong tone.
+//! A run of high peak-to-average windows marks a preamble.
+//!
+//! Synchronisation: a combined integer offset `c` (timing plus CFO, which
+//! are interchangeable for chirps — Sec. 6.1 of the paper) shifts *every*
+//! dechirped peak by the same amount. The known sync-word symbols reveal
+//! `c`, and the payload symbols are corrected by `−c`. Fractional residues
+//! are harmless to hard-decision demodulation (they shave margin, which the
+//! Gray + Hamming chain absorbs).
+
+use crate::frame::{decode_frame, DecodedFrame, FrameError, SYNC_SYMBOLS};
+use crate::modem::Modem;
+use crate::params::PhyParams;
+use choir_dsp::complex::C64;
+
+/// Result of synchronising to one packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PacketSync {
+    /// Sample index of the first data (post-sync) symbol.
+    pub data_start: usize,
+    /// Combined integer timing+frequency shift, in bins, to subtract from
+    /// every demodulated symbol.
+    pub shift: u16,
+}
+
+/// Errors from the single-user receive path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RxError {
+    /// No preamble found / not enough samples.
+    NotFound,
+    /// The two sync symbols disagreed about the integer shift.
+    SyncMismatch,
+    /// Frame-level decoding failed.
+    Frame(FrameError),
+}
+
+impl std::fmt::Display for RxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RxError::NotFound => write!(f, "no packet found"),
+            RxError::SyncMismatch => write!(f, "sync symbols disagree on shift"),
+            RxError::Frame(e) => write!(f, "frame error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RxError {}
+
+/// Scans a sample stream for preambles: returns the approximate start
+/// sample of each detected packet. Windows step by one symbol, so starts
+/// are accurate to within one symbol; [`synchronize`] refines from there.
+///
+/// `threshold` is the minimum peak-to-average ratio of the dechirped
+/// window spectrum (≈ `2^SF` for clean signal, O(1) for noise; 30–50 works
+/// for SF7–8 at the SNRs of interest).
+pub fn scan_for_packets(samples: &[C64], modem: &Modem, threshold: f64) -> Vec<usize> {
+    let n = modem.n();
+    let min_run = modem.params().preamble_len.saturating_sub(2).max(2);
+    let mut starts = Vec::new();
+    let mut run = 0usize;
+    let mut run_start = 0usize;
+    let mut w = 0usize;
+    while (w + 1) * n <= samples.len() {
+        let window = &samples[w * n..(w + 1) * n];
+        if modem.detection_metric(window) >= threshold {
+            if run == 0 {
+                run_start = w * n;
+            }
+            run += 1;
+        } else {
+            if run >= min_run {
+                starts.push(run_start);
+            }
+            run = 0;
+        }
+        w += 1;
+    }
+    if run >= min_run {
+        starts.push(run_start);
+    }
+    starts
+}
+
+/// Synchronises to a packet whose preamble begins within one symbol after
+/// `approx_start` (e.g. a hit from [`scan_for_packets`], or the scheduled
+/// slot time in the MAC simulator).
+///
+/// Uses the sync-word symbols to measure the combined integer shift `c`.
+pub fn synchronize(samples: &[C64], modem: &Modem, approx_start: usize) -> Result<PacketSync, RxError> {
+    let n = modem.n();
+    let p = modem.params();
+    let sync_at = approx_start + p.preamble_len * n;
+    let need = sync_at + 2 * n;
+    if need > samples.len() {
+        return Err(RxError::NotFound);
+    }
+    let alphabet = n as u16;
+    let s1 = modem.demod_symbol(&samples[sync_at..sync_at + n]);
+    let s2 = modem.demod_symbol(&samples[sync_at + n..sync_at + 2 * n]);
+    let c1 = (s1 + alphabet - SYNC_SYMBOLS[0]) % alphabet;
+    let c2 = (s2 + alphabet - SYNC_SYMBOLS[1]) % alphabet;
+    if c1 != c2 {
+        return Err(RxError::SyncMismatch);
+    }
+    Ok(PacketSync {
+        data_start: sync_at + 2 * n,
+        shift: c1,
+    })
+}
+
+/// Demodulates and decodes one packet starting near `approx_start`.
+/// `num_data_symbols` bounds how many symbols to pull (use
+/// [`crate::frame::frame_symbol_count`] when the length is known, or a
+/// generous maximum otherwise — the frame header trims the rest).
+pub fn decode_packet(
+    samples: &[C64],
+    modem: &Modem,
+    approx_start: usize,
+    num_data_symbols: usize,
+) -> Result<DecodedFrame, RxError> {
+    let sync = synchronize(samples, modem, approx_start)?;
+    let n = modem.n();
+    let alphabet = n as u16;
+    let raw = modem.demodulate(samples, sync.data_start, num_data_symbols);
+    let corrected: Vec<u16> = raw
+        .into_iter()
+        .map(|s| (s + alphabet - sync.shift) % alphabet)
+        .collect();
+    decode_frame(modem.params(), &corrected).map_err(RxError::Frame)
+}
+
+/// Convenience: full transmit chain for tests and examples — payload to
+/// critically-sampled baseband waveform (preamble + sync + data).
+pub fn transmit_packet(params: &PhyParams, payload: &[u8]) -> Vec<C64> {
+    let modem = Modem::new(*params);
+    let syms = crate::frame::packet_symbols(params, payload);
+    modem.modulate(&syms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{Bandwidth, CodeRate, SpreadingFactor};
+
+    fn params() -> PhyParams {
+        PhyParams {
+            sf: SpreadingFactor::Sf8,
+            bw: Bandwidth::Khz125,
+            cr: CodeRate::Cr48,
+            preamble_len: 8,
+            explicit_crc: true,
+        }
+    }
+
+    #[test]
+    fn end_to_end_clean_decode() {
+        let p = params();
+        let modem = Modem::new(p);
+        let payload = b"hello, urban LP-WAN".to_vec();
+        let wave = transmit_packet(&p, &payload);
+        let out = decode_packet(&wave, &modem, 0, 200).unwrap();
+        assert_eq!(out.payload, payload);
+        assert!(out.crc_ok && out.fec_reliable);
+    }
+
+    #[test]
+    fn decode_with_leading_silence_and_scan() {
+        let p = params();
+        let modem = Modem::new(p);
+        let payload = b"find me".to_vec();
+        let mut stream = vec![C64::ZERO; 5 * 256 + 13];
+        // Scan assumes symbol-aligned windows; place packet symbol-aligned
+        // after silence for the coarse scan, then fine offset via the known
+        // start for decode.
+        let mut stream2 = vec![C64::ZERO; 5 * 256];
+        stream2.extend(transmit_packet(&p, &payload));
+        stream2.extend(vec![C64::ZERO; 3 * 256]);
+        let hits = scan_for_packets(&stream2, &modem, 40.0);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0], 5 * 256);
+        let out = decode_packet(&stream2, &modem, hits[0], 200).unwrap();
+        assert_eq!(out.payload, payload);
+        // Unaligned leading silence: decode via exact known start.
+        stream.extend(transmit_packet(&p, &payload));
+        let out2 = decode_packet(&stream, &modem, 5 * 256 + 13, 200).unwrap();
+        assert_eq!(out2.payload, payload);
+    }
+
+    #[test]
+    fn scan_finds_two_packets() {
+        let p = params();
+        let modem = Modem::new(p);
+        let mut stream = vec![C64::ZERO; 2 * 256];
+        stream.extend(transmit_packet(&p, b"one"));
+        stream.extend(vec![C64::ZERO; 4 * 256]);
+        let second_at = stream.len();
+        stream.extend(transmit_packet(&p, b"two"));
+        stream.extend(vec![C64::ZERO; 256]);
+        let hits = scan_for_packets(&stream, &modem, 40.0);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0], 2 * 256);
+        assert_eq!(hits[1], second_at);
+    }
+
+    #[test]
+    fn integer_shift_corrected_via_sync_word() {
+        // Apply a pure integer CFO of +5 bins to the whole packet: every
+        // dechirped symbol shifts by +5; the sync word must absorb it.
+        let p = params();
+        let modem = Modem::new(p);
+        let payload = b"shifted".to_vec();
+        let wave = transmit_packet(&p, &payload);
+        let n = 256.0;
+        let shifted: Vec<C64> = wave
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v * C64::cis(2.0 * std::f64::consts::PI * 5.0 * i as f64 / n))
+            .collect();
+        let sync = synchronize(&shifted, &modem, 0).unwrap();
+        assert_eq!(sync.shift, 5);
+        let out = decode_packet(&shifted, &modem, 0, 200).unwrap();
+        assert_eq!(out.payload, payload);
+    }
+
+    #[test]
+    fn no_packet_in_noise() {
+        let stream: Vec<C64> = (0..4096)
+            .map(|i| C64::cis((i * i % 97) as f64 * 0.39) * 0.1)
+            .collect();
+        let modem = Modem::new(params());
+        assert!(scan_for_packets(&stream, &modem, 40.0).is_empty());
+        assert_eq!(
+            synchronize(&[C64::ZERO; 100], &modem, 0),
+            Err(RxError::NotFound)
+        );
+    }
+
+    #[test]
+    fn truncated_stream_not_found() {
+        let p = params();
+        let modem = Modem::new(p);
+        let wave = transmit_packet(&p, b"cut");
+        let cut = &wave[..8 * 256]; // preamble only
+        assert_eq!(synchronize(cut, &modem, 0), Err(RxError::NotFound));
+    }
+}

@@ -1,0 +1,64 @@
+//! Gray code mapping.
+//!
+//! LoRa maps interleaved codeword bits onto chirp shifts through a Gray
+//! code so that the most likely demodulation error — hitting a bin adjacent
+//! to the true one — corrupts only a single bit, which the Hamming code can
+//! then correct.
+
+/// Binary → Gray: `g = b ^ (b >> 1)`. Adjacent integers map to codes
+/// differing in exactly one bit.
+pub fn gray_encode(b: u16) -> u16 {
+    b ^ (b >> 1)
+}
+
+/// Gray → binary (inverse of [`gray_encode`]).
+pub fn gray_decode(g: u16) -> u16 {
+    let mut b = g;
+    let mut shift = 1;
+    while shift < 16 {
+        b ^= b >> shift;
+        shift <<= 1;
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_full_sf12_alphabet() {
+        for v in 0u16..4096 {
+            assert_eq!(gray_decode(gray_encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn adjacent_values_differ_in_one_bit() {
+        for v in 0u16..4095 {
+            let d = gray_encode(v) ^ gray_encode(v + 1);
+            assert_eq!(d.count_ones(), 1, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        assert_eq!(gray_encode(0), 0);
+        assert_eq!(gray_encode(1), 1);
+        assert_eq!(gray_encode(2), 3);
+        assert_eq!(gray_encode(3), 2);
+        assert_eq!(gray_encode(4), 6);
+        assert_eq!(gray_decode(6), 4);
+    }
+
+    #[test]
+    fn gray_is_a_permutation() {
+        let mut seen = vec![false; 256];
+        for v in 0u16..256 {
+            let g = gray_encode(v) as usize;
+            assert!(g < 256);
+            assert!(!seen[g], "collision at {g}");
+            seen[g] = true;
+        }
+    }
+}

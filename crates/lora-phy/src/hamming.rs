@@ -1,0 +1,286 @@
+//! LoRa's nibble-wise Hamming forward error correction.
+//!
+//! Each 4-bit nibble is expanded to a `4 + CR`-bit codeword:
+//!
+//! * CR 4/5 — one overall parity bit: detects single errors;
+//! * CR 4/6 — two parity checks: detects (most) double errors;
+//! * CR 4/7 — Hamming(7,4): corrects any single-bit error;
+//! * CR 4/8 — extended Hamming(8,4): corrects single, detects double.
+//!
+//! Codeword layout (bit 0 = LSB): data bits `d0..d3` in bits 0..4, parity
+//! bits following. Parity equations follow the classic Hamming(7,4)
+//! generator: `p0 = d0⊕d1⊕d3`, `p1 = d0⊕d2⊕d3`, `p2 = d1⊕d2⊕d3`, and for
+//! 4/8 an overall parity `p3` over all previous bits.
+
+use crate::params::CodeRate;
+
+/// Decode outcome for one codeword.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeResult {
+    /// Codeword was consistent; nibble extracted as-is.
+    Clean(u8),
+    /// A single-bit error was detected and corrected (CR 4/7, 4/8 only).
+    Corrected(u8),
+    /// Errors detected that this code rate cannot correct. Carries the
+    /// best-effort nibble (raw data bits) so upper layers can still splice
+    /// partially damaged packets.
+    Uncorrectable(u8),
+}
+
+impl DecodeResult {
+    /// The recovered nibble regardless of confidence.
+    pub fn nibble(self) -> u8 {
+        match self {
+            DecodeResult::Clean(n) | DecodeResult::Corrected(n) | DecodeResult::Uncorrectable(n) => n,
+        }
+    }
+
+    /// True unless errors were detected but not corrected.
+    pub fn is_reliable(self) -> bool {
+        !matches!(self, DecodeResult::Uncorrectable(_))
+    }
+}
+
+#[inline]
+fn bit(v: u8, i: usize) -> u8 {
+    (v >> i) & 1
+}
+
+fn parities(nibble: u8) -> [u8; 3] {
+    let d0 = bit(nibble, 0);
+    let d1 = bit(nibble, 1);
+    let d2 = bit(nibble, 2);
+    let d3 = bit(nibble, 3);
+    [d0 ^ d1 ^ d3, d0 ^ d2 ^ d3, d1 ^ d2 ^ d3]
+}
+
+/// Encodes a nibble (low 4 bits of `nibble`) into a codeword of
+/// `cr.codeword_bits()` bits (in the low bits of the returned byte).
+pub fn encode_nibble(nibble: u8, cr: CodeRate) -> u8 {
+    let n = nibble & 0x0F;
+    let p = parities(n);
+    match cr {
+        CodeRate::Cr45 => {
+            // Single overall parity over the data bits.
+            let parity = bit(n, 0) ^ bit(n, 1) ^ bit(n, 2) ^ bit(n, 3);
+            n | (parity << 4)
+        }
+        CodeRate::Cr46 => n | (p[0] << 4) | (p[1] << 5),
+        CodeRate::Cr47 => n | (p[0] << 4) | (p[1] << 5) | (p[2] << 6),
+        CodeRate::Cr48 => {
+            let cw = n | (p[0] << 4) | (p[1] << 5) | (p[2] << 6);
+            let overall = (cw.count_ones() & 1) as u8;
+            cw | (overall << 7)
+        }
+    }
+}
+
+/// Decodes one codeword (low `cr.codeword_bits()` bits of `cw`).
+pub fn decode_nibble(cw: u8, cr: CodeRate) -> DecodeResult {
+    let data = cw & 0x0F;
+    match cr {
+        CodeRate::Cr45 => {
+            let parity = bit(data, 0) ^ bit(data, 1) ^ bit(data, 2) ^ bit(data, 3);
+            if parity == bit(cw, 4) {
+                DecodeResult::Clean(data)
+            } else {
+                DecodeResult::Uncorrectable(data)
+            }
+        }
+        CodeRate::Cr46 => {
+            let p = parities(data);
+            if p[0] == bit(cw, 4) && p[1] == bit(cw, 5) {
+                DecodeResult::Clean(data)
+            } else {
+                DecodeResult::Uncorrectable(data)
+            }
+        }
+        CodeRate::Cr47 => decode_hamming74(cw),
+        CodeRate::Cr48 => {
+            let overall_ok = cw.count_ones() % 2 == 0;
+            let inner = decode_hamming74(cw & 0x7F);
+            match (inner, overall_ok) {
+                (DecodeResult::Clean(n), true) => DecodeResult::Clean(n),
+                // Inner syndrome zero but overall parity bad: the overall
+                // parity bit itself flipped — data is fine.
+                (DecodeResult::Clean(n), false) => DecodeResult::Corrected(n),
+                // Inner correction + bad overall parity = genuine single
+                // error within the first 7 bits; accept the correction.
+                (DecodeResult::Corrected(n), false) => DecodeResult::Corrected(n),
+                // Inner says "single error" but overall parity is fine:
+                // that is the signature of a double error — uncorrectable.
+                (DecodeResult::Corrected(_), true) => DecodeResult::Uncorrectable(data),
+                (DecodeResult::Uncorrectable(n), _) => DecodeResult::Uncorrectable(n),
+            }
+        }
+    }
+}
+
+/// Hamming(7,4) decode with single-error correction via syndrome lookup.
+fn decode_hamming74(cw: u8) -> DecodeResult {
+    let data = cw & 0x0F;
+    let p = parities(data);
+    let s0 = p[0] ^ bit(cw, 4);
+    let s1 = p[1] ^ bit(cw, 5);
+    let s2 = p[2] ^ bit(cw, 6);
+    let syndrome = s0 | (s1 << 1) | (s2 << 2);
+    if syndrome == 0 {
+        return DecodeResult::Clean(data);
+    }
+    // Map syndrome → flipped bit position. Data bits participate as:
+    // d0:(s0,s1)=011, d1:(s0,s2)=101, d2:(s1,s2)=110, d3:111;
+    // parity bits: p0:001, p1:010, p2:100.
+    let flipped = match syndrome {
+        0b011 => 0, // d0
+        0b101 => 1, // d1
+        0b110 => 2, // d2
+        0b111 => 3, // d3
+        0b001 => 4, // p0
+        0b010 => 5, // p1
+        0b100 => 6, // p2
+        _ => unreachable!(),
+    };
+    let fixed = cw ^ (1 << flipped);
+    DecodeResult::Corrected(fixed & 0x0F)
+}
+
+/// Encodes a nibble stream.
+pub fn encode_nibbles(nibbles: &[u8], cr: CodeRate) -> Vec<u8> {
+    nibbles.iter().map(|&n| encode_nibble(n, cr)).collect()
+}
+
+/// Decodes a codeword stream; returns the nibbles and whether every
+/// codeword decoded reliably.
+pub fn decode_nibbles(codewords: &[u8], cr: CodeRate) -> (Vec<u8>, bool) {
+    let mut ok = true;
+    let nibbles = codewords
+        .iter()
+        .map(|&cw| {
+            let r = decode_nibble(cw, cr);
+            ok &= r.is_reliable();
+            r.nibble()
+        })
+        .collect();
+    (nibbles, ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL_CR: [CodeRate; 4] = [CodeRate::Cr45, CodeRate::Cr46, CodeRate::Cr47, CodeRate::Cr48];
+
+    #[test]
+    fn clean_roundtrip_all_rates_all_nibbles() {
+        for cr in ALL_CR {
+            for n in 0u8..16 {
+                let cw = encode_nibble(n, cr);
+                assert_eq!(decode_nibble(cw, cr), DecodeResult::Clean(n), "{cr:?} {n}");
+                // Codeword fits in the declared width.
+                assert!((cw as u32) < (1u32 << cr.codeword_bits()), "{cr:?} {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn cr47_corrects_every_single_bit_error() {
+        for n in 0u8..16 {
+            let cw = encode_nibble(n, CodeRate::Cr47);
+            for flip in 0..7 {
+                let r = decode_nibble(cw ^ (1 << flip), CodeRate::Cr47);
+                assert_eq!(r.nibble(), n, "nibble {n} flip {flip}");
+                assert!(matches!(r, DecodeResult::Corrected(_)));
+            }
+        }
+    }
+
+    #[test]
+    fn cr48_corrects_single_detects_double() {
+        for n in 0u8..16 {
+            let cw = encode_nibble(n, CodeRate::Cr48);
+            for f1 in 0..8 {
+                let r = decode_nibble(cw ^ (1 << f1), CodeRate::Cr48);
+                assert_eq!(r.nibble(), n, "single error at {f1}");
+                assert!(r.is_reliable());
+                for f2 in 0..8 {
+                    if f1 == f2 {
+                        continue;
+                    }
+                    let r2 = decode_nibble(cw ^ (1 << f1) ^ (1 << f2), CodeRate::Cr48);
+                    assert!(
+                        !r2.is_reliable(),
+                        "double error {f1},{f2} on nibble {n} went undetected"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cr45_detects_single_errors() {
+        for n in 0u8..16 {
+            let cw = encode_nibble(n, CodeRate::Cr45);
+            for flip in 0..5 {
+                let r = decode_nibble(cw ^ (1 << flip), CodeRate::Cr45);
+                assert!(!r.is_reliable(), "nibble {n} flip {flip}");
+            }
+        }
+    }
+
+    #[test]
+    fn cr46_detects_single_errors() {
+        for n in 0u8..16 {
+            let cw = encode_nibble(n, CodeRate::Cr46);
+            for flip in 0..6 {
+                let r = decode_nibble(cw ^ (1 << flip), CodeRate::Cr46);
+                assert!(!r.is_reliable(), "nibble {n} flip {flip}");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_helpers() {
+        let nibbles = vec![0x1, 0xF, 0x7, 0x0];
+        let cws = encode_nibbles(&nibbles, CodeRate::Cr48);
+        let (out, ok) = decode_nibbles(&cws, CodeRate::Cr48);
+        assert!(ok);
+        assert_eq!(out, nibbles);
+        // Corrupt one codeword beyond repair (two flips).
+        let mut bad = cws;
+        bad[2] ^= 0b11;
+        let (_, ok2) = decode_nibbles(&bad, CodeRate::Cr48);
+        assert!(!ok2);
+    }
+
+    #[test]
+    fn distinct_nibbles_distinct_codewords() {
+        for cr in ALL_CR {
+            let mut seen = std::collections::HashSet::new();
+            for n in 0u8..16 {
+                assert!(seen.insert(encode_nibble(n, cr)), "{cr:?} {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn hamming74_min_distance_is_three() {
+        let words: Vec<u8> = (0u8..16).map(|n| encode_nibble(n, CodeRate::Cr47)).collect();
+        for i in 0..16 {
+            for j in (i + 1)..16 {
+                let d = (words[i] ^ words[j]).count_ones();
+                assert!(d >= 3, "{i} vs {j}: distance {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn extended_hamming_min_distance_is_four() {
+        let words: Vec<u8> = (0u8..16).map(|n| encode_nibble(n, CodeRate::Cr48)).collect();
+        for i in 0..16 {
+            for j in (i + 1)..16 {
+                let d = (words[i] ^ words[j]).count_ones();
+                assert!(d >= 4, "{i} vs {j}: distance {d}");
+            }
+        }
+    }
+}

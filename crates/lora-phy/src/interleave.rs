@@ -1,0 +1,166 @@
+//! Diagonal interleaving.
+//!
+//! LoRa interleaves one block of `SF` codewords (each `4 + CR` bits) across
+//! `4 + CR` consecutive symbols of `SF` bits each. A burst that corrupts one
+//! whole symbol therefore damages only one bit of each codeword — exactly
+//! what the single-error-correcting Hamming code can undo. The diagonal
+//! twist additionally decorrelates which bit position each codeword loses.
+//!
+//! Layout: block matrix `cw[i]` (row `i`, `i < SF`) with bit `j`
+//! (`j < 4+CR`). Output symbol `j` collects bit `j` of every codeword, with
+//! a diagonal rotation: symbol `j`, bit position `i` carries bit `j` of
+//! codeword `(i + j) mod SF`.
+
+/// Interleaves one block of `sf` codewords (`cw_bits` bits each) into
+/// `cw_bits` symbols of `sf` bits each.
+///
+/// # Panics
+/// Panics if `codewords.len() != sf` or any codeword overflows `cw_bits`.
+pub fn interleave_block(codewords: &[u8], sf: usize, cw_bits: usize) -> Vec<u16> {
+    assert_eq!(codewords.len(), sf, "interleave: need exactly SF codewords");
+    assert!(sf <= 16 && cw_bits <= 8, "interleave: geometry out of range");
+    for &cw in codewords {
+        assert!((cw as u32) < (1u32 << cw_bits), "codeword overflows width");
+    }
+    (0..cw_bits)
+        .map(|j| {
+            let mut sym: u16 = 0;
+            for i in 0..sf {
+                let cw = codewords[(i + j) % sf];
+                let bit = (cw >> j) & 1;
+                sym |= (bit as u16) << i;
+            }
+            sym
+        })
+        .collect()
+}
+
+/// Inverse of [`interleave_block`].
+///
+/// # Panics
+/// Panics if `symbols.len() != cw_bits` or any symbol overflows `sf` bits.
+pub fn deinterleave_block(symbols: &[u16], sf: usize, cw_bits: usize) -> Vec<u8> {
+    assert_eq!(symbols.len(), cw_bits, "deinterleave: need 4+CR symbols");
+    assert!(sf <= 16 && cw_bits <= 8, "deinterleave: geometry out of range");
+    for &s in symbols {
+        assert!((s as u32) < (1u32 << sf), "symbol overflows SF bits");
+    }
+    let mut codewords = vec![0u8; sf];
+    for (j, &sym) in symbols.iter().enumerate() {
+        for i in 0..sf {
+            let bit = ((sym >> i) & 1) as u8;
+            let cw_idx = (i + j) % sf;
+            codewords[cw_idx] |= bit << j;
+        }
+    }
+    codewords
+}
+
+/// Interleaves a full codeword stream, zero-padding the final block to `sf`
+/// codewords. Returns the symbol stream (`cw_bits` symbols per block).
+pub fn interleave(codewords: &[u8], sf: usize, cw_bits: usize) -> Vec<u16> {
+    let mut out = Vec::new();
+    for chunk in codewords.chunks(sf) {
+        let mut block = chunk.to_vec();
+        block.resize(sf, 0);
+        out.extend(interleave_block(&block, sf, cw_bits));
+    }
+    out
+}
+
+/// Deinterleaves a full symbol stream (must be a whole number of blocks).
+pub fn deinterleave(symbols: &[u16], sf: usize, cw_bits: usize) -> Vec<u8> {
+    assert_eq!(
+        symbols.len() % cw_bits,
+        0,
+        "deinterleave: symbol stream not a whole number of blocks"
+    );
+    symbols
+        .chunks(cw_bits)
+        .flat_map(|blk| deinterleave_block(blk, sf, cw_bits))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_roundtrip() {
+        let sf = 8;
+        let cw_bits = 8;
+        let cws: Vec<u8> = (0..sf as u8).map(|i| i.wrapping_mul(37).wrapping_add(11)).collect();
+        let syms = interleave_block(&cws, sf, cw_bits);
+        assert_eq!(syms.len(), cw_bits);
+        let back = deinterleave_block(&syms, sf, cw_bits);
+        assert_eq!(back, cws);
+    }
+
+    #[test]
+    fn roundtrip_all_geometries() {
+        for sf in 7..=12 {
+            for cw_bits in 5..=8 {
+                let cws: Vec<u8> = (0..sf)
+                    .map(|i| ((i * 73 + 29) % (1 << cw_bits)) as u8)
+                    .collect();
+                let syms = interleave_block(&cws, sf, cw_bits);
+                for &s in &syms {
+                    assert!((s as usize) < (1 << sf));
+                }
+                assert_eq!(deinterleave_block(&syms, sf, cw_bits), cws, "sf={sf} cw={cw_bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_symbol_erasure_hits_each_codeword_once() {
+        // Corrupt all bits of one symbol; after deinterleaving, every
+        // codeword must differ from the original in at most one bit.
+        let sf = 8;
+        let cw_bits = 8;
+        let cws: Vec<u8> = (0..sf as u8).map(|i| i ^ 0xA5).collect();
+        let mut syms = interleave_block(&cws, sf, cw_bits);
+        syms[3] ^= (1 << sf) - 1; // flip the whole symbol
+        let back = deinterleave_block(&syms, sf, cw_bits);
+        for (orig, got) in cws.iter().zip(&back) {
+            let d = (orig ^ got).count_ones();
+            assert_eq!(d, 1, "codeword damaged in {d} bits");
+        }
+    }
+
+    #[test]
+    fn stream_roundtrip_with_padding() {
+        let sf = 7;
+        let cw_bits = 5;
+        let cws: Vec<u8> = (0..10).map(|i| (i * 3 % 32) as u8).collect(); // not a multiple of 7
+        let syms = interleave(&cws, sf, cw_bits);
+        assert_eq!(syms.len(), 2 * cw_bits);
+        let back = deinterleave(&syms, sf, cw_bits);
+        assert_eq!(&back[..10], &cws[..]);
+        assert!(back[10..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "need exactly SF codewords")]
+    fn wrong_block_size_panics() {
+        interleave_block(&[0; 5], 8, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "codeword overflows width")]
+    fn overflowing_codeword_panics() {
+        interleave_block(&[0x20; 7], 7, 5);
+    }
+
+    #[test]
+    fn interleave_is_a_bijection_on_bits() {
+        // Total set bits preserved.
+        let sf = 9;
+        let cw_bits = 6;
+        let cws: Vec<u8> = (0..sf).map(|i| ((i * 41 + 3) % 64) as u8).collect();
+        let syms = interleave_block(&cws, sf, cw_bits);
+        let in_bits: u32 = cws.iter().map(|c| c.count_ones()).sum();
+        let out_bits: u32 = syms.iter().map(|s| s.count_ones()).sum();
+        assert_eq!(in_bits, out_bits);
+    }
+}

@@ -1,0 +1,278 @@
+//! LoRa PHY parameters: spreading factors, bandwidths, code rates and the
+//! derived air-time quantities the MAC simulator needs.
+//!
+//! LoRaWAN in the US915 band (the paper's deployment) uses bandwidths of
+//! 125 kHz or 500 kHz and spreading factors 7–12 on the uplink; each symbol
+//! carries `SF` bits as one of `2^SF` cyclic shifts of a base chirp.
+
+/// Spreading factor: bits per symbol (symbol alphabet size is `2^SF`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SpreadingFactor {
+    /// 7 bits/symbol, 128 chips.
+    Sf7,
+    /// 8 bits/symbol, 256 chips.
+    Sf8,
+    /// 9 bits/symbol, 512 chips.
+    Sf9,
+    /// 10 bits/symbol, 1024 chips.
+    Sf10,
+    /// 11 bits/symbol, 2048 chips.
+    Sf11,
+    /// 12 bits/symbol, 4096 chips.
+    Sf12,
+}
+
+impl SpreadingFactor {
+    /// All factors, ascending.
+    pub const ALL: [SpreadingFactor; 6] = [
+        SpreadingFactor::Sf7,
+        SpreadingFactor::Sf8,
+        SpreadingFactor::Sf9,
+        SpreadingFactor::Sf10,
+        SpreadingFactor::Sf11,
+        SpreadingFactor::Sf12,
+    ];
+
+    /// Bits encoded per symbol.
+    pub fn bits(self) -> u32 {
+        match self {
+            SpreadingFactor::Sf7 => 7,
+            SpreadingFactor::Sf8 => 8,
+            SpreadingFactor::Sf9 => 9,
+            SpreadingFactor::Sf10 => 10,
+            SpreadingFactor::Sf11 => 11,
+            SpreadingFactor::Sf12 => 12,
+        }
+    }
+
+    /// Chips (and critically-sampled samples) per symbol: `2^SF`.
+    pub fn chips(self) -> usize {
+        1usize << self.bits()
+    }
+
+    /// Builds from the numeric spreading factor (7–12).
+    pub fn from_bits(sf: u32) -> Option<Self> {
+        Self::ALL.into_iter().find(|s| s.bits() == sf)
+    }
+
+    /// Minimum demodulation SNR (dB) for this spreading factor, per the
+    /// SX1276 datasheet sensitivity table. Higher SFs decode deeper below
+    /// the noise floor.
+    pub fn demod_floor_db(self) -> f64 {
+        match self {
+            SpreadingFactor::Sf7 => -7.5,
+            SpreadingFactor::Sf8 => -10.0,
+            SpreadingFactor::Sf9 => -12.5,
+            SpreadingFactor::Sf10 => -15.0,
+            SpreadingFactor::Sf11 => -17.5,
+            SpreadingFactor::Sf12 => -20.0,
+        }
+    }
+}
+
+/// Channel bandwidth. The paper's clients use 125 kHz or 500 kHz depending
+/// on the supported data rate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Bandwidth {
+    /// 125 kHz.
+    Khz125,
+    /// 250 kHz.
+    Khz250,
+    /// 500 kHz.
+    Khz500,
+}
+
+impl Bandwidth {
+    /// Bandwidth in Hz. Equals the critical (1 sample/chip) sample rate.
+    pub fn hz(self) -> f64 {
+        match self {
+            Bandwidth::Khz125 => 125_000.0,
+            Bandwidth::Khz250 => 250_000.0,
+            Bandwidth::Khz500 => 500_000.0,
+        }
+    }
+}
+
+/// Forward error correction rate `4/(4+cr)` with `cr ∈ 1..=4`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CodeRate {
+    /// 4/5 — single parity bit (error detection only).
+    Cr45,
+    /// 4/6 — two parity bits.
+    Cr46,
+    /// 4/7 — Hamming(7,4), corrects one bit per codeword.
+    Cr47,
+    /// 4/8 — extended Hamming(8,4), corrects one bit and detects two.
+    Cr48,
+}
+
+impl CodeRate {
+    /// Parity bits added to each 4-bit nibble.
+    pub fn parity_bits(self) -> usize {
+        match self {
+            CodeRate::Cr45 => 1,
+            CodeRate::Cr46 => 2,
+            CodeRate::Cr47 => 3,
+            CodeRate::Cr48 => 4,
+        }
+    }
+
+    /// Codeword length in bits (`4 + parity`).
+    pub fn codeword_bits(self) -> usize {
+        4 + self.parity_bits()
+    }
+
+    /// Rate as a fraction (payload bits / coded bits).
+    pub fn rate(self) -> f64 {
+        4.0 / self.codeword_bits() as f64
+    }
+}
+
+/// Complete PHY configuration for one transmission.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PhyParams {
+    /// Spreading factor.
+    pub sf: SpreadingFactor,
+    /// Bandwidth.
+    pub bw: Bandwidth,
+    /// FEC code rate.
+    pub cr: CodeRate,
+    /// Number of preamble up-chirps (LoRaWAN default is 8).
+    pub preamble_len: usize,
+    /// Whether a 16-bit payload CRC trails the payload.
+    pub explicit_crc: bool,
+}
+
+impl Default for PhyParams {
+    fn default() -> Self {
+        PhyParams {
+            sf: SpreadingFactor::Sf8,
+            bw: Bandwidth::Khz125,
+            cr: CodeRate::Cr48,
+            preamble_len: 8,
+            explicit_crc: true,
+        }
+    }
+}
+
+impl PhyParams {
+    /// Samples (= chips) per symbol at critical sampling.
+    pub fn samples_per_symbol(&self) -> usize {
+        self.sf.chips()
+    }
+
+    /// Symbol duration in seconds: `2^SF / BW`.
+    pub fn symbol_time(&self) -> f64 {
+        self.sf.chips() as f64 / self.bw.hz()
+    }
+
+    /// FFT bin width in Hz after dechirping: `BW / 2^SF = 1/T_sym`.
+    pub fn bin_hz(&self) -> f64 {
+        self.bw.hz() / self.sf.chips() as f64
+    }
+
+    /// Uncoded PHY bit rate in bits/s (`SF / T_sym`).
+    pub fn raw_bit_rate(&self) -> f64 {
+        self.sf.bits() as f64 / self.symbol_time()
+    }
+
+    /// Effective data rate after FEC, bits/s.
+    pub fn data_rate(&self) -> f64 {
+        self.raw_bit_rate() * self.cr.rate()
+    }
+
+    /// Number of data symbols needed to carry `payload_bytes` (after
+    /// whitening, FEC and interleaving; excludes preamble). Interleaver
+    /// blocks are `SF` codewords → `4 + CR` symbols.
+    pub fn payload_symbols(&self, payload_bytes: usize) -> usize {
+        let total_bytes = payload_bytes + if self.explicit_crc { 2 } else { 0 };
+        let nibbles = total_bytes * 2;
+        let sf = self.sf.bits() as usize;
+        let blocks = nibbles.div_ceil(sf);
+        blocks * self.cr.codeword_bits()
+    }
+
+    /// Total on-air symbols for a payload: preamble + sync (2) + payload.
+    pub fn packet_symbols(&self, payload_bytes: usize) -> usize {
+        self.preamble_len + 2 + self.payload_symbols(payload_bytes)
+    }
+
+    /// Time on air for a packet carrying `payload_bytes`, seconds.
+    pub fn time_on_air(&self, payload_bytes: usize) -> f64 {
+        self.packet_symbols(payload_bytes) as f64 * self.symbol_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sf_chips_and_bits() {
+        assert_eq!(SpreadingFactor::Sf7.chips(), 128);
+        assert_eq!(SpreadingFactor::Sf12.chips(), 4096);
+        assert_eq!(SpreadingFactor::Sf9.bits(), 9);
+        assert_eq!(SpreadingFactor::from_bits(10), Some(SpreadingFactor::Sf10));
+        assert_eq!(SpreadingFactor::from_bits(6), None);
+    }
+
+    #[test]
+    fn demod_floor_monotone() {
+        for w in SpreadingFactor::ALL.windows(2) {
+            assert!(w[0].demod_floor_db() > w[1].demod_floor_db());
+        }
+    }
+
+    #[test]
+    fn symbol_time_sf8_125k() {
+        let p = PhyParams::default();
+        // 256 chips / 125 kHz = 2.048 ms
+        assert!((p.symbol_time() - 2.048e-3).abs() < 1e-12);
+        assert!((p.bin_hz() - 488.28125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn raw_rates() {
+        let p = PhyParams {
+            sf: SpreadingFactor::Sf7,
+            bw: Bandwidth::Khz500,
+            cr: CodeRate::Cr45,
+            ..PhyParams::default()
+        };
+        // SF7@500k: T = 128/500k = 256 µs; raw = 7/256µs ≈ 27.34 kbps
+        assert!((p.raw_bit_rate() - 27343.75).abs() < 1e-6);
+        assert!((p.data_rate() - 27343.75 * 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn code_rates() {
+        assert_eq!(CodeRate::Cr45.codeword_bits(), 5);
+        assert_eq!(CodeRate::Cr48.codeword_bits(), 8);
+        assert!((CodeRate::Cr46.rate() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn payload_symbol_count() {
+        let p = PhyParams::default(); // SF8, CR4/8, CRC on
+        // 10 bytes + 2 CRC = 24 nibbles → 3 blocks of 8 → 3·8 = 24 symbols.
+        assert_eq!(p.payload_symbols(10), 24);
+        // Packet adds 8 preamble + 2 sync.
+        assert_eq!(p.packet_symbols(10), 34);
+    }
+
+    #[test]
+    fn time_on_air_scales_with_sf() {
+        let mut p = PhyParams::default();
+        p.sf = SpreadingFactor::Sf7;
+        let t7 = p.time_on_air(16);
+        p.sf = SpreadingFactor::Sf9;
+        let t9 = p.time_on_air(16);
+        assert!(t9 > 2.0 * t7, "t7={t7} t9={t9}");
+    }
+
+    #[test]
+    fn bandwidth_values() {
+        assert_eq!(Bandwidth::Khz125.hz(), 125e3);
+        assert_eq!(Bandwidth::Khz500.hz(), 500e3);
+    }
+}

@@ -1,0 +1,87 @@
+//! The anatomy of collision decoding — walks through the paper's Secs. 4–6
+//! on a dense five-user collision, printing what each pipeline stage sees:
+//! the collided spectrum (Fig. 3), the residual refinement (Fig. 4 /
+//! Algorithm 1), user discovery from the preamble, timing/CFO
+//! disambiguation, and the per-user decode.
+//!
+//! ```text
+//! cargo run --release --example collision_decoding
+//! ```
+
+use choir::core::estimator::{EstimatorConfig, OffsetEstimator};
+use choir::core::sic::{phased_sic, SicConfig};
+use choir::prelude::*;
+
+fn main() {
+    let params = PhyParams::default();
+    let n = params.samples_per_symbol();
+    let scenario = ScenarioBuilder::new(params)
+        .snrs_db(&[22.0, 19.0, 16.0, 13.0, 10.0])
+        .payload_len(10)
+        .oscillator(OscillatorModel::default())
+        .seed(42)
+        .build();
+
+    println!("=== ground truth (5 colliding clients) ===");
+    for (i, u) in scenario.users.iter().enumerate() {
+        let mu = u
+            .profile
+            .aggregate_shift_bins(params.bin_hz(), n)
+            .rem_euclid(n as f64);
+        println!(
+            "  client {i}: snr {:5.1} dB  aggregate offset {:7.2} bins  delay {:6.2} chips",
+            u.snr_db,
+            mu,
+            u.profile.timing_offset_symbols * n as f64
+        );
+    }
+
+    // --- Stage 1: one preamble window, the Fig. 3 view -------------------
+    let est = OffsetEstimator::new(n, EstimatorConfig::default());
+    let win = &scenario.samples[scenario.slot_start + n..scenario.slot_start + 2 * n];
+    let coarse = est.coarse(win);
+    println!("\n=== coarse peaks in one dechirped preamble window (Fig. 3) ===");
+    for p in &coarse {
+        println!("  peak at {:7.2} bins, |X| = {:8.1}", p.pos, p.height);
+    }
+
+    // --- Stage 2: Algorithm 1 — residual-refined offsets + channels ------
+    let sic = phased_sic(&est, win, &SicConfig::default());
+    println!("\n=== phased SIC / Algorithm 1 (residual {:.2e}) ===", sic.relative_residual);
+    for c in &sic.components {
+        println!(
+            "  component at {:8.3} bins, |h| = {:6.2}, boundary split: {:?}",
+            c.freq_bins,
+            c.channel.abs(),
+            c.step.map(|s| s.boundary)
+        );
+    }
+
+    // --- Stage 3: the full decoder --------------------------------------
+    let decoder = ChoirDecoder::new(params);
+    let users = decoder.discover_users(&scenario.samples, scenario.slot_start);
+    println!("\n=== discovered users (preamble tracking, Sec. 6) ===");
+    for u in &users {
+        println!(
+            "  offset {:7.2} bins (frac {:4.2})  mag {:6.2}  timing {:6.2} chips  support {}",
+            u.offset_bins, u.frac, u.mag, u.timing_chips, u.support
+        );
+    }
+
+    let decoded = decoder.decode_known_len(&scenario.samples, scenario.slot_start, 10);
+    println!("\n=== decoded packets ===");
+    let mut ok = 0;
+    for d in &decoded {
+        let crc = d.payload_ok();
+        ok += crc as usize;
+        println!(
+            "  offset {:7.2} bins  sync errs {}  crc {}  payload {:02x?}",
+            d.user.offset_bins,
+            d.sync_errors,
+            crc,
+            d.frame.as_ref().map(|f| f.payload.clone()).unwrap_or_default()
+        );
+    }
+    println!("\n{ok}/5 clients fully decoded from one collision");
+    assert!(ok >= 4);
+}

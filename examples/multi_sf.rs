@@ -1,0 +1,112 @@
+//! Parallel decoding across spreading factors (Sec. 5.2, point 4): five
+//! clients transmit simultaneously on SFs 7, 7, 8, 8 and 9 — the paper's
+//! example configuration. Chirps of different SFs are near-orthogonal, so
+//! the base station demultiplexes by SF and runs Choir per lane, decoding
+//! collisions *within* each lane.
+//!
+//! ```text
+//! cargo run --release --example multi_sf
+//! ```
+
+use choir::channel::mix::{mix, MixConfig, Transmission};
+use choir::channel::noise::db_to_lin;
+use choir::core::multisf::{cross_sf_leakage, decode_multi_sf, SfLane};
+use choir::core::ChoirConfig;
+use choir::dsp::complex::C64;
+use choir::phy::chirp::PacketWaveform;
+use choir::phy::frame::packet_symbols;
+use choir::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // How orthogonal are mismatched chirps?
+    println!("cross-SF leakage (peak power vs matched, lower = more orthogonal):");
+    for (a, b) in [
+        (SpreadingFactor::Sf7, SpreadingFactor::Sf8),
+        (SpreadingFactor::Sf8, SpreadingFactor::Sf9),
+        (SpreadingFactor::Sf7, SpreadingFactor::Sf9),
+    ] {
+        println!("  {a:?} lane vs {b:?} chirp: {:.4}", cross_sf_leakage(a, b));
+    }
+
+    // The paper's five-sensor configuration: SFs 7, 7, 8, 8, 9.
+    let mut rng = StdRng::seed_from_u64(2017);
+    let sfs = [
+        SpreadingFactor::Sf7,
+        SpreadingFactor::Sf7,
+        SpreadingFactor::Sf8,
+        SpreadingFactor::Sf8,
+        SpreadingFactor::Sf9,
+    ];
+    let osc = OscillatorModel::default();
+    let slot = 2 * 512;
+    let mut payloads = Vec::new();
+    let txs: Vec<Transmission> = sfs
+        .iter()
+        .map(|&sf| {
+            let p = PhyParams {
+                sf,
+                ..PhyParams::default()
+            };
+            let payload: Vec<u8> = (0..6).map(|_| rng.gen()).collect();
+            payloads.push((sf, payload.clone()));
+            let ppm = osc.sample_ppm(&mut rng);
+            Transmission {
+                waveform: PacketWaveform::new(p.samples_per_symbol(), packet_symbols(&p, &payload)),
+                channel: C64::ONE,
+                amplitude: db_to_lin(rng.gen_range(16.0..22.0)).sqrt(),
+                profile: osc.sample_profile(ppm, &mut rng),
+                start_sample: slot as f64,
+            }
+        })
+        .collect();
+    let samples = mix(
+        &txs,
+        slot + 60 * 512,
+        &MixConfig {
+            bw_hz: 125e3,
+            noise_power: 1.0,
+        },
+        &mut rng,
+    );
+    println!("\n5 clients on air simultaneously: SF7×2 (colliding), SF8×2 (colliding), SF9×1");
+
+    let lanes: Vec<SfLane> = [SpreadingFactor::Sf7, SpreadingFactor::Sf8, SpreadingFactor::Sf9]
+        .into_iter()
+        .map(|sf| {
+            let p = PhyParams {
+                sf,
+                ..PhyParams::default()
+            };
+            SfLane {
+                params: p,
+                num_data_symbols: choir::phy::frame::frame_symbol_count(&p, 6),
+            }
+        })
+        .collect();
+    let results = decode_multi_sf(&samples, slot, &lanes, ChoirConfig::default());
+
+    let mut total = 0;
+    for lane in &results {
+        println!("\nlane {:?}:", lane.sf);
+        for d in &lane.users {
+            if d.payload_ok() {
+                let payload = &d.frame.as_ref().unwrap().payload;
+                let matched = payloads.iter().any(|(sf, p)| *sf == lane.sf && p == payload);
+                println!(
+                    "  offset {:7.2} bins → {:02x?} {}",
+                    d.user.offset_bins,
+                    payload,
+                    if matched { "✔" } else { "(?)" }
+                );
+                total += matched as usize;
+            }
+        }
+    }
+    println!(
+        "\n{total}/5 packets recovered from one multi-SF pile-up \
+         (cross-SF energy raises each lane's noise floor — Sec. 5.2's scalability point)"
+    );
+    assert!(total >= 3);
+}
