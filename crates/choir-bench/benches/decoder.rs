@@ -2,33 +2,26 @@
 //! collision: offset estimation (Algorithm 1), phased SIC on one window,
 //! and the full packet decode.
 
+use choir_bench::harness::Bench;
 use choir_bench::two_user_scenario;
 use choir_core::decoder::ChoirDecoder;
 use choir_core::estimator::{EstimatorConfig, OffsetEstimator};
 use choir_core::sic::{phased_sic, SicConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
 
-fn bench_stages(c: &mut Criterion) {
+fn main() {
     let s = two_user_scenario(1);
     let n = s.params.samples_per_symbol();
     let est = OffsetEstimator::new(n, EstimatorConfig::default());
     let win = s.samples[s.slot_start + n..s.slot_start + 2 * n].to_vec();
 
-    c.bench_function("algorithm1_estimate_2users", |b| {
-        b.iter(|| est.estimate(&win))
-    });
-    c.bench_function("phased_sic_window_2users", |b| {
-        b.iter(|| phased_sic(&est, &win, &SicConfig::default()))
+    let mut b = Bench::group("decoder");
+    b.bench("algorithm1_estimate_2users", || est.estimate(&win));
+    b.bench("phased_sic_window_2users", || {
+        phased_sic(&est, &win, &SicConfig::default())
     });
 
     let dec = ChoirDecoder::new(s.params);
-    let mut g = c.benchmark_group("decode");
-    g.sample_size(10);
-    g.bench_function("full_packet_2users", |b| {
-        b.iter(|| dec.decode_known_len(&s.samples, s.slot_start, 8))
+    b.bench("full_packet_2users", || {
+        dec.decode_known_len(&s.samples, s.slot_start, 8)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_stages);
-criterion_main!(benches);

@@ -1,10 +1,12 @@
 //! Micro-benchmarks for the DSP substrate: the per-symbol operations the
 //! decoder's cost model is built from.
 
+// Bench binary: setup failures should abort loudly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use choir_bench::harness::Bench;
 use choir_dsp::complex::C64;
 use choir_dsp::fft::FftPlan;
 use choir_dsp::linalg::least_squares;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 fn tone(n: usize, f: f64) -> Vec<C64> {
     (0..n)
@@ -12,56 +14,54 @@ fn tone(n: usize, f: f64) -> Vec<C64> {
         .collect()
 }
 
-fn bench_fft(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fft");
+fn bench_fft(b: &mut Bench) {
     for &n in &[256usize, 1024, 2560usize] {
         let plan = FftPlan::new(n);
         let x = tone(n, 10.3);
-        g.bench_function(format!("forward_{n}"), |b| {
-            b.iter_batched(
-                || x.clone(),
-                |mut buf| plan.forward(&mut buf),
-                BatchSize::SmallInput,
-            )
+        b.bench(&format!("fft_forward_{n}"), || {
+            let mut buf = x.clone();
+            plan.forward(&mut buf);
+            buf
         });
     }
     // The paper's 10×-padded symbol transform (SF8).
     let plan = FftPlan::new(2560);
     let x = tone(256, 50.4);
-    g.bench_function("padded_10x_sf8", |b| b.iter(|| plan.forward_padded(&x)));
-    g.finish();
+    b.bench("fft_padded_10x_sf8", || plan.forward_padded(&x));
 }
 
-fn bench_least_squares(c: &mut Criterion) {
+fn bench_least_squares(b: &mut Bench) {
     let n = 256;
     let basis: Vec<Vec<C64>> = [10.2, 55.7, 130.4, 201.9]
         .iter()
         .map(|&f| tone(n, f))
         .collect();
-    let y: Vec<C64> = (0..n)
-        .map(|t| basis.iter().map(|b| b[t]).sum())
-        .collect();
-    c.bench_function("least_squares_4tones_256", |b| {
-        b.iter(|| least_squares(&basis, &y).unwrap())
+    let y: Vec<C64> = (0..n).map(|t| basis.iter().map(|b| b[t]).sum()).collect();
+    b.bench("least_squares_4tones_256", || {
+        least_squares(&basis, &y).expect("bench basis is well-conditioned")
     });
 }
 
-fn bench_modem(c: &mut Criterion) {
+fn bench_modem(b: &mut Bench) {
     let params = lora_phy::params::PhyParams::default();
     let modem = lora_phy::modem::Modem::new(params);
     let wave = modem.modulate(&[42u16; 16]);
-    c.bench_function("lora_demod_16_symbols_sf8", |b| {
-        b.iter(|| modem.demodulate(&wave, 0, 16))
+    b.bench("lora_demod_16_symbols_sf8", || {
+        modem.demodulate(&wave, 0, 16)
     });
     let payload = vec![0xA5u8; 16];
-    c.bench_function("lora_frame_encode_16B", |b| {
-        b.iter(|| lora_phy::frame::encode_frame(&params, &payload))
+    b.bench("lora_frame_encode_16B", || {
+        lora_phy::frame::encode_frame(&params, &payload)
     });
     let syms = lora_phy::frame::encode_frame(&params, &payload);
-    c.bench_function("lora_frame_decode_16B", |b| {
-        b.iter(|| lora_phy::frame::decode_frame(&params, &syms).unwrap())
+    b.bench("lora_frame_decode_16B", || {
+        lora_phy::frame::decode_frame(&params, &syms).expect("bench frame is valid")
     });
 }
 
-criterion_group!(benches, bench_fft, bench_least_squares, bench_modem);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::group("dsp_micro");
+    bench_fft(&mut b);
+    bench_least_squares(&mut b);
+    bench_modem(&mut b);
+}

@@ -1,0 +1,94 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! A deliberately small, zero-dependency replacement for criterion: each
+//! benchmark is warmed up, then run in timed batches until a target
+//! measurement window is filled, and the per-iteration median / mean /
+//! minimum are printed in criterion-like one-line reports. It makes no
+//! attempt at outlier analysis or HTML reports — it exists so
+//! `cargo bench` works in containers with no crates.io access.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock spent measuring one benchmark (after warm-up).
+const MEASURE_TARGET: Duration = Duration::from_millis(600);
+/// Target wall-clock spent warming one benchmark.
+const WARMUP_TARGET: Duration = Duration::from_millis(150);
+/// Number of timed batches the measurement window is split into.
+const BATCHES: usize = 30;
+
+/// A named collection of benchmarks, printed as one report.
+pub struct Bench {
+    group: String,
+}
+
+impl Bench {
+    /// Starts a benchmark group with a header line.
+    pub fn group(name: &str) -> Self {
+        println!("## bench group: {name}");
+        Bench {
+            group: name.to_string(),
+        }
+    }
+
+    /// Times `f`, which is run repeatedly and must return a value that is
+    /// `black_box`ed to keep the optimiser honest.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        // Warm-up: also discovers how many iterations fit in one batch.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_TARGET {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = WARMUP_TARGET.as_secs_f64() / warm_iters.max(1) as f64;
+        let batch_iters =
+            ((MEASURE_TARGET.as_secs_f64() / BATCHES as f64 / per_iter).ceil() as u64).max(1);
+
+        let mut batch_ns: Vec<f64> = Vec::with_capacity(BATCHES);
+        for _ in 0..BATCHES {
+            let t = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(f());
+            }
+            batch_ns.push(t.elapsed().as_nanos() as f64 / batch_iters as f64);
+        }
+        batch_ns.sort_by(f64::total_cmp);
+        let median = batch_ns[batch_ns.len() / 2];
+        let min = batch_ns[0];
+        let mean = batch_ns.iter().sum::<f64>() / batch_ns.len() as f64;
+        println!(
+            "{group}/{name:<32} median {m} mean {a} min {lo}  ({batch_iters} iters x {BATCHES} batches)",
+            group = self.group,
+            m = fmt_ns(median),
+            a = fmt_ns(mean),
+            lo = fmt_ns(min),
+        );
+    }
+}
+
+/// Formats a nanosecond quantity with an adaptive unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:8.2} s ", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fmt_ns;
+
+    #[test]
+    fn unit_scaling() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(12_000.0).contains("µs"));
+        assert!(fmt_ns(12_000_000.0).contains("ms"));
+        assert!(fmt_ns(12_000_000_000.0).contains('s'));
+    }
+}

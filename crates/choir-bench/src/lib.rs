@@ -1,17 +1,22 @@
 //! # choir-bench — benchmark harness
 //!
-//! Criterion micro-benchmarks for the hot DSP/decoder paths, plus the
+//! Micro-benchmarks for the hot DSP/decoder paths, plus the
 //! figure-regeneration harness: `cargo bench -p choir-bench` times the
 //! pipeline stages and prints every paper figure and ablation table (the
 //! `figures` bench target runs each experiment once at Quick scale; use
 //! `cargo run --release -p choir-testbed --bin figures -- all --full` for
 //! paper-scale trial counts).
+//!
+//! Timing uses the in-repo [`harness`] module rather than criterion so the
+//! workspace builds with zero crates.io dependencies (offline containers).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use choir_channel::impairments::HardwareProfile;
 use choir_channel::scenario::{CollisionScenario, ScenarioBuilder};
 use lora_phy::params::PhyParams;
+
+pub mod harness;
 
 /// A standard two-user collision used by several benches.
 pub fn two_user_scenario(seed: u64) -> CollisionScenario {

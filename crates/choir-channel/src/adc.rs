@@ -80,6 +80,8 @@ impl Adc {
     }
 }
 
+// Tests assert on exactly-representable values (0.0, bin centres).
+#[allow(clippy::float_cmp)]
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,7 +107,10 @@ mod tests {
         let adc = Adc::n210(1.0);
         let q = adc.step();
         for i in 0..1000 {
-            let x = c64((i as f64 / 500.0) - 1.0, ((i * 7 % 1000) as f64 / 500.0) - 1.0);
+            let x = c64(
+                (i as f64 / 500.0) - 1.0,
+                ((i * 7 % 1000) as f64 / 500.0) - 1.0,
+            );
             let y = adc.convert(x);
             assert!((x.re - y.re).abs() <= q / 2.0 + 1e-15);
             assert!((x.im - y.im).abs() <= q / 2.0 + 1e-15);
@@ -125,13 +130,20 @@ mod tests {
         // usable structure: correlation against the clean signal is tiny.
         let adc = Adc::n210(1.0);
         let weak_amp = 1e-5; // −100 dBFS
-        let clean: Vec<C64> = (0..4096).map(|i| C64::cis(0.05 * i as f64).scale(weak_amp)).collect();
+        let clean: Vec<C64> = (0..4096)
+            .map(|i| C64::cis(0.05 * i as f64).scale(weak_amp))
+            .collect();
         let quant: Vec<C64> = clean.iter().map(|&v| adc.convert(v)).collect();
         // Every quantised sample sits in one of the four cells adjacent to
         // zero (mid-rise has no zero code) — no amplitude structure left.
         let distinct: std::collections::HashSet<(i64, i64)> = quant
             .iter()
-            .map(|z| ((z.re / adc.step()).floor() as i64, (z.im / adc.step()).floor() as i64))
+            .map(|z| {
+                (
+                    (z.re / adc.step()).floor() as i64,
+                    (z.im / adc.step()).floor() as i64,
+                )
+            })
             .collect();
         assert!(distinct.len() <= 4, "codes used: {}", distinct.len());
         for (a, b) in &distinct {

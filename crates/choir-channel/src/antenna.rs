@@ -52,6 +52,8 @@ pub fn min_pairwise_separation(channels: &[Vec<C64>]) -> f64 {
     min_sep
 }
 
+// Tests assert on exactly-representable values (0.0, bin centres).
+#[allow(clippy::float_cmp)]
 #[cfg(test)]
 mod tests {
     use super::*;

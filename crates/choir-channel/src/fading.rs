@@ -59,8 +59,7 @@ impl Fading {
                 let los_amp = (k / (k + 1.0)).sqrt();
                 let scat = (1.0 / (k + 1.0)).sqrt() * std::f64::consts::FRAC_1_SQRT_2;
                 let phase = rng.gen_range(0.0..std::f64::consts::TAU);
-                C64::cis(phase).scale(los_amp)
-                    + c64(gaussian(rng) * scat, gaussian(rng) * scat)
+                C64::cis(phase).scale(los_amp) + c64(gaussian(rng) * scat, gaussian(rng) * scat)
             }
         }
     }
@@ -121,15 +120,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(17);
         let n = 50_000;
         let k = 10.0;
-        let samples: Vec<C64> = (0..n).map(|_| Fading::Rician { k }.sample(&mut rng)).collect();
+        let samples: Vec<C64> = (0..n)
+            .map(|_| Fading::Rician { k }.sample(&mut rng))
+            .collect();
         let p: f64 = samples.iter().map(|h| h.norm_sqr()).sum::<f64>() / n as f64;
         assert!((p - 1.0).abs() < 0.03, "power {p}");
         // High K → magnitudes concentrate near 1 (less variance than Rayleigh).
-        let var_mag: f64 = samples
-            .iter()
-            .map(|h| (h.abs() - 1.0).powi(2))
-            .sum::<f64>()
-            / n as f64;
+        let var_mag: f64 = samples.iter().map(|h| (h.abs() - 1.0).powi(2)).sum::<f64>() / n as f64;
         assert!(var_mag < 0.1, "magnitude variance {var_mag}");
     }
 
@@ -152,7 +149,10 @@ mod tests {
         let mut a = StdRng::seed_from_u64(42);
         let mut b = StdRng::seed_from_u64(42);
         for _ in 0..100 {
-            assert_eq!(Fading::Rayleigh.sample(&mut a), Fading::Rayleigh.sample(&mut b));
+            assert_eq!(
+                Fading::Rayleigh.sample(&mut a),
+                Fading::Rayleigh.sample(&mut b)
+            );
         }
     }
 }

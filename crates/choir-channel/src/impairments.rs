@@ -117,10 +117,13 @@ impl HardwareProfile {
     /// The fractional part of the aggregate shift, in `[0, 1)` — the
     /// user-identifying feature of Sec. 4.
     pub fn fractional_shift(&self, bin_hz: f64, chips_per_symbol: usize) -> f64 {
-        self.aggregate_shift_bins(bin_hz, chips_per_symbol).rem_euclid(1.0)
+        self.aggregate_shift_bins(bin_hz, chips_per_symbol)
+            .rem_euclid(1.0)
     }
 }
 
+// Tests assert on exactly-representable values (0.0, bin centres).
+#[allow(clippy::float_cmp)]
 #[cfg(test)]
 mod tests {
     use super::*;

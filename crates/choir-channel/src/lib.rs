@@ -20,7 +20,7 @@
 //! * [`scenario`] — one-call collision synthesis with ground truth;
 //! * [`antenna`] — multi-antenna channels for the MU-MIMO baseline.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod adc;
 pub mod antenna;

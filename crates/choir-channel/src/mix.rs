@@ -152,8 +152,8 @@ pub fn mix_array<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lora_phy::chirp::base_downchirp;
     use choir_dsp::fft::fft;
+    use lora_phy::chirp::base_downchirp;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -322,10 +322,7 @@ mod tests {
                 choir_dsp::peaks::find_peaks(&spec, &choir_dsp::peaks::PeakConfig::default());
             positions.push(peaks[0].pos);
         }
-        let spread = positions
-            .iter()
-            .cloned()
-            .fold(f64::MIN, f64::max)
+        let spread = positions.iter().cloned().fold(f64::MIN, f64::max)
             - positions.iter().cloned().fold(f64::MAX, f64::min);
         assert!(spread > 0.0, "jitter should move the peak a little");
         assert!(spread < 0.5, "jitter too large: {spread} bins");

@@ -137,7 +137,11 @@ impl ScenarioBuilder {
 
     /// Renders the scenario.
     pub fn build(self) -> CollisionScenario {
-        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1));
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(1),
+        );
         let n = self.params.samples_per_symbol();
         let slot_start = self.guard_symbols * n;
 
@@ -243,7 +247,9 @@ mod tests {
 
     #[test]
     fn distinct_payloads_by_default() {
-        let s = ScenarioBuilder::new(params()).snrs_db(&[10.0, 10.0]).build();
+        let s = ScenarioBuilder::new(params())
+            .snrs_db(&[10.0, 10.0])
+            .build();
         assert_ne!(s.users[0].payload, s.users[1].payload);
     }
 
@@ -257,8 +263,7 @@ mod tests {
             .seed(4)
             .build();
         let m = Modem::new(s.params);
-        let out =
-            lora_phy::detect::decode_packet(&s.samples, &m, s.slot_start, 300).unwrap();
+        let out = lora_phy::detect::decode_packet(&s.samples, &m, s.slot_start, 300).unwrap();
         assert_eq!(out.payload, s.users[0].payload);
     }
 

@@ -63,8 +63,7 @@ impl Track {
             let (w0, c0) = &pair[0];
             let (w1, c1) = &pair[1];
             if w1 - w0 == 1 {
-                let d = (c1.channel.arg() - c0.channel.arg())
-                    .rem_euclid(std::f64::consts::TAU);
+                let d = (c1.channel.arg() - c0.channel.arg()).rem_euclid(std::f64::consts::TAU);
                 diffs.push(d);
             }
         }
@@ -196,6 +195,8 @@ pub fn assign_components(
         .collect()
 }
 
+// Tests assert on exactly-representable values (0.0, bin centres).
+#[allow(clippy::float_cmp)]
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,7 +216,7 @@ mod tests {
     #[test]
     fn circular_mean_handles_wrap() {
         let m = circular_mean(&[0.05, 0.95], 1.0);
-        assert!(m < 0.02 || m > 0.98, "mean {m}");
+        assert!(!(0.02..=0.98).contains(&m), "mean {m}");
         let m2 = circular_mean(&[10.0, 12.0], 128.0);
         assert!((m2 - 11.0).abs() < 1e-9);
     }
@@ -261,7 +262,7 @@ mod tests {
         let tracks = merge_tracks(&windows, 128, 0.3, 4);
         assert_eq!(tracks.len(), 1);
         let p = tracks[0].pos_bins;
-        assert!(p < 0.1 || p > 127.9, "pos {p}");
+        assert!(!(0.1..=127.9).contains(&p), "pos {p}");
     }
 
     #[test]
@@ -293,8 +294,14 @@ mod tests {
     #[test]
     fn assignment_by_fractional_part() {
         let users = [
-            UserSignature { frac: 0.30, mag: 1.0 },
-            UserSignature { frac: 0.71, mag: 0.5 },
+            UserSignature {
+                frac: 0.30,
+                mag: 1.0,
+            },
+            UserSignature {
+                frac: 0.71,
+                mag: 0.5,
+            },
         ];
         // Data moved the integer parts; fractional parts identify owners.
         let comps = [comp(17.31, 1.02), comp(95.70, 0.48)];
@@ -304,7 +311,10 @@ mod tests {
 
     #[test]
     fn unmatched_component_gets_none() {
-        let users = [UserSignature { frac: 0.2, mag: 1.0 }];
+        let users = [UserSignature {
+            frac: 0.2,
+            mag: 1.0,
+        }];
         let comps = [comp(50.55, 1.0)]; // frac 0.55: too far from 0.2
         let got = assign_components(&users, &comps, &AssignConfig::default());
         assert_eq!(got, vec![None]);
@@ -315,8 +325,14 @@ mod tests {
         // Both users share (nearly) the same fractional offset; magnitude
         // decides.
         let users = [
-            UserSignature { frac: 0.50, mag: 2.0 },
-            UserSignature { frac: 0.52, mag: 0.2 },
+            UserSignature {
+                frac: 0.50,
+                mag: 2.0,
+            },
+            UserSignature {
+                frac: 0.52,
+                mag: 0.2,
+            },
         ];
         let comps = [comp(80.51, 0.21)];
         let cfg = AssignConfig {
@@ -329,7 +345,10 @@ mod tests {
 
     #[test]
     fn user_may_own_two_isi_peaks() {
-        let users = [UserSignature { frac: 0.4, mag: 1.0 }];
+        let users = [UserSignature {
+            frac: 0.4,
+            mag: 1.0,
+        }];
         let comps = [comp(20.4, 0.8), comp(93.4, 0.25)]; // head + tail
         let got = assign_components(&users, &comps, &AssignConfig::default());
         assert_eq!(got, vec![Some(0), Some(0)]);

@@ -26,6 +26,7 @@ use lora_phy::frame::{decode_frame, DecodedFrame, SYNC_SYMBOLS};
 use lora_phy::params::PhyParams;
 
 use crate::cluster::circular_dist;
+use crate::error::DecodeError;
 use crate::estimator::{EstimatorConfig, OffsetEstimator};
 use crate::sic::{phased_sic, SicConfig};
 
@@ -134,6 +135,8 @@ pub struct DecodedUser {
     pub erasures: usize,
     /// Frame-level decode of the symbol stream, when structurally valid.
     pub frame: Option<DecodedFrame>,
+    /// Why the frame chain failed, when `frame` is `None`.
+    pub frame_error: Option<DecodeError>,
 }
 
 impl DecodedUser {
@@ -183,6 +186,9 @@ impl ChoirDecoder {
     /// Stage 1+2: discovers colliding users from the preamble (Sec. 5) and
     /// splits each user's aggregate offset into timing and CFO (Sec. 6).
     pub fn discover_users(&self, samples: &[C64], slot_start: usize) -> Vec<UserEstimate> {
+        // Debug sanitizer at the pipeline mouth: corrupt IQ in means every
+        // later stage fails confusingly; fail here with the right label.
+        choir_dsp::checks::assert_finite("decoder::discover_users input", samples);
         let p = self.params.preamble_len;
         let n = self.est.n();
         let mut per_window = Vec::new();
@@ -199,12 +205,8 @@ impl ChoirDecoder {
             return Vec::new();
         }
         let min_support = (per_window.len() / 2).max(2).min(per_window.len());
-        let tracks = crate::cluster::merge_tracks(
-            &per_window,
-            n,
-            ChoirConfig::TRACK_TOL_BINS,
-            min_support,
-        );
+        let tracks =
+            crate::cluster::merge_tracks(&per_window, n, ChoirConfig::TRACK_TOL_BINS, min_support);
         let mut users: Vec<UserEstimate> = tracks
             .into_iter()
             .map(|t| UserEstimate {
@@ -236,8 +238,7 @@ impl ChoirDecoder {
             for _ in 0..2 {
                 u.offset_bins = self.refine_offset_aligned(samples, slot_start, u);
                 u.frac = u.offset_bins.fract();
-                u.timing_chips =
-                    self.refine_timing(samples, slot_start, u, u.timing_chips);
+                u.timing_chips = self.refine_timing(samples, slot_start, u, u.timing_chips);
             }
         }
         users
@@ -382,8 +383,7 @@ impl ChoirDecoder {
             }
         }
         let (lo, hi) = (best.0 - 0.125, best.0 + 0.125);
-        let (x, neg_s) =
-            choir_dsp::optim::golden_section(|d| -score(d), lo.max(0.0), hi, 5e-3);
+        let (x, neg_s) = choir_dsp::optim::golden_section(|d| -score(d), lo.max(0.0), hi, 5e-3);
         if -neg_s >= best.1 {
             x
         } else {
@@ -451,6 +451,7 @@ impl ChoirDecoder {
             }
             let score = (pre.abs() + post.abs()).powi(2);
             if score > top[2].1 {
+                // lint:allow(lossy_cast) — s ranges over 0..2^SF ≤ 4096, fits u16
                 top[2] = (s as u16, score);
                 if top[2].1 > top[1].1 {
                     top.swap(1, 2);
@@ -482,7 +483,15 @@ impl ChoirDecoder {
         timing_chips: f64,
         cfo_bins: f64,
     ) {
-        self.subtract_symbol_tracked(work, None, slot_start, sym_idx, value, timing_chips, cfo_bins)
+        self.subtract_symbol_tracked(
+            work,
+            None,
+            slot_start,
+            sym_idx,
+            value,
+            timing_chips,
+            cfo_bins,
+        )
     }
 
     /// [`Self::subtract_symbol`] with optional contribution tracking.
@@ -519,30 +528,31 @@ impl ChoirDecoder {
         // Independent per-segment gains absorb it exactly.
         let wrap_global = start + (n - value as usize) as f64;
         let wrap = (wrap_global.ceil().max(first as f64) as usize).min(last);
-        let subtract_segment = |lo: usize, hi: usize, work: &mut [C64], contrib: &mut Option<&mut [C64]>| {
-            if hi <= lo {
-                return;
-            }
-            let num: C64 = work[lo..hi]
-                .iter()
-                .zip(&template[lo - first..hi - first])
-                .map(|(y, t)| y * t.conj())
-                .sum();
-            let den: f64 = template[lo - first..hi - first]
-                .iter()
-                .map(|t| t.norm_sqr())
-                .sum();
-            if den <= 1e-12 {
-                return;
-            }
-            let g = num / den;
-            for (i, t) in (lo..hi).zip(&template[lo - first..hi - first]) {
-                work[i] -= g * t;
-                if let Some(c) = contrib.as_deref_mut() {
-                    c[i] += g * t;
+        let subtract_segment =
+            |lo: usize, hi: usize, work: &mut [C64], contrib: &mut Option<&mut [C64]>| {
+                if hi <= lo {
+                    return;
                 }
-            }
-        };
+                let num: C64 = work[lo..hi]
+                    .iter()
+                    .zip(&template[lo - first..hi - first])
+                    .map(|(y, t)| y * t.conj())
+                    .sum();
+                let den: f64 = template[lo - first..hi - first]
+                    .iter()
+                    .map(|t| t.norm_sqr())
+                    .sum();
+                if den <= 1e-12 {
+                    return;
+                }
+                let g = num / den;
+                for (i, t) in (lo..hi).zip(&template[lo - first..hi - first]) {
+                    work[i] -= g * t;
+                    if let Some(c) = contrib.as_deref_mut() {
+                        c[i] += g * t;
+                    }
+                }
+            };
         subtract_segment(first, wrap, work, &mut contrib);
         subtract_segment(wrap, last, work, &mut contrib);
     }
@@ -576,14 +586,7 @@ impl ChoirDecoder {
                     work[lo..hi].to_vec()
                 };
                 // subtract_symbol indexes globally; rebase to the slice.
-                self.subtract_symbol(
-                    &mut probe_buf,
-                    0,
-                    0,
-                    symbols[sym_idx],
-                    timing_chips,
-                    cfo,
-                );
+                self.subtract_symbol(&mut probe_buf, 0, 0, symbols[sym_idx], timing_chips, cfo);
                 total += probe_buf
                     .iter()
                     .take(n + timing_chips.ceil() as usize)
@@ -592,12 +595,8 @@ impl ChoirDecoder {
             }
             total
         };
-        let (best, _) = choir_dsp::optim::golden_section(
-            score,
-            cfo_init - 0.15,
-            cfo_init + 0.15,
-            1e-4,
-        );
+        let (best, _) =
+            choir_dsp::optim::golden_section(score, cfo_init - 0.15, cfo_init + 0.15, 1e-4);
         best
     }
 
@@ -666,6 +665,32 @@ impl ChoirDecoder {
         self.decode_with_users(samples, slot_start, num_data_symbols, users)
     }
 
+    /// Fallible variant of [`Self::decode`]: reports *why* nothing could be
+    /// decoded (truncated slot, silent preamble) instead of returning an
+    /// empty list.
+    pub fn try_decode(
+        &self,
+        samples: &[C64],
+        slot_start: usize,
+        num_data_symbols: usize,
+    ) -> Result<Vec<DecodedUser>, DecodeError> {
+        let n = self.est.n();
+        let total_syms = self.params.preamble_len + 2 + num_data_symbols;
+        let needed = slot_start + total_syms * n;
+        if samples.len() < needed {
+            return Err(DecodeError::TruncatedSlot {
+                symbol: samples.len().saturating_sub(slot_start) / n,
+                needed,
+                available: samples.len(),
+            });
+        }
+        let users = self.discover_users(samples, slot_start);
+        if users.is_empty() {
+            return Err(DecodeError::NoUsersFound);
+        }
+        Ok(self.decode_with_users(samples, slot_start, num_data_symbols, users))
+    }
+
     /// [`Self::decode`] with externally supplied user estimates (used by
     /// experiments that sweep discovery settings separately).
     pub fn decode_with_users(
@@ -732,10 +757,8 @@ impl ChoirDecoder {
                     *w += *c;
                 }
                 contribs[uidx].iter_mut().for_each(|c| *c = C64::ZERO);
-                let (ref mut user, ref mut decisions, ref mut symbols, ref mut erasures) =
-                    *state;
-                let (decs, eras) =
-                    self.acquire_and_demod(&work, slot_start, user, total_syms);
+                let (ref mut user, ref mut decisions, ref mut symbols, ref mut erasures) = *state;
+                let (decs, eras) = self.acquire_and_demod(&work, slot_start, user, total_syms);
                 *decisions = decs;
                 *symbols = decisions.iter().map(|d| d.value()).collect();
                 *erasures = eras;
@@ -769,7 +792,16 @@ impl ChoirDecoder {
                 .count();
             let preamble_errors = symbols[..p].iter().filter(|&&v| v != 0).count();
             let mut data: Vec<u16> = symbols[p + 2..].to_vec();
-            let mut frame = decode_frame(&self.params, &data).ok();
+            let (mut frame, mut frame_error) = match decode_frame(&self.params, &data) {
+                Ok(f) => (Some(f), None),
+                Err(source) => (
+                    None,
+                    Some(DecodeError::Frame {
+                        offset_bins: user.offset_bins,
+                        source,
+                    }),
+                ),
+            };
             let crc_ok = frame.as_ref().map(|f| f.crc_ok).unwrap_or(false);
             if !crc_ok {
                 // CRC-guided list decoding: in dense collisions, residual
@@ -781,6 +813,7 @@ impl ChoirDecoder {
                 {
                     data = fixed_data;
                     frame = Some(fixed_frame);
+                    frame_error = None;
                 }
             }
             if self.cfg.require_sync && (sync_errors > 0 || preamble_errors > p / 2) {
@@ -792,6 +825,7 @@ impl ChoirDecoder {
                 sync_errors,
                 erasures,
                 frame,
+                frame_error,
             });
         }
         dedup_ghosts(decoded)
@@ -927,8 +961,8 @@ pub fn reconstruct_stream(cands: &[Vec<(u16, f64)>], total_syms: usize) -> (Vec<
     // The preamble ends with value 0 (its chirps sit exactly at the user's
     // offset), so the tail bleeding into the first sync window reads as 0.
     let mut prev: u16 = 0;
-    for k in 0..total_syms {
-        let mut sorted = cands[k].clone();
+    for cand in &cands[..total_syms] {
+        let mut sorted = cand.clone();
         sorted.sort_by(|a, b| b.1.total_cmp(&a.1));
         let fresh = sorted.iter().find(|(v, _)| *v != prev);
         let value = match fresh {
@@ -982,7 +1016,12 @@ mod tests {
         let mut payloads: Vec<Vec<u8>> = out
             .iter()
             .map(|d| {
-                assert!(d.payload_ok(), "sync_errors {} erasures {}", d.sync_errors, d.erasures);
+                assert!(
+                    d.payload_ok(),
+                    "sync_errors {} erasures {}",
+                    d.sync_errors,
+                    d.erasures
+                );
                 d.frame.as_ref().unwrap().payload.clone()
             })
             .collect();
@@ -994,9 +1033,8 @@ mod tests {
 
     #[test]
     fn offsets_estimated_accurately() {
-        let truth_shift = |p: &HardwareProfile| {
-            p.aggregate_shift_bins(125e3 / 256.0, 256).rem_euclid(256.0)
-        };
+        let truth_shift =
+            |p: &HardwareProfile| p.aggregate_shift_bins(125e3 / 256.0, 256).rem_euclid(256.0);
         let p1 = profile(5.37, 0.05);
         let p2 = profile(-3.21, 0.4);
         let s = ScenarioBuilder::new(params())
@@ -1045,7 +1083,10 @@ mod tests {
                     )
                 })
                 .fold(f64::INFINITY, f64::min);
-            assert!(best < 0.15, "fractional timing error {best} for truth {truth_chips}");
+            assert!(
+                best < 0.15,
+                "fractional timing error {best} for truth {truth_chips}"
+            );
         }
     }
 
@@ -1124,7 +1165,12 @@ mod tests {
         let out = dec.decode_known_len(&s.samples, s.slot_start, 9);
         assert_eq!(out.len(), 2);
         for d in &out {
-            assert!(d.payload_ok(), "sync {} erasures {}", d.sync_errors, d.erasures);
+            assert!(
+                d.payload_ok(),
+                "sync {} erasures {}",
+                d.sync_errors,
+                d.erasures
+            );
         }
     }
 
@@ -1154,12 +1200,12 @@ mod tests {
     fn reconstruct_stream_dedups_and_repeats() {
         // Simulated candidates: symbol sequence 24, 48, 7, 7, 9 with tails.
         let cands = vec![
-            vec![(24u16, 1.0), (0u16, 0.4)],  // sync1 head + preamble tail
-            vec![(48, 1.0), (24, 0.4)],       // sync2 + tail of sync1
-            vec![(7, 1.0), (48, 0.4)],        // data 7 + tail
-            vec![(7, 1.0)],                   // repeat 7: merged single peak
-            vec![(9, 1.0), (7, 0.4)],         // data 9 + tail of the repeat
-            vec![(9, 0.4)],                   // trailing tail window
+            vec![(24u16, 1.0), (0u16, 0.4)], // sync1 head + preamble tail
+            vec![(48, 1.0), (24, 0.4)],      // sync2 + tail of sync1
+            vec![(7, 1.0), (48, 0.4)],       // data 7 + tail
+            vec![(7, 1.0)],                  // repeat 7: merged single peak
+            vec![(9, 1.0), (7, 0.4)],        // data 9 + tail of the repeat
+            vec![(9, 0.4)],                  // trailing tail window
         ];
         let (syms, erasures) = reconstruct_stream(&cands, 5);
         assert_eq!(syms, vec![24, 48, 7, 7, 9]);

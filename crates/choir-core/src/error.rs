@@ -1,0 +1,118 @@
+//! Typed failures for the Choir decoding pipeline.
+//!
+//! Historically the pipeline signalled failure with `Option`s and bare
+//! `unwrap()`s; this module gives every failure mode a variant that names
+//! *where* in the pipeline it happened — which symbol window, which SIC
+//! phase, which user — so callers (and panic messages in experiments) can
+//! distinguish "the slot was truncated" from "the fit went singular".
+
+use lora_phy::frame::FrameError;
+
+/// Why a stage of the Choir pipeline could not produce a result.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DecodeError {
+    /// The sample buffer ended before the window for symbol `symbol`
+    /// (0 = first preamble symbol) could be extracted.
+    TruncatedSlot {
+        /// Index of the first symbol whose window ran past the buffer.
+        symbol: usize,
+        /// Samples the full slot needs, measured from the buffer start.
+        needed: usize,
+        /// Samples actually available.
+        available: usize,
+    },
+    /// The joint least-squares system of Eqn. 2 was singular — typically
+    /// two hypothesised tone frequencies collapsed onto each other.
+    SingularFit {
+        /// Number of components in the failed joint fit.
+        components: usize,
+    },
+    /// A SIC phase made no progress: substantial residual power remained
+    /// but no further peaks cleared the detection threshold.
+    SicStalled {
+        /// Zero-based phase index that stalled.
+        sic_phase: usize,
+        /// Residual power at the stall, relative to the input window power.
+        relative_residual: f64,
+    },
+    /// No users were discovered in the slot's preamble region.
+    NoUsersFound,
+    /// A user's recovered symbol stream failed the frame chain.
+    Frame {
+        /// Aggregate offset (in bins) of the user whose frame failed,
+        /// identifying it among the collision's participants.
+        offset_bins: f64,
+        /// The frame-layer failure.
+        source: FrameError,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::TruncatedSlot {
+                symbol,
+                needed,
+                available,
+            } => write!(
+                f,
+                "slot truncated at symbol {symbol}: need {needed} samples, have {available}"
+            ),
+            DecodeError::SingularFit { components } => {
+                write!(f, "singular least-squares fit over {components} components")
+            }
+            DecodeError::SicStalled {
+                sic_phase,
+                relative_residual,
+            } => write!(
+                f,
+                "SIC stalled at phase {sic_phase} with relative residual {relative_residual:.3e}"
+            ),
+            DecodeError::NoUsersFound => write!(f, "no users discovered in preamble"),
+            DecodeError::Frame {
+                offset_bins,
+                source,
+            } => write!(f, "user at offset {offset_bins:.2} bins: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DecodeError::Frame { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failing_stage() {
+        let e = DecodeError::TruncatedSlot {
+            symbol: 9,
+            needed: 2048,
+            available: 1500,
+        };
+        assert!(e.to_string().contains("symbol 9"));
+        let e = DecodeError::SicStalled {
+            sic_phase: 2,
+            relative_residual: 0.25,
+        };
+        assert!(e.to_string().contains("phase 2"));
+    }
+
+    #[test]
+    fn frame_variant_exposes_source() {
+        use std::error::Error;
+        let e = DecodeError::Frame {
+            offset_bins: 17.25,
+            source: FrameError::BadHeader,
+        };
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("17.25"));
+    }
+}

@@ -9,6 +9,8 @@
 //! locally convex (Fig. 4), so cyclic coordinate descent with a shrinking
 //! bracket converges quickly; multi-start guards against side-lobe minima.
 
+use crate::error::DecodeError;
+use choir_dsp::checks;
 use choir_dsp::complex::C64;
 use choir_dsp::fft::FftPlan;
 use choir_dsp::linalg::{least_squares, residual_energy};
@@ -135,11 +137,15 @@ impl OffsetEstimator {
     /// Dechirps a window (must be exactly `n` samples).
     pub fn dechirp(&self, window: &[C64]) -> Vec<C64> {
         assert_eq!(window.len(), self.n, "dechirp: wrong window length");
-        window
+        let out: Vec<C64> = window
             .iter()
             .zip(&self.downchirp)
             .map(|(a, b)| a * b)
-            .collect()
+            .collect();
+        // Debug sanitizer: the dechirped window feeds every later stage;
+        // a NaN here means corrupt input samples, not a pipeline bug.
+        checks::assert_finite("estimator::dechirp", &out);
+        out
     }
 
     /// Zero-padded spectrum of a dechirped window.
@@ -166,17 +172,33 @@ impl OffsetEstimator {
     /// too close together make the system singular; in that case the
     /// residual is reported as the full signal energy (worst possible fit).
     pub fn fit(&self, dechirped: &[C64], freqs: &[f64]) -> (Vec<C64>, f64) {
+        match self.try_fit(dechirped, freqs) {
+            Ok(out) => out,
+            Err(_) => (
+                vec![C64::ZERO; freqs.len()],
+                choir_dsp::complex::energy(dechirped),
+            ),
+        }
+    }
+
+    /// Fallible form of [`Self::fit`]: a singular system yields a typed
+    /// [`DecodeError::SingularFit`] naming the component count instead of
+    /// the worst-possible-residual fallback.
+    pub fn try_fit(
+        &self,
+        dechirped: &[C64],
+        freqs: &[f64],
+    ) -> Result<(Vec<C64>, f64), DecodeError> {
         assert!(!freqs.is_empty(), "fit: need at least one tone");
         let basis: Vec<Vec<C64>> = freqs.iter().map(|&f| self.basis(f)).collect();
         match least_squares(&basis, dechirped) {
             Some(channels) => {
                 let r = residual_energy(&basis, &channels, dechirped);
-                (channels, r)
+                Ok((channels, r))
             }
-            None => (
-                vec![C64::ZERO; freqs.len()],
-                choir_dsp::complex::energy(dechirped),
-            ),
+            None => Err(DecodeError::SingularFit {
+                components: freqs.len(),
+            }),
         }
     }
 
@@ -261,8 +283,13 @@ impl OffsetEstimator {
             }
             let base = self.basis(comps[idx].freq_bins);
             let target = &resid;
-            let tone_only = least_squares(&[base.clone()], target)
-                .map(|h| (h[0], residual_energy(&[base.clone()], &[h[0]], target)))
+            let tone_only = least_squares(std::slice::from_ref(&base), target)
+                .map(|h| {
+                    (
+                        h[0],
+                        residual_energy(std::slice::from_ref(&base), &[h[0]], target),
+                    )
+                })
                 .unwrap_or((comps[idx].channel, f64::INFINITY));
             let mut best: (C64, Option<Step>, f64) = (tone_only.0, None, tone_only.1);
             if self.cfg.fit_steps {
@@ -310,8 +337,10 @@ impl OffsetEstimator {
                         }
                         c_b += fine_step;
                     }
-                    // Final single-chip resolution around the fine winner.
-                    let centre = best_step.as_ref().unwrap().1.boundary;
+                    // Final single-chip resolution around the fine winner
+                    // (falls back to the coarse centre if the fine sweep
+                    // somehow emptied the candidate, which cannot happen).
+                    let centre = best_step.as_ref().map_or(centre, |b| b.1.boundary);
                     for c_b in centre.saturating_sub(fine_step)..=(centre + fine_step).min(n - 1) {
                         if let Some(cand) = try_boundary(c_b) {
                             if best_step.as_ref().map(|b| cand.2 < b.2).unwrap_or(true) {
@@ -377,11 +406,7 @@ impl OffsetEstimator {
                     }
                     m
                 };
-                let corrected: Vec<C64> = de
-                    .iter()
-                    .zip(&steps_model)
-                    .map(|(d, s)| d - s)
-                    .collect();
+                let corrected: Vec<C64> = de.iter().zip(&steps_model).map(|(d, s)| d - s).collect();
                 let freqs: Vec<f64> = comps.iter().map(|c| c.freq_bins).collect();
                 let objective = |f: &[f64]| self.fit(&corrected, f).1;
                 let opt = cyclic_coordinate_descent(
@@ -487,8 +512,16 @@ mod tests {
         let mut comps = e.estimate(&w);
         assert_eq!(comps.len(), 2);
         comps.sort_by(|a, b| a.freq_bins.total_cmp(&b.freq_bins));
-        assert!((comps[0].freq_bins - f1).abs() < 2e-3, "f1 {}", comps[0].freq_bins);
-        assert!((comps[1].freq_bins - f2).abs() < 2e-3, "f2 {}", comps[1].freq_bins);
+        assert!(
+            (comps[0].freq_bins - f1).abs() < 2e-3,
+            "f1 {}",
+            comps[0].freq_bins
+        );
+        assert!(
+            (comps[1].freq_bins - f2).abs() < 2e-3,
+            "f2 {}",
+            comps[1].freq_bins
+        );
         assert!((comps[0].channel - h1).abs() < 5e-3);
         assert!((comps[1].channel - h2).abs() < 5e-3);
     }
@@ -526,7 +559,10 @@ mod tests {
         let refined = e.refine(&w, &[coarse[0].pos]);
         let coarse_err = (coarse[0].pos - truth).abs();
         let fine_err = (refined[0].freq_bins - truth).abs();
-        assert!(fine_err < coarse_err, "fine {fine_err} vs coarse {coarse_err}");
+        assert!(
+            fine_err < coarse_err,
+            "fine {fine_err} vs coarse {coarse_err}"
+        );
         assert!(fine_err < 1e-3);
     }
 
@@ -563,11 +599,7 @@ mod tests {
         let w = chirp_with_offset(25.68, c64(0.7, -0.4));
         let comps = e.estimate(&w);
         let recon = e.reconstruct(&comps);
-        let resid: f64 = w
-            .iter()
-            .zip(&recon)
-            .map(|(a, b)| (a - b).norm_sqr())
-            .sum();
+        let resid: f64 = w.iter().zip(&recon).map(|(a, b)| (a - b).norm_sqr()).sum();
         let orig: f64 = w.iter().map(|z| z.norm_sqr()).sum();
         assert!(resid / orig < 1e-4, "relative residual {}", resid / orig);
     }
@@ -582,7 +614,11 @@ mod tests {
         assert!(comps.len() >= 2);
         comps.sort_by(|a, b| b.channel.abs().total_cmp(&a.channel.abs()));
         assert!((comps[0].freq_bins - f1).abs() < 1e-2);
-        assert!((comps[1].freq_bins - f2).abs() < 5e-2, "weak at {}", comps[1].freq_bins);
+        assert!(
+            (comps[1].freq_bins - f2).abs() < 5e-2,
+            "weak at {}",
+            comps[1].freq_bins
+        );
     }
 
     #[test]

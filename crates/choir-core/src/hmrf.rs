@@ -124,7 +124,7 @@ pub fn cluster(
     assert!(!obs.is_empty(), "no observations");
 
     // Seed: the most-populated window's peaks are distinct users.
-    let max_window = obs.iter().map(|o| o.window).max().unwrap();
+    let max_window = obs.iter().map(|o| o.window).max().unwrap_or(0);
     let mut best_seed_window = 0usize;
     let mut best_count = 0usize;
     for w in 0..=max_window {
@@ -159,10 +159,13 @@ pub fn cluster(
         .map(|o| {
             (0..k)
                 .min_by(|&a, &b| {
-                    feature_dist(o, &centroids[a], weights)
-                        .total_cmp(&feature_dist(o, &centroids[b], weights))
+                    feature_dist(o, &centroids[a], weights).total_cmp(&feature_dist(
+                        o,
+                        &centroids[b],
+                        weights,
+                    ))
                 })
-                .unwrap()
+                .unwrap_or(0)
         })
         .collect();
 
@@ -172,12 +175,18 @@ pub fn cluster(
         // its local energy given everyone else's current labels.
         for i in 0..obs.len() {
             let mut best = (assignment[i], f64::INFINITY);
-            for cand in 0..k {
-                let mut e = feature_dist(&obs[i], &centroids[cand], weights);
+            for (cand, centroid) in centroids.iter().enumerate().take(k) {
+                let mut e = feature_dist(&obs[i], centroid, weights);
                 for c in constraints {
                     match *c {
                         Constraint::MustLink(a, b) => {
-                            let other = if a == i { Some(b) } else if b == i { Some(a) } else { None };
+                            let other = if a == i {
+                                Some(b)
+                            } else if b == i {
+                                Some(a)
+                            } else {
+                                None
+                            };
                             if let Some(o) = other {
                                 if assignment[o] != cand {
                                     e += weights.constraint;
@@ -185,7 +194,13 @@ pub fn cluster(
                             }
                         }
                         Constraint::CannotLink(a, b) => {
-                            let other = if a == i { Some(b) } else if b == i { Some(a) } else { None };
+                            let other = if a == i {
+                                Some(b)
+                            } else if b == i {
+                                Some(a)
+                            } else {
+                                None
+                            };
                             if let Some(o) = other {
                                 if assignment[o] == cand {
                                     e += weights.constraint;

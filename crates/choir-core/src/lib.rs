@@ -40,10 +40,11 @@
 //! }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cluster;
 pub mod decoder;
+pub mod error;
 pub mod estimator;
 pub mod hmrf;
 pub mod lowsnr;
@@ -52,6 +53,7 @@ pub mod sic;
 pub mod unb;
 
 pub use decoder::{ChoirConfig, ChoirDecoder, DecodedUser, UserEstimate};
+pub use error::DecodeError;
 pub use estimator::{ComponentEstimate, EstimatorConfig, OffsetEstimator};
 pub use lowsnr::{TeamConfig, TeamDecoder, TeamDetection};
 pub use multisf::{decode_multi_sf, LaneResult, SfLane};

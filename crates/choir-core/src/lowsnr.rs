@@ -238,6 +238,7 @@ impl TeamDecoder {
                     score += spec[idx].norm_sqr();
                 }
                 if score > best.1 {
+                    // lint:allow(lossy_cast) — d ranges over 0..2^SF ≤ 4096, fits u16
                     best = (d as u16, score);
                 }
             }
@@ -276,7 +277,11 @@ mod tests {
         PhyParams::default() // SF8
     }
 
-    fn team_scenario(m: usize, snr_db: f64, seed: u64) -> choir_channel::scenario::CollisionScenario {
+    fn team_scenario(
+        m: usize,
+        snr_db: f64,
+        seed: u64,
+    ) -> choir_channel::scenario::CollisionScenario {
         let snrs = vec![snr_db; m];
         ScenarioBuilder::new(params())
             .snrs_db(&snrs)
@@ -337,7 +342,11 @@ mod tests {
         let (det, frame) = dec
             .decode(&s.samples, s.slot_start, s.slot_start + 1, 6)
             .expect("not detected");
-        assert!(det.offsets.len() >= 3, "members seen: {}", det.offsets.len());
+        assert!(
+            det.offsets.len() >= 3,
+            "members seen: {}",
+            det.offsets.len()
+        );
         let frame = frame.expect("frame undecodable");
         assert_eq!(frame.payload, vec![0xA5, 0x5A, 0x3C, 0x7E, 0x11, 0x22]);
         assert!(frame.crc_ok);

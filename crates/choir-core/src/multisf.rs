@@ -65,9 +65,7 @@ pub fn cross_sf_leakage(target: SpreadingFactor, other: SpreadingFactor) -> f64 
     let down = base_downchirp(nt);
     let up_other = base_upchirp(no);
     // One target-length window of the other SF's chirp.
-    let de: Vec<C64> = (0..nt)
-        .map(|i| up_other[i % no] * down[i])
-        .collect();
+    let de: Vec<C64> = (0..nt).map(|i| up_other[i % no] * down[i]).collect();
     let spec = fft(&de);
     let peak = spec.iter().map(|z| z.norm_sqr()).fold(0.0, f64::max);
     // Matched peak power would be nt².
@@ -156,16 +154,20 @@ mod tests {
         };
         let samples = mix(&txs, total, &cfg, &mut rng);
 
-        let lanes: Vec<SfLane> = [SpreadingFactor::Sf7, SpreadingFactor::Sf8, SpreadingFactor::Sf9]
-            .into_iter()
-            .map(|sf| {
-                let p = params(sf);
-                SfLane {
-                    params: p,
-                    num_data_symbols: lora_phy::frame::frame_symbol_count(&p, 6),
-                }
-            })
-            .collect();
+        let lanes: Vec<SfLane> = [
+            SpreadingFactor::Sf7,
+            SpreadingFactor::Sf8,
+            SpreadingFactor::Sf9,
+        ]
+        .into_iter()
+        .map(|sf| {
+            let p = params(sf);
+            SfLane {
+                params: p,
+                num_data_symbols: lora_phy::frame::frame_symbol_count(&p, 6),
+            }
+        })
+        .collect();
         let results = decode_multi_sf(&samples, slot, &lanes, ChoirConfig::default());
 
         let mut decoded_ok = 0;
@@ -197,10 +199,7 @@ mod tests {
         let p7 = params(SpreadingFactor::Sf7);
         let payload = vec![1u8, 2, 3];
         let tx = Transmission {
-            waveform: PacketWaveform::new(
-                p7.samples_per_symbol(),
-                packet_symbols(&p7, &payload),
-            ),
+            waveform: PacketWaveform::new(p7.samples_per_symbol(), packet_symbols(&p7, &payload)),
             channel: C64::ONE,
             amplitude: db_to_lin(18.0).sqrt(),
             profile: HardwareProfile::ideal(),

@@ -12,6 +12,7 @@
 
 use choir_dsp::complex::C64;
 
+use crate::error::DecodeError;
 use crate::estimator::{ComponentEstimate, OffsetEstimator};
 
 /// Configuration for phased cancellation.
@@ -47,6 +48,9 @@ pub struct SicResult {
     /// Residual power after the final subtraction, relative to the input
     /// window power (0 = perfect reconstruction).
     pub relative_residual: f64,
+    /// Set when a phase stalled: substantial residual power remained but
+    /// no further peaks cleared the detection threshold.
+    pub stall: Option<DecodeError>,
 }
 
 /// Runs phased SIC on one symbol window.
@@ -54,16 +58,26 @@ pub fn phased_sic(est: &OffsetEstimator, window: &[C64], cfg: &SicConfig) -> Sic
     let input_power: f64 = window.iter().map(|z| z.norm_sqr()).sum();
     let mut work = window.to_vec();
     let mut out = SicResult::default();
+    // Debug sanitizer: each phase's subtraction is a least-squares
+    // projection, so residual power must not grow phase over phase.
+    let mut monitor = choir_dsp::checks::ResidualMonitor::new();
     for _ in 0..cfg.max_phases {
         if out.components.len() >= cfg.max_components {
             break;
         }
         let resid_power: f64 = work.iter().map(|z| z.norm_sqr()).sum();
+        monitor.observe("phased_sic", resid_power);
         if resid_power < cfg.min_relative_residual * input_power {
             break;
         }
         let cohort = est.estimate(&work);
         if cohort.is_empty() {
+            if input_power > 0.0 {
+                out.stall = Some(DecodeError::SicStalled {
+                    sic_phase: out.phases,
+                    relative_residual: resid_power / input_power,
+                });
+            }
             break;
         }
         let take = cohort
@@ -108,6 +122,8 @@ pub fn phased_sic(est: &OffsetEstimator, window: &[C64], cfg: &SicConfig) -> Sic
     out
 }
 
+// Tests assert on exactly-representable values (0.0, bin centres).
+#[allow(clippy::float_cmp)]
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,14 +173,26 @@ mod tests {
         let w = mix(&[(30.27, C64::ONE), (90.63, c64(0.016, 0.0))]);
         let r = phased_sic(&e, &w, &SicConfig::default());
         assert!(find_near(&r, 30.27).is_some(), "strong missing");
-        assert!(find_near(&r, 90.63).is_some(), "weak missing: {:?}", r.components);
-        assert!(r.relative_residual < 1e-3, "residual {}", r.relative_residual);
+        assert!(
+            find_near(&r, 90.63).is_some(),
+            "weak missing: {:?}",
+            r.components
+        );
+        assert!(
+            r.relative_residual < 1e-3,
+            "residual {}",
+            r.relative_residual
+        );
     }
 
     #[test]
     fn equal_power_cohort_handled_in_one_phase() {
         let e = est();
-        let w = mix(&[(10.4, C64::ONE), (50.8, c64(0.0, 1.0)), (100.2, c64(-0.7, 0.7))]);
+        let w = mix(&[
+            (10.4, C64::ONE),
+            (50.8, c64(0.0, 1.0)),
+            (100.2, c64(-0.7, 0.7)),
+        ]);
         let r = phased_sic(&e, &w, &SicConfig::default());
         assert_eq!(r.phases, 1, "equal powers need one joint phase");
         for f in [10.4, 50.8, 100.2] {
@@ -206,9 +234,7 @@ mod tests {
     #[test]
     fn max_components_respected() {
         let e = est();
-        let parts: Vec<(f64, C64)> = (0..8)
-            .map(|i| (5.3 + 15.0 * i as f64, C64::ONE))
-            .collect();
+        let parts: Vec<(f64, C64)> = (0..8).map(|i| (5.3 + 15.0 * i as f64, C64::ONE)).collect();
         let w = mix(&parts);
         let cfg = SicConfig {
             max_phases: 3,

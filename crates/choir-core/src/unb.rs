@@ -113,7 +113,14 @@ pub fn find_carriers(
     let max_pow = power.iter().cloned().fold(0.0f64, f64::max);
     let floor = (med * threshold_over_median).max(max_pow * 0.15);
     let bin_hz = params.fs_hz / n as f64;
-    let mut cands: Vec<(f64, f64)> = power
+    let signed_freq = |i: usize| -> f64 {
+        if i <= n / 2 {
+            i as f64 * bin_hz
+        } else {
+            (i as f64 - n as f64) * bin_hz
+        }
+    };
+    let mut cands: Vec<(usize, f64)> = power
         .iter()
         .enumerate()
         .filter(|(i, &p)| {
@@ -121,24 +128,38 @@ pub fn find_carriers(
             let next = power[(i + 1) % n];
             p > floor && p >= prev && p > next
         })
-        .map(|(i, &p)| {
-            // Map bin to signed offset.
-            let f = if i <= n / 2 {
-                i as f64 * bin_hz
-            } else {
-                (i as f64 - n as f64) * bin_hz
-            };
-            (f, p)
-        })
+        .map(|(i, &p)| (i, p))
         .collect();
     cands.sort_by(|a, b| b.1.total_cmp(&a.1));
     let mut out: Vec<UnbCarrier> = Vec::new();
-    for (f, p) in cands {
+    for (i, p) in cands {
         if out.len() >= max_carriers {
             break;
         }
-        if out.iter().all(|c| (c.cfo_hz - f).abs() >= min_separation_hz) {
-            out.push(UnbCarrier { cfo_hz: f, power: p });
+        let f = signed_freq(i);
+        if out
+            .iter()
+            .all(|c| (c.cfo_hz - f).abs() >= min_separation_hz)
+        {
+            // The raw periodogram peak of a random-data DBPSK burst wanders
+            // anywhere inside the ~2×symbol-rate main lobe, so the peak bin
+            // alone is only good to O(symbol rate). Refine to the lobe
+            // centre with a noise-floor-subtracted power centroid over ±1
+            // symbol-rate — the lobe is symmetric about the true carrier.
+            let half = (params.symbol_rate_hz / bin_hz).ceil() as i64;
+            let mut wsum = 0.0;
+            let mut fsum = 0.0;
+            for d in -half..=half {
+                let j = (i as i64 + d).rem_euclid(n as i64) as usize;
+                let w = (power[j] - med).max(0.0);
+                wsum += w;
+                fsum += (f + d as f64 * bin_hz) * w;
+            }
+            let refined = if wsum > 0.0 { fsum / wsum } else { f };
+            out.push(UnbCarrier {
+                cfo_hz: refined,
+                power: p,
+            });
         }
     }
     out
@@ -196,7 +217,7 @@ pub fn unb_demodulate(
     };
     symbols
         .windows(2)
-        .map(|w| (((w[1] * w[0].conj()) * rot).re < 0.0) as u8)
+        .map(|w| u8::from(((w[1] * w[0].conj()) * rot).re < 0.0))
         .collect()
 }
 
@@ -225,7 +246,11 @@ mod tests {
         // The BPSK main lobe is ~2×symbol-rate wide, so the carrier
         // estimate lands within a fraction of the symbol rate; the
         // differential demodulator tolerates that residual.
-        assert!((carriers[0].cfo_hz - 1234.5).abs() < 100.0, "cfo {}", carriers[0].cfo_hz);
+        assert!(
+            (carriers[0].cfo_hz - 1234.5).abs() < 100.0,
+            "cfo {}",
+            carriers[0].cfo_hz
+        );
         let out = unb_demodulate(&p, &cap, &carriers[0], 0, bits.len());
         assert_eq!(out, bits);
     }
@@ -254,9 +279,7 @@ mod tests {
         for c in &carriers {
             let (f, bits) = truth
                 .iter()
-                .min_by(|a, b| {
-                    (a.0 - c.cfo_hz).abs().total_cmp(&(b.0 - c.cfo_hz).abs())
-                })
+                .min_by(|a, b| (a.0 - c.cfo_hz).abs().total_cmp(&(b.0 - c.cfo_hz).abs()))
                 .unwrap();
             assert!((f - c.cfo_hz).abs() < 100.0);
             if unb_demodulate(&p, &cap, c, 0, bits.len()) == *bits {

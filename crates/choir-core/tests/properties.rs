@@ -1,7 +1,7 @@
 //! Property-based tests for the Choir decoder's estimation core.
 
-use choir_core::estimator::{EstimatorConfig, OffsetEstimator};
 use choir_core::cluster::{circular_dist, circular_mean};
+use choir_core::estimator::{EstimatorConfig, OffsetEstimator};
 use choir_dsp::complex::C64;
 use lora_phy::chirp::symbol_sample;
 use proptest::prelude::*;
@@ -25,7 +25,7 @@ proptest! {
     fn single_offset_recovered_anywhere_in_alphabet(
         f in 1.0f64..127.0,
         mag in 0.3f64..3.0,
-        phase in 0.0f64..6.28,
+        phase in 0.0f64..std::f64::consts::TAU,
     ) {
         let est = OffsetEstimator::new(N, EstimatorConfig::default());
         let h = C64::from_polar(mag, phase);

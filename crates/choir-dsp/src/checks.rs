@@ -1,0 +1,303 @@
+//! Debug-build numerical sanitizers for the all-`f64` DSP pipeline.
+//!
+//! The Choir decoder is a long chain of floating-point stages (dechirp →
+//! FFT → least-squares → SIC); a NaN injected anywhere propagates silently
+//! and surfaces as a mysteriously empty peak list three layers later. This
+//! module provides cheap invariant scans that run **only in debug builds**
+//! (`cfg!(debug_assertions)`): release binaries pay nothing — the constant
+//! condition folds every body away.
+//!
+//! Checks provided:
+//!
+//! * [`assert_finite`] / [`assert_finite_f64`] — no NaN/Inf anywhere in a
+//!   buffer (the panic message also reports the subnormal count, the usual
+//!   smoking gun for underflow collapse);
+//! * [`assert_parseval`] — energy is conserved across an FFT boundary
+//!   (`‖X‖² = N·‖x‖²`), catching scaling and twiddle-table bugs;
+//! * [`ResidualMonitor`] — successive-interference-cancellation residual
+//!   power must not grow from phase to phase, catching divergent
+//!   subtraction (a wrong channel estimate *adds* energy instead of
+//!   removing it).
+//!
+//! All panics go through `assert!` with a message naming the call site
+//! label, so a tripped sanitizer points at the stage that produced the bad
+//! buffer, not the stage that consumed it.
+
+use crate::complex::C64;
+
+/// True when the sanitizers are active (debug builds).
+///
+/// Useful for tests that must behave differently per profile.
+pub const fn enabled() -> bool {
+    cfg!(debug_assertions)
+}
+
+/// Relative tolerance for the Parseval energy check. Radix-2 and Bluestein
+/// round-off stays orders of magnitude below this for every size the
+/// pipeline uses (≤ 10·2^12).
+pub const PARSEVAL_REL_TOL: f64 = 1e-9;
+
+/// Counts of pathological floating-point values in a buffer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanReport {
+    /// Samples with a NaN real or imaginary part.
+    pub nan: usize,
+    /// Samples with an infinite real or imaginary part.
+    pub inf: usize,
+    /// Samples with a subnormal (denormal) real or imaginary part —
+    /// not an error by itself, but a strong hint of underflow collapse
+    /// when it dominates a buffer.
+    pub subnormal: usize,
+}
+
+impl ScanReport {
+    /// True when the buffer contains no NaN and no Inf.
+    pub fn is_finite(&self) -> bool {
+        self.nan == 0 && self.inf == 0
+    }
+}
+
+fn classify(v: f64, report: &mut ScanReport) {
+    if v.is_nan() {
+        report.nan += 1;
+    } else if v.is_infinite() {
+        report.inf += 1;
+    } else if v.is_subnormal() {
+        report.subnormal += 1;
+    }
+}
+
+/// Scans a complex buffer for NaN / Inf / subnormal components.
+///
+/// Always available (tests use it directly); the `assert_*` wrappers gate
+/// on `debug_assertions`.
+pub fn scan(x: &[C64]) -> ScanReport {
+    let mut report = ScanReport::default();
+    for z in x {
+        classify(z.re, &mut report);
+        classify(z.im, &mut report);
+    }
+    report
+}
+
+/// Scans a real buffer for NaN / Inf / subnormal values.
+pub fn scan_f64(x: &[f64]) -> ScanReport {
+    let mut report = ScanReport::default();
+    for &v in x {
+        classify(v, &mut report);
+    }
+    report
+}
+
+/// Debug-only: panics if `x` contains any NaN or Inf component.
+///
+/// `label` names the producing stage (e.g. `"estimator::dechirp"`) so the
+/// failure points at the source of the corruption. Compiles to nothing in
+/// release builds.
+#[inline]
+pub fn assert_finite(label: &str, x: &[C64]) {
+    if cfg!(debug_assertions) {
+        let r = scan(x);
+        assert!(
+            r.is_finite(),
+            "checks::assert_finite({label}): {} NaN, {} Inf, {} subnormal in {} samples",
+            r.nan,
+            r.inf,
+            r.subnormal,
+            x.len(),
+        );
+    }
+}
+
+/// Debug-only: panics if `x` contains any NaN or Inf value.
+#[inline]
+pub fn assert_finite_f64(label: &str, x: &[f64]) {
+    if cfg!(debug_assertions) {
+        let r = scan_f64(x);
+        assert!(
+            r.is_finite(),
+            "checks::assert_finite_f64({label}): {} NaN, {} Inf, {} subnormal in {} samples",
+            r.nan,
+            r.inf,
+            r.subnormal,
+            x.len(),
+        );
+    }
+}
+
+/// Debug-only: verifies Parseval's theorem across an FFT boundary —
+/// `Σ|X[k]|² = N·Σ|x[t]|²` for an unnormalised forward transform of length
+/// `N = freq.len()`.
+///
+/// `time_energy` is the input energy captured *before* the in-place
+/// transform ran. Tolerance is [`PARSEVAL_REL_TOL`] relative to the larger
+/// side, with an absolute floor so all-zero buffers pass.
+#[inline]
+pub fn assert_parseval(label: &str, time_energy: f64, freq: &[C64]) {
+    if cfg!(debug_assertions) {
+        let freq_energy: f64 = freq.iter().map(|z| z.norm_sqr()).sum();
+        assert_parseval_energies(label, time_energy, freq_energy, freq.len());
+    }
+}
+
+/// Debug-only: the energy-only form of [`assert_parseval`], for call sites
+/// that have already consumed (or overwritten, for in-place transforms)
+/// one of the two buffers.
+#[inline]
+pub fn assert_parseval_energies(label: &str, time_energy: f64, freq_energy: f64, n: usize) {
+    if cfg!(debug_assertions) {
+        let expect = n as f64 * time_energy;
+        let tol = PARSEVAL_REL_TOL * expect.max(freq_energy) + 1e-300;
+        assert!(
+            (freq_energy - expect).abs() <= tol,
+            "checks::assert_parseval({label}): freq energy {freq_energy:e} vs N·time energy \
+             {expect:e} (rel err {:e})",
+            (freq_energy - expect).abs() / expect.max(1e-300),
+        );
+    }
+}
+
+/// Debug-only watchdog for successive interference cancellation: residual
+/// power observed at each phase must be finite, non-negative, and must not
+/// *grow* from one phase to the next.
+///
+/// A correct SIC subtraction is a least-squares projection, so residual
+/// energy is non-increasing up to fitting slop; [`Self::SLACK`] tolerates
+/// that slop (truncated cohorts, step re-fits) while still catching the
+/// failure mode that matters — a bad channel estimate whose "cancellation"
+/// pumps energy *into* the residual. Zero-sized in release builds' hot
+/// path: `observe` folds away.
+#[derive(Clone, Debug, Default)]
+pub struct ResidualMonitor {
+    last: Option<f64>,
+    phase: usize,
+}
+
+impl ResidualMonitor {
+    /// Multiplicative headroom allowed on top of the previous phase's
+    /// residual before the monitor fires.
+    pub const SLACK: f64 = 0.05;
+
+    /// New monitor with no phases observed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the residual power at the start of a SIC phase
+    /// (debug builds only).
+    #[inline]
+    pub fn observe(&mut self, label: &str, power: f64) {
+        if cfg!(debug_assertions) {
+            assert!(
+                power.is_finite() && power >= 0.0,
+                "checks::ResidualMonitor({label}): phase {} residual power is {power}",
+                self.phase,
+            );
+            if let Some(prev) = self.last {
+                assert!(
+                    power <= prev * (1.0 + Self::SLACK) + 1e-300,
+                    "checks::ResidualMonitor({label}): residual power rose {prev:e} → \
+                     {power:e} between phases {} and {} — cancellation is adding energy",
+                    self.phase - 1,
+                    self.phase,
+                );
+            }
+            self.last = Some(power);
+            self.phase += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    #[test]
+    fn scan_counts_each_class() {
+        let x = [
+            c64(1.0, 2.0),
+            c64(f64::NAN, 0.0),
+            c64(f64::INFINITY, f64::NAN),
+            c64(1e-320, 0.0),
+        ];
+        let r = scan(&x);
+        assert_eq!(r.nan, 2);
+        assert_eq!(r.inf, 1);
+        assert_eq!(r.subnormal, 1);
+        assert!(!r.is_finite());
+    }
+
+    #[test]
+    fn scan_clean_buffer_is_finite() {
+        let x: Vec<C64> = (0..64).map(|i| c64(i as f64, -0.5 * i as f64)).collect();
+        assert_eq!(scan(&x), ScanReport::default());
+        assert_finite("clean", &x);
+    }
+
+    #[test]
+    fn zeros_are_not_subnormal() {
+        let x = vec![C64::ZERO; 32];
+        assert_eq!(scan(&x), ScanReport::default());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "assert_finite(injected)")]
+    fn nan_injection_is_caught_in_debug() {
+        let mut x = vec![C64::ONE; 16];
+        x[7] = c64(f64::NAN, 0.0);
+        assert_finite("injected", &x);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "assert_finite_f64(injected)")]
+    fn inf_injection_is_caught_in_debug_f64() {
+        let mut x = vec![0.25; 16];
+        x[3] = f64::NEG_INFINITY;
+        assert_finite_f64("injected", &x);
+    }
+
+    #[test]
+    fn parseval_accepts_true_transform_pair() {
+        // Manual 2-point DFT of [1, j]: X = [1+j, 1-j].
+        let time_energy = 2.0;
+        let freq = [c64(1.0, 1.0), c64(1.0, -1.0)];
+        assert_parseval("manual-dft", time_energy, &freq);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "assert_parseval(bad-scale)")]
+    fn parseval_rejects_wrong_scaling() {
+        // Energy off by 2× — the classic missing-normalisation bug.
+        let freq = [c64(2.0, 2.0), c64(2.0, -2.0)];
+        assert_parseval("bad-scale", 2.0, &freq);
+    }
+
+    #[test]
+    fn residual_monitor_accepts_decreasing_power() {
+        let mut m = ResidualMonitor::new();
+        for p in [100.0, 12.5, 12.5, 0.01, 0.0] {
+            m.observe("sic", p);
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "cancellation is adding energy")]
+    fn residual_monitor_rejects_growth() {
+        let mut m = ResidualMonitor::new();
+        m.observe("sic", 10.0);
+        m.observe("sic", 11.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "residual power is NaN")]
+    fn residual_monitor_rejects_nan() {
+        let mut m = ResidualMonitor::new();
+        m.observe("sic", f64::NAN);
+    }
+}

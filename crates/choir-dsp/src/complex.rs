@@ -294,6 +294,8 @@ pub fn inner(a: &[C64], b: &[C64]) -> C64 {
     a.iter().zip(b).map(|(x, y)| x * y.conj()).sum()
 }
 
+// Tests assert on exactly-representable values (0.0, bin centres).
+#[allow(clippy::float_cmp)]
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,6 +341,8 @@ mod tests {
     }
 
     #[test]
+    // This test exists to exercise the by-reference operator impls.
+    #[allow(clippy::op_ref)]
     fn reference_operands() {
         let a = c64(1.0, 1.0);
         let b = c64(2.0, 3.0);

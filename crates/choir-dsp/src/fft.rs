@@ -147,20 +147,39 @@ impl FftPlan {
     }
 
     /// In-place forward transform. `x.len()` must equal [`Self::len`].
+    ///
+    /// Debug builds verify Parseval's theorem across the boundary
+    /// (`‖X‖² = N·‖x‖²`); release builds skip the scan entirely.
     pub fn forward(&self, x: &mut [C64]) {
         assert_eq!(x.len(), self.n, "forward: buffer length != plan length");
+        #[cfg(debug_assertions)]
+        let time_energy = crate::complex::energy(x);
         self.transform(x, Direction::Forward);
+        #[cfg(debug_assertions)]
+        crate::checks::assert_parseval("FftPlan::forward", time_energy, x);
     }
 
     /// In-place inverse transform, normalised by `1/n` so that
     /// `inverse(forward(x)) == x`.
+    ///
+    /// Debug builds verify Parseval's theorem across the boundary;
+    /// release builds skip the scan entirely.
     pub fn inverse(&self, x: &mut [C64]) {
         assert_eq!(x.len(), self.n, "inverse: buffer length != plan length");
+        #[cfg(debug_assertions)]
+        let freq_energy = crate::complex::energy(x);
         self.transform(x, Direction::Inverse);
         let s = 1.0 / self.n as f64;
         for v in x.iter_mut() {
             *v = v.scale(s);
         }
+        #[cfg(debug_assertions)]
+        crate::checks::assert_parseval_energies(
+            "FftPlan::inverse",
+            crate::complex::energy(x),
+            freq_energy,
+            self.n,
+        );
     }
 
     /// Out-of-place forward transform of `x`, zero-padded (or truncated) to
@@ -266,10 +285,7 @@ mod tests {
     fn assert_close(a: &[C64], b: &[C64], tol: f64) {
         assert_eq!(a.len(), b.len());
         for (i, (x, y)) in a.iter().zip(b).enumerate() {
-            assert!(
-                (x - y).abs() < tol,
-                "index {i}: {x:?} vs {y:?} (tol {tol})"
-            );
+            assert!((x - y).abs() < tol, "index {i}: {x:?} vs {y:?} (tol {tol})");
         }
     }
 
@@ -310,7 +326,9 @@ mod tests {
 
     #[test]
     fn matches_naive_dft_arbitrary_sizes() {
-        for n in [1usize, 2, 3, 5, 6, 7, 10, 12, 15, 17, 20, 48, 100, 160, 1280] {
+        for n in [
+            1usize, 2, 3, 5, 6, 7, 10, 12, 15, 17, 20, 48, 100, 160, 1280,
+        ] {
             let x: Vec<C64> = (0..n)
                 .map(|i| c64((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos() * 0.5))
                 .collect();

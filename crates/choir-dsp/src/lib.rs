@@ -25,8 +25,9 @@
 //! assert!((peaks[0].pos - 50.4).abs() < 0.05);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod checks;
 pub mod complex;
 pub mod fft;
 pub mod linalg;

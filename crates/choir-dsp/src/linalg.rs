@@ -157,6 +157,9 @@ impl CMat {
             }
             x[col] = s / a[col * n + col];
         }
+        // Debug builds: a solution that survived pivoting must be finite —
+        // Inf/NaN here means the 1e-300 singularity guard was too lax.
+        crate::checks::assert_finite("CMat::solve", &x);
         Some(x)
     }
 
@@ -279,22 +282,14 @@ mod tests {
     #[test]
     fn solve_requires_pivoting() {
         // Zero on the diagonal forces a row swap.
-        let a = CMat::from_rows(
-            2,
-            2,
-            vec![C64::ZERO, C64::ONE, C64::ONE, C64::ZERO],
-        );
+        let a = CMat::from_rows(2, 2, vec![C64::ZERO, C64::ONE, C64::ONE, C64::ZERO]);
         let x = a.solve(&[c64(3.0, 0.0), c64(7.0, 0.0)]).unwrap();
         vec_close(&x, &[c64(7.0, 0.0), c64(3.0, 0.0)], 1e-12);
     }
 
     #[test]
     fn singular_returns_none() {
-        let a = CMat::from_rows(
-            2,
-            2,
-            vec![C64::ONE, C64::ONE, C64::ONE, C64::ONE],
-        );
+        let a = CMat::from_rows(2, 2, vec![C64::ONE, C64::ONE, C64::ONE, C64::ONE]);
         assert!(a.solve(&[C64::ONE, C64::ONE]).is_none());
     }
 
@@ -388,7 +383,11 @@ mod tests {
 
     #[test]
     fn matmul_identity() {
-        let a = CMat::from_rows(2, 2, vec![c64(1.0, 1.0), c64(2.0, 0.0), c64(0.0, 3.0), c64(4.0, -1.0)]);
+        let a = CMat::from_rows(
+            2,
+            2,
+            vec![c64(1.0, 1.0), c64(2.0, 0.0), c64(0.0, 3.0), c64(4.0, -1.0)],
+        );
         let prod = a.matmul(&CMat::identity(2));
         assert_eq!(prod, a);
     }

@@ -26,7 +26,12 @@ pub struct Optimum {
 
 /// Golden-section search for the minimum of a unimodal `f` on `[a, b]`.
 /// Returns `(x_min, f(x_min))` with bracket width ≤ `tol`.
-pub fn golden_section<F: FnMut(f64) -> f64>(mut f: F, mut a: f64, mut b: f64, tol: f64) -> (f64, f64) {
+pub fn golden_section<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut a: f64,
+    mut b: f64,
+    tol: f64,
+) -> (f64, f64) {
     assert!(b >= a, "golden_section: b < a");
     const INVPHI: f64 = 0.618_033_988_749_894_9; // 1/φ
     let mut c = b - (b - a) * INVPHI;
@@ -104,7 +109,11 @@ pub fn cyclic_coordinate_descent<F: FnMut(&[f64]) -> f64>(
             break;
         }
     }
-    Optimum { x, value: best, evals }
+    Optimum {
+        x,
+        value: best,
+        evals,
+    }
 }
 
 /// Numeric-gradient descent with backtracking (Armijo) line search.
@@ -160,7 +169,11 @@ pub fn gradient_descent<F: FnMut(&[f64]) -> f64>(
             break;
         }
     }
-    Optimum { x, value: fx, evals }
+    Optimum {
+        x,
+        value: fx,
+        evals,
+    }
 }
 
 /// Runs `local` from `starts.len()` starting points and returns the best

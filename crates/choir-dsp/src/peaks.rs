@@ -93,7 +93,11 @@ pub fn find_peaks(spectrum: &[C64], cfg: &PeakConfig) -> Vec<Peak> {
         return Vec::new();
     }
     assert!(cfg.pad >= 1, "find_peaks: pad must be >= 1");
-    assert_eq!(np % cfg.pad, 0, "find_peaks: spectrum length not a multiple of pad");
+    assert_eq!(
+        np % cfg.pad,
+        0,
+        "find_peaks: spectrum length not a multiple of pad"
+    );
     let n_sym = np / cfg.pad; // unpadded symbol length, sets the leakage kernel
     let mags: Vec<f64> = spectrum.iter().map(|z| z.abs()).collect();
     let floor = noise_floor(&mags);
@@ -106,11 +110,7 @@ pub fn find_peaks(spectrum: &[C64], cfg: &PeakConfig) -> Vec<Peak> {
     // number of rejected candidates we are willing to examine.
     let mut rejections_left = 8 * cfg.max_peaks;
     while peaks.len() < cfg.max_peaks {
-        let (imax, &hmax) = match masked
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-        {
+        let (imax, &hmax) = match masked.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)) {
             Some(p) => p,
             None => break,
         };
@@ -193,7 +193,10 @@ pub fn dirichlet(n: usize, f: f64, k_padded: f64, pad: usize) -> C64 {
         num / den
     };
     let phase = std::f64::consts::PI * x * (nn - 1.0) / nn;
-    C64::from_polar(mag.abs(), phase + if mag < 0.0 { std::f64::consts::PI } else { 0.0 })
+    C64::from_polar(
+        mag.abs(),
+        phase + if mag < 0.0 { std::f64::consts::PI } else { 0.0 },
+    )
 }
 
 /// Magnitude of the Dirichlet kernel at distance `x` bins from the tone
@@ -209,6 +212,8 @@ pub fn dirichlet_mag(n: usize, x: f64) -> f64 {
     }
 }
 
+// Tests assert on exactly-representable values (0.0, bin centres).
+#[allow(clippy::float_cmp)]
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -88,6 +88,8 @@ pub fn spectrogram(x: &[C64], fft_size: usize, hop: usize) -> Vec<Vec<f64>> {
     frames
 }
 
+// Tests assert on exactly-representable values (0.0, bin centres).
+#[allow(clippy::float_cmp)]
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -111,6 +111,8 @@ pub fn ks_distance_uniform(x: &[f64], lo: f64, hi: f64) -> f64 {
     d
 }
 
+// Tests assert on exactly-representable values (0.0, bin centres).
+#[allow(clippy::float_cmp)]
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -63,6 +63,8 @@ pub fn apply_window(x: &mut [crate::complex::C64], w: &[f64]) {
     }
 }
 
+// Tests assert on exactly-representable values (0.0, bin centres).
+#[allow(clippy::float_cmp)]
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,7 +17,7 @@
 //! are grouped into the smallest teams whose combining margin clears the
 //! decoding threshold.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod beacon;
 pub mod metrics;

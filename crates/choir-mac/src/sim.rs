@@ -118,9 +118,7 @@ pub fn run_sim<P: SlotPhy>(scheme: MacScheme, cfg: &SimConfig, phy: &mut P) -> R
             // Periodic traffic staggers first arrivals across the period.
             ready_at_s: match cfg.traffic {
                 Traffic::Saturated => Some(0.0),
-                Traffic::Periodic { period_s } => {
-                    Some(period_s * i as f64 / cfg.num_nodes as f64)
-                }
+                Traffic::Periodic { period_s } => Some(period_s * i as f64 / cfg.num_nodes as f64),
             },
             backoff: 0,
             be: 0,
@@ -313,8 +311,16 @@ mod tests {
         c.slots = 2000;
         let m = run_sim(MacScheme::Choir, &c, &mut IdealPhy);
         let offered = 4.0 * 8.0 * 8.0 / 1.0;
-        assert!(m.throughput_bps <= offered * 1.05, "tput {}", m.throughput_bps);
-        assert!(m.throughput_bps > offered * 0.8, "tput {}", m.throughput_bps);
+        assert!(
+            m.throughput_bps <= offered * 1.05,
+            "tput {}",
+            m.throughput_bps
+        );
+        assert!(
+            m.throughput_bps > offered * 0.8,
+            "tput {}",
+            m.throughput_bps
+        );
         assert!(m.avg_latency_s < 0.5, "latency {}", m.avg_latency_s);
         // Saturated traffic delivers far more on the same channel.
         let mut cs = cfg(4);
@@ -332,7 +338,11 @@ mod tests {
         let m = run_sim(MacScheme::Oracle, &c, &mut phy);
         // Deliveries bounded by generation: ≤ nodes · sim_time / period.
         let bound = (3.0 * m.sim_time_s / 5.0).ceil() as u64 + 3;
-        assert!(m.delivered <= bound, "delivered {} bound {bound}", m.delivered);
+        assert!(
+            m.delivered <= bound,
+            "delivered {} bound {bound}",
+            m.delivered
+        );
         assert!(m.delivered > 0);
         assert!((m.tx_per_packet - 1.0).abs() < 1e-9);
     }

@@ -6,7 +6,7 @@
 //! complementary: running the Choir decoder per antenna and
 //! selection-combining the results beats both.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod uplink;
 pub mod zf;

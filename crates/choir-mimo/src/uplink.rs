@@ -29,9 +29,7 @@ pub fn mu_mimo_decode(
     let nsyms = lora_phy::frame::frame_symbol_count(params, payload_len);
     Ok(separated
         .into_iter()
-        .map(|stream| {
-            lora_phy::detect::decode_packet(&stream, &modem, slot_start, nsyms + 4).ok()
-        })
+        .map(|stream| lora_phy::detect::decode_packet(&stream, &modem, slot_start, nsyms + 4).ok())
         .collect())
 }
 
@@ -51,12 +49,12 @@ pub fn choir_multi_antenna(
         let decoded = decoder.decode_known_len(stream, slot_start, payload_len);
         for d in decoded {
             // Same transmitter ⇒ same payload; merge by decoded payload.
-            let dup = merged.iter_mut().find(|m| {
-                match (m.frame.as_ref(), d.frame.as_ref()) {
+            let dup = merged
+                .iter_mut()
+                .find(|m| match (m.frame.as_ref(), d.frame.as_ref()) {
                     (Some(a), Some(b)) => a.payload == b.payload,
                     _ => false,
-                }
-            });
+                });
             match dup {
                 Some(existing) => {
                     // Keep the better copy (CRC pass wins, then magnitude).
@@ -71,6 +69,8 @@ pub fn choir_multi_antenna(
     merged
 }
 
+// Tests assert on exactly-representable values (0.0, bin centres).
+#[allow(clippy::float_cmp)]
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,13 +88,12 @@ mod tests {
         PhyParams::default()
     }
 
+    /// (per-antenna captures, per-user clean waveforms, payloads, n).
+    type Capture = (Vec<Vec<C64>>, Vec<Vec<C64>>, Vec<Vec<u8>>, usize);
+
     /// Builds an A-antenna capture of `k` synchronized ideal users (no
     /// hardware offsets — the regime MU-MIMO is designed for).
-    fn mimo_capture(
-        antennas: usize,
-        snrs: &[f64],
-        seed: u64,
-    ) -> (Vec<Vec<C64>>, Vec<Vec<C64>>, Vec<Vec<u8>>, usize) {
+    fn mimo_capture(antennas: usize, snrs: &[f64], seed: u64) -> Capture {
         let p = params();
         let n = p.samples_per_symbol();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -154,7 +153,9 @@ mod tests {
         let n = p.samples_per_symbol();
         let bin = p.bin_hz();
         let mut rng = StdRng::seed_from_u64(3);
-        let payloads: Vec<Vec<u8>> = (0..2).map(|_| (0..6).map(|_| rng.gen()).collect()).collect();
+        let payloads: Vec<Vec<u8>> = (0..2)
+            .map(|_| (0..6).map(|_| rng.gen()).collect())
+            .collect();
         let profs = [
             HardwareProfile {
                 cfo_hz: 4.3 * bin,
@@ -192,10 +193,7 @@ mod tests {
         let merged = choir_multi_antenna(&streams, &p, 2 * n, 6);
         let ok = merged
             .iter()
-            .filter(|d| {
-                d.payload_ok()
-                    && payloads.contains(&d.frame.as_ref().unwrap().payload)
-            })
+            .filter(|d| d.payload_ok() && payloads.contains(&d.frame.as_ref().unwrap().payload))
             .count();
         assert!(ok >= 2, "merged ok = {ok}");
         // No duplicate payloads in the merge.

@@ -34,10 +34,7 @@ impl std::error::Error for MimoError {}
 /// Builds the separation matrix `W` (users × antennas) for channel `H`
 /// (`channels[a][u]`): zero-forcing `W = (HᴴH)⁻¹Hᴴ`, or MMSE
 /// `W = (HᴴH + σ²I)⁻¹Hᴴ` when `noise_power > 0`.
-pub fn separation_matrix(
-    channels: &[Vec<C64>],
-    noise_power: f64,
-) -> Result<CMat, MimoError> {
+pub fn separation_matrix(channels: &[Vec<C64>], noise_power: f64) -> Result<CMat, MimoError> {
     let antennas = channels.len();
     if antennas == 0 {
         return Err(MimoError::SingularChannel);
@@ -68,10 +65,7 @@ pub fn separation_matrix(
 
 /// Applies a separation matrix to per-antenna sample streams, producing
 /// one stream per user.
-pub fn separate(
-    w: &CMat,
-    antenna_streams: &[Vec<C64>],
-) -> Result<Vec<Vec<C64>>, MimoError> {
+pub fn separate(w: &CMat, antenna_streams: &[Vec<C64>]) -> Result<Vec<Vec<C64>>, MimoError> {
     let antennas = antenna_streams.len();
     if antennas != w.cols() {
         return Err(MimoError::LengthMismatch);

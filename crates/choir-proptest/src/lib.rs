@@ -1,0 +1,338 @@
+//! # choir-proptest — vendored property-testing shim for offline builds
+//!
+//! The Choir workspace must build and test with **zero crates.io
+//! dependencies**. This crate re-implements the slice of the
+//! [`proptest`](https://crates.io/crates/proptest) API that the workspace's
+//! property tests use — the `proptest!` macro, `prop_assert!`-family macros,
+//! the [`Strategy`] trait with `prop_map`, `any::<T>()`,
+//! `prop::collection::vec` and `prop::sample::select` — so the test files
+//! keep compiling unchanged via a renamed path dependency
+//! (`proptest = { package = "choir-proptest", ... }`).
+//!
+//! Differences from upstream proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its case index; reproduction
+//!   relies on the generator being deterministic per test name.
+//! * **Uniform generation only.** No recursive strategies, filters or
+//!   regex strategies — the workspace does not use them.
+//!
+//! ```
+//! use choir_proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(16))]
+//!     #[test]
+//!     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! # fn main() {}
+//! ```
+
+#![deny(missing_docs)]
+// The crate doctest demonstrates the `proptest!` macro, whose grammar
+// requires `#[test]` on each property — the attribute is API surface, not
+// an unexecuted unit test.
+#![allow(clippy::test_attr_in_doctest)]
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SampleRange, SeedableRng, StandardSample};
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Builds the deterministic RNG for one property, seeded from the test
+/// name so every `cargo test` run replays the identical case sequence.
+pub fn test_rng(test_name: &str) -> StdRng {
+    // FNV-1a over the name: stable across runs, platforms and toolchains.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A generator of random values, mirroring `proptest::strategy::Strategy`
+/// (generation only — no shrink tree).
+pub trait Strategy {
+    /// Type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms produced values with `f`, mirroring `prop_map`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Ranges are strategies drawing uniformly from themselves
+/// (e.g. `-1.0f64..1.0`, `0u16..128`, `7usize..=12`).
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    self.clone().sample_from(rng)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    self.clone().sample_from(rng)
+                }
+            }
+        )*
+    };
+}
+
+impl_range_strategy!(f64, u8, u16, u32, u64, usize);
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn sample(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// Uniform strategy over the whole domain of `T`, mirroring
+/// `proptest::prelude::any`.
+pub fn any<T: StandardSample>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl<T: StandardSample> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::sample_standard(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {
+        $(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+impl_tuple_strategy! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{RngCore, StdRng, Strategy};
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// `Vec` strategy with element strategy `element` and a length drawn
+    /// uniformly from `len`, mirroring `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(!len.is_empty(), "collection::vec: empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Value-picking strategies, mirroring `proptest::sample`.
+pub mod sample {
+    use super::{RngCore, StdRng, Strategy};
+
+    /// Strategy returned by [`select`].
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Uniform choice among `options`, mirroring `proptest::sample::select`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "sample::select: no options");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            let i = (rng.next_u64() % self.options.len() as u64) as usize;
+            self.options[i].clone()
+        }
+    }
+}
+
+/// Umbrella module so `prop::collection::vec` / `prop::sample::select`
+/// spellings from upstream proptest keep working.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Asserts a condition inside a `proptest!` body. Panics (with optional
+/// formatted message) — the runner reports the failing case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Defines property tests, mirroring `proptest::proptest!`.
+///
+/// Supports the subset used in this workspace: an optional leading
+/// `#![proptest_config(...)]` attribute, then `#[test]` functions whose
+/// parameters are `name in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ($cfg:expr; $(
+        #[test]
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::test_rng(stringify!($name));
+                $(let $arg = &($strat);)*
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample($arg, &mut rng);)*
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let ::std::result::Result::Err(payload) = outcome {
+                        eprintln!(
+                            "proptest {}: failed at case {}/{} (deterministic; re-run reproduces)",
+                            stringify!($name), case, config.cases,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -2.5f64..2.5, n in 1usize..10) {
+            prop_assert!((-2.5..2.5).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_and_map_compose(
+            v in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..20)
+                .prop_map(|pairs| pairs.into_iter().map(|(a, b)| a + b).collect::<Vec<f64>>()),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for s in &v {
+                prop_assert!((0.0..2.0).contains(s));
+            }
+        }
+
+        #[test]
+        fn select_picks_member(x in prop::sample::select(vec![3u32, 5, 7])) {
+            prop_assert!(x == 3 || x == 5 || x == 7);
+        }
+
+        #[test]
+        fn any_bool_and_ints(b in any::<bool>(), s in any::<u64>()) {
+            // Type-checks that `any` produces the requested types.
+            let _: bool = b;
+            let _: u64 = s;
+        }
+    }
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = crate::test_rng("stable");
+        let mut b = crate::test_rng("stable");
+        use rand::RngCore;
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -26,7 +26,11 @@ pub enum Strategy {
 
 impl Strategy {
     /// All strategies, in the order Fig. 11(a) plots them.
-    pub const ALL: [Strategy; 3] = [Strategy::Random, Strategy::ByFloor, Strategy::ByCenterDistance];
+    pub const ALL: [Strategy; 3] = [
+        Strategy::Random,
+        Strategy::ByFloor,
+        Strategy::ByCenterDistance,
+    ];
 
     /// Human-readable label matching the figure.
     pub fn label(self) -> &'static str {
@@ -72,10 +76,7 @@ pub fn make_groups(
             });
         }
     }
-    order
-        .chunks(group_size)
-        .map(|c| c.to_vec())
-        .collect()
+    order.chunks(group_size).map(|c| c.to_vec()).collect()
 }
 
 #[cfg(test)]
@@ -123,9 +124,7 @@ mod tests {
         let groups = make_groups(&b, &sensors, Strategy::ByCenterDistance, 6, 0);
         let flat: Vec<usize> = groups.iter().flatten().copied().collect();
         for w in flat.windows(2) {
-            assert!(
-                b.center_distance(sensors[w[0]]) <= b.center_distance(sensors[w[1]]) + 1e-9
-            );
+            assert!(b.center_distance(sensors[w[0]]) <= b.center_distance(sensors[w[1]]) + 1e-9);
         }
     }
 

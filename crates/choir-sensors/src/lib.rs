@@ -13,7 +13,7 @@
 //! * [`recover`] — coarse-view reconstruction and the normalised
 //!   resolution-error metric (Fig. 10).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod field;
 pub mod grouping;

@@ -70,11 +70,7 @@ pub struct GroupRecovery {
 /// further capped by `channel_chunk_limit` (how many chunk packets the
 /// link budget delivered — `usize::MAX` when the channel is not the
 /// bottleneck).
-pub fn recover_group(
-    readings: &[f64],
-    q: &Quantizer,
-    channel_chunk_limit: usize,
-) -> GroupRecovery {
+pub fn recover_group(readings: &[f64], q: &Quantizer, channel_chunk_limit: usize) -> GroupRecovery {
     assert!(!readings.is_empty(), "recover_group: empty group");
     let codes: Vec<u32> = readings
         .iter()
@@ -85,7 +81,13 @@ pub fn recover_group(
     // The recovered prefix is shared by every member; take member 0's.
     let chunks_full = splice(codes[0], q.bits, q.chunk_bits);
     let chunks: Vec<Option<u8>> = (0..chunks_full.len())
-        .map(|i| if i < recovered { Some(chunks_full[i]) } else { None })
+        .map(|i| {
+            if i < recovered {
+                Some(chunks_full[i])
+            } else {
+                None
+            }
+        })
         .collect();
     let code = reassemble(&chunks, q.bits, q.chunk_bits);
     let reconstructed = dequantize(code, q.lo, q.hi, q.bits);
@@ -104,11 +106,7 @@ pub fn recover_group(
 
 /// Mean normalised error over many groups (the Fig. 11(a) bar height for
 /// one strategy).
-pub fn mean_group_error(
-    groups: &[Vec<f64>],
-    q: &Quantizer,
-    channel_chunk_limit: usize,
-) -> f64 {
+pub fn mean_group_error(groups: &[Vec<f64>], q: &Quantizer, channel_chunk_limit: usize) -> f64 {
     assert!(!groups.is_empty());
     groups
         .iter()
@@ -134,7 +132,11 @@ mod tests {
     fn tight_group_low_error() {
         let q = Quantizer::temperature();
         let r = recover_group(&[21.4, 21.5, 21.6], &q, usize::MAX);
-        assert!(r.mean_normalized_error < 0.05, "err {}", r.mean_normalized_error);
+        assert!(
+            r.mean_normalized_error < 0.05,
+            "err {}",
+            r.mean_normalized_error
+        );
     }
 
     #[test]

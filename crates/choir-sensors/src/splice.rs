@@ -12,7 +12,7 @@
 /// `[lo, hi]` (clamped).
 pub fn quantize(value: f64, lo: f64, hi: f64, bits: u32) -> u32 {
     assert!(hi > lo, "quantize: empty range");
-    assert!(bits >= 1 && bits <= 31, "quantize: bits out of range");
+    assert!((1..=31).contains(&bits), "quantize: bits out of range");
     let levels = (1u64 << bits) as f64;
     let t = ((value - lo) / (hi - lo)).clamp(0.0, 1.0);
     ((t * (levels - 1.0)).round() as u32).min((1u32 << bits) - 1)
@@ -27,8 +27,8 @@ pub fn dequantize(code: u32, lo: f64, hi: f64, bits: u32) -> f64 {
 /// Splits a `bits`-wide code into MSB-first chunks of `chunk_bits` each
 /// (the final chunk may be narrower).
 pub fn splice(code: u32, bits: u32, chunk_bits: u32) -> Vec<u8> {
-    assert!(chunk_bits >= 1 && chunk_bits <= 8, "splice: chunk width");
-    assert!(bits >= 1 && bits <= 31);
+    assert!((1..=8).contains(&chunk_bits), "splice: chunk width");
+    assert!((1..=31).contains(&bits));
     let mut out = Vec::new();
     let mut remaining = bits;
     while remaining > 0 {
@@ -99,7 +99,10 @@ mod tests {
             let v = i as f64 * 0.4;
             let q = quantize(v, lo, hi, bits);
             let r = dequantize(q, lo, hi, bits);
-            assert!((v - r).abs() <= (hi - lo) / (1 << bits) as f64, "v={v} r={r}");
+            assert!(
+                (v - r).abs() <= (hi - lo) / (1 << bits) as f64,
+                "v={v} r={r}"
+            );
         }
     }
 

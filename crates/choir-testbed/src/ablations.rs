@@ -170,7 +170,10 @@ pub fn ablate_sic_passes(scale: Scale) -> FigureReport {
         pts.push((format!("{passes} pass"), ok as f64 / total as f64));
     }
     let rows: Vec<(&str, f64)> = pts.iter().map(|(l, v)| (l.as_str(), *v)).collect();
-    let mut r = FigureReport::new("ablate_sic", "Packet-level SIC passes vs decode rate (6 users)");
+    let mut r = FigureReport::new(
+        "ablate_sic",
+        "Packet-level SIC passes vs decode rate (6 users)",
+    );
     r.push_series(Series::from_labels("decode rate", &rows));
     r
 }
@@ -185,7 +188,7 @@ pub fn ablate_preamble_accumulation(scale: Scale) -> FigureReport {
         let mut metrics = Vec::new();
         for t in 0..trials {
             let s = ScenarioBuilder::new(params)
-                .snrs_db(&vec![-17.0; 10])
+                .snrs_db(&[-17.0; 10])
                 .shared_payload(vec![1, 2, 3, 4])
                 .seed(4300 + t as u64)
                 .build();
@@ -257,7 +260,10 @@ pub fn ablate_adc(scale: Scale) -> FigureReport {
                 let weak_payload = &s.users[1].payload;
                 if out.iter().any(|d| {
                     d.payload_ok()
-                        && d.frame.as_ref().map(|f| &f.payload == weak_payload).unwrap_or(false)
+                        && d.frame
+                            .as_ref()
+                            .map(|f| &f.payload == weak_payload)
+                            .unwrap_or(false)
                 }) {
                     ok += 1;
                 }
@@ -265,7 +271,13 @@ pub fn ablate_adc(scale: Scale) -> FigureReport {
             pts.push((format!("weak {weak_db} dB"), ok as f64 / trials as f64));
         }
         let named: Vec<(&str, f64)> = pts.iter().map(|(l, v)| (l.as_str(), *v)).collect();
-        rows.push((format!("{bits}-bit ADC"), named.iter().map(|(l, v)| (l.to_string(), *v)).collect::<Vec<_>>()));
+        rows.push((
+            format!("{bits}-bit ADC"),
+            named
+                .iter()
+                .map(|(l, v)| (l.to_string(), *v))
+                .collect::<Vec<_>>(),
+        ));
     }
     let mut r = FigureReport::new(
         "ablate_adc",

@@ -46,7 +46,8 @@ pub fn run(_scale: Scale) -> FigureReport {
     // Unpadded 2^n-point transform: two coarse peaks.
     let de = est.dechirp(win);
     let spec = choir_dsp::fft::fft(&de);
-    let mut coarse: Vec<(usize, f64)> = spec.iter().enumerate().map(|(i, z)| (i, z.abs())).collect();
+    let mut coarse: Vec<(usize, f64)> =
+        spec.iter().enumerate().map(|(i, z)| (i, z.abs())).collect();
     coarse.sort_by(|a, b| b.1.total_cmp(&a.1));
     report.push_series(Series::from_labels(
         "coarse peaks (bin)",
@@ -76,6 +77,8 @@ pub fn run(_scale: Scale) -> FigureReport {
     report
 }
 
+// Tests assert on exactly-representable values (0.0, bin centres).
+#[allow(clippy::float_cmp)]
 #[cfg(test)]
 mod tests {
     use super::*;

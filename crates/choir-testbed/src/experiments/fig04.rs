@@ -53,14 +53,19 @@ pub fn run(scale: Scale) -> FigureReport {
     // Convexity check: the minimum of each slice sits within one step of
     // d = 0 and the residual is monotone moving away from it.
     let check = |slice: &[(f64, f64)]| -> (f64, bool) {
-        let (dmin, _) = slice
+        let Some((min_idx, &(dmin, _))) = slice
             .iter()
-            .cloned()
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .unwrap();
-        let min_idx = slice.iter().position(|&(d, _)| d == dmin).unwrap();
-        let mono_right = slice[min_idx..].windows(2).all(|w| w[1].1 >= w[0].1 * 0.999);
-        let mono_left = slice[..=min_idx].windows(2).all(|w| w[0].1 >= w[1].1 * 0.999);
+            .enumerate()
+            .min_by(|a, b| (a.1).1.total_cmp(&(b.1).1))
+        else {
+            return (f64::NAN, false);
+        };
+        let mono_right = slice[min_idx..]
+            .windows(2)
+            .all(|w| w[1].1 >= w[0].1 * 0.999);
+        let mono_left = slice[..=min_idx]
+            .windows(2)
+            .all(|w| w[0].1 >= w[1].1 * 0.999);
         (dmin, mono_left && mono_right)
     };
     let (d1, c1) = check(&slice1);
@@ -86,7 +91,17 @@ mod tests {
         let r = run(Scale::Quick);
         assert_eq!(r.value("locally convex", "f1 axis"), Some(1.0));
         assert_eq!(r.value("locally convex", "f2 axis"), Some(1.0));
-        assert!(r.value("minimum displacement (bins)", "f1 axis").unwrap().abs() <= 0.051);
-        assert!(r.value("minimum displacement (bins)", "f2 axis").unwrap().abs() <= 0.051);
+        assert!(
+            r.value("minimum displacement (bins)", "f1 axis")
+                .unwrap()
+                .abs()
+                <= 0.051
+        );
+        assert!(
+            r.value("minimum displacement (bins)", "f2 axis")
+                .unwrap()
+                .abs()
+                <= 0.051
+        );
     }
 }

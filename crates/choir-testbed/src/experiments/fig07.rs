@@ -165,17 +165,20 @@ pub fn run(scale: Scale) -> FigureReport {
                 .seed(900 + t as u64)
                 .build();
             let u = &s.users[0];
-            let mu = u
-                .profile
-                .aggregate_shift_bins(bin, n)
-                .rem_euclid(n as f64);
+            let mu = u.profile.aggregate_shift_bins(bin, n).rem_euclid(n as f64);
             let delta = u.profile.timing_offset_symbols * n as f64;
             let offs = per_window_offsets(&est, &s.samples, s.slot_start, params.preamble_len, mu);
             if offs.len() >= 3 {
                 agg_stds.push(stats::std_dev(&offs) * bin);
             }
-            let tims =
-                per_window_timing(&est, &s.samples, s.slot_start, params.preamble_len, mu, delta);
+            let tims = per_window_timing(
+                &est,
+                &s.samples,
+                s.slot_start,
+                params.preamble_len,
+                mu,
+                delta,
+            );
             if tims.len() >= 3 {
                 to_stds.push(stats::std_dev(&tims) * chip_s * 1e6); // µs
             }

@@ -43,12 +43,7 @@ pub fn sim_config(params: PhyParams, num_nodes: usize, slots: usize, snr: (f64, 
 
 /// Calibrates Choir's per-user decode probability for each user count in
 /// `1..=max_users` by running the real decoder on synthesised collisions.
-pub fn calibrate(
-    params: PhyParams,
-    max_users: usize,
-    trials: usize,
-    snr: (f64, f64),
-) -> Vec<f64> {
+pub fn calibrate(params: PhyParams, max_users: usize, trials: usize, snr: (f64, f64)) -> Vec<f64> {
     calibrate_choir_phy(params, 8, max_users, trials, snr, 88)
 }
 
@@ -72,9 +67,24 @@ pub fn run_snr_with_tables(tables: &[Vec<f64>], scale: Scale) -> FigureReport {
         let oracle = run_sim(MacScheme::Oracle, &cfg, &mut fatal2);
         let mut choir_phy = TabulatedChoirPhy::new(table.clone(), 5);
         let choir = run_sim(MacScheme::Choir, &cfg, &mut choir_phy);
-        tput.push((*label, aloha.throughput_bps, oracle.throughput_bps, choir.throughput_bps));
-        lat.push((*label, aloha.avg_latency_s, oracle.avg_latency_s, choir.avg_latency_s));
-        txs.push((*label, aloha.tx_per_packet, oracle.tx_per_packet, choir.tx_per_packet));
+        tput.push((
+            *label,
+            aloha.throughput_bps,
+            oracle.throughput_bps,
+            choir.throughput_bps,
+        ));
+        lat.push((
+            *label,
+            aloha.avg_latency_s,
+            oracle.avg_latency_s,
+            choir.avg_latency_s,
+        ));
+        txs.push((
+            *label,
+            aloha.tx_per_packet,
+            oracle.tx_per_packet,
+            choir.tx_per_packet,
+        ));
     }
     let mut report = FigureReport::new(
         "fig08abc",
@@ -82,14 +92,13 @@ pub fn run_snr_with_tables(tables: &[Vec<f64>], scale: Scale) -> FigureReport {
     );
     for (metric, rows) in [("thrpt bps", &tput), ("latency s", &lat), ("tx/pkt", &txs)] {
         for (idx, scheme) in ["ALOHA", "Oracle", "Choir"].iter().enumerate() {
-            let pts: Vec<(&str, f64)> = rows
-                .iter()
-                .map(|r| (r.0, [r.1, r.2, r.3][idx]))
-                .collect();
+            let pts: Vec<(&str, f64)> = rows.iter().map(|r| (r.0, [r.1, r.2, r.3][idx])).collect();
             report.push_series(Series::from_labels(&format!("{metric} {scheme}"), &pts));
         }
     }
-    report.note("paper (2 users): Choir ≈2.58×/2.11× ALOHA/Oracle throughput; latency ÷3.9/÷1.5; tx ÷3.05");
+    report.note(
+        "paper (2 users): Choir ≈2.58×/2.11× ALOHA/Oracle throughput; latency ÷3.9/÷1.5; tx ÷3.05",
+    );
     report
 }
 
@@ -116,13 +125,12 @@ pub fn run_users_with_table(table: &[f64], scale: Scale) -> FigureReport {
     let slots = scale.trials(150, 500);
     let snr = (8.0, 22.0);
     let user_counts: Vec<usize> = (2..=10).collect();
-    let mut series: Vec<(&str, Vec<(f64, f64)>, fn(&choir_mac::RunMetrics) -> f64)> = vec![];
-    let metrics: [(&str, fn(&choir_mac::RunMetrics) -> f64); 3] = [
+    type MetricFn = fn(&choir_mac::RunMetrics) -> f64;
+    let metrics: [(&str, MetricFn); 3] = [
         ("thrpt bps", |m| m.throughput_bps),
         ("latency s", |m| m.avg_latency_s),
         ("tx/pkt", |m| m.tx_per_packet),
     ];
-    let _ = &mut series;
     let mut report = FigureReport::new(
         "fig08def",
         "2–10 concurrent users: throughput / latency / transmissions",
@@ -134,10 +142,19 @@ pub fn run_users_with_table(table: &[f64], scale: Scale) -> FigureReport {
             let mut fatal = CollisionFatalPhy { params };
             rows[0].push((k as f64, get(&run_sim(MacScheme::Aloha, &cfg, &mut fatal))));
             let mut fatal2 = CollisionFatalPhy { params };
-            rows[1].push((k as f64, get(&run_sim(MacScheme::Oracle, &cfg, &mut fatal2))));
+            rows[1].push((
+                k as f64,
+                get(&run_sim(MacScheme::Oracle, &cfg, &mut fatal2)),
+            ));
             let mut choir_phy = TabulatedChoirPhy::new(table.to_vec(), 5);
-            rows[2].push((k as f64, get(&run_sim(MacScheme::Choir, &cfg, &mut choir_phy))));
-            rows[3].push((k as f64, get(&run_sim(MacScheme::Choir, &cfg, &mut IdealPhy))));
+            rows[2].push((
+                k as f64,
+                get(&run_sim(MacScheme::Choir, &cfg, &mut choir_phy)),
+            ));
+            rows[3].push((
+                k as f64,
+                get(&run_sim(MacScheme::Choir, &cfg, &mut IdealPhy)),
+            ));
         }
         for (r, scheme) in rows.into_iter().zip(["ALOHA", "Oracle", "Choir", "Ideal"]) {
             if mname != "thrpt bps" && scheme == "Ideal" {
@@ -146,7 +163,9 @@ pub fn run_users_with_table(table: &[f64], scale: Scale) -> FigureReport {
             report.push_series(Series::from_xy(&format!("{mname} {scheme}"), &r));
         }
     }
-    report.note("paper (10 users): Choir ≈29×/6.84× ALOHA/Oracle throughput; latency ÷19.4/÷4.88; tx ÷4.54");
+    report.note(
+        "paper (10 users): Choir ≈29×/6.84× ALOHA/Oracle throughput; latency ÷19.4/÷4.88; tx ÷4.54",
+    );
     report.note("our decoder's density knee sits near 6–8 users (EXPERIMENTS.md discusses the offset-collision statistics)");
     report
 }

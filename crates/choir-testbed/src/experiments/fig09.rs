@@ -66,7 +66,10 @@ fn team_trial(
     )?;
     let frame = frame?;
     if frame.crc_ok && frame.payload == TEAM_PAYLOAD {
-        Some((TEAM_PAYLOAD.len() * 8, params.time_on_air(TEAM_PAYLOAD.len())))
+        Some((
+            TEAM_PAYLOAD.len() * 8,
+            params.time_on_air(TEAM_PAYLOAD.len()),
+        ))
     } else {
         None
     }
@@ -119,7 +122,9 @@ pub fn run_throughput(scale: Scale) -> FigureReport {
         "Throughput of beyond-range teams vs team size (members ~1.3 km out)",
     );
     report.push_series(Series::from_labels("thrpt bps", &pts));
-    report.note(format!("per-member SNR at 1.3 km: {member_snr:.1} dB (below the single-node floor)"));
+    report.note(format!(
+        "per-member SNR at 1.3 km: {member_snr:.1} dB (below the single-node floor)"
+    ));
     report.note("paper: throughput grows with team size, reaching ~3.5–5.5 kbps for 26–30 members");
     report
 }

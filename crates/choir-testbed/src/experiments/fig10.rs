@@ -53,8 +53,14 @@ pub fn run(_scale: Scale) -> FigureReport {
                     .iter()
                     .map(|&i| field.humidity_reading(sensors[i], i, 1))
                     .collect();
-                temp_pts.push((d, recover_group(&temps, &qt, usize::MAX).mean_normalized_error));
-                hum_pts.push((d, recover_group(&hums, &qh, usize::MAX).mean_normalized_error));
+                temp_pts.push((
+                    d,
+                    recover_group(&temps, &qt, usize::MAX).mean_normalized_error,
+                ));
+                hum_pts.push((
+                    d,
+                    recover_group(&hums, &qh, usize::MAX).mean_normalized_error,
+                ));
             }
             None => {
                 // Even 30 members cannot reach: nothing recovered — the
@@ -82,7 +88,9 @@ pub fn run(_scale: Scale) -> FigureReport {
         .map(|&d| (d, team_size_needed(&topo, d, &params).unwrap_or(31) as f64))
         .collect();
     report.push_series(Series::from_xy("team size", &sizes));
-    report.note("paper: error grows gradually with distance; ~13.2 % at ≥2.5 km with teams of up to 30");
+    report.note(
+        "paper: error grows gradually with distance; ~13.2 % at ≥2.5 km with teams of up to 30",
+    );
     report
 }
 

@@ -63,8 +63,10 @@ pub fn run_grouping(scale: Scale) -> FigureReport {
         temp_rows.push((strat.label(), terr / epochs as f64));
         hum_rows.push((strat.label(), herr / epochs as f64));
     }
-    let mut report =
-        FigureReport::new("fig11a", "Sensor grouping strategies: mean normalised error");
+    let mut report = FigureReport::new(
+        "fig11a",
+        "Sensor grouping strategies: mean normalised error",
+    );
     report.push_series(Series::from_labels("temperature", &temp_rows));
     report.push_series(Series::from_labels("humidity", &hum_rows));
     report.note("paper: centre-distance < floor < random");

@@ -79,7 +79,10 @@ pub fn measure_mimo_prob(trials: usize) -> f64 {
         if let Ok(frames) = mu_mimo_decode(&streams, &channels, &params, start, PAYLOAD, 1.0) {
             for (f, truth) in frames.iter().zip(&payloads) {
                 total += 1;
-                if f.as_ref().map(|x| x.crc_ok && &x.payload == truth).unwrap_or(false) {
+                if f.as_ref()
+                    .map(|x| x.crc_ok && &x.payload == truth)
+                    .unwrap_or(false)
+                {
                     ok += 1;
                 }
             }
@@ -102,7 +105,11 @@ pub fn measure_choir_mimo_prob(trials: usize) -> f64 {
         for truth in &payloads {
             total += 1;
             if merged.iter().any(|d| {
-                d.payload_ok() && d.frame.as_ref().map(|f| &f.payload == truth).unwrap_or(false)
+                d.payload_ok()
+                    && d.frame
+                        .as_ref()
+                        .map(|f| &f.payload == truth)
+                        .unwrap_or(false)
             }) {
                 ok += 1;
             }
@@ -113,7 +120,12 @@ pub fn measure_choir_mimo_prob(trials: usize) -> f64 {
 
 /// Fig. 12 with injected probabilities (for tests; the IQ measurement
 /// functions above feed the real run).
-pub fn run_with_probs(p_choir5: f64, p_mimo3: f64, p_choir_mimo5: f64, scale: Scale) -> FigureReport {
+pub fn run_with_probs(
+    p_choir5: f64,
+    p_mimo3: f64,
+    p_choir_mimo5: f64,
+    scale: Scale,
+) -> FigureReport {
     let params = PhyParams::default();
     let slots = scale.trials(200, 600);
     let base = SimConfig {
@@ -147,9 +159,14 @@ pub fn run_with_probs(p_choir5: f64, p_mimo3: f64, p_choir_mimo5: f64, scale: Sc
         ("Choir", choir1.throughput_bps),
         ("Choir+MIMO", choir3.throughput_bps),
     ];
-    let mut report = FigureReport::new("fig12", "Throughput vs uplink MU-MIMO (5 users, 3 antennas)");
+    let mut report = FigureReport::new(
+        "fig12",
+        "Throughput vs uplink MU-MIMO (5 users, 3 antennas)",
+    );
     report.push_series(Series::from_labels("thrpt bps", &rows));
-    report.note("paper: MU-MIMO 9.99×/3.04× ALOHA/Oracle; Choir 11.07×/3.37×; Choir+MIMO 13.85×/4.22×");
+    report.note(
+        "paper: MU-MIMO 9.99×/3.04× ALOHA/Oracle; Choir 11.07×/3.37×; Choir+MIMO 13.85×/4.22×",
+    );
     report
 }
 
@@ -160,7 +177,9 @@ pub fn run(scale: Scale) -> FigureReport {
     let p_choir_mimo = measure_choir_mimo_prob(trials);
     // Single-antenna Choir at 5 users: reuse the fig08 calibration helper.
     let table = super::fig08::calibrate(PhyParams::default(), USERS, trials, (8.0, 14.0));
-    let p_choir5 = *table.last().unwrap();
+    // `calibrate` returns one probability per user count (USERS >= 1), so
+    // the table is never empty; the fallback is unreachable.
+    let p_choir5 = table.last().copied().unwrap_or_default();
     let mut r = run_with_probs(p_choir5, p_mimo, p_choir_mimo, scale);
     r.note(format!(
         "measured p: choir(5,1ant)={p_choir5:.2}, mimo(3,3ant)={p_mimo:.2}, choir(5,3ant)={p_choir_mimo:.2}"

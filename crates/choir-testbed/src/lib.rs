@@ -6,7 +6,7 @@
 //! same rows/series the paper plots. The `figures` binary runs them from
 //! the command line; `choir-bench` wraps them in Criterion benches.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ablations;
 pub mod experiments;

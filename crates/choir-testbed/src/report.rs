@@ -17,10 +17,7 @@ impl Series {
     pub fn from_xy(label: &str, pts: &[(f64, f64)]) -> Self {
         Series {
             label: label.to_string(),
-            points: pts
-                .iter()
-                .map(|(x, y)| (format!("{x}"), *y))
-                .collect(),
+            points: pts.iter().map(|(x, y)| (format!("{x}"), *y)).collect(),
         }
     }
 
@@ -166,7 +163,11 @@ impl FigureReport {
                 )
             })
             .collect();
-        let notes: Vec<String> = self.notes.iter().map(|n| format!("\"{}\"", esc(n))).collect();
+        let notes: Vec<String> = self
+            .notes
+            .iter()
+            .map(|n| format!("\"{}\"", esc(n)))
+            .collect();
         format!(
             "{{\"id\":\"{}\",\"title\":\"{}\",\"series\":[{}],\"notes\":[{}]}}",
             esc(&self.id),
@@ -220,7 +221,7 @@ mod tests {
         assert!(j.contains("[2,null]"), "{j}");
         assert!(j.contains("[\"Low\",7]"));
         assert!(j.contains("\\\"")); // the escaped quote in the title
-        // Balanced braces/brackets as a cheap well-formedness check.
+                                     // Balanced braces/brackets as a cheap well-formedness check.
         let opens = j.matches('{').count();
         let closes = j.matches('}').count();
         assert_eq!(opens, closes);

@@ -36,7 +36,10 @@ impl Topology {
     pub fn cmu_campus(seed: u64) -> Self {
         Topology {
             extent: (3400.0, 3200.0),
-            base_station: Location { x: 1700.0, y: 1600.0 },
+            base_station: Location {
+                x: 1700.0,
+                y: 1600.0,
+            },
             link: LinkBudget::default(),
             shadowing: Shadowing::default(),
             seed,
@@ -84,13 +87,14 @@ impl Topology {
         // Invert: snr = tx + gains − PL(d) − floor.
         let bw = params.bw.hz();
         let floor = choir_channel::noise::noise_floor_dbm(bw, self.link.noise_figure_db);
-        let pl = self.link.tx_power_dbm + self.link.tx_gain_db + self.link.rx_gain_db
-            - snr_db
-            - floor;
+        let pl =
+            self.link.tx_power_dbm + self.link.tx_gain_db + self.link.rx_gain_db - snr_db - floor;
         self.link.pathloss.distance_for_loss(pl)
     }
 }
 
+// Tests assert on exactly-representable values (0.0, bin centres).
+#[allow(clippy::float_cmp)]
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,13 +118,18 @@ mod tests {
     #[test]
     fn snr_decreases_with_distance() {
         let t = Topology::cmu_campus(2);
-        let near = Location { x: 1750.0, y: 1600.0 };
-        let far = Location { x: 3300.0, y: 100.0 };
+        let near = Location {
+            x: 1750.0,
+            y: 1600.0,
+        };
+        let far = Location {
+            x: 3300.0,
+            y: 100.0,
+        };
         // Compare shadowing-free to avoid randomness.
         let p = params();
         assert!(
-            t.snr_at_distance_db(t.distance(near), &p)
-                > t.snr_at_distance_db(t.distance(far), &p)
+            t.snr_at_distance_db(t.distance(near), &p) > t.snr_at_distance_db(t.distance(far), &p)
         );
     }
 

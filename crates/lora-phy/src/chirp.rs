@@ -39,7 +39,9 @@ pub fn symbol_sample(n: usize, s: u16, tau: f64) -> C64 {
 
 /// The base up-chirp (`s = 0`) sampled at integer chips.
 pub fn base_upchirp(n: usize) -> Vec<C64> {
-    (0..n).map(|i| C64::cis(symbol_phase(n, 0, i as f64))).collect()
+    (0..n)
+        .map(|i| C64::cis(symbol_phase(n, 0, i as f64)))
+        .collect()
 }
 
 /// The base down-chirp: complex conjugate of the base up-chirp. Multiplying
@@ -50,7 +52,9 @@ pub fn base_downchirp(n: usize) -> Vec<C64> {
 
 /// The symbol-`s` up-chirp sampled at integer chips (ideal transmitter).
 pub fn modulated_chirp(n: usize, s: u16) -> Vec<C64> {
-    (0..n).map(|i| C64::cis(symbol_phase(n, s, i as f64))).collect()
+    (0..n)
+        .map(|i| C64::cis(symbol_phase(n, s, i as f64)))
+        .collect()
 }
 
 /// A whole packet's baseband waveform, evaluable at fractional chip time.
@@ -74,7 +78,10 @@ impl PacketWaveform {
     /// # Panics
     /// Panics if any symbol value is outside the alphabet.
     pub fn new(n: usize, symbols: Vec<u16>) -> Self {
-        assert!(n.is_power_of_two(), "chips per symbol must be a power of two");
+        assert!(
+            n.is_power_of_two(),
+            "chips per symbol must be a power of two"
+        );
         for &s in &symbols {
             assert!((s as usize) < n, "symbol {s} out of alphabet {n}");
         }
@@ -124,6 +131,8 @@ impl PacketWaveform {
     }
 }
 
+// Tests assert on exactly-representable values (0.0, bin centres).
+#[allow(clippy::float_cmp)]
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,8 +182,7 @@ mod tests {
             let wrapped = C64::cis(symbol_phase(n, s, tau));
             let nf = n as f64;
             let unwrapped = C64::cis(
-                2.0 * std::f64::consts::PI
-                    * (tau * tau / (2.0 * nf) + (s as f64 / nf - 0.5) * tau),
+                2.0 * std::f64::consts::PI * (tau * tau / (2.0 * nf) + (s as f64 / nf - 0.5) * tau),
             );
             assert!((wrapped - unwrapped).abs() < 1e-9, "chip {i}");
         }
@@ -187,15 +195,20 @@ mod tests {
         let n = 128;
         let s = 96u16;
         let h = 1e-6;
-        let freq = |tau: f64| (symbol_phase(n, s, tau + h) - symbol_phase(n, s, tau - h))
-            / (2.0 * h)
-            / (2.0 * std::f64::consts::PI);
+        let freq = |tau: f64| {
+            (symbol_phase(n, s, tau + h) - symbol_phase(n, s, tau - h))
+                / (2.0 * h)
+                / (2.0 * std::f64::consts::PI)
+        };
         let pre = freq(10.0);
         let expected_pre = s as f64 / n as f64 - 0.5 + 10.0 / n as f64;
         assert!((pre - expected_pre).abs() < 1e-6);
         let post = freq((n - s as usize) as f64 + 10.0);
         let expected_post = expected_pre + ((n - s as usize) as f64) / n as f64 - 1.0;
-        assert!((post - expected_post).abs() < 1e-6, "post {post} vs {expected_post}");
+        assert!(
+            (post - expected_post).abs() < 1e-6,
+            "post {post} vs {expected_post}"
+        );
     }
 
     #[test]

@@ -90,7 +90,11 @@ pub fn scan_for_packets(samples: &[C64], modem: &Modem, threshold: f64) -> Vec<u
 /// slot time in the MAC simulator).
 ///
 /// Uses the sync-word symbols to measure the combined integer shift `c`.
-pub fn synchronize(samples: &[C64], modem: &Modem, approx_start: usize) -> Result<PacketSync, RxError> {
+pub fn synchronize(
+    samples: &[C64],
+    modem: &Modem,
+    approx_start: usize,
+) -> Result<PacketSync, RxError> {
     let n = modem.n();
     let p = modem.params();
     let sync_at = approx_start + p.preamble_len * n;

@@ -142,11 +142,7 @@ pub fn encode_frame(params: &PhyParams, payload: &[u8]) -> Vec<u16> {
     }
     let nibbles = bytes_to_nibbles(&body);
     let cws = encode_nibbles(&nibbles, params.cr);
-    symbols.extend(
-        interleave(&cws, sf, cw_bits)
-            .into_iter()
-            .map(gray_encode),
-    );
+    symbols.extend(interleave(&cws, sf, cw_bits).into_iter().map(gray_encode));
     symbols
 }
 
@@ -180,7 +176,10 @@ pub fn decode_frame(params: &PhyParams, symbols: &[u16]) -> Result<DecodedFrame,
         return Err(FrameError::TooShort);
     }
     // Header block.
-    let hdr_grayless: Vec<u16> = symbols[..hdr_syms].iter().map(|&s| gray_decode(s)).collect();
+    let hdr_grayless: Vec<u16> = symbols[..hdr_syms]
+        .iter()
+        .map(|&s| gray_decode(s))
+        .collect();
     let hdr_cws = deinterleave(&hdr_grayless, sf, CodeRate::Cr48.codeword_bits());
     let (hdr_nibbles, hdr_reliable) = decode_nibbles(&hdr_cws, CodeRate::Cr48);
     let hdr_bytes = nibbles_to_bytes(&hdr_nibbles[..6]);
@@ -243,7 +242,12 @@ mod tests {
     fn roundtrip_every_sf_and_cr() {
         let payload: Vec<u8> = (0..23).map(|i| (i * 7 + 13) as u8).collect();
         for sf in SpreadingFactor::ALL {
-            for cr in [CodeRate::Cr45, CodeRate::Cr46, CodeRate::Cr47, CodeRate::Cr48] {
+            for cr in [
+                CodeRate::Cr45,
+                CodeRate::Cr46,
+                CodeRate::Cr47,
+                CodeRate::Cr48,
+            ] {
                 let p = params(sf, cr, true);
                 let syms = encode_frame(&p, &payload);
                 assert_eq!(syms.len(), frame_symbol_count(&p, payload.len()));
@@ -310,7 +314,11 @@ mod tests {
         let payload: Vec<u8> = (0..30).map(|i| i as u8 ^ 0x5A).collect();
         let mut syms = encode_frame(&p, &payload);
         let n = p.sf.chips() as u16;
-        for s in syms.iter_mut().skip(CodeRate::Cr48.codeword_bits()).step_by(8) {
+        for s in syms
+            .iter_mut()
+            .skip(CodeRate::Cr48.codeword_bits())
+            .step_by(8)
+        {
             *s = (*s + 1) % n; // adjacent-bin error in symbol space
         }
         let out = decode_frame(&p, &syms).unwrap();

@@ -31,7 +31,9 @@ impl DecodeResult {
     /// The recovered nibble regardless of confidence.
     pub fn nibble(self) -> u8 {
         match self {
-            DecodeResult::Clean(n) | DecodeResult::Corrected(n) | DecodeResult::Uncorrectable(n) => n,
+            DecodeResult::Clean(n)
+            | DecodeResult::Corrected(n)
+            | DecodeResult::Uncorrectable(n) => n,
         }
     }
 
@@ -97,7 +99,7 @@ pub fn decode_nibble(cw: u8, cr: CodeRate) -> DecodeResult {
         }
         CodeRate::Cr47 => decode_hamming74(cw),
         CodeRate::Cr48 => {
-            let overall_ok = cw.count_ones() % 2 == 0;
+            let overall_ok = cw.count_ones().is_multiple_of(2);
             let inner = decode_hamming74(cw & 0x7F);
             match (inner, overall_ok) {
                 (DecodeResult::Clean(n), true) => DecodeResult::Clean(n),
@@ -168,7 +170,12 @@ pub fn decode_nibbles(codewords: &[u8], cr: CodeRate) -> (Vec<u8>, bool) {
 mod tests {
     use super::*;
 
-    const ALL_CR: [CodeRate; 4] = [CodeRate::Cr45, CodeRate::Cr46, CodeRate::Cr47, CodeRate::Cr48];
+    const ALL_CR: [CodeRate; 4] = [
+        CodeRate::Cr45,
+        CodeRate::Cr46,
+        CodeRate::Cr47,
+        CodeRate::Cr48,
+    ];
 
     #[test]
     fn clean_roundtrip_all_rates_all_nibbles() {
@@ -264,7 +271,9 @@ mod tests {
 
     #[test]
     fn hamming74_min_distance_is_three() {
-        let words: Vec<u8> = (0u8..16).map(|n| encode_nibble(n, CodeRate::Cr47)).collect();
+        let words: Vec<u8> = (0u8..16)
+            .map(|n| encode_nibble(n, CodeRate::Cr47))
+            .collect();
         for i in 0..16 {
             for j in (i + 1)..16 {
                 let d = (words[i] ^ words[j]).count_ones();
@@ -275,7 +284,9 @@ mod tests {
 
     #[test]
     fn extended_hamming_min_distance_is_four() {
-        let words: Vec<u8> = (0u8..16).map(|n| encode_nibble(n, CodeRate::Cr48)).collect();
+        let words: Vec<u8> = (0u8..16)
+            .map(|n| encode_nibble(n, CodeRate::Cr48))
+            .collect();
         for i in 0..16 {
             for j in (i + 1)..16 {
                 let d = (words[i] ^ words[j]).count_ones();

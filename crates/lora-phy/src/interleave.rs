@@ -18,7 +18,10 @@
 /// Panics if `codewords.len() != sf` or any codeword overflows `cw_bits`.
 pub fn interleave_block(codewords: &[u8], sf: usize, cw_bits: usize) -> Vec<u16> {
     assert_eq!(codewords.len(), sf, "interleave: need exactly SF codewords");
-    assert!(sf <= 16 && cw_bits <= 8, "interleave: geometry out of range");
+    assert!(
+        sf <= 16 && cw_bits <= 8,
+        "interleave: geometry out of range"
+    );
     for &cw in codewords {
         assert!((cw as u32) < (1u32 << cw_bits), "codeword overflows width");
     }
@@ -41,7 +44,10 @@ pub fn interleave_block(codewords: &[u8], sf: usize, cw_bits: usize) -> Vec<u16>
 /// Panics if `symbols.len() != cw_bits` or any symbol overflows `sf` bits.
 pub fn deinterleave_block(symbols: &[u16], sf: usize, cw_bits: usize) -> Vec<u8> {
     assert_eq!(symbols.len(), cw_bits, "deinterleave: need 4+CR symbols");
-    assert!(sf <= 16 && cw_bits <= 8, "deinterleave: geometry out of range");
+    assert!(
+        sf <= 16 && cw_bits <= 8,
+        "deinterleave: geometry out of range"
+    );
     for &s in symbols {
         assert!((s as u32) < (1u32 << sf), "symbol overflows SF bits");
     }
@@ -89,7 +95,9 @@ mod tests {
     fn block_roundtrip() {
         let sf = 8;
         let cw_bits = 8;
-        let cws: Vec<u8> = (0..sf as u8).map(|i| i.wrapping_mul(37).wrapping_add(11)).collect();
+        let cws: Vec<u8> = (0..sf as u8)
+            .map(|i| i.wrapping_mul(37).wrapping_add(11))
+            .collect();
         let syms = interleave_block(&cws, sf, cw_bits);
         assert_eq!(syms.len(), cw_bits);
         let back = deinterleave_block(&syms, sf, cw_bits);
@@ -107,7 +115,11 @@ mod tests {
                 for &s in &syms {
                     assert!((s as usize) < (1 << sf));
                 }
-                assert_eq!(deinterleave_block(&syms, sf, cw_bits), cws, "sf={sf} cw={cw_bits}");
+                assert_eq!(
+                    deinterleave_block(&syms, sf, cw_bits),
+                    cws,
+                    "sf={sf} cw={cw_bits}"
+                );
             }
         }
     }

@@ -22,7 +22,7 @@
 //! assert!(frame.crc_ok);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod chirp;
 pub mod crc;

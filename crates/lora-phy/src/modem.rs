@@ -80,8 +80,8 @@ impl Modem {
         spec.iter()
             .enumerate()
             .max_by(|a, b| a.1.norm_sqr().total_cmp(&b.1.norm_sqr()))
-            .map(|(k, _)| k as u16)
-            .unwrap()
+            // The spectrum has 2^SF >= 1 bins, so the fallback is unreachable.
+            .map_or(0, |(k, _)| k as u16)
     }
 
     /// Demodulates a run of consecutive symbol windows starting at sample
@@ -110,10 +110,7 @@ impl Modem {
         if total <= 0.0 {
             return 0.0;
         }
-        let peak = spec
-            .iter()
-            .map(|z| z.norm_sqr())
-            .fold(f64::MIN, f64::max);
+        let peak = spec.iter().map(|z| z.norm_sqr()).fold(f64::MIN, f64::max);
         peak * spec.len() as f64 / total
     }
 }

@@ -203,6 +203,8 @@ impl PhyParams {
     }
 }
 
+// Tests assert on exactly-representable values (0.0, bin centres).
+#[allow(clippy::float_cmp)]
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,7 +256,7 @@ mod tests {
     #[test]
     fn payload_symbol_count() {
         let p = PhyParams::default(); // SF8, CR4/8, CRC on
-        // 10 bytes + 2 CRC = 24 nibbles → 3 blocks of 8 → 3·8 = 24 symbols.
+                                      // 10 bytes + 2 CRC = 24 nibbles → 3 blocks of 8 → 3·8 = 24 symbols.
         assert_eq!(p.payload_symbols(10), 24);
         // Packet adds 8 preamble + 2 sync.
         assert_eq!(p.packet_symbols(10), 34);
@@ -262,8 +264,10 @@ mod tests {
 
     #[test]
     fn time_on_air_scales_with_sf() {
-        let mut p = PhyParams::default();
-        p.sf = SpreadingFactor::Sf7;
+        let mut p = PhyParams {
+            sf: SpreadingFactor::Sf7,
+            ..PhyParams::default()
+        };
         let t7 = p.time_on_air(16);
         p.sf = SpreadingFactor::Sf9;
         let t9 = p.time_on_air(16);

@@ -16,7 +16,12 @@ fn arb_sf() -> impl Strategy<Value = SpreadingFactor> {
 }
 
 fn arb_cr() -> impl Strategy<Value = CodeRate> {
-    prop::sample::select(vec![CodeRate::Cr45, CodeRate::Cr46, CodeRate::Cr47, CodeRate::Cr48])
+    prop::sample::select(vec![
+        CodeRate::Cr45,
+        CodeRate::Cr46,
+        CodeRate::Cr47,
+        CodeRate::Cr48,
+    ])
 }
 
 proptest! {

@@ -1,0 +1,464 @@
+//! The Choir-specific lint rules.
+//!
+//! Each rule scans the preprocessed [`SourceFile`] views from
+//! [`crate::scan`] and yields [`Violation`]s. A site can be exempted with
+//! a comment marker on the same line or the line above:
+//!
+//! ```text
+//! let n = peaks.first().unwrap(); // lint:allow(unwrap) — peaks checked non-empty above
+//! ```
+//!
+//! The marker requires a reason (at least a few words); a bare
+//! `lint:allow(rule)` does not count.
+
+use crate::scan::SourceFile;
+
+/// One rule violation, ready to print as `path:line:col: rule: message`.
+#[derive(Debug)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Rule identifier (the `lint:allow(...)` key).
+    pub rule: &'static str,
+    /// Human-readable description of the site.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Crates whose `src/` is considered DSP hot-path code: the all-`f64`
+/// invariant and the lossy-cast marker requirement apply here.
+const DSP_CRATES: [&str; 2] = ["crates/choir-dsp/", "crates/choir-core/"];
+
+/// True for files the panic-free rule covers: library sources, excluding
+/// integration tests, benches, examples and the xtask binary itself.
+fn is_library_source(path: &str) -> bool {
+    let in_lib_tree = path.starts_with("src/") || {
+        path.starts_with("crates/") && path.contains("/src/") && !path.starts_with("crates/xtask/")
+    };
+    in_lib_tree && !path.contains("/bin/")
+}
+
+/// True for files inside the DSP hot-path crates.
+fn is_dsp_source(path: &str) -> bool {
+    DSP_CRATES.iter().any(|c| path.starts_with(c)) && path.contains("/src/")
+}
+
+/// Is `code[i]` the start of token `tok` on an identifier boundary?
+/// The preceding character may be a digit (so `1.0f32` still matches
+/// `f32`) but not a letter or `_`; the following character must not
+/// continue an identifier.
+fn token_at(code: &str, i: usize, tok: &str) -> bool {
+    let bytes = code.as_bytes();
+    if !code[i..].starts_with(tok) {
+        return false;
+    }
+    if i > 0 {
+        let p = bytes[i - 1];
+        if p.is_ascii_alphabetic() || p == b'_' {
+            return false;
+        }
+    }
+    match bytes.get(i + tok.len()) {
+        Some(&n) => !(n.is_ascii_alphanumeric() || n == b'_'),
+        None => true,
+    }
+}
+
+/// Runs every rule over one file.
+pub fn check_file(f: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    no_panics(f, &mut out);
+    no_f32(f, &mut out);
+    no_float_eq(f, &mut out);
+    no_lossy_casts(f, &mut out);
+    out
+}
+
+fn push(
+    f: &SourceFile,
+    out: &mut Vec<Violation>,
+    offset: usize,
+    rule: &'static str,
+    message: String,
+) {
+    if f.in_test(offset) || f.allowed(offset, rule) {
+        return;
+    }
+    let (line, col) = f.line_col(offset);
+    out.push(Violation {
+        path: f.path.clone(),
+        line,
+        col,
+        rule,
+        message,
+    });
+}
+
+/// Rule `unwrap`: no `unwrap()` / `expect()` / `panic!` / `todo!` /
+/// `unimplemented!` / `dbg!` in non-test library code. A single NaN or
+/// empty peak list must surface as a `Result`, not abort symbol decoding.
+fn no_panics(f: &SourceFile, out: &mut Vec<Violation>) {
+    if !is_library_source(&f.path) {
+        return;
+    }
+    const NEEDLES: [(&str, &str); 6] = [
+        (
+            ".unwrap()",
+            "`.unwrap()` in library code — return a Result or justify with lint:allow",
+        ),
+        (
+            ".expect(",
+            "`.expect()` in library code — return a Result or justify with lint:allow",
+        ),
+        (
+            "panic!",
+            "`panic!` in library code — return an error or use debug_assert!",
+        ),
+        ("todo!", "`todo!` in library code"),
+        ("unimplemented!", "`unimplemented!` in library code"),
+        ("dbg!", "`dbg!` left in library code"),
+    ];
+    for (needle, msg) in NEEDLES {
+        let mut search = 0usize;
+        while let Some(rel) = f.code[search..].find(needle) {
+            let at = search + rel;
+            search = at + needle.len();
+            // Identifier boundary on the left: `.unwrap()` needles start
+            // with '.', macro needles must not be a suffix (e.g.
+            // `prop_assert_panic!`) or a path segment (`std::panic!` still
+            // counts, `core::panicking` has no '!').
+            if !needle.starts_with('.') {
+                let prev = f.code.as_bytes().get(at.wrapping_sub(1)).copied();
+                if let Some(p) = prev {
+                    if p.is_ascii_alphanumeric() || p == b'_' {
+                        continue;
+                    }
+                }
+            }
+            push(f, out, at, "unwrap", msg.to_string());
+        }
+    }
+}
+
+/// Rule `f32`: the DSP pipeline is all-`f64`; any `f32` type or literal
+/// suffix in `choir-dsp`/`choir-core` is a silent precision downgrade.
+fn no_f32(f: &SourceFile, out: &mut Vec<Violation>) {
+    if !is_dsp_source(&f.path) {
+        return;
+    }
+    let mut search = 0usize;
+    while let Some(rel) = f.code[search..].find("f32") {
+        let at = search + rel;
+        search = at + 3;
+        if token_at(&f.code, at, "f32") {
+            push(
+                f,
+                out,
+                at,
+                "f32",
+                "`f32` in the all-f64 DSP pipeline — silent precision downgrade".to_string(),
+            );
+        }
+    }
+}
+
+/// Extracts the token immediately before byte `i` (skipping spaces),
+/// walking over identifier/number characters and `.`.
+fn token_before(code: &str, mut i: usize) -> &str {
+    let bytes = code.as_bytes();
+    while i > 0 && bytes[i - 1] == b' ' {
+        i -= 1;
+    }
+    let end = i;
+    while i > 0 {
+        let b = bytes[i - 1];
+        let exp_sign = (b == b'-' || b == b'+') && i >= 2 && matches!(bytes[i - 2], b'e' | b'E');
+        if b.is_ascii_alphanumeric() || b == b'_' || b == b'.' || exp_sign {
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    &code[i..end]
+}
+
+/// Extracts the token immediately after byte `i` (skipping spaces and a
+/// leading sign).
+fn token_after(code: &str, mut i: usize) -> &str {
+    let bytes = code.as_bytes();
+    while i < bytes.len() && bytes[i] == b' ' {
+        i += 1;
+    }
+    if i < bytes.len() && (bytes[i] == b'-' || bytes[i] == b'+') {
+        i += 1;
+    }
+    let start = i;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_alphanumeric() || b == b'_' || b == b'.' {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    &code[start..i]
+}
+
+/// Does `tok` look like a floating-point literal (`0.5`, `1e-9`, `2f64`)?
+fn is_float_literal(tok: &str) -> bool {
+    let t = tok.trim_end_matches("f64").trim_end_matches("f32");
+    if t.is_empty() || !t.starts_with(|c: char| c.is_ascii_digit()) {
+        return false;
+    }
+    let has_dot = t.contains('.');
+    let has_exp = t.len() != tok.len() // had an explicit float suffix
+        || t.bytes().any(|b| b == b'e' || b == b'E');
+    (has_dot || has_exp)
+        && t.bytes()
+            .all(|b| b.is_ascii_digit() || b"._eE+-".contains(&b))
+}
+
+/// Rule `float_cmp`: `==` / `!=` against a floating-point literal. Exact
+/// float equality silently breaks under accumulated rounding; compare
+/// against a tolerance instead (or justify — e.g. comparing against a
+/// sentinel that is assigned, never computed).
+fn no_float_eq(f: &SourceFile, out: &mut Vec<Violation>) {
+    if !is_library_source(&f.path) {
+        return;
+    }
+    let bytes = f.code.as_bytes();
+    for i in 0..bytes.len().saturating_sub(1) {
+        let two = &f.code[i..i + 2];
+        if two != "==" && two != "!=" {
+            continue;
+        }
+        // Not part of `<=` `>=` `===`-ish runs or `=>`/`=`:
+        if i > 0 && b"=!<>+-*/%&|^".contains(&bytes[i - 1]) {
+            continue;
+        }
+        if bytes.get(i + 2) == Some(&b'=') {
+            continue;
+        }
+        let lhs = token_before(&f.code, i);
+        let rhs = token_after(&f.code, i + 2);
+        if is_float_literal(lhs) || is_float_literal(rhs) {
+            push(
+                f,
+                out,
+                i,
+                "float_cmp",
+                format!("floating-point `{two}` against literal — use a tolerance"),
+            );
+        }
+    }
+}
+
+/// Rule `lossy_cast`: in DSP hot paths, `as` casts to a narrower numeric
+/// type (`f32`, sub-64-bit integers) silently truncate; each one needs a
+/// `lint:allow(lossy_cast)` marker explaining why the range is safe.
+fn no_lossy_casts(f: &SourceFile, out: &mut Vec<Violation>) {
+    if !is_dsp_source(&f.path) {
+        return;
+    }
+    const NARROW: [&str; 7] = ["f32", "u8", "u16", "u32", "i8", "i16", "i32"];
+    let mut search = 0usize;
+    while let Some(rel) = f.code[search..].find(" as ") {
+        let at = search + rel;
+        search = at + 4;
+        let target = token_after(&f.code, at + 4);
+        if NARROW.contains(&target) {
+            push(
+                f,
+                out,
+                at + 4,
+                "lossy_cast",
+                format!("lossy `as {target}` cast in DSP hot path — mark with lint:allow(lossy_cast) and justify the range"),
+            );
+        }
+    }
+}
+
+/// Rule `missing_docs_gate` + `lints_inherit`: every library crate must
+/// hard-deny missing docs and inherit the workspace lint table. Returns
+/// violations with pseudo-positions (line 1).
+pub fn check_crate_gates(
+    crate_dir: &str,
+    lib_rs: Option<&str>,
+    cargo_toml: &str,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if let Some(lib) = lib_rs {
+        if !lib.contains("#![deny(missing_docs)]") {
+            out.push(Violation {
+                path: format!("{crate_dir}/src/lib.rs"),
+                line: 1,
+                col: 1,
+                rule: "missing_docs_gate",
+                message: "library crate must declare `#![deny(missing_docs)]`".to_string(),
+            });
+        }
+    }
+    let has_inherit = cargo_toml
+        .split("[lints]")
+        .nth(1)
+        .is_some_and(|after| after.trim_start().starts_with("workspace = true"));
+    if !has_inherit {
+        out.push(Violation {
+            path: format!("{crate_dir}/Cargo.toml"),
+            line: 1,
+            col: 1,
+            rule: "lints_inherit",
+            message: "crate must inherit the workspace lint table (`[lints]\\nworkspace = true`)"
+                .to_string(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::SourceFile;
+
+    fn violations(path: &str, src: &str) -> Vec<String> {
+        let f = SourceFile::new(path, src);
+        check_file(&f).iter().map(|v| v.rule.to_string()).collect()
+    }
+
+    #[test]
+    fn planted_unwrap_is_caught() {
+        // The acceptance-criteria self-test: a deliberately planted
+        // `unwrap()` in library code must be flagged...
+        let v = violations(
+            "crates/choir-dsp/src/planted.rs",
+            "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        );
+        assert_eq!(v, ["unwrap"]);
+        // ...but not in test code, and not when allowlisted with a reason.
+        assert!(violations(
+            "crates/choir-dsp/src/planted.rs",
+            "#[cfg(test)]\nmod tests { fn f(x: Option<u8>) -> u8 { x.unwrap() } }\n",
+        )
+        .is_empty());
+        assert!(violations(
+            "crates/choir-dsp/src/planted.rs",
+            "pub fn f(x: Option<u8>) -> u8 {\n    // lint:allow(unwrap) — caller guarantees Some\n    x.unwrap()\n}\n",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn planted_f32_is_caught() {
+        let v = violations(
+            "crates/choir-dsp/src/planted.rs",
+            "pub fn f(x: f32) -> f64 { x as f64 }\n",
+        );
+        assert_eq!(v, ["f32"]);
+        // f32 outside the DSP crates is not this rule's business.
+        assert!(violations(
+            "crates/choir-mac/src/planted.rs",
+            "pub fn f(x: f32) -> f64 { x as f64 }\n",
+        )
+        .is_empty());
+        // Suffixed literal form.
+        let v = violations(
+            "crates/choir-core/src/planted.rs",
+            "pub const A: f64 = 1.0f32 as f64;\n",
+        );
+        assert!(v.contains(&"f32".to_string()));
+    }
+
+    #[test]
+    fn panic_and_expect_are_caught() {
+        let v = violations(
+            "crates/lora-phy/src/planted.rs",
+            "pub fn f(x: Option<u8>) { let _ = x.expect(\"msg\"); panic!(\"boom\"); }\n",
+        );
+        assert_eq!(v, ["unwrap", "unwrap"]);
+        // `debug_assert!` and custom idents containing "panic" do not count.
+        assert!(violations(
+            "crates/lora-phy/src/planted.rs",
+            "pub fn f(x: u8) { debug_assert!(x > 0); no_panic!(x); }\n",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn float_eq_against_literal_is_caught() {
+        let v = violations(
+            "crates/choir-mac/src/planted.rs",
+            "pub fn f(x: f64) -> bool { x == 0.3 }\n",
+        );
+        assert_eq!(v, ["float_cmp"]);
+        let v = violations(
+            "crates/choir-mac/src/planted.rs",
+            "pub fn f(x: f64) -> bool { 1e-9 != x }\n",
+        );
+        assert_eq!(v, ["float_cmp"]);
+        // Integer comparisons, <=, >= and == 0 are fine.
+        assert!(violations(
+            "crates/choir-mac/src/planted.rs",
+            "pub fn f(x: u8) -> bool { x == 3 && x <= 250 && x as f64 >= 2.5 }\n",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn lossy_casts_need_markers_in_dsp_crates() {
+        let v = violations(
+            "crates/choir-dsp/src/planted.rs",
+            "pub fn f(x: f64) -> u32 { x as u32 }\n",
+        );
+        assert_eq!(v, ["lossy_cast"]);
+        assert!(violations(
+            "crates/choir-dsp/src/planted.rs",
+            "pub fn f(x: f64) -> u32 {\n    x as u32 // lint:allow(lossy_cast) — x is a bin index < 2^20\n}\n",
+        )
+        .is_empty());
+        // Widening casts are fine.
+        assert!(violations(
+            "crates/choir-dsp/src/planted.rs",
+            "pub fn f(x: u32) -> f64 { x as f64 }\n",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn crate_gates() {
+        let v = check_crate_gates(
+            "crates/choir-dsp",
+            Some("#![deny(missing_docs)]\n"),
+            "[package]\n[lints]\nworkspace = true\n",
+        );
+        assert!(v.is_empty());
+        let v = check_crate_gates(
+            "crates/choir-dsp",
+            Some("#![warn(missing_docs)]\n"),
+            "[package]\n",
+        );
+        let rules: Vec<_> = v.iter().map(|x| x.rule).collect();
+        assert_eq!(rules, ["missing_docs_gate", "lints_inherit"]);
+    }
+
+    #[test]
+    fn bin_targets_are_exempt_from_unwrap_rule() {
+        assert!(violations(
+            "crates/choir-testbed/src/bin/figures.rs",
+            "fn main() { std::env::args().next().unwrap(); }\n",
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,356 @@
+//! Lexical preprocessing for the lint rules.
+//!
+//! The rules don't need a full Rust parse: they need to know, for every
+//! byte of a source file, (a) is it code, a comment, or a literal, and
+//! (b) is it inside `#[cfg(test)]` test-only scope. This module produces
+//! exactly that: three same-length views of the file (`code` with
+//! comments/literal contents blanked, `comments` with everything *but*
+//! comments blanked, and a per-byte `test_mask`), so the rules can do
+//! plain substring scanning with correct line/column reporting.
+
+/// A preprocessed source file.
+pub struct SourceFile {
+    /// Workspace-relative path (used for rule scoping and reports).
+    pub path: String,
+    /// Code view: comments and string/char literal contents replaced by
+    /// spaces; newlines and all other bytes preserved.
+    pub code: String,
+    /// Comment view: only comment bytes preserved, everything else spaces.
+    pub comments: String,
+    /// `test_mask[i]` is true when byte `i` is inside a `#[cfg(test)]`
+    /// item (module or function body).
+    pub test_mask: Vec<bool>,
+    /// Byte offset of the start of each line (for offset → line/col).
+    line_starts: Vec<usize>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+impl SourceFile {
+    /// Preprocesses `raw` (the file contents) under workspace-relative
+    /// `path`.
+    pub fn new(path: &str, raw: &str) -> SourceFile {
+        let bytes = raw.as_bytes();
+        let mut code = bytes.to_vec();
+        let mut comments = vec![b' '; bytes.len()];
+        let mut state = State::Code;
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let b = bytes[i];
+            match state {
+                State::Code => {
+                    if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                        state = State::LineComment;
+                        comments[i] = b'/';
+                        code[i] = b' ';
+                    } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        state = State::BlockComment(1);
+                        comments[i] = b'/';
+                        comments[i + 1] = b'*';
+                        code[i] = b' ';
+                        code[i + 1] = b' ';
+                        i += 1; // consume the '*' so "/*/" can't self-close
+                    } else if b == b'"' {
+                        state = State::Str;
+                    } else if b == b'r' || b == b'b' {
+                        // r"..."  r#"..."#  br"..."  b"..."
+                        let mut j = i + 1;
+                        if b == b'b' && bytes.get(j) == Some(&b'r') {
+                            j += 1;
+                        }
+                        let mut hashes = 0u32;
+                        while bytes.get(j) == Some(&b'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        let prev_ident =
+                            i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+                        if !prev_ident && bytes.get(j) == Some(&b'"') && (b == b'r' || hashes == 0)
+                        {
+                            state = if b == b'r' || bytes.get(i + 1) == Some(&b'r') {
+                                State::RawStr(hashes)
+                            } else {
+                                State::Str
+                            };
+                            i = j; // leave prefix bytes as code
+                        }
+                    } else if b == b'\'' {
+                        // Char literal vs lifetime: a literal is '<esc>' or
+                        // '<one char>' followed by a closing quote.
+                        let is_char = match bytes.get(i + 1) {
+                            Some(b'\\') => true,
+                            Some(_) => bytes.get(i + 2) == Some(&b'\''),
+                            None => false,
+                        };
+                        if is_char {
+                            state = State::Char;
+                        }
+                    }
+                }
+                State::LineComment => {
+                    if b == b'\n' {
+                        state = State::Code;
+                    } else {
+                        comments[i] = b;
+                        code[i] = b' ';
+                    }
+                }
+                State::BlockComment(depth) => {
+                    if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        comments[i] = b'*';
+                        comments[i + 1] = b'/';
+                        code[i] = b' ';
+                        code[i + 1] = b' ';
+                        i += 1;
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::BlockComment(depth - 1)
+                        };
+                    } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        comments[i] = b;
+                        comments[i + 1] = b'*';
+                        code[i] = b' ';
+                        code[i + 1] = b' ';
+                        i += 1;
+                        state = State::BlockComment(depth + 1);
+                    } else {
+                        if b != b'\n' {
+                            comments[i] = b;
+                            code[i] = b' ';
+                        }
+                        // newlines stay newlines in every view
+                    }
+                }
+                State::Str => {
+                    if b == b'\\' {
+                        if bytes.get(i + 1).is_some() {
+                            code[i] = b' ';
+                            if bytes[i + 1] != b'\n' {
+                                code[i + 1] = b' ';
+                            }
+                            i += 1;
+                        }
+                    } else if b == b'"' {
+                        state = State::Code;
+                    } else if b != b'\n' {
+                        code[i] = b' ';
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if b == b'"' {
+                        let mut j = i + 1;
+                        let mut h = 0u32;
+                        while h < hashes && bytes.get(j) == Some(&b'#') {
+                            h += 1;
+                            j += 1;
+                        }
+                        if h == hashes {
+                            i = j - 1;
+                            state = State::Code;
+                        } else if b != b'\n' {
+                            code[i] = b' ';
+                        }
+                    } else if b != b'\n' {
+                        code[i] = b' ';
+                    }
+                }
+                State::Char => {
+                    if b == b'\\' {
+                        if bytes.get(i + 1).is_some() {
+                            code[i] = b' ';
+                            code[i + 1] = b' ';
+                            i += 1;
+                        }
+                    } else if b == b'\'' {
+                        state = State::Code;
+                    } else if b != b'\n' {
+                        code[i] = b' ';
+                    }
+                }
+            }
+            i += 1;
+        }
+
+        let code = String::from_utf8_lossy(&code).into_owned();
+        let comments = String::from_utf8_lossy(&comments).into_owned();
+        let test_mask = test_mask(&code);
+        let mut line_starts = vec![0usize];
+        for (i, b) in raw.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        SourceFile {
+            path: path.to_string(),
+            code,
+            comments,
+            test_mask,
+            line_starts,
+        }
+    }
+
+    /// Maps a byte offset to a 1-based (line, column) pair.
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(l) => l,
+            Err(l) => l - 1,
+        };
+        (line + 1, offset - self.line_starts[line] + 1)
+    }
+
+    /// True when the byte at `offset` is inside `#[cfg(test)]` scope.
+    pub fn in_test(&self, offset: usize) -> bool {
+        self.test_mask.get(offset).copied().unwrap_or(false)
+    }
+
+    /// True when a `lint:allow(<rule>)` marker with a non-empty reason
+    /// appears in a comment on the same line as `offset` or the line above.
+    pub fn allowed(&self, offset: usize, rule: &str) -> bool {
+        let (line, _) = self.line_col(offset);
+        let needle = format!("lint:allow({rule})");
+        for l in [line.saturating_sub(1), line] {
+            if l == 0 {
+                continue;
+            }
+            let start = self.line_starts[l - 1];
+            let end = self
+                .line_starts
+                .get(l)
+                .copied()
+                .unwrap_or(self.comments.len());
+            let text = &self.comments[start.min(self.comments.len())..end.min(self.comments.len())];
+            if let Some(pos) = text.find(&needle) {
+                // Require a reason: non-whitespace content after the marker
+                // (separator punctuation aside).
+                let rest: String = text[pos + needle.len()..]
+                    .chars()
+                    .filter(|c| c.is_alphanumeric())
+                    .collect();
+                if rest.len() >= 8 {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Computes the per-byte test mask: regions covered by items annotated
+/// `#[cfg(test)]` (modules or functions — anything whose body is the next
+/// brace-balanced block after the attribute).
+fn test_mask(code: &str) -> Vec<bool> {
+    let bytes = code.as_bytes();
+    let mut mask = vec![false; bytes.len()];
+    let mut search = 0usize;
+    while let Some(rel) = code[search..].find("cfg(test)") {
+        let at = search + rel;
+        search = at + "cfg(test)".len();
+        // Must be part of an attribute: scan back for `#[` with only
+        // attribute-ish chars between.
+        let lead = &code[at.saturating_sub(24)..at];
+        if !lead.contains("#[") {
+            continue;
+        }
+        // Find the opening brace of the annotated item. A `;` first means
+        // an out-of-line `mod tests;` — nothing to mask here.
+        let mut j = search;
+        // Step past the attribute's closing bracket(s) first.
+        while j < bytes.len() && bytes[j] != b']' {
+            j += 1;
+        }
+        let mut body = None;
+        for (k, &b) in bytes.iter().enumerate().skip(j) {
+            match b {
+                b'{' => {
+                    body = Some(k);
+                    break;
+                }
+                b';' => break,
+                _ => {}
+            }
+        }
+        let Some(open) = body else { continue };
+        let mut depth = 0i64;
+        for (k, &b) in bytes.iter().enumerate().skip(open) {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        for m in mask.iter_mut().take(k + 1).skip(at) {
+                            *m = true;
+                        }
+                        search = search.max(k + 1);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SourceFile;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let a = \"unwrap() inside\"; // .unwrap() trailing\nlet b = 1;\n";
+        let f = SourceFile::new("crates/choir-dsp/src/x.rs", src);
+        assert!(!f.code.contains("unwrap"));
+        assert!(f.comments.contains(".unwrap() trailing"));
+        assert!(f.code.contains("let b = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked() {
+        let src = "let s = r#\"panic!(\"x\")\"#; let c = '\\''; let lt: &'static str = \"y\";\n";
+        let f = SourceFile::new("x.rs", src);
+        assert!(!f.code.contains("panic!"));
+        assert!(f.code.contains("&'static str"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_masked() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn live2() {}\n";
+        let f = SourceFile::new("x.rs", src);
+        let live = src.find("x.unwrap").expect("fixture");
+        let test = src.find("y.unwrap").expect("fixture");
+        let live2 = src.find("live2").expect("fixture");
+        assert!(!f.in_test(live));
+        assert!(f.in_test(test));
+        assert!(!f.in_test(live2));
+    }
+
+    #[test]
+    fn allow_markers_need_a_reason() {
+        let with_reason = "x.unwrap(); // lint:allow(unwrap) — len checked above\n";
+        let f = SourceFile::new("x.rs", with_reason);
+        assert!(f.allowed(0, "unwrap"));
+        let bare = "x.unwrap(); // lint:allow(unwrap)\n";
+        let f = SourceFile::new("x.rs", bare);
+        assert!(
+            !f.allowed(0, "unwrap"),
+            "marker without reason must not count"
+        );
+    }
+
+    #[test]
+    fn line_col_mapping() {
+        let f = SourceFile::new("x.rs", "abc\ndef\n");
+        assert_eq!(f.line_col(0), (1, 1));
+        assert_eq!(f.line_col(4), (2, 1));
+        assert_eq!(f.line_col(6), (2, 3));
+    }
+}

@@ -47,7 +47,10 @@ fn main() {
 
     // --- Stage 2: Algorithm 1 — residual-refined offsets + channels ------
     let sic = phased_sic(&est, win, &SicConfig::default());
-    println!("\n=== phased SIC / Algorithm 1 (residual {:.2e}) ===", sic.relative_residual);
+    println!(
+        "\n=== phased SIC / Algorithm 1 (residual {:.2e}) ===",
+        sic.relative_residual
+    );
     for c in &sic.components {
         println!(
             "  component at {:8.3} bins, |h| = {:6.2}, boundary split: {:?}",
@@ -79,7 +82,10 @@ fn main() {
             d.user.offset_bins,
             d.sync_errors,
             crc,
-            d.frame.as_ref().map(|f| f.payload.clone()).unwrap_or_default()
+            d.frame
+                .as_ref()
+                .map(|f| f.payload.clone())
+                .unwrap_or_default()
         );
     }
     println!("\n{ok}/5 clients fully decoded from one collision");

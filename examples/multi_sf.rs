@@ -8,6 +8,8 @@
 //! cargo run --release --example multi_sf
 //! ```
 
+// Example binary: unwraps keep the demo readable; a panic is acceptable UX.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use choir::channel::mix::{mix, MixConfig, Transmission};
 use choir::channel::noise::db_to_lin;
 use choir::core::multisf::{cross_sf_leakage, decode_multi_sf, SfLane};
@@ -72,19 +74,23 @@ fn main() {
     );
     println!("\n5 clients on air simultaneously: SF7×2 (colliding), SF8×2 (colliding), SF9×1");
 
-    let lanes: Vec<SfLane> = [SpreadingFactor::Sf7, SpreadingFactor::Sf8, SpreadingFactor::Sf9]
-        .into_iter()
-        .map(|sf| {
-            let p = PhyParams {
-                sf,
-                ..PhyParams::default()
-            };
-            SfLane {
-                params: p,
-                num_data_symbols: choir::phy::frame::frame_symbol_count(&p, 6),
-            }
-        })
-        .collect();
+    let lanes: Vec<SfLane> = [
+        SpreadingFactor::Sf7,
+        SpreadingFactor::Sf8,
+        SpreadingFactor::Sf9,
+    ]
+    .into_iter()
+    .map(|sf| {
+        let p = PhyParams {
+            sf,
+            ..PhyParams::default()
+        };
+        SfLane {
+            params: p,
+            num_data_symbols: choir::phy::frame::frame_symbol_count(&p, 6),
+        }
+    })
+    .collect();
     let results = decode_multi_sf(&samples, slot, &lanes, ChoirConfig::default());
 
     let mut total = 0;
@@ -93,7 +99,9 @@ fn main() {
         for d in &lane.users {
             if d.payload_ok() {
                 let payload = &d.frame.as_ref().unwrap().payload;
-                let matched = payloads.iter().any(|(sf, p)| *sf == lane.sf && p == payload);
+                let matched = payloads
+                    .iter()
+                    .any(|(sf, p)| *sf == lane.sf && p == payload);
                 println!(
                     "  offset {:7.2} bins → {:02x?} {}",
                     d.user.offset_bins,

@@ -6,6 +6,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+// Example binary: unwraps keep the demo readable; a panic is acceptable UX.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use choir::prelude::*;
 
 fn main() {
@@ -41,11 +43,7 @@ fn main() {
         let frame = d.frame.as_ref().expect("frame");
         println!(
             "  offset {:7.2} bins (frac {:4.2}), timing {:6.2} chips, crc {}: {:02x?}",
-            d.user.offset_bins,
-            d.user.frac,
-            d.user.timing_chips,
-            frame.crc_ok,
-            frame.payload
+            d.user.offset_bins, d.user.frac, d.user.timing_chips, frame.crc_ok, frame.payload
         );
     }
 

@@ -46,8 +46,7 @@ fn main() {
             payload.len(),
         ) {
             Some((det, Some(frame))) if frame.crc_ok && frame.payload == payload => {
-                let rec_chunks: Vec<Option<u8>> =
-                    frame.payload.iter().map(|&c| Some(c)).collect();
+                let rec_chunks: Vec<Option<u8>> = frame.payload.iter().map(|&c| Some(c)).collect();
                 let rec_code =
                     choir::sensors::splice::reassemble(&rec_chunks, q.bits, q.chunk_bits);
                 let rec = choir::sensors::splice::dequantize(rec_code, q.lo, q.hi, q.bits);

@@ -28,7 +28,7 @@
 //! }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use choir_channel as channel;
 pub use choir_core as core;
