@@ -1,0 +1,104 @@
+//! Batch slot-decoding throughput across worker-thread counts.
+//!
+//! Decodes a fixed batch of 16 two-user collision slots through
+//! [`ChoirDecoder::decode_slots_with_pool`] at 1, 2 and 4 threads,
+//! reports slots/sec for each, verifies the outputs are **bit-identical**
+//! across thread counts (the choir-pool determinism contract), and emits
+//! the measurements as `BENCH_parallel.json` in the workspace root.
+//!
+//! Speedup is bounded by the host's core count: on a single-core
+//! container every thread count measures the same throughput (plus a few
+//! percent of pool overhead), which is expected and recorded as such.
+
+use std::time::Instant;
+
+use choir_bench::two_user_scenario;
+use choir_core::decoder::{ChoirDecoder, SlotCapture, SlotResult};
+use choir_pool::ThreadPool;
+use lora_phy::params::PhyParams;
+
+const SLOTS: usize = 16;
+const PAYLOAD_LEN: usize = 8;
+
+/// Flattens every float (as raw bits), symbol and counter in the batch
+/// result into one comparable vector — any cross-thread divergence, even
+/// a last-ulp one, changes the digest.
+fn digest(results: &[SlotResult]) -> Vec<u64> {
+    let mut d = Vec::new();
+    for r in results {
+        d.push(r.users.len() as u64);
+        d.push(r.error.is_some() as u64);
+        for u in &r.users {
+            d.push(u.user.offset_bins.to_bits());
+            d.push(u.user.frac.to_bits());
+            d.push(u.user.channel.re.to_bits());
+            d.push(u.user.channel.im.to_bits());
+            d.push(u.user.timing_chips.to_bits());
+            d.extend(u.symbols.iter().map(|&s| u64::from(s)));
+            d.push(u.sync_errors as u64);
+            d.push(u.erasures as u64);
+            d.push(u.payload_ok() as u64);
+        }
+    }
+    d
+}
+
+fn main() {
+    let slots: Vec<SlotCapture> = (0..SLOTS as u64)
+        .map(|i| {
+            let s = two_user_scenario(100 + i);
+            SlotCapture::known_len(&s.params, s.samples, s.slot_start, PAYLOAD_LEN)
+        })
+        .collect();
+    let dec = ChoirDecoder::new(PhyParams::default());
+
+    println!("## bench group: batch_decode");
+    println!(
+        "host parallelism: {} core(s)",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    let mut rows = Vec::new();
+    let mut baseline: Option<Vec<u64>> = None;
+    let mut identical = true;
+    for threads in [1usize, 2, 4] {
+        let pool = ThreadPool::with_threads(threads);
+        // Warm-up: touch the FFT plan cache and the pool's spawn path.
+        let _ = dec.decode_slots_with_pool(&slots[..2], pool);
+        let t = Instant::now();
+        let out = dec.decode_slots_with_pool(&slots, pool);
+        let elapsed = t.elapsed().as_secs_f64();
+        let sps = SLOTS as f64 / elapsed;
+        let d = digest(&out);
+        match &baseline {
+            None => baseline = Some(d),
+            Some(b) => {
+                if *b != d {
+                    identical = false;
+                }
+            }
+        }
+        println!(
+            "batch_decode/{SLOTS}slots_2users_t{threads:<2}      {sps:8.3} slots/s  ({elapsed:.3} s elapsed)"
+        );
+        rows.push(format!(
+            "    {{\"threads\": {threads}, \"slots_per_sec\": {sps:.4}, \"elapsed_s\": {elapsed:.4}}}"
+        ));
+    }
+    println!("outputs bit-identical across thread counts: {identical}");
+    if !identical {
+        eprintln!("ERROR: parallel decode diverged from sequential output");
+        std::process::exit(1);
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"batch_decode\",\n  \"slots\": {SLOTS},\n  \"users_per_slot\": 2,\n  \"payload_len\": {PAYLOAD_LEN},\n  \"host_cores\": {},\n  \"outputs_bit_identical\": {identical},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        rows.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

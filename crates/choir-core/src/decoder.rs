@@ -21,6 +21,7 @@
 
 use choir_dsp::complex::C64;
 use choir_dsp::resample::fractional_delay;
+use choir_pool::ThreadPool;
 use lora_phy::chirp::symbol_sample;
 use lora_phy::frame::{decode_frame, DecodedFrame, SYNC_SYMBOLS};
 use lora_phy::params::PhyParams;
@@ -143,6 +144,56 @@ impl DecodedUser {
     /// True when the frame decoded with a passing CRC.
     pub fn payload_ok(&self) -> bool {
         self.frame.as_ref().map(|f| f.crc_ok).unwrap_or(false)
+    }
+}
+
+/// One slot's worth of IQ capture queued for batch decoding.
+#[derive(Clone, Debug)]
+pub struct SlotCapture {
+    /// The IQ capture containing the slot.
+    pub samples: Vec<C64>,
+    /// Sample index of the slot boundary (beacon-aligned).
+    pub slot_start: usize,
+    /// Expected number of data symbols after the sync word.
+    pub num_data_symbols: usize,
+}
+
+impl SlotCapture {
+    /// A capture with an explicit data-symbol count.
+    pub fn new(samples: Vec<C64>, slot_start: usize, num_data_symbols: usize) -> Self {
+        SlotCapture {
+            samples,
+            slot_start,
+            num_data_symbols,
+        }
+    }
+
+    /// A capture for a known payload length in bytes (the scheduled-uplink
+    /// case), mirroring [`ChoirDecoder::decode_known_len`].
+    pub fn known_len(
+        params: &PhyParams,
+        samples: Vec<C64>,
+        slot_start: usize,
+        payload_len: usize,
+    ) -> Self {
+        let num_data_symbols = lora_phy::frame::frame_symbol_count(params, payload_len);
+        SlotCapture::new(samples, slot_start, num_data_symbols)
+    }
+}
+
+/// The outcome of one slot in a batch decode.
+#[derive(Clone, Debug)]
+pub struct SlotResult {
+    /// Decoded users, strongest first (empty when `error` is set).
+    pub users: Vec<DecodedUser>,
+    /// Why the slot produced nothing, when it did not decode.
+    pub error: Option<DecodeError>,
+}
+
+impl SlotResult {
+    /// The users whose frame decoded with a passing CRC.
+    pub fn ok_users(&self) -> impl Iterator<Item = &DecodedUser> {
+        self.users.iter().filter(|u| u.payload_ok())
     }
 }
 
@@ -900,6 +951,42 @@ impl ChoirDecoder {
         }
     }
 
+    /// Attaches a worker pool for intra-slot parallelism (the estimator's
+    /// per-candidate boundary scans). Decoder output is bit-identical with
+    /// or without a pool, for any worker count.
+    pub fn with_pool(mut self, pool: ThreadPool) -> Self {
+        self.est = self.est.with_pool(pool);
+        self
+    }
+
+    /// Decodes a batch of independent slots concurrently on the process
+    /// pool (`CHOIR_THREADS`, else the machine's core count — see
+    /// [`choir_pool::global`]). Results come back in slot order and are
+    /// **bit-identical** to decoding each slot sequentially: slots never
+    /// share mutable state and the pool's map preserves input order, so
+    /// thread count and scheduling cannot perturb a single float.
+    pub fn decode_slots_parallel(&self, slots: &[SlotCapture]) -> Vec<SlotResult> {
+        self.decode_slots_with_pool(slots, *choir_pool::global())
+    }
+
+    /// [`Self::decode_slots_parallel`] on an explicit pool (used by the
+    /// determinism tests and benches to pin the worker count).
+    pub fn decode_slots_with_pool(
+        &self,
+        slots: &[SlotCapture],
+        pool: ThreadPool,
+    ) -> Vec<SlotResult> {
+        pool.map(slots, |_, slot| {
+            match self.try_decode(&slot.samples, slot.slot_start, slot.num_data_symbols) {
+                Ok(users) => SlotResult { users, error: None },
+                Err(e) => SlotResult {
+                    users: Vec::new(),
+                    error: Some(e),
+                },
+            }
+        })
+    }
+
     /// Convenience: decode when the payload length (bytes) is known, as in
     /// the scheduled-uplink experiments.
     pub fn decode_known_len(
@@ -961,7 +1048,11 @@ pub fn reconstruct_stream(cands: &[Vec<(u16, f64)>], total_syms: usize) -> (Vec<
     // The preamble ends with value 0 (its chirps sit exactly at the user's
     // offset), so the tail bleeding into the first sync window reads as 0.
     let mut prev: u16 = 0;
-    for cand in &cands[..total_syms] {
+    // A truncated capture simply has no observations for the tail windows
+    // (the `DecodeError::TruncatedSlot` contract): clamp to what exists and
+    // report the missing tail as erasures rather than panicking.
+    let have = cands.len().min(total_syms);
+    for cand in &cands[..have] {
         let mut sorted = cand.clone();
         sorted.sort_by(|a, b| b.1.total_cmp(&a.1));
         let fresh = sorted.iter().find(|(v, _)| *v != prev);
@@ -977,6 +1068,12 @@ pub fn reconstruct_stream(cands: &[Vec<(u16, f64)>], total_syms: usize) -> (Vec<
         };
         out.push(value);
         prev = value;
+    }
+    // Missing tail windows: hold the last value (the same convention as an
+    // in-range empty window) and count each as an erasure.
+    for _ in have..total_syms {
+        erasures += 1;
+        out.push(prev);
     }
     (out, erasures)
 }
@@ -1219,5 +1316,109 @@ mod tests {
         assert_eq!(syms.len(), 3);
         assert_eq!(erasures, 1);
         assert_eq!(syms[1], 24); // held previous value
+    }
+
+    #[test]
+    fn reconstruct_stream_clamps_truncated_candidate_list() {
+        // Regression: used to panic with a slice OOB when fewer candidate
+        // windows than `total_syms` were available (a truncated capture).
+        // The missing tail must read as erasures, consistent with the
+        // `DecodeError::TruncatedSlot` contract.
+        let cands = vec![vec![(24u16, 1.0)], vec![(7, 1.0), (24, 0.4)]];
+        let (syms, erasures) = reconstruct_stream(&cands, 5);
+        assert_eq!(syms, vec![24, 7, 7, 7, 7]); // tail holds the last value
+        assert_eq!(erasures, 3);
+
+        // Degenerate extreme: no windows at all.
+        let (syms, erasures) = reconstruct_stream(&[], 4);
+        assert_eq!(syms, vec![0, 0, 0, 0]); // preamble tail convention
+        assert_eq!(erasures, 4);
+    }
+
+    #[test]
+    fn truncated_capture_is_an_error_not_a_panic() {
+        let s = ScenarioBuilder::new(params())
+            .snrs_db(&[20.0])
+            .payload_len(8)
+            .profiles(vec![profile(3.0, 0.1)])
+            .seed(77)
+            .build();
+        // Cut the capture off mid-payload: several symbol windows short.
+        let n = params().samples_per_symbol();
+        let cut = s.slot_start + (params().preamble_len + 4) * n;
+        let truncated = &s.samples[..cut];
+        let dec = ChoirDecoder::new(s.params);
+        let err = dec
+            .try_decode(truncated, s.slot_start, 16)
+            .expect_err("truncated slot must be reported");
+        match err {
+            DecodeError::TruncatedSlot {
+                needed, available, ..
+            } => {
+                assert!(available < needed);
+                assert_eq!(available, cut);
+            }
+            other => panic!("expected TruncatedSlot, got {other:?}"),
+        }
+        // The infallible path must degrade gracefully, not panic: any user
+        // it still reports carries erasures for the missing tail windows.
+        for u in dec.decode_known_len(truncated, s.slot_start, 16) {
+            assert!(u.erasures > 0, "missing windows must count as erasures");
+        }
+    }
+
+    #[test]
+    fn batch_decode_matches_single_slot_decode() {
+        let dec = ChoirDecoder::new(params());
+        let slots: Vec<SlotCapture> = (0..2)
+            .map(|i| {
+                let s = ScenarioBuilder::new(params())
+                    .snrs_db(&[20.0, 17.0])
+                    .payload_len(6)
+                    .profiles(vec![profile(2.3, 0.1), profile(-7.6, 0.32)])
+                    .seed(900 + i)
+                    .build();
+                SlotCapture::known_len(&s.params, s.samples, s.slot_start, 6)
+            })
+            .collect();
+        let batch = dec.decode_slots_with_pool(&slots, choir_pool::ThreadPool::sequential());
+        assert_eq!(batch.len(), 2);
+        for (slot, res) in slots.iter().zip(&batch) {
+            assert!(res.error.is_none());
+            let single = dec
+                .try_decode(&slot.samples, slot.slot_start, slot.num_data_symbols)
+                .expect("single-slot decode");
+            assert_eq!(res.users.len(), single.len());
+            for (a, b) in res.users.iter().zip(&single) {
+                assert_eq!(a.symbols, b.symbols);
+                assert_eq!(a.user.offset_bins.to_bits(), b.user.offset_bins.to_bits());
+                assert_eq!(a.frame, b.frame);
+            }
+            assert_eq!(res.ok_users().count(), 2);
+        }
+    }
+
+    #[test]
+    fn batch_decode_reports_per_slot_errors() {
+        let dec = ChoirDecoder::new(params());
+        // One good slot, one hopelessly truncated slot: the batch API must
+        // surface the error in place without poisoning its neighbours.
+        let s = ScenarioBuilder::new(params())
+            .snrs_db(&[20.0])
+            .payload_len(6)
+            .profiles(vec![profile(3.0, 0.1)])
+            .seed(901)
+            .build();
+        let good = SlotCapture::known_len(&s.params, s.samples.clone(), s.slot_start, 6);
+        let bad = SlotCapture::new(s.samples[..s.slot_start + 64].to_vec(), s.slot_start, 16);
+        let out = dec.decode_slots_parallel(&[good, bad]);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].error.is_none());
+        assert_eq!(out[0].ok_users().count(), 1);
+        assert!(out[1].users.is_empty());
+        assert!(matches!(
+            out[1].error,
+            Some(DecodeError::TruncatedSlot { .. })
+        ));
     }
 }

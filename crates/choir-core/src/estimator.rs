@@ -16,6 +16,7 @@ use choir_dsp::fft::FftPlan;
 use choir_dsp::linalg::{least_squares, residual_energy};
 use choir_dsp::optim::cyclic_coordinate_descent;
 use choir_dsp::peaks::{find_peaks, Peak, PeakConfig};
+use choir_pool::ThreadPool;
 use lora_phy::chirp::base_downchirp;
 
 /// One disentangled component of a collision: a frequency position (in
@@ -109,7 +110,19 @@ pub struct OffsetEstimator {
     cfg: EstimatorConfig,
     downchirp: Vec<C64>,
     fft_padded: FftPlan,
+    /// Optional worker pool for the per-candidate boundary scans. `None`
+    /// (the default) keeps every scan on the calling thread; batch slot
+    /// decoding already parallelises at the slot level, so intra-slot
+    /// workers are opt-in via [`Self::with_pool`]. Either way the scan's
+    /// result is bit-identical: candidates are evaluated independently and
+    /// reduced in candidate order.
+    pool: Option<ThreadPool>,
 }
+
+/// Below this many boundary candidates a scan stays sequential even with a
+/// pool attached: per-candidate work is a two-basis least-squares fit
+/// (~µs), so tiny scans lose more to spawn/join than they gain.
+const MIN_PARALLEL_SCAN: usize = 8;
 
 impl OffsetEstimator {
     /// Builds an estimator for symbols of `n = 2^SF` chips.
@@ -121,7 +134,16 @@ impl OffsetEstimator {
             cfg,
             downchirp: base_downchirp(n),
             fft_padded: FftPlan::new(n * cfg.pad),
+            pool: None,
         }
+    }
+
+    /// Attaches a worker pool for the per-candidate local searches of the
+    /// step-boundary fit. Output is guaranteed bit-identical with or
+    /// without a pool (and for any worker count).
+    pub fn with_pool(mut self, pool: ThreadPool) -> Self {
+        self.pool = (pool.threads() > 1).then_some(pool);
+        self
     }
 
     /// Symbol length in chips.
@@ -317,37 +339,25 @@ impl OffsetEstimator {
                 // best cell: the boundary is the transmitter's (fractional)
                 // chip delay and rarely falls on a grid point.
                 let mut best_step: Option<(C64, Step, f64)> = None;
-                for k in 1..16 {
-                    if let Some(cand) = try_boundary(k * n / 16) {
-                        if best_step.as_ref().map(|b| cand.2 < b.2).unwrap_or(true) {
-                            best_step = Some(cand);
-                        }
-                    }
-                }
+                let coarse: Vec<usize> = (1..16).map(|k| k * n / 16).collect();
+                self.scan_boundaries(&coarse, &try_boundary, &mut best_step);
                 if let Some(coarse_best) = &best_step {
                     let centre = coarse_best.1.boundary;
                     let span = n / 16;
                     let fine_step = (n / 128).max(1);
-                    let mut c_b = centre.saturating_sub(span);
-                    while c_b <= (centre + span).min(n - 1) {
-                        if let Some(cand) = try_boundary(c_b) {
-                            if best_step.as_ref().map(|b| cand.2 < b.2).unwrap_or(true) {
-                                best_step = Some(cand);
-                            }
-                        }
-                        c_b += fine_step;
-                    }
+                    let fine: Vec<usize> = (centre.saturating_sub(span)
+                        ..=(centre + span).min(n - 1))
+                        .step_by(fine_step)
+                        .collect();
+                    self.scan_boundaries(&fine, &try_boundary, &mut best_step);
                     // Final single-chip resolution around the fine winner
                     // (falls back to the coarse centre if the fine sweep
                     // somehow emptied the candidate, which cannot happen).
                     let centre = best_step.as_ref().map_or(centre, |b| b.1.boundary);
-                    for c_b in centre.saturating_sub(fine_step)..=(centre + fine_step).min(n - 1) {
-                        if let Some(cand) = try_boundary(c_b) {
-                            if best_step.as_ref().map(|b| cand.2 < b.2).unwrap_or(true) {
-                                best_step = Some(cand);
-                            }
-                        }
-                    }
+                    let single: Vec<usize> = (centre.saturating_sub(fine_step)
+                        ..=(centre + fine_step).min(n - 1))
+                        .collect();
+                    self.scan_boundaries(&single, &try_boundary, &mut best_step);
                 }
                 if let Some((g1, st, r)) = best_step {
                     if r < best.2 * (1.0 - self.cfg.step_gain_threshold) {
@@ -359,6 +369,33 @@ impl OffsetEstimator {
             comps[idx].step = best.1;
             for (r, m) in resid.iter_mut().zip(self.component_model(&comps[idx])) {
                 *r -= m;
+            }
+        }
+    }
+
+    /// Evaluates `try_boundary` at every candidate and folds the winners
+    /// into `best` (strictly smaller residual replaces, ties keep the
+    /// earlier candidate). Candidate evaluations are independent, so with a
+    /// pool attached they run on the workers — but the fold always walks
+    /// the results in candidate order, which is what makes the outcome
+    /// bit-identical to the sequential scan for any worker count.
+    fn scan_boundaries<F>(
+        &self,
+        cands: &[usize],
+        try_boundary: &F,
+        best: &mut Option<(C64, Step, f64)>,
+    ) where
+        F: Fn(usize) -> Option<(C64, Step, f64)> + Sync,
+    {
+        let evals: Vec<Option<(C64, Step, f64)>> = match &self.pool {
+            Some(pool) if cands.len() >= MIN_PARALLEL_SCAN => {
+                pool.map(cands, |_, &c_b| try_boundary(c_b))
+            }
+            _ => cands.iter().map(|&c_b| try_boundary(c_b)).collect(),
+        };
+        for cand in evals.into_iter().flatten() {
+            if best.as_ref().map(|b| cand.2 < b.2).unwrap_or(true) {
+                *best = Some(cand);
             }
         }
     }

@@ -52,7 +52,7 @@ pub mod multisf;
 pub mod sic;
 pub mod unb;
 
-pub use decoder::{ChoirConfig, ChoirDecoder, DecodedUser, UserEstimate};
+pub use decoder::{ChoirConfig, ChoirDecoder, DecodedUser, SlotCapture, SlotResult, UserEstimate};
 pub use error::DecodeError;
 pub use estimator::{ComponentEstimate, EstimatorConfig, OffsetEstimator};
 pub use lowsnr::{TeamConfig, TeamDecoder, TeamDetection};

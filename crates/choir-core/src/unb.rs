@@ -15,7 +15,6 @@
 //! are *not* separable (no chirp structure to fall back on).
 
 use choir_dsp::complex::C64;
-use choir_dsp::fft::FftPlan;
 
 /// UNB link parameters.
 #[derive(Clone, Copy, Debug)]
@@ -92,9 +91,19 @@ pub struct UnbCarrier {
     pub power: f64,
 }
 
+/// Shortest capture the channeliser will look at: below this even one
+/// symbol of the slowest supported rate is unobservable, so there is
+/// nothing to find.
+const MIN_CHANNELISER_SAMPLES: usize = 32;
+
 /// Channeliser: finds active narrowband carriers by FFT power scanning.
 /// Carriers closer than `min_separation_hz` merge into the stronger one —
 /// the inseparable-collision case.
+///
+/// Degenerate captures (shorter than a handful of samples) yield no
+/// carriers. The analysis length is the largest power of two that fits the
+/// capture (capped at 16k samples), so exactly-power-of-two captures are
+/// used in full.
 pub fn find_carriers(
     params: &UnbParams,
     capture: &[C64],
@@ -102,9 +111,17 @@ pub fn find_carriers(
     min_separation_hz: f64,
     max_carriers: usize,
 ) -> Vec<UnbCarrier> {
-    let n = capture.len().min(1 << 14).next_power_of_two() >> 1;
-    let plan = FftPlan::new(n);
-    let spec = plan.forward_padded(&capture[..n.min(capture.len())]);
+    if capture.len() < MIN_CHANNELISER_SAMPLES {
+        return Vec::new();
+    }
+    // Round *down* to the largest power of two ≤ len. The previous
+    // `next_power_of_two() >> 1` derivation silently discarded half of an
+    // exactly-power-of-two capture and underflowed to 0 (tripping the FFT
+    // plan's non-zero assert) for captures under 2 samples.
+    let clamped = capture.len().min(1 << 14);
+    let n = 1usize << clamped.ilog2();
+    let plan = choir_dsp::fft::plan(n);
+    let spec = plan.forward_padded(&capture[..n]);
     let power: Vec<f64> = spec.iter().map(|z| z.norm_sqr()).collect();
     let med = choir_dsp::peaks::noise_floor(&power);
     // Relative floor: a DBPSK spectrum carries sinc side-lobes ~13 dB
@@ -311,5 +328,40 @@ mod tests {
     fn sps_geometry() {
         let p = UnbParams::default();
         assert_eq!(p.sps(), 64);
+    }
+
+    #[test]
+    fn degenerate_captures_yield_no_carriers() {
+        // Regression: 0- and 1-sample captures used to derive an FFT size
+        // of 0 and trip the "size must be non-zero" assert; a 3-sample
+        // capture "worked" on a useless 2-point spectrum.
+        let p = UnbParams::default();
+        for len in [0usize, 1, 3, 31] {
+            let cap = vec![C64::ONE; len];
+            assert!(
+                find_carriers(&p, &cap, 6.0, 400.0, 4).is_empty(),
+                "len {len} should yield no carriers"
+            );
+        }
+    }
+
+    #[test]
+    fn power_of_two_capture_used_in_full() {
+        // Regression: the old size derivation halved an exactly-power-of-
+        // two capture, so a burst confined to the second half was
+        // invisible to the channeliser.
+        let p = UnbParams::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let total = 2048usize;
+        let bits: Vec<u8> = (0..14).map(|_| rng.gen_range(0..2u8)).collect();
+        let mut cap = unb_modulate(&p, &bits, 2400.0, 1.0, 1024, total);
+        choir_channel::noise::add_awgn(&mut rng, &mut cap, 0.1);
+        let carriers = find_carriers(&p, &cap, 6.0, 400.0, 4);
+        assert_eq!(carriers.len(), 1, "carriers: {carriers:?}");
+        assert!(
+            (carriers[0].cfo_hz - 2400.0).abs() < 200.0,
+            "cfo {}",
+            carriers[0].cfo_hz
+        );
     }
 }

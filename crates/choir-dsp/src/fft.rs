@@ -11,9 +11,14 @@
 //!
 //! [`FftPlan`] precomputes twiddle factors (and, for Bluestein, the chirp
 //! sequence and its transform) once; planning is cheap enough to do per
-//! experiment but should be hoisted out of per-symbol loops.
+//! experiment but should be hoisted out of per-symbol loops. Call sites
+//! that cannot hoist (one-shot helpers, variable sizes) go through the
+//! process-wide [`PlanCache`] so twiddle/Bluestein setup is paid once per
+//! size per process.
 
 use crate::complex::C64;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Sign convention: forward transform uses `e^{-j2πkn/N}`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -235,17 +240,75 @@ fn radix2(x: &mut [C64], twiddles: &[C64], dir: Direction) {
     }
 }
 
-/// One-shot forward FFT (plans internally). Prefer [`FftPlan`] in loops.
+/// A thread-safe cache of [`FftPlan`]s keyed by transform size.
+///
+/// Planning a size costs an `O(n)` twiddle table (plus, for non-power-of-two
+/// sizes, two Bluestein setup transforms); paying that inside per-symbol or
+/// per-slot loops is pure waste. A cache instance hands out `Arc<FftPlan>`
+/// so concurrent decoder workers share one immutable plan per size with no
+/// copying and no locking on the transform itself — the mutex guards only
+/// the map lookup/insert.
+///
+/// Cached plans live as long as the cache (for [`plan`]'s global cache: the
+/// process). The Choir pipeline touches a handful of sizes (`2^SF`,
+/// `pad·2^SF`, UNB channeliser lengths), so the footprint stays small.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<usize, Arc<FftPlan>>>,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// Returns the cached plan for size `n`, planning it on first use.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` (as [`FftPlan::new`] does).
+    pub fn get(&self, n: usize) -> Arc<FftPlan> {
+        // A poisoned lock only means another thread panicked mid-insert;
+        // the map itself is still structurally valid, so keep using it.
+        let mut plans = self.plans.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(plans.entry(n).or_insert_with(|| Arc::new(FftPlan::new(n))))
+    }
+
+    /// Number of distinct sizes currently cached.
+    pub fn len(&self) -> usize {
+        self.plans.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when no size has been planned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Returns the process-wide cached plan for size `n` (planning it on first
+/// use). This is the preferred way to obtain a plan outside hot loops that
+/// can hoist their own [`FftPlan`].
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn plan(n: usize) -> Arc<FftPlan> {
+    static GLOBAL: OnceLock<PlanCache> = OnceLock::new();
+    GLOBAL.get_or_init(PlanCache::new).get(n)
+}
+
+/// One-shot forward FFT (via the process-wide [`PlanCache`]). Prefer a
+/// hoisted [`FftPlan`] in loops over a single known size.
 pub fn fft(x: &[C64]) -> Vec<C64> {
-    let plan = FftPlan::new(x.len());
+    let plan = plan(x.len());
     let mut buf = x.to_vec();
     plan.forward(&mut buf);
     buf
 }
 
-/// One-shot inverse FFT (normalised). Prefer [`FftPlan`] in loops.
+/// One-shot inverse FFT (normalised; via the process-wide [`PlanCache`]).
+/// Prefer a hoisted [`FftPlan`] in loops over a single known size.
 pub fn ifft(x: &[C64]) -> Vec<C64> {
-    let plan = FftPlan::new(x.len());
+    let plan = plan(x.len());
     let mut buf = x.to_vec();
     plan.inverse(&mut buf);
     buf
@@ -427,5 +490,46 @@ mod tests {
     #[should_panic(expected = "size must be non-zero")]
     fn zero_size_plan_panics() {
         let _ = FftPlan::new(0);
+    }
+
+    #[test]
+    fn plan_cache_reuses_plans() {
+        let cache = PlanCache::new();
+        assert!(cache.is_empty());
+        let a = cache.get(256);
+        let b = cache.get(256);
+        assert!(Arc::ptr_eq(&a, &b), "same size must share one plan");
+        let c = cache.get(1280);
+        assert_eq!(c.len(), 1280);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn plan_cache_shared_across_threads() {
+        let cache = PlanCache::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4).map(|_| scope.spawn(|| cache.get(512))).collect();
+            let plans: Vec<Arc<FftPlan>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            for p in &plans[1..] {
+                assert!(Arc::ptr_eq(&plans[0], p));
+            }
+        });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn global_plan_matches_fresh_plan() {
+        let x: Vec<C64> = (0..96)
+            .map(|i| c64((i as f64 * 0.21).sin(), (i as f64 * 0.83).cos()))
+            .collect();
+        let via_cache = plan(96).forward_padded(&x);
+        let fresh = FftPlan::new(96).forward_padded(&x);
+        assert_close(&via_cache, &fresh, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "size must be non-zero")]
+    fn plan_cache_zero_size_panics() {
+        let _ = PlanCache::new().get(0);
     }
 }

@@ -38,5 +38,5 @@ pub mod stats;
 pub mod window;
 
 pub use complex::{c64, C64};
-pub use fft::FftPlan;
+pub use fft::{FftPlan, PlanCache};
 pub use peaks::{Peak, PeakConfig};

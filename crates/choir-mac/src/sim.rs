@@ -103,7 +103,7 @@ struct NodeState {
 }
 
 /// Runs a saturated-uplink simulation of the given MAC over the PHY.
-pub fn run_sim<P: SlotPhy>(scheme: MacScheme, cfg: &SimConfig, phy: &mut P) -> RunMetrics {
+pub fn run_sim<P: SlotPhy + ?Sized>(scheme: MacScheme, cfg: &SimConfig, phy: &mut P) -> RunMetrics {
     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0xC0FFEE));
     let mut metrics = MetricsCollector::new();
     let slot_s = cfg.packet_airtime_s()
@@ -207,6 +207,23 @@ pub fn run_sim<P: SlotPhy>(scheme: MacScheme, cfg: &SimConfig, phy: &mut P) -> R
         metrics.advance_time(slot_s);
     }
     metrics.finish()
+}
+
+/// Runs many independent simulations in parallel through the shared
+/// `choir-pool` worker pool (sized by `CHOIR_THREADS`).
+///
+/// `make_phy` builds a **fresh** PHY for each job — jobs never share
+/// mutable PHY state — and `run_sim` seeds its own RNG from the job's
+/// config, so the result vector is bit-identical to running each job
+/// sequentially with its own PHY, regardless of thread count.
+pub fn run_sims_parallel<F>(jobs: &[(MacScheme, SimConfig)], make_phy: F) -> Vec<RunMetrics>
+where
+    F: Fn(usize, MacScheme, &SimConfig) -> Box<dyn SlotPhy + Send> + Sync,
+{
+    choir_pool::global().map(jobs, |i, (scheme, cfg)| {
+        let mut phy = make_phy(i, *scheme, cfg);
+        run_sim(*scheme, cfg, &mut *phy)
+    })
 }
 
 #[cfg(test)]
@@ -345,6 +362,29 @@ mod tests {
         );
         assert!(m.delivered > 0);
         assert!((m.tx_per_packet - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_sims_match_sequential() {
+        let jobs: Vec<(MacScheme, SimConfig)> = vec![
+            (MacScheme::Aloha, cfg(6)),
+            (MacScheme::Oracle, cfg(6)),
+            (MacScheme::Choir, cfg(6)),
+            (MacScheme::Choir, cfg(9)),
+        ];
+        let make = |_i: usize, scheme: MacScheme, c: &SimConfig| -> Box<dyn SlotPhy + Send> {
+            match scheme {
+                MacScheme::Choir => Box::new(TabulatedChoirPhy::new(vec![0.8; 8], c.seed ^ 11)),
+                _ => Box::new(CollisionFatalPhy { params: c.params }),
+            }
+        };
+        let par = run_sims_parallel(&jobs, make);
+        assert_eq!(par.len(), jobs.len());
+        for (i, (scheme, c)) in jobs.iter().enumerate() {
+            let mut phy = make(i, *scheme, c);
+            let seq = run_sim(*scheme, c, &mut *phy);
+            assert_eq!(par[i], seq, "job {i} diverged");
+        }
     }
 
     #[test]

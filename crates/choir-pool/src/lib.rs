@@ -1,0 +1,254 @@
+//! Scoped worker pool with a deterministic, order-preserving parallel map.
+//!
+//! The container this workspace builds in is offline, so no `rayon`: this
+//! crate hand-rolls the one primitive the Choir pipeline needs — run the
+//! same closure over `0..len` independent items on a handful of scoped
+//! `std::thread` workers and hand the results back **in index order**.
+//!
+//! Determinism contract: for a pure closure `f`, `pool.map(items, f)`
+//! returns exactly the same `Vec` (bit-for-bit, including every float)
+//! regardless of the worker count or how the OS schedules the workers.
+//! Workers only decide *which thread* computes `f(i, &items[i])`; results
+//! are written back keyed by `i` and re-assembled in index order, and no
+//! reduction (summation, min-selection, …) ever happens across threads.
+//! Callers that fold over the output therefore see the sequential fold
+//! order. This is what lets `CHOIR_THREADS=1` and `CHOIR_THREADS=8`
+//! produce bit-identical decoder output.
+//!
+//! Work distribution is chunked self-scheduling: indices are split into
+//! contiguous chunks and workers claim chunks off a shared atomic counter,
+//! so uneven per-item cost (e.g. slots with different collision orders)
+//! load-balances without any unsafe code or channels.
+//!
+//! Panics in the closure are propagated: the first panicking worker's
+//! payload is re-raised on the calling thread via
+//! [`std::panic::resume_unwind`], matching what a sequential loop would do.
+
+#![deny(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable that fixes the worker count for pools built with
+/// [`ThreadPool::from_env`] (and thus the [`global`] pool). Unset or
+/// unparsable values fall back to [`std::thread::available_parallelism`];
+/// `0` is clamped to `1`.
+pub const THREADS_ENV: &str = "CHOIR_THREADS";
+
+/// Upper bound on workers so a typo'd `CHOIR_THREADS=4000` cannot fork-bomb
+/// the host.
+const MAX_THREADS: usize = 256;
+
+/// A lightweight handle describing how many workers to use.
+///
+/// The pool is *scoped*: it owns no long-lived threads. Each [`map`]
+/// call spawns its workers inside a [`std::thread::scope`] and joins them
+/// before returning, so borrowed data may flow into the closure freely and
+/// a dropped pool leaks nothing.
+///
+/// [`map`]: ThreadPool::map
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// A pool with exactly `n` workers (`0` is clamped to `1`, large values
+    /// to an internal safety cap). `with_threads(1)` never spawns and is
+    /// exactly a sequential loop.
+    pub fn with_threads(n: usize) -> Self {
+        ThreadPool {
+            threads: n.clamp(1, MAX_THREADS),
+        }
+    }
+
+    /// A single-worker pool: every map runs inline on the caller's thread.
+    pub fn sequential() -> Self {
+        ThreadPool::with_threads(1)
+    }
+
+    /// Builds a pool from the environment: honours `CHOIR_THREADS` when set
+    /// to a positive integer, otherwise uses the machine's available
+    /// parallelism (`1` if that cannot be determined).
+    pub fn from_env() -> Self {
+        let n = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+        ThreadPool::with_threads(n)
+    }
+
+    /// Number of workers this pool uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items`, returning one result per item **in item
+    /// order**. `f` receives the item index and a reference to the item.
+    ///
+    /// Deterministic: the output is identical for any worker count. A panic
+    /// inside `f` is re-raised on the calling thread after the workers shut
+    /// down.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.run(items.len(), |i| f(i, &items[i]))
+    }
+
+    /// Index-only form of [`map`](Self::map): evaluates `f(i)` for every
+    /// `i` in `0..len` and returns the results in index order.
+    pub fn run<R, F>(&self, len: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if self.threads == 1 || len <= 1 {
+            return (0..len).map(f).collect();
+        }
+        let workers = self.threads.min(len);
+        // Contiguous chunks claimed off an atomic counter: cheap dynamic
+        // load balancing, and chunk granularity keeps per-claim overhead
+        // negligible even for micro-tasks.
+        let chunk = len.div_ceil(workers * 4).max(1);
+        let num_chunks = len.div_ceil(chunk);
+        let next_chunk = AtomicUsize::new(0);
+        let mut tagged: Vec<(usize, R)> = Vec::with_capacity(len);
+        let mut panic_payload = None;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let f = &f;
+                    let next_chunk = &next_chunk;
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let c = next_chunk.fetch_add(1, Ordering::Relaxed);
+                            if c >= num_chunks {
+                                break;
+                            }
+                            let lo = c * chunk;
+                            let hi = (lo + chunk).min(len);
+                            for i in lo..hi {
+                                local.push((i, f(i)));
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(local) => tagged.extend(local),
+                    Err(payload) => {
+                        // Keep the first panic; drain remaining workers so
+                        // the scope exits cleanly before re-raising.
+                        if panic_payload.is_none() {
+                            panic_payload = Some(payload);
+                        }
+                    }
+                }
+            }
+        });
+        if let Some(payload) = panic_payload {
+            std::panic::resume_unwind(payload);
+        }
+        // Re-assemble in index order. Chunks are contiguous and disjoint,
+        // so sorting by index fully determines the output independent of
+        // which worker ran which chunk.
+        tagged.sort_unstable_by_key(|&(i, _)| i);
+        debug_assert!(tagged.iter().enumerate().all(|(k, &(i, _))| k == i));
+        tagged.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        ThreadPool::from_env()
+    }
+}
+
+/// The process-wide pool, built once from the environment
+/// (`CHOIR_THREADS`, else available parallelism). Batch entry points that
+/// take no explicit pool use this.
+pub fn global() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(ThreadPool::from_env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let pool = ThreadPool::with_threads(4);
+        let items: Vec<usize> = (0..1000).collect();
+        let out = pool.map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 3
+        });
+        assert_eq!(out, (0..1000).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_sequential_for_any_thread_count() {
+        let items: Vec<f64> = (0..257).map(|i| i as f64 * 0.37).collect();
+        let f = |_: usize, &x: &f64| (x.sin() * 1e9).to_bits();
+        let seq = ThreadPool::with_threads(1).map(&items, f);
+        for n in [2, 3, 4, 8, 33] {
+            let par = ThreadPool::with_threads(n).map(&items, f);
+            assert_eq!(seq, par, "threads={n}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let pool = ThreadPool::with_threads(8);
+        assert_eq!(pool.map(&[] as &[u8], |_, &b| b), Vec::<u8>::new());
+        assert_eq!(pool.map(&[7u8], |_, &b| b + 1), vec![8]);
+    }
+
+    #[test]
+    fn zero_threads_clamped() {
+        assert_eq!(ThreadPool::with_threads(0).threads(), 1);
+    }
+
+    #[test]
+    fn run_covers_every_index_once() {
+        let pool = ThreadPool::with_threads(5);
+        let out = pool.run(123, |i| i);
+        assert_eq!(out, (0..123).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let pool = ThreadPool::with_threads(4);
+        let res = std::panic::catch_unwind(|| {
+            pool.run(64, |i| {
+                if i == 37 {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+        });
+        let payload = res.expect_err("panic should propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom at 37"), "payload: {msg}");
+    }
+
+    #[test]
+    fn global_pool_is_stable() {
+        assert_eq!(global().threads(), global().threads());
+    }
+}

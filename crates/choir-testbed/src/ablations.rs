@@ -5,7 +5,7 @@
 use crate::report::{FigureReport, Series};
 use choir_channel::impairments::HardwareProfile;
 use choir_channel::scenario::ScenarioBuilder;
-use choir_core::decoder::{ChoirConfig, ChoirDecoder};
+use choir_core::decoder::{ChoirConfig, ChoirDecoder, SlotCapture};
 use choir_core::estimator::{EstimatorConfig, OffsetEstimator};
 use choir_core::lowsnr::{TeamConfig, TeamDecoder};
 use choir_dsp::peaks::PeakConfig;
@@ -113,25 +113,30 @@ pub fn ablate_steps(scale: Scale) -> FigureReport {
             ..ChoirConfig::default()
         };
         let dec = ChoirDecoder::with_config(params, cfg);
-        let mut ok = 0usize;
-        let mut total = 0usize;
-        for t in 0..trials {
-            // Near-far with multi-chip fractional delays: without the step
-            // term the strong user's reconstruction is poor and its
-            // residue buries the weak user.
-            let s = ScenarioBuilder::new(params)
-                .snrs_db(&[25.0, 17.0])
-                .payload_len(8)
-                .profiles(vec![
-                    profile(6.4, 0.37, &params),
-                    profile(-11.7, 0.43, &params),
-                ])
-                .seed(4100 + t as u64)
-                .build();
-            let out = dec.decode_known_len(&s.samples, s.slot_start, 8);
-            ok += out.iter().filter(|d| d.payload_ok()).count();
-            total += 2;
-        }
+        // Near-far with multi-chip fractional delays: without the step
+        // term the strong user's reconstruction is poor and its residue
+        // buries the weak user. Trials batch-decode through the shared
+        // worker pool.
+        let slots: Vec<SlotCapture> = (0..trials)
+            .map(|t| {
+                let s = ScenarioBuilder::new(params)
+                    .snrs_db(&[25.0, 17.0])
+                    .payload_len(8)
+                    .profiles(vec![
+                        profile(6.4, 0.37, &params),
+                        profile(-11.7, 0.43, &params),
+                    ])
+                    .seed(4100 + t as u64)
+                    .build();
+                SlotCapture::known_len(&params, s.samples, s.slot_start, 8)
+            })
+            .collect();
+        let ok: usize = dec
+            .decode_slots_parallel(&slots)
+            .iter()
+            .map(|res| res.ok_users().filter(|d| d.payload_ok()).count())
+            .sum();
+        let total = 2 * trials;
         pts.push((label, ok as f64 / total as f64));
     }
     let mut r = FigureReport::new(
@@ -154,19 +159,23 @@ pub fn ablate_sic_passes(scale: Scale) -> FigureReport {
             ..ChoirConfig::default()
         };
         let dec = ChoirDecoder::with_config(params, cfg);
-        let mut ok = 0usize;
-        let mut total = 0usize;
-        for t in 0..trials {
-            let snrs: Vec<f64> = (0..k).map(|i| 22.0 - i as f64 * 2.2).collect();
-            let s = ScenarioBuilder::new(params)
-                .snrs_db(&snrs)
-                .payload_len(8)
-                .seed(4200 + t as u64)
-                .build();
-            let out = dec.decode_known_len(&s.samples, s.slot_start, 8);
-            ok += out.iter().filter(|d| d.payload_ok()).count();
-            total += k;
-        }
+        let slots: Vec<SlotCapture> = (0..trials)
+            .map(|t| {
+                let snrs: Vec<f64> = (0..k).map(|i| 22.0 - i as f64 * 2.2).collect();
+                let s = ScenarioBuilder::new(params)
+                    .snrs_db(&snrs)
+                    .payload_len(8)
+                    .seed(4200 + t as u64)
+                    .build();
+                SlotCapture::known_len(&params, s.samples, s.slot_start, 8)
+            })
+            .collect();
+        let ok: usize = dec
+            .decode_slots_parallel(&slots)
+            .iter()
+            .map(|res| res.ok_users().filter(|d| d.payload_ok()).count())
+            .sum();
+        let total = k * trials;
         pts.push((format!("{passes} pass"), ok as f64 / total as f64));
     }
     let rows: Vec<(&str, f64)> = pts.iter().map(|(l, v)| (l.as_str(), *v)).collect();
@@ -238,7 +247,11 @@ pub fn ablate_adc(scale: Scale) -> FigureReport {
         let mut pts = Vec::new();
         for weak_db in [10.0f64, 6.0, 2.0] {
             let dec = ChoirDecoder::new(params);
-            let mut ok = 0usize;
+            // Ground-truth payloads are pulled out before the samples move
+            // into the batch; the quantised captures then decode in
+            // parallel through the shared worker pool.
+            let mut slots = Vec::with_capacity(trials);
+            let mut weak_payloads = Vec::with_capacity(trials);
             for t in 0..trials {
                 let mut s = ScenarioBuilder::new(params)
                     .snrs_db(&[strong_db, weak_db])
@@ -256,18 +269,23 @@ pub fn ablate_adc(scale: Scale) -> FigureReport {
                     .map(|z| z.re.abs().max(z.im.abs()))
                     .fold(0.0f64, f64::max);
                 Adc::with_agc(bits, peak).convert_buffer(&mut s.samples);
-                let out = dec.decode_known_len(&s.samples, s.slot_start, 6);
-                let weak_payload = &s.users[1].payload;
-                if out.iter().any(|d| {
-                    d.payload_ok()
-                        && d.frame
-                            .as_ref()
-                            .map(|f| &f.payload == weak_payload)
-                            .unwrap_or(false)
-                }) {
-                    ok += 1;
-                }
+                weak_payloads.push(s.users[1].payload.clone());
+                slots.push(SlotCapture::known_len(&params, s.samples, s.slot_start, 6));
             }
+            let ok = dec
+                .decode_slots_parallel(&slots)
+                .iter()
+                .zip(&weak_payloads)
+                .filter(|(res, weak_payload)| {
+                    res.ok_users().any(|d| {
+                        d.payload_ok()
+                            && d.frame
+                                .as_ref()
+                                .map(|f| &f.payload == *weak_payload)
+                                .unwrap_or(false)
+                    })
+                })
+                .count();
             pts.push((format!("weak {weak_db} dB"), ok as f64 / trials as f64));
         }
         let named: Vec<(&str, f64)> = pts.iter().map(|(l, v)| (l.as_str(), *v)).collect();

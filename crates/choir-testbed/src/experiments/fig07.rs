@@ -10,7 +10,7 @@
 use crate::report::{FigureReport, Series};
 use choir_channel::impairments::OscillatorModel;
 use choir_channel::scenario::ScenarioBuilder;
-use choir_core::decoder::ChoirDecoder;
+use choir_core::decoder::{ChoirDecoder, SlotCapture};
 use choir_core::estimator::{EstimatorConfig, OffsetEstimator};
 use choir_dsp::complex::C64;
 use choir_dsp::stats;
@@ -121,19 +121,25 @@ pub fn run(scale: Scale) -> FigureReport {
     let osc = OscillatorModel::default();
     let mut report = FigureReport::new("fig07", "Characterising hardware offsets (30 boards)");
 
-    // (a)/(b): pairwise collisions across 30 boards.
+    // (a)/(b): pairwise collisions across 30 boards, batch-decoded through
+    // the shared worker pool (one slot per board pair).
     let boards = 30usize;
     let mut agg_frac_hz = Vec::new();
     let mut cfo_frac_hz = Vec::new();
-    for pair in 0..(boards / 2) {
-        let s = ScenarioBuilder::new(params)
-            .snrs_db(&[20.0, 17.0])
-            .oscillator(osc)
-            .payload_len(6)
-            .seed(700 + pair as u64)
-            .build();
-        let dec = ChoirDecoder::new(params);
-        for d in dec.decode_known_len(&s.samples, s.slot_start, 6) {
+    let slots: Vec<SlotCapture> = (0..(boards / 2))
+        .map(|pair| {
+            let s = ScenarioBuilder::new(params)
+                .snrs_db(&[20.0, 17.0])
+                .oscillator(osc)
+                .payload_len(6)
+                .seed(700 + pair as u64)
+                .build();
+            SlotCapture::known_len(&params, s.samples, s.slot_start, 6)
+        })
+        .collect();
+    let dec = ChoirDecoder::new(params);
+    for res in dec.decode_slots_parallel(&slots) {
+        for d in res.users {
             agg_frac_hz.push(d.user.frac * bin);
             if let Some(slope) = d.user.phase_slope {
                 let mut f = slope / std::f64::consts::TAU;

@@ -11,8 +11,8 @@
 
 use crate::report::{FigureReport, Series};
 use choir_mac::{
-    calibrate_choir_phy, run_sim, CollisionFatalPhy, IdealPhy, MacScheme, SimConfig,
-    TabulatedChoirPhy,
+    calibrate_choir_phy, run_sim, run_sims_parallel, CollisionFatalPhy, IdealPhy, MacScheme,
+    SimConfig, SlotPhy, TabulatedChoirPhy,
 };
 use lora_phy::params::{PhyParams, SpreadingFactor};
 
@@ -135,31 +135,39 @@ pub fn run_users_with_table(table: &[f64], scale: Scale) -> FigureReport {
         "fig08def",
         "2–10 concurrent users: throughput / latency / transmissions",
     );
-    for (mname, get) in metrics {
-        let mut rows: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 4]; // aloha, oracle, choir, ideal
-        for &k in &user_counts {
+    // Each (user count, scheme) simulation runs exactly once — the three
+    // metrics are projections of the same run — batched through the shared
+    // worker pool. Job layout: 4 scheme variants per user count.
+    const VARIANTS: usize = 4; // ALOHA, Oracle, Choir (tabulated), Ideal
+    let jobs: Vec<(MacScheme, SimConfig)> = user_counts
+        .iter()
+        .flat_map(|&k| {
             let cfg = sim_config(params, k, slots, snr);
-            let mut fatal = CollisionFatalPhy { params };
-            rows[0].push((k as f64, get(&run_sim(MacScheme::Aloha, &cfg, &mut fatal))));
-            let mut fatal2 = CollisionFatalPhy { params };
-            rows[1].push((
-                k as f64,
-                get(&run_sim(MacScheme::Oracle, &cfg, &mut fatal2)),
-            ));
-            let mut choir_phy = TabulatedChoirPhy::new(table.to_vec(), 5);
-            rows[2].push((
-                k as f64,
-                get(&run_sim(MacScheme::Choir, &cfg, &mut choir_phy)),
-            ));
-            rows[3].push((
-                k as f64,
-                get(&run_sim(MacScheme::Choir, &cfg, &mut IdealPhy)),
-            ));
+            [
+                (MacScheme::Aloha, cfg.clone()),
+                (MacScheme::Oracle, cfg.clone()),
+                (MacScheme::Choir, cfg.clone()),
+                (MacScheme::Choir, cfg),
+            ]
+        })
+        .collect();
+    let results = run_sims_parallel(&jobs, |i, _, c| -> Box<dyn SlotPhy + Send> {
+        match i % VARIANTS {
+            0 | 1 => Box::new(CollisionFatalPhy { params: c.params }),
+            2 => Box::new(TabulatedChoirPhy::new(table.to_vec(), 5)),
+            _ => Box::new(IdealPhy),
         }
-        for (r, scheme) in rows.into_iter().zip(["ALOHA", "Oracle", "Choir", "Ideal"]) {
-            if mname != "thrpt bps" && scheme == "Ideal" {
+    });
+    for (mname, get) in metrics {
+        for (v, scheme) in ["ALOHA", "Oracle", "Choir", "Ideal"].iter().enumerate() {
+            if mname != "thrpt bps" && *scheme == "Ideal" {
                 continue; // the paper plots the Ideal line only for throughput
             }
+            let r: Vec<(f64, f64)> = user_counts
+                .iter()
+                .enumerate()
+                .map(|(ki, &k)| (k as f64, get(&results[ki * VARIANTS + v])))
+                .collect();
             report.push_series(Series::from_xy(&format!("{mname} {scheme}"), &r));
         }
     }
