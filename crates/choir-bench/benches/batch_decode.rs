@@ -2,9 +2,14 @@
 //!
 //! Decodes a fixed batch of 16 two-user collision slots through
 //! [`ChoirDecoder::decode_slots_with_pool`] at 1, 2 and 4 threads,
-//! reports slots/sec for each, verifies the outputs are **bit-identical**
-//! across thread counts (the choir-pool determinism contract), and emits
-//! the measurements as `BENCH_parallel.json` in the workspace root.
+//! reports slots/sec and a per-stage latency breakdown
+//! (dechirp/refine/demod/SIC/cluster) for each, verifies the outputs are
+//! **bit-identical** across thread counts (the choir-pool determinism
+//! contract), and emits the measurements as `BENCH_parallel.json` plus a
+//! before/after single-thread record (`BENCH_kernel.json`) in the
+//! workspace root. Bit-identity against the *pre-change* decoded streams
+//! is enforced separately by the golden capture test in
+//! `crates/choir-core/tests/parallel.rs`.
 //!
 //! Speedup is bounded by the host's core count: on a single-core
 //! container every thread count measures the same throughput (plus a few
@@ -14,11 +19,17 @@ use std::time::Instant;
 
 use choir_bench::two_user_scenario;
 use choir_core::decoder::{ChoirDecoder, SlotCapture, SlotResult};
+use choir_core::profile;
 use choir_pool::ThreadPool;
 use lora_phy::params::PhyParams;
 
 const SLOTS: usize = 16;
 const PAYLOAD_LEN: usize = 8;
+
+/// PR-2 single-thread baseline (slots/sec) on this host, captured in
+/// `BENCH_parallel.json` before the allocation-free offset-search kernel
+/// landed. `BENCH_kernel.json` reports the current number against it.
+const PR2_BASELINE_SLOTS_PER_SEC: f64 = 0.5514;
 
 /// Flattens every float (as raw bits), symbol and counter in the batch
 /// result into one comparable vector — any cross-thread divergence, even
@@ -61,13 +72,18 @@ fn main() {
     let mut rows = Vec::new();
     let mut baseline: Option<Vec<u64>> = None;
     let mut identical = true;
+    let mut single_thread_sps = 0.0f64;
+    let mut single_thread_stages = [0.0f64; profile::NUM_STAGES];
     for threads in [1usize, 2, 4] {
         let pool = ThreadPool::with_threads(threads);
         // Warm-up: touch the FFT plan cache and the pool's spawn path.
         let _ = dec.decode_slots_with_pool(&slots[..2], pool);
+        // Drop warm-up time from the per-stage accounting.
+        let _ = profile::snapshot_and_reset();
         let t = Instant::now();
         let out = dec.decode_slots_with_pool(&slots, pool);
         let elapsed = t.elapsed().as_secs_f64();
+        let stages = profile::snapshot_and_reset();
         let sps = SLOTS as f64 / elapsed;
         let d = digest(&out);
         match &baseline {
@@ -81,8 +97,21 @@ fn main() {
         println!(
             "batch_decode/{SLOTS}slots_2users_t{threads:<2}      {sps:8.3} slots/s  ({elapsed:.3} s elapsed)"
         );
+        // Per-stage latency breakdown (CPU seconds summed across workers).
+        let total: f64 = stages.iter().sum();
+        for (name, s) in profile::STAGE_NAMES.iter().zip(&stages) {
+            println!(
+                "    stage {name:<8} {s:7.3} s  ({:5.1}%)",
+                100.0 * s / total.max(1e-12)
+            );
+        }
+        if threads == 1 {
+            single_thread_sps = sps;
+            single_thread_stages = stages;
+        }
         rows.push(format!(
-            "    {{\"threads\": {threads}, \"slots_per_sec\": {sps:.4}, \"elapsed_s\": {elapsed:.4}}}"
+            "    {{\"threads\": {threads}, \"slots_per_sec\": {sps:.4}, \"elapsed_s\": {elapsed:.4}, \"stages_s\": {}}}",
+            stages_json(&stages)
         ));
     }
     println!("outputs bit-identical across thread counts: {identical}");
@@ -101,4 +130,30 @@ fn main() {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
+
+    // Kernel before/after record: single-thread throughput against the
+    // PR-2 baseline, with the per-stage breakdown of the current run.
+    let speedup = single_thread_sps / PR2_BASELINE_SLOTS_PER_SEC;
+    println!(
+        "single-thread: {single_thread_sps:.4} slots/s vs {PR2_BASELINE_SLOTS_PER_SEC} baseline ({speedup:.2}x)"
+    );
+    let kernel_json = format!(
+        "{{\n  \"bench\": \"offset_search_kernel\",\n  \"slots\": {SLOTS},\n  \"users_per_slot\": 2,\n  \"payload_len\": {PAYLOAD_LEN},\n  \"before_slots_per_sec\": {PR2_BASELINE_SLOTS_PER_SEC},\n  \"after_slots_per_sec\": {single_thread_sps:.4},\n  \"speedup\": {speedup:.3},\n  \"outputs_bit_identical\": {identical},\n  \"stages_s\": {}\n}}\n",
+        stages_json(&single_thread_stages),
+    );
+    let kpath = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernel.json");
+    match std::fs::write(kpath, kernel_json) {
+        Ok(()) => println!("wrote {kpath}"),
+        Err(e) => eprintln!("could not write {kpath}: {e}"),
+    }
+}
+
+/// Renders a stage-time array as a JSON object keyed by stage name.
+fn stages_json(stages: &[f64; profile::NUM_STAGES]) -> String {
+    let fields: Vec<String> = profile::STAGE_NAMES
+        .iter()
+        .zip(stages)
+        .map(|(name, s)| format!("\"{name}\": {s:.4}"))
+        .collect();
+    format!("{{{}}}", fields.join(", "))
 }

@@ -29,6 +29,7 @@ use lora_phy::params::PhyParams;
 use crate::cluster::circular_dist;
 use crate::error::DecodeError;
 use crate::estimator::{EstimatorConfig, OffsetEstimator};
+use crate::profile::{scope, Stage};
 use crate::sic::{phased_sic, SicConfig};
 
 /// Full decoder configuration.
@@ -203,6 +204,12 @@ pub struct ChoirDecoder {
     params: PhyParams,
     cfg: ChoirConfig,
     est: OffsetEstimator,
+    /// Unit-root table `twiddle[m] = e^{−j2πm/n}`, shared across clones.
+    /// The comb demodulator factors each hypothesis tone as
+    /// `twiddle[(s·t) mod n] · e^{−j2π·off·t/n}`, so the whole n-hypothesis
+    /// sweep costs one fractional mix plus table lookups instead of n²
+    /// `cis` evaluations.
+    comb_twiddle: std::sync::Arc<Vec<C64>>,
 }
 
 impl ChoirDecoder {
@@ -214,7 +221,18 @@ impl ChoirDecoder {
     /// Builds a decoder with explicit configuration.
     pub fn with_config(params: PhyParams, cfg: ChoirConfig) -> Self {
         let est = OffsetEstimator::new(params.samples_per_symbol(), cfg.estimator);
-        ChoirDecoder { params, cfg, est }
+        let n = params.samples_per_symbol();
+        let comb_twiddle = std::sync::Arc::new(
+            (0..n)
+                .map(|m| C64::cis(-2.0 * std::f64::consts::PI * m as f64 / n as f64))
+                .collect::<Vec<C64>>(),
+        );
+        ChoirDecoder {
+            params,
+            cfg,
+            est,
+            comb_twiddle,
+        }
     }
 
     /// The PHY parameters in use.
@@ -256,8 +274,9 @@ impl ChoirDecoder {
             return Vec::new();
         }
         let min_support = (per_window.len() / 2).max(2).min(per_window.len());
-        let tracks =
-            crate::cluster::merge_tracks(&per_window, n, ChoirConfig::TRACK_TOL_BINS, min_support);
+        let tracks = scope(Stage::Cluster, || {
+            crate::cluster::merge_tracks(&per_window, n, ChoirConfig::TRACK_TOL_BINS, min_support)
+        });
         let mut users: Vec<UserEstimate> = tracks
             .into_iter()
             .map(|t| UserEstimate {
@@ -306,18 +325,36 @@ impl ChoirDecoder {
         slot_start: usize,
         user: &UserEstimate,
     ) -> f64 {
-        let n = self.est.n() as f64;
-        let delta = user.timing_chips;
-        let init = (user.offset_bins + delta).rem_euclid(n);
-        let score = |pos: f64| -> f64 {
-            let mut s = 0.0;
-            for sym_idx in [2usize, 4, 6] {
-                s += self.tone_energy(samples, slot_start, sym_idx, delta, pos);
-            }
-            -s
-        };
-        let (pos, _) = choir_dsp::optim::golden_section(score, init - 0.6, init + 0.6, 1e-3);
-        (pos - delta).rem_euclid(n)
+        scope(Stage::Refine, || {
+            let n = self.est.n() as f64;
+            let delta = user.timing_chips;
+            let init = (user.offset_bins + delta).rem_euclid(n);
+            // The timing is fixed for the whole search, so align and
+            // dechirp the probe windows once instead of per probe (the
+            // windowed-sinc resample is as expensive as the correlation).
+            let probes: Vec<Vec<C64>> = [2usize, 4, 6]
+                .iter()
+                .filter_map(|&sym_idx| {
+                    self.aligned_window(samples, slot_start, sym_idx, delta)
+                        .map(|al| self.est.dechirp(&al))
+                })
+                .collect();
+            let score = |pos: f64| -> f64 {
+                let w = -2.0 * std::f64::consts::PI * pos / n;
+                let mut s = 0.0;
+                for de in &probes {
+                    let acc: C64 = de
+                        .iter()
+                        .enumerate()
+                        .map(|(t, v)| v * C64::cis(w * t as f64))
+                        .sum();
+                    s += acc.norm_sqr();
+                }
+                -s
+            };
+            let (pos, _) = choir_dsp::optim::golden_section(score, init - 0.6, init + 0.6, 1e-3);
+            (pos - delta).rem_euclid(n)
+        })
     }
 
     /// Coarse integer timing from the preamble→sync transition window: the
@@ -407,6 +444,18 @@ impl ChoirDecoder {
         user: &UserEstimate,
         coarse: f64,
     ) -> f64 {
+        scope(Stage::Refine, || {
+            self.refine_timing_inner(samples, slot_start, user, coarse)
+        })
+    }
+
+    fn refine_timing_inner(
+        &self,
+        samples: &[C64],
+        slot_start: usize,
+        user: &UserEstimate,
+        coarse: f64,
+    ) -> f64 {
         let p = self.params.preamble_len;
         let score = |delta: f64| -> f64 {
             if delta < 0.0 {
@@ -483,21 +532,41 @@ impl ChoirDecoder {
     /// the coherent sum over the unknown step phase) makes the decision
     /// invariant to the step.
     fn comb_demod(&self, aligned: &[C64], comb_offset: f64) -> CombDecision {
+        scope(Stage::Demod, || self.comb_demod_inner(aligned, comb_offset))
+    }
+
+    // hot:noalloc — the hypothesis sweep runs on the shared twiddle table
+    // and a workspace mix buffer.
+    fn comb_demod_inner(&self, aligned: &[C64], comb_offset: f64) -> CombDecision {
         let n = self.est.n();
         let de = self.est.dechirp(aligned);
+        // Apply the fractional comb offset once; each hypothesis tone then
+        // reduces to stepping the integer twiddle table by s per sample
+        // (phases agree with direct evaluation up to exact multiples of 2π).
+        let mut mix = choir_dsp::workspace::take(n);
+        let w_frac = -2.0 * std::f64::consts::PI * comb_offset / n as f64;
+        for (t, (m, v)) in mix.iter_mut().zip(&de).enumerate() {
+            *m = v * C64::cis(w_frac * t as f64);
+        }
+        let tw: &[C64] = &self.comb_twiddle;
         let mut top = [(0u16, -1.0f64); 3];
         for s in 0..n {
-            let pos = (s as f64 + comb_offset).rem_euclid(n as f64);
-            let w = -2.0 * std::f64::consts::PI * pos / n as f64;
             let wrap = n - s;
             let mut pre = C64::ZERO;
             let mut post = C64::ZERO;
-            for (t, v) in de.iter().enumerate() {
-                let c = v * C64::cis(w * t as f64);
-                if t < wrap {
-                    pre += c;
-                } else {
-                    post += c;
+            let mut idx = 0usize;
+            for m in &mix[..wrap] {
+                pre += m * tw[idx];
+                idx += s;
+                if idx >= n {
+                    idx -= n;
+                }
+            }
+            for m in &mix[wrap..] {
+                post += m * tw[idx];
+                idx += s;
+                if idx >= n {
+                    idx -= n;
                 }
             }
             let score = (pre.abs() + post.abs()).powi(2);
@@ -512,6 +581,7 @@ impl ChoirDecoder {
                 }
             }
         }
+        choir_dsp::workspace::put(mix);
         for t in top.iter_mut() {
             t.1 = t.1.max(0.0);
         }
@@ -548,6 +618,30 @@ impl ChoirDecoder {
     /// [`Self::subtract_symbol`] with optional contribution tracking.
     #[allow(clippy::too_many_arguments)]
     fn subtract_symbol_tracked(
+        &self,
+        work: &mut [C64],
+        contrib: Option<&mut [C64]>,
+        slot_start: usize,
+        sym_idx: usize,
+        value: u16,
+        timing_chips: f64,
+        cfo_bins: f64,
+    ) {
+        scope(Stage::Sic, || {
+            self.subtract_symbol_tracked_inner(
+                work,
+                contrib,
+                slot_start,
+                sym_idx,
+                value,
+                timing_chips,
+                cfo_bins,
+            )
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn subtract_symbol_tracked_inner(
         &self,
         work: &mut [C64],
         mut contrib: Option<&mut [C64]>,
@@ -613,6 +707,19 @@ impl ChoirDecoder {
     /// windows. Gain fitting is per segment, so this isolates the pure
     /// frequency error that per-window gains cannot absorb.
     fn refine_cfo_for_subtraction(
+        &self,
+        work: &[C64],
+        slot_start: usize,
+        symbols: &[u16],
+        timing_chips: f64,
+        cfo_init: f64,
+    ) -> f64 {
+        scope(Stage::Refine, || {
+            self.refine_cfo_for_subtraction_inner(work, slot_start, symbols, timing_chips, cfo_init)
+        })
+    }
+
+    fn refine_cfo_for_subtraction_inner(
         &self,
         work: &[C64],
         slot_start: usize,

@@ -10,14 +10,20 @@
 //! bracket converges quickly; multi-start guards against side-lobe minima.
 
 use crate::error::DecodeError;
+use crate::profile::{scope, Stage};
 use choir_dsp::checks;
 use choir_dsp::complex::C64;
 use choir_dsp::fft::FftPlan;
-use choir_dsp::linalg::{least_squares, residual_energy};
+use choir_dsp::linalg::{
+    conj_dot, gram_residual, least_squares_refs, residual_energy_refs, CholeskyFactor,
+};
 use choir_dsp::optim::cyclic_coordinate_descent;
 use choir_dsp::peaks::{find_peaks, Peak, PeakConfig};
+use choir_dsp::workspace;
 use choir_pool::ThreadPool;
-use lora_phy::chirp::base_downchirp;
+use lora_phy::chirp::base_downchirp_cached;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// One disentangled component of a collision: a frequency position (in
 /// fractional bins) and the complex channel that best explains it.
@@ -108,7 +114,7 @@ impl Default for EstimatorConfig {
 pub struct OffsetEstimator {
     n: usize,
     cfg: EstimatorConfig,
-    downchirp: Vec<C64>,
+    downchirp: std::sync::Arc<Vec<C64>>,
     fft_padded: FftPlan,
     /// Optional worker pool for the per-candidate boundary scans. `None`
     /// (the default) keeps every scan on the calling thread; batch slot
@@ -120,9 +126,176 @@ pub struct OffsetEstimator {
 }
 
 /// Below this many boundary candidates a scan stays sequential even with a
-/// pool attached: per-candidate work is a two-basis least-squares fit
-/// (~µs), so tiny scans lose more to spawn/join than they gain.
-const MIN_PARALLEL_SCAN: usize = 8;
+/// pool attached. Since the prefix-sum rewrite a candidate costs a bordered
+/// 2×2 solve (tens of nanoseconds), so only very large scans (big symbol
+/// lengths) can amortise spawn/join overhead.
+const MIN_PARALLEL_SCAN: usize = 64;
+
+/// Distinct tone bases kept per thread in the basis LRU. Refinement of a
+/// K≤6-component window revisits at most a few dozen grid points between
+/// evictions (fitted positions, boundary-scan tones, model resynthesis).
+const BASIS_CACHE_CAP: usize = 64;
+
+/// LRU entries: `((n, freq.to_bits()), shared basis)`, most recent last.
+type BasisCache = Vec<((usize, u64), Rc<Vec<C64>>)>;
+
+thread_local! {
+    /// Per-thread LRU of tone bases keyed by the exact `(n, f.to_bits())`
+    /// pair; most recently used entry last.
+    static BASIS_CACHE: RefCell<BasisCache> = const { RefCell::new(Vec::new()) };
+    /// Per-thread scratch factor for the boundary scan's bordered solves,
+    /// so pooled candidate evaluations stay allocation-free and unshared.
+    static BORDER_SCRATCH: RefCell<CholeskyFactor> = RefCell::new(CholeskyFactor::new());
+}
+
+/// Writes the tone basis `e^{j2π f t / n}` into `buf` (length `n`).
+// hot:noalloc — in-place resynthesis of one basis column.
+fn synthesize_basis(buf: &mut [C64], n: usize, freq_bins: f64) {
+    let w = 2.0 * std::f64::consts::PI * freq_bins / n as f64;
+    for (t, v) in buf.iter_mut().enumerate() {
+        *v = C64::cis(w * t as f64);
+    }
+}
+
+/// Returns the tone basis for `(n, freq_bins)`, served from the calling
+/// thread's LRU. The offset search revisits the same grid points
+/// constantly — fitted positions feed `fit`, the boundary scans and model
+/// resynthesis — so steady-state refinement stops paying `n` `cis` calls
+/// per request. A hit is bitwise identical to recomputation: the content
+/// is a pure function of the key.
+fn cached_basis(n: usize, freq_bins: f64) -> Rc<Vec<C64>> {
+    let key = (n, freq_bins.to_bits());
+    BASIS_CACHE.with(|cell| {
+        let mut cache = cell.borrow_mut();
+        if let Some(pos) = cache.iter().position(|(k, _)| *k == key) {
+            let entry = cache.remove(pos);
+            let rc = Rc::clone(&entry.1);
+            cache.push(entry);
+            return rc;
+        }
+        let mut b = vec![C64::ZERO; n];
+        synthesize_basis(&mut b, n, freq_bins);
+        let rc = Rc::new(b);
+        if cache.len() >= BASIS_CACHE_CAP {
+            cache.remove(0);
+        }
+        cache.push((key, Rc::clone(&rc)));
+        rc
+    })
+}
+
+/// Incremental normal-equation evaluator — the offset search's hot
+/// kernel. Holds the Gram matrix `G = BᴴB`, projection `p = Bᴴy` and
+/// Cholesky factor for the current frequency hypothesis, and on each
+/// [`Self::eval`] updates only the rows/columns of coordinates whose
+/// frequency actually changed (cyclic coordinate descent moves exactly
+/// one per probe). The residual is evaluated through the Gram identity
+/// (`O(K²)` per probe after the `O(n)` column update) instead of a full
+/// time-domain reconstruction, and every buffer — including the basis
+/// columns, resynthesized in place — is owned and reused, so steady-state
+/// probes perform zero heap allocations.
+///
+/// Gram entries are produced by the same [`conj_dot`] kernel and
+/// `(i≤j, mirror-conjugate)` orientation as a from-scratch
+/// [`least_squares`](choir_dsp::linalg::least_squares) build, so an
+/// incrementally maintained matrix is bit-identical to a rebuilt one.
+pub struct GramFit<'a> {
+    n: usize,
+    y: &'a [C64],
+    y_energy: f64,
+    k: usize,
+    freqs: Vec<f64>,
+    bases: Vec<Vec<C64>>,
+    gram: Vec<C64>,
+    p: Vec<C64>,
+    chol: CholeskyFactor,
+    coeffs: Vec<C64>,
+    primed: bool,
+}
+
+impl<'a> GramFit<'a> {
+    /// Builds an unprimed evaluator for `k` components over the dechirped
+    /// window `y` (`n` chips per symbol). The first [`Self::eval`] fills
+    /// every column; later probes update only what moved.
+    ///
+    /// # Panics
+    /// Panics if `k` is zero or above 64 (the changed-coordinate bitmask
+    /// width).
+    pub fn new(n: usize, y: &'a [C64], k: usize) -> Self {
+        assert!(k > 0 && k <= 64, "GramFit: component count out of range");
+        GramFit {
+            n,
+            y,
+            y_energy: choir_dsp::complex::energy(y),
+            k,
+            freqs: vec![0.0; k],
+            bases: (0..k).map(|_| vec![C64::ZERO; y.len()]).collect(),
+            gram: vec![C64::ZERO; k * k],
+            p: vec![C64::ZERO; k],
+            chol: CholeskyFactor::new(),
+            coeffs: vec![C64::ZERO; k],
+            primed: false,
+        }
+    }
+
+    /// Least-squares residual power of the hypothesis `x` (one frequency
+    /// per component). A singular Gram (duplicate hypotheses) reports the
+    /// full window energy — the worst possible fit — matching
+    /// [`OffsetEstimator::fit`]'s fallback.
+    // hot:noalloc — the per-probe path only rewrites owned buffers.
+    pub fn eval(&mut self, x: &[f64]) -> f64 {
+        let k = self.k;
+        debug_assert_eq!(x.len(), k);
+        let mut changed = 0u64;
+        for (i, &xi) in x.iter().enumerate() {
+            if !self.primed || xi.to_bits() != self.freqs[i].to_bits() {
+                synthesize_basis(&mut self.bases[i], self.n, xi);
+                self.freqs[i] = xi;
+                changed |= 1 << i;
+            }
+        }
+        self.primed = true;
+        for i in 0..k {
+            if changed & (1 << i) == 0 {
+                continue;
+            }
+            self.p[i] = conj_dot(&self.bases[i], self.y);
+            for j in 0..k {
+                if j == i {
+                    self.gram[i * k + i] = conj_dot(&self.bases[i], &self.bases[i]);
+                } else {
+                    let (lo, hi) = (i.min(j), i.max(j));
+                    let v = conj_dot(&self.bases[lo], &self.bases[hi]);
+                    self.gram[lo * k + hi] = v;
+                    self.gram[hi * k + lo] = v.conj();
+                }
+            }
+        }
+        if !self.chol.factor(k, &self.gram) {
+            return self.y_energy;
+        }
+        self.chol.solve_into(&self.p, &mut self.coeffs);
+        gram_residual(k, &self.gram, &self.p, &self.coeffs, self.y_energy)
+    }
+}
+
+/// Per-tone boundary-scan state reused across `fit_steps` passes: the
+/// tone basis, the prefix sums that turn every rect-truncated Gram entry
+/// into an O(1) lookup, and the factored 1×1 leading block every
+/// candidate's bordered factorization shares.
+struct StepScan {
+    base: Rc<Vec<C64>>,
+    /// `pbb[c] = Σ_{t<c} base[t]ᴴ·base[t]`: `pbb[n]` is the tone's Gram
+    /// diagonal; `pbb[c]` is both `⟨base, rect_c⟩` and `⟨rect_c, rect_c⟩`
+    /// (a rect-truncated basis equals the tone over `[0, c)`), by the
+    /// same accumulation order [`conj_dot`] uses.
+    pbb: Vec<C64>,
+    chol1: CholeskyFactor,
+}
+
+/// Cache of [`StepScan`]s keyed by `freq_bins.to_bits()`, living for one
+/// [`OffsetEstimator::fit_steps`] call (all passes).
+type StepScanCache = Vec<(u64, StepScan)>;
 
 impl OffsetEstimator {
     /// Builds an estimator for symbols of `n = 2^SF` chips.
@@ -132,7 +305,7 @@ impl OffsetEstimator {
         OffsetEstimator {
             n,
             cfg,
-            downchirp: base_downchirp(n),
+            downchirp: base_downchirp_cached(n),
             fft_padded: FftPlan::new(n * cfg.pad),
             pool: None,
         }
@@ -161,7 +334,7 @@ impl OffsetEstimator {
         assert_eq!(window.len(), self.n, "dechirp: wrong window length");
         let out: Vec<C64> = window
             .iter()
-            .zip(&self.downchirp)
+            .zip(self.downchirp.iter())
             .map(|(a, b)| a * b)
             .collect();
         // Debug sanitizer: the dechirped window feeds every later stage;
@@ -172,21 +345,32 @@ impl OffsetEstimator {
 
     /// Zero-padded spectrum of a dechirped window.
     pub fn padded_spectrum(&self, dechirped: &[C64]) -> Vec<C64> {
-        self.fft_padded.forward_padded(dechirped)
+        workspace::with(|ws| {
+            let mut out = vec![C64::ZERO; self.n * self.cfg.pad];
+            self.fft_padded.forward_padded_into(dechirped, &mut out, ws);
+            out
+        })
     }
 
     /// Coarse stage: dechirp, pad, detect peaks. Returned positions are in
     /// fractional bins with ~`1/pad`-bin granularity.
     pub fn coarse(&self, window: &[C64]) -> Vec<Peak> {
-        let de = self.dechirp(window);
-        let spec = self.padded_spectrum(&de);
-        find_peaks(&spec, &self.cfg.peaks)
+        scope(Stage::Dechirp, || {
+            let de = self.dechirp(window);
+            workspace::with(|ws| {
+                let mut spec = ws.take(self.n * self.cfg.pad);
+                self.fft_padded.forward_padded_into(&de, &mut spec, ws);
+                let peaks = find_peaks(&spec, &self.cfg.peaks);
+                ws.put(spec);
+                peaks
+            })
+        })
     }
 
-    /// Basis vector `e^{j2π f t / n}` for a tone at `freq_bins`.
-    fn basis(&self, freq_bins: f64) -> Vec<C64> {
-        let w = 2.0 * std::f64::consts::PI * freq_bins / self.n as f64;
-        (0..self.n).map(|t| C64::cis(w * t as f64)).collect()
+    /// Basis vector `e^{j2π f t / n}` for a tone at `freq_bins`, shared
+    /// through the per-thread LRU (see [`cached_basis`]).
+    fn basis(&self, freq_bins: f64) -> Rc<Vec<C64>> {
+        cached_basis(self.n, freq_bins)
     }
 
     /// Least-squares channel fit (Eqn. 2) at the given tone positions,
@@ -212,10 +396,11 @@ impl OffsetEstimator {
         freqs: &[f64],
     ) -> Result<(Vec<C64>, f64), DecodeError> {
         assert!(!freqs.is_empty(), "fit: need at least one tone");
-        let basis: Vec<Vec<C64>> = freqs.iter().map(|&f| self.basis(f)).collect();
-        match least_squares(&basis, dechirped) {
+        let basis: Vec<Rc<Vec<C64>>> = freqs.iter().map(|&f| self.basis(f)).collect();
+        let refs: Vec<&[C64]> = basis.iter().map(|b| b.as_slice()).collect();
+        match least_squares_refs(&refs, dechirped) {
             Some(channels) => {
-                let r = residual_energy(&basis, &channels, dechirped);
+                let r = residual_energy_refs(&refs, &channels, dechirped);
                 Ok((channels, r))
             }
             None => Err(DecodeError::SingularFit {
@@ -225,52 +410,65 @@ impl OffsetEstimator {
     }
 
     /// Fine stage (Eqn. 4): jointly refines the coarse positions by
-    /// minimising the reconstruction residual. Returns one estimate per
-    /// input position (order preserved).
+    /// minimising the reconstruction residual. The search probes the
+    /// residual through an incremental [`GramFit`] (allocation-free,
+    /// `O(K²)` per probe); the converged positions then get one full
+    /// time-domain verification fit, which is what the returned channels
+    /// come from. Returns one estimate per input position (order
+    /// preserved).
     pub fn refine(&self, window: &[C64], coarse_bins: &[f64]) -> Vec<ComponentEstimate> {
         assert!(!coarse_bins.is_empty(), "refine: no coarse positions");
-        let de = self.dechirp(window);
-        let objective = |f: &[f64]| self.fit(&de, f).1;
-        let opt = cyclic_coordinate_descent(
-            objective,
-            coarse_bins,
-            self.cfg.search_radius_bins,
-            self.cfg.tol_bins,
-            self.cfg.max_sweeps,
-        );
-        let (channels, _) = self.fit(&de, &opt.x);
-        opt.x
-            .iter()
-            .zip(channels)
-            .map(|(&f, h)| ComponentEstimate::tone(f.rem_euclid(self.n as f64), h))
-            .collect()
+        scope(Stage::Refine, || {
+            let de = self.dechirp(window);
+            let mut gfit = GramFit::new(self.n, &de, coarse_bins.len());
+            let opt = cyclic_coordinate_descent(
+                |f: &[f64]| gfit.eval(f),
+                coarse_bins,
+                self.cfg.search_radius_bins,
+                self.cfg.tol_bins,
+                self.cfg.max_sweeps,
+            );
+            let (channels, _) = self.fit(&de, &opt.x);
+            opt.x
+                .iter()
+                .zip(channels)
+                .map(|(&f, h)| ComponentEstimate::tone(f.rem_euclid(self.n as f64), h))
+                .collect()
+        })
     }
 
     /// Full-model residual energy of a component set against a dechirped
     /// window (tones and step terms included).
     pub fn full_residual(&self, dechirped: &[C64], comps: &[ComponentEstimate]) -> f64 {
-        let mut resid = dechirped.to_vec();
+        let mut resid = workspace::take(dechirped.len());
+        resid.copy_from_slice(dechirped);
         for c in comps {
-            for (r, m) in resid.iter_mut().zip(self.component_model(c)) {
-                *r -= m;
-            }
+            self.accumulate_component_model(c, &mut resid, true);
         }
-        resid.iter().map(|z| z.norm_sqr()).sum()
+        let e = resid.iter().map(|z| z.norm_sqr()).sum();
+        workspace::put(resid);
+        e
     }
 
-    /// Dechirped-domain model of one component (tone plus optional step).
-    fn component_model(&self, c: &ComponentEstimate) -> Vec<C64> {
+    /// Adds (`subtract = false`) or subtracts (`subtract = true`) one
+    /// component's dechirped-domain model — tone plus optional step —
+    /// from `out`, streaming the cached basis without materialising the
+    /// model vector.
+    // hot:noalloc — a cache hit streams straight into the accumulator.
+    fn accumulate_component_model(&self, c: &ComponentEstimate, out: &mut [C64], subtract: bool) {
         let b = self.basis(c.freq_bins);
-        b.into_iter()
-            .enumerate()
-            .map(|(t, bv)| {
-                let amp = match &c.step {
-                    Some(st) if t < st.boundary => c.channel + st.coeff,
-                    _ => c.channel,
-                };
-                amp * bv
-            })
-            .collect()
+        for (t, (o, &bv)) in out.iter_mut().zip(b.iter()).enumerate() {
+            let amp = match &c.step {
+                Some(st) if t < st.boundary => c.channel + st.coeff,
+                _ => c.channel,
+            };
+            let m = amp * bv;
+            if subtract {
+                *o -= m;
+            } else {
+                *o += m;
+            }
+        }
     }
 
     /// Fits the boundary-split term of each component (Sec. 6.1): scans the
@@ -280,60 +478,117 @@ impl OffsetEstimator {
     /// components (e.g. a user's head and tail peaks) converge jointly.
     /// Operates in the dechirped domain.
     fn fit_steps(&self, dechirped: &[C64], comps: &mut [ComponentEstimate], passes: usize) {
-        for _ in 0..passes {
-            self.fit_steps_once(dechirped, comps);
-        }
+        scope(Stage::Refine, || {
+            // Tone bases, Gram prefix sums and the factored leading block
+            // depend only on each component's frequency, which fit_steps
+            // never moves — build them once, reuse across all passes.
+            let mut scans: StepScanCache = StepScanCache::new();
+            for _ in 0..passes {
+                self.fit_steps_once(dechirped, comps, &mut scans);
+            }
+        });
     }
 
-    fn fit_steps_once(&self, dechirped: &[C64], comps: &mut [ComponentEstimate]) {
+    /// Looks up (or builds) the boundary-scan state for one tone.
+    fn step_scan<'a>(&self, scans: &'a mut StepScanCache, freq_bins: f64) -> &'a StepScan {
+        let key = freq_bins.to_bits();
+        let idx = match scans.iter().position(|(k, _)| *k == key) {
+            Some(i) => i,
+            None => {
+                let base = self.basis(freq_bins);
+                let mut pbb = Vec::with_capacity(self.n + 1);
+                let mut acc = C64::ZERO;
+                pbb.push(acc);
+                for &bv in base.iter() {
+                    acc += bv.conj() * bv;
+                    pbb.push(acc);
+                }
+                let mut chol1 = CholeskyFactor::new();
+                let ok = chol1.factor(1, std::slice::from_ref(&pbb[self.n]));
+                debug_assert!(ok, "a tone's Gram diagonal is always positive");
+                scans.push((key, StepScan { base, pbb, chol1 }));
+                scans.len() - 1
+            }
+        };
+        &scans[idx].1
+    }
+
+    // hot:noalloc — candidate evaluations run entirely on prefix sums and
+    // per-thread scratch; per-pass scratch comes from the workspace arena.
+    fn fit_steps_once(
+        &self,
+        dechirped: &[C64],
+        comps: &mut [ComponentEstimate],
+        scans: &mut StepScanCache,
+    ) {
         let n = self.n;
         // Current residual with all components (tone-only at this point).
-        let mut resid: Vec<C64> = dechirped.to_vec();
+        let mut resid = workspace::take(dechirped.len());
+        resid.copy_from_slice(dechirped);
         for c in comps.iter() {
-            for (r, m) in resid.iter_mut().zip(self.component_model(c)) {
-                *r -= m;
-            }
+            self.accumulate_component_model(c, &mut resid, true);
         }
         // Strongest components first.
         let mut order: Vec<usize> = (0..comps.len()).collect();
         order.sort_by(|&a, &b| comps[b].channel.abs().total_cmp(&comps[a].channel.abs()));
+        let mut pby = workspace::take(n + 1);
         for idx in order {
             // Add this component's model back; refit it with a step.
-            let model_before = self.component_model(&comps[idx]);
-            for (r, m) in resid.iter_mut().zip(&model_before) {
-                *r += *m;
+            self.accumulate_component_model(&comps[idx], &mut resid, false);
+            let scan = self.step_scan(scans, comps[idx].freq_bins);
+            // Projection prefix `pby[c] = Σ_{t<c} base[t]ᴴ·resid[t]` and
+            // the target energy: together with `scan.pbb` they make every
+            // candidate's normal equations O(1) lookups — for the system
+            // `[base, rect_c]`, G = [[pbb[n], pbb[c]], [pbb[c]ᴴ, pbb[c]]]
+            // and p = [pby[n], pby[c]].
+            let mut acc = C64::ZERO;
+            pby[0] = acc;
+            let mut y_energy = 0.0;
+            for (t, y) in resid.iter().enumerate() {
+                acc += scan.base[t].conj() * y;
+                pby[t + 1] = acc;
+                y_energy += y.norm_sqr();
             }
-            let base = self.basis(comps[idx].freq_bins);
-            let target = &resid;
-            let tone_only = least_squares(std::slice::from_ref(&base), target)
-                .map(|h| {
-                    (
-                        h[0],
-                        residual_energy(std::slice::from_ref(&base), &[h[0]], target),
-                    )
-                })
-                .unwrap_or((comps[idx].channel, f64::INFINITY));
-            let mut best: (C64, Option<Step>, f64) = (tone_only.0, None, tone_only.1);
+            let g00 = scan.pbb[n];
+            let p0 = pby[n];
+            let mut h = [C64::ZERO];
+            scan.chol1.solve_into(std::slice::from_ref(&p0), &mut h);
+            let r_tone = gram_residual(
+                1,
+                std::slice::from_ref(&g00),
+                std::slice::from_ref(&p0),
+                &h,
+                y_energy,
+            );
+            let mut best: (C64, Option<Step>, f64) = (h[0], None, r_tone);
             if self.cfg.fit_steps {
+                let pbb: &[C64] = &scan.pbb;
+                let pby_ro: &[C64] = &pby;
+                let chol1 = &scan.chol1;
                 let try_boundary = |c_b: usize| -> Option<(C64, Step, f64)> {
                     if c_b == 0 || c_b >= n {
                         return None;
                     }
-                    let rect: Vec<C64> = base
-                        .iter()
-                        .enumerate()
-                        .map(|(t, &bv)| if t < c_b { bv } else { C64::ZERO })
-                        .collect();
-                    let coeffs = least_squares(&[base.clone(), rect.clone()], target)?;
-                    let r = residual_energy(&[base.clone(), rect], &coeffs, target);
-                    Some((
-                        coeffs[0],
-                        Step {
-                            coeff: coeffs[1],
-                            boundary: c_b,
-                        },
-                        r,
-                    ))
+                    let g01 = pbb[c_b];
+                    BORDER_SCRATCH.with(|cell| {
+                        let chol2 = &mut *cell.borrow_mut();
+                        if !chol2.border(chol1, std::slice::from_ref(&g01), g01) {
+                            return None;
+                        }
+                        let g2 = [g00, g01, g01.conj(), g01];
+                        let p2 = [p0, pby_ro[c_b]];
+                        let mut x2 = [C64::ZERO; 2];
+                        chol2.solve_into(&p2, &mut x2);
+                        let r = gram_residual(2, &g2, &p2, &x2, y_energy);
+                        Some((
+                            x2[0],
+                            Step {
+                                coeff: x2[1],
+                                boundary: c_b,
+                            },
+                            r,
+                        ))
+                    })
                 };
                 // Coarse grid over the window, then a fine scan around the
                 // best cell: the boundary is the transmitter's (fractional)
@@ -367,10 +622,10 @@ impl OffsetEstimator {
             }
             comps[idx].channel = best.0;
             comps[idx].step = best.1;
-            for (r, m) in resid.iter_mut().zip(self.component_model(&comps[idx])) {
-                *r -= m;
-            }
+            self.accumulate_component_model(&comps[idx], &mut resid, true);
         }
+        workspace::put(pby);
+        workspace::put(resid);
     }
 
     /// Evaluates `try_boundary` at every candidate and folds the winners
@@ -418,8 +673,19 @@ impl OffsetEstimator {
     pub fn refine_with_steps(&self, window: &[C64], coarse: &[f64]) -> Vec<ComponentEstimate> {
         let mut comps = self.refine(window, coarse);
         if self.cfg.fit_steps {
+            scope(Stage::Refine, || {
+                self.refine_steps_passes(window, &mut comps)
+            });
+        }
+        comps
+    }
+
+    /// The step-fitting / corrected-refinement alternation of
+    /// [`Self::refine_with_steps`] (split out for stage accounting).
+    fn refine_steps_passes(&self, window: &[C64], comps: &mut Vec<ComponentEstimate>) {
+        {
             let de = self.dechirp(window);
-            self.fit_steps(&de, &mut comps, 2);
+            self.fit_steps(&de, comps, 2);
             // Alternate frequency refinement (against the step-corrected
             // signal — the step term absorbs the skirt that biases the
             // tone-only fit) with step re-fitting. A boundary-split tone's
@@ -431,10 +697,10 @@ impl OffsetEstimator {
                 let _ = pass;
                 let steps_model = {
                     let mut m = vec![C64::ZERO; self.n];
-                    for c in &comps {
+                    for c in comps.iter() {
                         if let Some(st) = &c.step {
                             let b = self.basis(c.freq_bins);
-                            for (t, bv) in b.into_iter().enumerate() {
+                            for (t, &bv) in b.iter().enumerate() {
                                 if t < st.boundary {
                                     m[t] += st.coeff * bv;
                                 }
@@ -445,9 +711,9 @@ impl OffsetEstimator {
                 };
                 let corrected: Vec<C64> = de.iter().zip(&steps_model).map(|(d, s)| d - s).collect();
                 let freqs: Vec<f64> = comps.iter().map(|c| c.freq_bins).collect();
-                let objective = |f: &[f64]| self.fit(&corrected, f).1;
+                let mut gfit = GramFit::new(self.n, &corrected, freqs.len());
                 let opt = cyclic_coordinate_descent(
-                    objective,
+                    |f: &[f64]| gfit.eval(f),
                     &freqs,
                     radius,
                     self.cfg.tol_bins,
@@ -460,17 +726,16 @@ impl OffsetEstimator {
                 }
                 // Re-fit the steps against the refreshed frequencies so the
                 // reconstruction (and hence SIC subtraction) is consistent.
-                self.fit_steps(&de, &mut comps, 1);
+                self.fit_steps(&de, comps, 1);
             }
             // The wide corrected pass rescues boundary-split tones whose
             // coarse peak sat on a side lobe, but it can wander when two
             // genuine tones sit within a bin of each other. Keep whichever
             // solution actually explains the window better.
-            if self.full_residual(&de, &comps) > narrow_residual {
-                comps = narrow;
+            if self.full_residual(&de, comps) > narrow_residual {
+                *comps = narrow;
             }
         }
-        comps
     }
 
     /// Reconstructs the time-domain contribution of the given components
@@ -479,13 +744,11 @@ impl OffsetEstimator {
     pub fn reconstruct(&self, components: &[ComponentEstimate]) -> Vec<C64> {
         let mut de = vec![C64::ZERO; self.n];
         for c in components {
-            for (d, m) in de.iter_mut().zip(self.component_model(c)) {
-                *d += m;
-            }
+            self.accumulate_component_model(c, &mut de, false);
         }
         // Undo the dechirp: multiply by the up-chirp (conjugate of down).
         de.iter()
-            .zip(&self.downchirp)
+            .zip(self.downchirp.iter())
             .map(|(d, dc)| d * dc.conj())
             .collect()
     }

@@ -49,6 +49,7 @@ pub mod estimator;
 pub mod hmrf;
 pub mod lowsnr;
 pub mod multisf;
+pub mod profile;
 pub mod sic;
 pub mod unb;
 

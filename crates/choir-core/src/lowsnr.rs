@@ -101,20 +101,28 @@ impl TeamDecoder {
     /// symbol windows starting at `start`.
     fn accumulate(&self, samples: &[C64], start: usize, count: usize) -> Option<Vec<f64>> {
         let n = self.params.samples_per_symbol();
-        let mut acc = vec![0.0f64; n * self.cfg.pad];
-        for j in 0..count {
-            let lo = start + j * n;
-            let hi = lo + n;
-            if hi > samples.len() {
-                return None;
+        let np = n * self.cfg.pad;
+        let mut acc = vec![0.0f64; np];
+        let complete = choir_dsp::workspace::with(|ws| {
+            let mut spec = ws.take(np);
+            let mut complete = true;
+            for j in 0..count {
+                let lo = start + j * n;
+                let hi = lo + n;
+                if hi > samples.len() {
+                    complete = false;
+                    break;
+                }
+                let de = self.est.dechirp(&samples[lo..hi]);
+                self.fft.forward_padded_into(&de, &mut spec, ws);
+                for (a, z) in acc.iter_mut().zip(spec.iter()) {
+                    *a += z.norm_sqr();
+                }
             }
-            let de = self.est.dechirp(&samples[lo..hi]);
-            let spec = self.fft.forward_padded(&de);
-            for (a, z) in acc.iter_mut().zip(&spec) {
-                *a += z.norm_sqr();
-            }
-        }
-        Some(acc)
+            ws.put(spec);
+            complete
+        });
+        complete.then_some(acc)
     }
 
     /// Peak/median metric of an accumulated power spectrum.
@@ -220,30 +228,34 @@ impl TeamDecoder {
         let p = self.params.preamble_len;
         let data_start = detection.start + (p + 2) * n;
         let mut out = Vec::with_capacity(num_data_symbols);
-        for k in 0..num_data_symbols {
-            let lo = data_start + k * n;
-            let hi = lo + n;
-            if hi > samples.len() {
-                break;
-            }
-            let de = self.est.dechirp(&samples[lo..hi]);
-            let spec = self.fft.forward_padded(&de);
-            let np = spec.len();
-            let mut best = (0u16, -1.0f64);
-            for d in 0..n {
-                let mut score = 0.0;
-                for &mu in &detection.offsets {
-                    let pos = (d as f64 + mu).rem_euclid(n as f64);
-                    let idx = ((pos * pad as f64).round() as usize) % np;
-                    score += spec[idx].norm_sqr();
+        choir_dsp::workspace::with(|ws| {
+            let mut spec = ws.take(n * pad);
+            for k in 0..num_data_symbols {
+                let lo = data_start + k * n;
+                let hi = lo + n;
+                if hi > samples.len() {
+                    break;
                 }
-                if score > best.1 {
-                    // lint:allow(lossy_cast) — d ranges over 0..2^SF ≤ 4096, fits u16
-                    best = (d as u16, score);
+                let de = self.est.dechirp(&samples[lo..hi]);
+                self.fft.forward_padded_into(&de, &mut spec, ws);
+                let np = spec.len();
+                let mut best = (0u16, -1.0f64);
+                for d in 0..n {
+                    let mut score = 0.0;
+                    for &mu in &detection.offsets {
+                        let pos = (d as f64 + mu).rem_euclid(n as f64);
+                        let idx = ((pos * pad as f64).round() as usize) % np;
+                        score += spec[idx].norm_sqr();
+                    }
+                    if score > best.1 {
+                        // lint:allow(lossy_cast) — d ranges over 0..2^SF ≤ 4096, fits u16
+                        best = (d as u16, score);
+                    }
                 }
+                out.push(best.0);
             }
-            out.push(best.0);
-        }
+            ws.put(spec);
+        });
         out
     }
 

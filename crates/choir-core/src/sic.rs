@@ -55,6 +55,12 @@ pub struct SicResult {
 
 /// Runs phased SIC on one symbol window.
 pub fn phased_sic(est: &OffsetEstimator, window: &[C64], cfg: &SicConfig) -> SicResult {
+    crate::profile::scope(crate::profile::Stage::Sic, || {
+        phased_sic_inner(est, window, cfg)
+    })
+}
+
+fn phased_sic_inner(est: &OffsetEstimator, window: &[C64], cfg: &SicConfig) -> SicResult {
     let input_power: f64 = window.iter().map(|z| z.norm_sqr()).sum();
     let mut work = window.to_vec();
     let mut out = SicResult::default();

@@ -121,8 +121,13 @@ pub fn find_carriers(
     let clamped = capture.len().min(1 << 14);
     let n = 1usize << clamped.ilog2();
     let plan = choir_dsp::fft::plan(n);
-    let spec = plan.forward_padded(&capture[..n]);
-    let power: Vec<f64> = spec.iter().map(|z| z.norm_sqr()).collect();
+    let power: Vec<f64> = choir_dsp::workspace::with(|ws| {
+        let mut spec = ws.take(n);
+        plan.forward_padded_into(&capture[..n], &mut spec, ws);
+        let power = spec.iter().map(|z| z.norm_sqr()).collect();
+        ws.put(spec);
+        power
+    });
     let med = choir_dsp::peaks::noise_floor(&power);
     // Relative floor: a DBPSK spectrum carries sinc side-lobes ~13 dB
     // below its main lobe; anything below 15 % of the strongest peak is a

@@ -145,3 +145,57 @@ fn pooled_estimator_matches_sequential() {
         }
     }
 }
+
+/// Bit-exact golden pin of the 8 seeded scenarios against a captured
+/// reference decode (`tests/golden_seeded.txt`). The offset-search rewrite
+/// (scratch workspaces, cached bases, incremental Gram least-squares) is
+/// required to leave the decoded streams *byte-for-byte* unchanged — every
+/// estimate is compared via `to_bits`, every symbol and payload byte
+/// exactly. Regenerate the capture after an intentional numerics change:
+///
+/// `cargo run --release -p choir-core --example golden_dump > crates/choir-core/tests/golden_seeded.txt`
+#[test]
+fn seeded_scenarios_match_golden_capture() {
+    use std::fmt::Write as _;
+    const GOLDEN: &str = include_str!("golden_seeded.txt");
+    let slots = seeded_slots(6);
+    let dec = ChoirDecoder::new(params());
+    let results = dec.decode_slots_with_pool(&slots, ThreadPool::sequential());
+    let mut rendered = String::new();
+    for (i, r) in results.iter().enumerate() {
+        writeln!(
+            rendered,
+            "slot {i}: {} users, error={:?}",
+            r.users.len(),
+            r.error
+        )
+        .unwrap();
+        for (j, u) in r.users.iter().enumerate() {
+            writeln!(
+                rendered,
+                "  u{j} offset={:#018x} frac={:#018x} timing={:#018x}",
+                u.user.offset_bins.to_bits(),
+                u.user.frac.to_bits(),
+                u.user.timing_chips.to_bits()
+            )
+            .unwrap();
+            writeln!(rendered, "  u{j} symbols={:?}", u.symbols).unwrap();
+            match &u.frame {
+                Some(f) => writeln!(
+                    rendered,
+                    "  u{j} crc_ok={} payload={:?}",
+                    f.crc_ok, f.payload
+                )
+                .unwrap(),
+                None => writeln!(rendered, "  u{j} frame=None err={:?}", u.frame_error).unwrap(),
+            }
+        }
+    }
+    assert_eq!(
+        rendered.trim_end(),
+        GOLDEN.trim_end(),
+        "decoded streams diverged from the golden capture — if the change \
+         is an intentional numerics change, regenerate via the golden_dump \
+         example; otherwise this is a hot-path regression"
+    );
+}

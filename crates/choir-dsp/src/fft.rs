@@ -17,6 +17,7 @@
 //! size per process.
 
 use crate::complex::C64;
+use crate::workspace::{self, Workspace};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -110,6 +111,12 @@ impl FftPlan {
     }
 
     fn transform(&self, x: &mut [C64], dir: Direction) {
+        workspace::with(|ws| self.transform_ws(x, dir, ws));
+    }
+
+    // hot:noalloc — the Bluestein convolution scratch comes from the
+    // workspace arena; steady-state transforms are allocation-free.
+    fn transform_ws(&self, x: &mut [C64], dir: Direction, ws: &mut Workspace) {
         debug_assert_eq!(x.len(), self.n);
         match &self.kind {
             PlanKind::Radix2 { twiddles } => radix2(x, twiddles, dir),
@@ -127,21 +134,22 @@ impl FftPlan {
                         *v = v.conj();
                     }
                 }
-                let mut a = vec![C64::ZERO; m];
+                let mut a = ws.take(m);
                 for k in 0..n {
                     a[k] = x[k] * chirp[k];
                 }
-                inner.transform(&mut a, Direction::Forward);
+                inner.transform_ws(&mut a, Direction::Forward, ws);
                 for (av, cv) in a.iter_mut().zip(chirp_ft) {
                     *av = *av * cv;
                 }
-                inner.transform(&mut a, Direction::Inverse);
+                inner.transform_ws(&mut a, Direction::Inverse, ws);
                 // The private inverse kernel is unnormalised; fold the 1/m in
                 // here.
                 let scale = 1.0 / m as f64;
                 for k in 0..n {
                     x[k] = (a[k] * chirp[k]).scale(scale);
                 }
+                ws.put(a);
                 if dir == Direction::Inverse {
                     for v in x.iter_mut() {
                         *v = v.conj();
@@ -156,10 +164,20 @@ impl FftPlan {
     /// Debug builds verify Parseval's theorem across the boundary
     /// (`‖X‖² = N·‖x‖²`); release builds skip the scan entirely.
     pub fn forward(&self, x: &mut [C64]) {
+        workspace::with(|ws| self.forward_into(x, ws));
+    }
+
+    /// In-place forward transform drawing any internal scratch (the
+    /// Bluestein convolution buffer) from `ws` instead of the heap.
+    /// `x.len()` must equal [`Self::len`]. Steady-state calls perform no
+    /// allocation; [`Self::forward`] is a thin shim over this using the
+    /// per-thread arena.
+    // hot:noalloc — scratch comes from the caller's workspace arena.
+    pub fn forward_into(&self, x: &mut [C64], ws: &mut Workspace) {
         assert_eq!(x.len(), self.n, "forward: buffer length != plan length");
         #[cfg(debug_assertions)]
         let time_energy = crate::complex::energy(x);
-        self.transform(x, Direction::Forward);
+        self.transform_ws(x, Direction::Forward, ws);
         #[cfg(debug_assertions)]
         crate::checks::assert_parseval("FftPlan::forward", time_energy, x);
     }
@@ -196,6 +214,24 @@ impl FftPlan {
         buf[..k].copy_from_slice(&x[..k]);
         self.forward(&mut buf);
         buf
+    }
+
+    /// Allocation-free [`Self::forward_padded`]: writes the zero-padded
+    /// (or truncated) forward transform of `x` into `out`, which must be
+    /// exactly the plan length. Scratch comes from `ws`.
+    // hot:noalloc — output and scratch are caller-provided.
+    pub fn forward_padded_into(&self, x: &[C64], out: &mut [C64], ws: &mut Workspace) {
+        assert_eq!(
+            out.len(),
+            self.n,
+            "forward_padded_into: output length != plan length"
+        );
+        let k = x.len().min(self.n);
+        out[..k].copy_from_slice(&x[..k]);
+        for v in out[k..].iter_mut() {
+            *v = C64::ZERO;
+        }
+        self.forward_into(out, ws);
     }
 }
 
@@ -332,12 +368,19 @@ pub fn dft_naive(x: &[C64]) -> Vec<C64> {
 /// (`fftshift`). For odd lengths the extra sample goes to the first half of
 /// the output, matching NumPy's convention.
 pub fn fftshift<T: Clone>(x: &[T]) -> Vec<T> {
+    let mut out = Vec::with_capacity(x.len());
+    fftshift_into(x, &mut out);
+    out
+}
+
+/// Allocation-free [`fftshift`]: clears `out` and fills it with the
+/// shifted spectrum, reusing `out`'s existing capacity.
+pub fn fftshift_into<T: Clone>(x: &[T], out: &mut Vec<T>) {
     let n = x.len();
     let half = n.div_ceil(2);
-    let mut out = Vec::with_capacity(n);
+    out.clear();
     out.extend_from_slice(&x[half..]);
     out.extend_from_slice(&x[..half]);
-    out
 }
 
 #[cfg(test)]

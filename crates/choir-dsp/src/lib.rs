@@ -36,7 +36,9 @@ pub mod peaks;
 pub mod resample;
 pub mod stats;
 pub mod window;
+pub mod workspace;
 
 pub use complex::{c64, C64};
 pub use fft::{FftPlan, PlanCache};
 pub use peaks::{Peak, PeakConfig};
+pub use workspace::Workspace;

@@ -22,19 +22,27 @@ pub fn fractional_delay(x: &[C64], delay: f64, taps: usize) -> Vec<C64> {
     }
     let mut out = vec![C64::ZERO; n];
     let t = taps as i64;
-    for (i, o) in out.iter_mut().enumerate() {
-        // out[i] = Σ_k x[i - int_shift - k] · sinc(k - frac) · w(k)
-        let mut acc = C64::ZERO;
-        for k in -t..=t {
-            let src = i as i64 - int_shift - k;
-            if src < 0 || src >= n as i64 {
-                continue;
-            }
+    // The windowed-sinc kernel depends only on the tap index and `frac`,
+    // never on the output position — build it once per call instead of
+    // paying (2·taps+1) sin/cos evaluations per output sample.
+    let kernel: Vec<f64> = (-t..=t)
+        .map(|k| {
             let u = k as f64 - frac;
             let s = sinc(u);
             // Hann window over the tap span.
             let w = 0.5 + 0.5 * (std::f64::consts::PI * u / (t as f64 + 1.0)).cos();
-            acc += x[src as usize].scale(s * w.max(0.0));
+            s * w.max(0.0)
+        })
+        .collect();
+    for (i, o) in out.iter_mut().enumerate() {
+        // out[i] = Σ_k x[i - int_shift - k] · sinc(k - frac) · w(k)
+        let mut acc = C64::ZERO;
+        for (ki, k) in (-t..=t).enumerate() {
+            let src = i as i64 - int_shift - k;
+            if src < 0 || src >= n as i64 {
+                continue;
+            }
+            acc += x[src as usize].scale(kernel[ki]);
         }
         *o = acc;
     }

@@ -1,0 +1,206 @@
+//! Reusable scratch-buffer arena for the DSP hot path.
+//!
+//! The offset-search inner loop (Algorithm 1) evaluates thousands of
+//! candidate offsets per slot; every evaluation used to allocate — and
+//! immediately drop — full-length `Vec<C64>` temporaries for dechirped
+//! windows, Bluestein convolution scratch and padded spectra. A
+//! [`Workspace`] recycles those buffers: callers *take* a buffer of the
+//! length they need and *put* it back when done, so steady-state
+//! evaluation performs zero heap allocations (buffers grow to their
+//! high-water capacity during warm-up and are reused thereafter).
+//!
+//! Two access styles are supported:
+//!
+//! * explicit threading — hot-path `_into` APIs (e.g.
+//!   [`FftPlan::forward_padded_into`](crate::fft::FftPlan::forward_padded_into))
+//!   take `&mut Workspace` so ownership is visible in the signature;
+//! * a per-thread arena ([`with`], [`take`], [`put`]) for call sites that
+//!   sit behind `&self` interfaces shared across worker threads (the
+//!   estimator). Thread-locality means zero contention and, because the
+//!   worker pool reuses OS threads across slots, buffers stay warm for a
+//!   whole batch.
+//!
+//! Buffers are handed out zero-filled, so checked-out scratch never
+//! observes stale data and results cannot depend on reuse history.
+
+use crate::complex::C64;
+use std::cell::RefCell;
+
+/// A scratch arena of `Vec<C64>` buffers keyed by requested length.
+///
+/// See the module docs for the ownership model. A `Workspace` is cheap to
+/// construct (no allocation until first use) and deliberately `!Sync`:
+/// share one per thread, not one per process.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    free: Vec<Vec<C64>>,
+}
+
+impl Workspace {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks out a zero-filled buffer of exactly `len` elements.
+    ///
+    /// Prefers the smallest pooled buffer whose capacity already fits
+    /// `len` (no allocation); otherwise grows the largest pooled buffer
+    /// or, if the pool is empty, allocates a fresh one.
+    pub fn take(&mut self, len: usize) -> Vec<C64> {
+        let mut pick: Option<usize> = None;
+        for (i, buf) in self.free.iter().enumerate() {
+            let better = match pick {
+                None => true,
+                Some(j) => {
+                    let (pc, bc) = (self.free[j].capacity(), buf.capacity());
+                    if pc >= len {
+                        bc >= len && bc < pc
+                    } else {
+                        bc > pc
+                    }
+                }
+            };
+            if better {
+                pick = Some(i);
+            }
+        }
+        let mut buf = match pick {
+            Some(i) => self.free.swap_remove(i),
+            None => Vec::with_capacity(len),
+        };
+        buf.clear();
+        buf.resize(len, C64::ZERO);
+        buf
+    }
+
+    /// Returns a buffer to the arena for later reuse.
+    ///
+    /// The contents are irrelevant — [`take`](Self::take) re-zeroes on
+    /// checkout. Zero-capacity buffers are dropped rather than pooled.
+    pub fn put(&mut self, buf: Vec<C64>) {
+        if buf.capacity() > 0 {
+            self.free.push(buf);
+        }
+    }
+
+    /// Number of buffers currently pooled (checked in, not checked out).
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+}
+
+thread_local! {
+    static THREAD_ARENA: RefCell<Workspace> = RefCell::new(Workspace::new());
+}
+
+/// Runs `f` with exclusive access to the calling thread's arena.
+///
+/// Re-entrant calls (an `f` that itself calls [`with`]) do not deadlock
+/// or panic: the inner call falls back to a fresh temporary arena, which
+/// is correct (buffers are zeroed on checkout) but forgoes reuse — keep
+/// hot paths to a single `with` at the entry point and thread
+/// `&mut Workspace` explicitly below it.
+pub fn with<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
+    THREAD_ARENA.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut ws) => f(&mut ws),
+        Err(_) => f(&mut Workspace::new()),
+    })
+}
+
+/// Checks out a zero-filled buffer from the calling thread's arena.
+///
+/// Unlike [`with`], the arena is only borrowed for the duration of the
+/// checkout itself, so `take`/[`put`] pairs can never conflict with an
+/// enclosing scope.
+pub fn take(len: usize) -> Vec<C64> {
+    with(|ws| ws.take(len))
+}
+
+/// Returns a buffer taken via [`take`] to the calling thread's arena.
+pub fn put(buf: Vec<C64>) {
+    with(|ws| ws.put(buf));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_returns_zeroed_buffer_of_requested_len() {
+        let mut ws = Workspace::new();
+        let buf = ws.take(7);
+        assert_eq!(buf.len(), 7);
+        assert!(buf.iter().all(|v| v.re == 0.0 && v.im == 0.0));
+    }
+
+    #[test]
+    fn put_then_take_reuses_allocation() {
+        let mut ws = Workspace::new();
+        let mut buf = ws.take(16);
+        buf[3] = crate::complex::c64(1.5, -2.5);
+        let ptr = buf.as_ptr();
+        let cap = buf.capacity();
+        ws.put(buf);
+        let again = ws.take(16);
+        assert_eq!(
+            again.as_ptr(),
+            ptr,
+            "same-length take must reuse the buffer"
+        );
+        assert_eq!(again.capacity(), cap);
+        assert!(
+            again.iter().all(|v| v.re == 0.0 && v.im == 0.0),
+            "re-zeroed"
+        );
+    }
+
+    #[test]
+    fn smaller_take_reuses_larger_buffer_without_alloc() {
+        let mut ws = Workspace::new();
+        let big = ws.take(64);
+        let ptr = big.as_ptr();
+        ws.put(big);
+        let small = ws.take(8);
+        assert_eq!(small.len(), 8);
+        assert_eq!(small.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn best_fit_prefers_tightest_capacity() {
+        let mut ws = Workspace::new();
+        let small = ws.take(8);
+        let big = ws.take(64);
+        let small_ptr = small.as_ptr();
+        ws.put(small);
+        ws.put(big);
+        let got = ws.take(8);
+        assert_eq!(
+            got.as_ptr(),
+            small_ptr,
+            "should pick the 8-cap buffer, not the 64-cap one"
+        );
+        assert_eq!(ws.pooled(), 1);
+    }
+
+    #[test]
+    fn thread_local_helpers_roundtrip() {
+        let buf = take(12);
+        assert_eq!(buf.len(), 12);
+        put(buf);
+        let buf2 = take(12);
+        assert_eq!(buf2.len(), 12);
+        put(buf2);
+    }
+
+    #[test]
+    fn reentrant_with_falls_back_to_fresh_arena() {
+        let out = with(|outer| {
+            let a = outer.take(4);
+            let inner_len = with(|inner| inner.take(4).len());
+            outer.put(a);
+            inner_len
+        });
+        assert_eq!(out, 4);
+    }
+}

@@ -13,6 +13,8 @@
 //! cycles there; at fractional times the wrap matters and is modelled.
 
 use choir_dsp::complex::C64;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Phase in radians of the symbol-`s` up-chirp at fractional chip time
 /// `tau ∈ [0, n)`, for an alphabet of `n = 2^SF` chips.
@@ -48,6 +50,40 @@ pub fn base_upchirp(n: usize) -> Vec<C64> {
 /// a received symbol by this "dechirps" it into a pure tone.
 pub fn base_downchirp(n: usize) -> Vec<C64> {
     base_upchirp(n).into_iter().map(|z| z.conj()).collect()
+}
+
+/// Process-wide cached base up-chirp for `n` chips, shared via `Arc`.
+///
+/// The base tables are pure functions of `n` and every decoder, estimator
+/// and modem for the same spreading factor uses the same ones; caching them
+/// (mirroring `choir_dsp::fft::plan`) means constructing those objects stops
+/// re-deriving `n` transcendentals each. Only a handful of distinct `n`
+/// values ever occur (one per spreading factor), so the footprint is tiny.
+pub fn base_upchirp_cached(n: usize) -> Arc<Vec<C64>> {
+    cached_tables(n).0
+}
+
+/// Process-wide cached base down-chirp for `n` chips, shared via `Arc`.
+/// See [`base_upchirp_cached`].
+pub fn base_downchirp_cached(n: usize) -> Arc<Vec<C64>> {
+    cached_tables(n).1
+}
+
+fn cached_tables(n: usize) -> (Arc<Vec<C64>>, Arc<Vec<C64>>) {
+    type Tables = Mutex<HashMap<usize, (Arc<Vec<C64>>, Arc<Vec<C64>>)>>;
+    static GLOBAL: OnceLock<Tables> = OnceLock::new();
+    let cache = GLOBAL.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = match cache.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    map.entry(n)
+        .or_insert_with(|| {
+            let up = Arc::new(base_upchirp(n));
+            let down = Arc::new(base_downchirp(n));
+            (up, down)
+        })
+        .clone()
 }
 
 /// The symbol-`s` up-chirp sampled at integer chips (ideal transmitter).
@@ -143,6 +179,16 @@ mod tests {
         for z in base_upchirp(64) {
             assert!((z.abs() - 1.0).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn cached_tables_are_shared_and_exact() {
+        let a = base_upchirp_cached(64);
+        let b = base_upchirp_cached(64);
+        assert!(Arc::ptr_eq(&a, &b), "same n must share one table");
+        assert_eq!(a.as_slice(), base_upchirp(64).as_slice());
+        let d = base_downchirp_cached(64);
+        assert_eq!(d.as_slice(), base_downchirp(64).as_slice());
     }
 
     #[test]

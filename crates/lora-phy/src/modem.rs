@@ -5,16 +5,17 @@
 //! the strongest bin. Choir replaces this argmax with its multi-peak
 //! machinery, but reuses the dechirp front-end implemented here.
 
-use crate::chirp::{base_downchirp, modulated_chirp};
+use crate::chirp::{base_downchirp_cached, modulated_chirp};
 use crate::params::PhyParams;
 use choir_dsp::complex::C64;
 use choir_dsp::fft::FftPlan;
+use std::sync::Arc;
 
 /// A reusable modulator/demodulator for fixed PHY parameters.
 #[derive(Clone, Debug)]
 pub struct Modem {
     params: PhyParams,
-    downchirp: Vec<C64>,
+    downchirp: Arc<Vec<C64>>,
     fft: FftPlan,
 }
 
@@ -24,7 +25,7 @@ impl Modem {
         let n = params.samples_per_symbol();
         Modem {
             params,
-            downchirp: base_downchirp(n),
+            downchirp: base_downchirp_cached(n),
             fft: FftPlan::new(n),
         }
     }
@@ -60,7 +61,7 @@ impl Modem {
         assert_eq!(window.len(), self.n(), "dechirp: wrong window length");
         window
             .iter()
-            .zip(&self.downchirp)
+            .zip(self.downchirp.iter())
             .map(|(a, b)| a * b)
             .collect()
     }

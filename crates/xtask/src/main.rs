@@ -168,6 +168,16 @@ fn selftest() -> ExitCode {
             &[],
         ),
         (
+            "crates/choir-core/src/planted.rs",
+            "// hot:noalloc — per-candidate refine kernel\npub fn eval(x: &[u8]) -> Vec<u8> { x.to_vec() }\n",
+            &["hot_noalloc"],
+        ),
+        (
+            "crates/choir-core/src/planted.rs",
+            "// hot:noalloc — per-candidate refine kernel\npub fn eval(x: &mut [u8]) { x[0] = 1; }\npub fn setup(x: &[u8]) -> Vec<u8> { x.to_vec() }\n",
+            &[],
+        ),
+        (
             "crates/choir-dsp/src/planted.rs",
             "pub fn f(x: Option<u8>) -> u8 {\n    // lint:allow(unwrap) — caller guarantees Some\n    x.unwrap()\n}\n",
             &[],

@@ -84,6 +84,7 @@ pub fn check_file(f: &SourceFile) -> Vec<Violation> {
     no_f32(f, &mut out);
     no_float_eq(f, &mut out);
     no_lossy_casts(f, &mut out);
+    no_hot_allocs(f, &mut out);
     out
 }
 
@@ -291,6 +292,98 @@ fn no_lossy_casts(f: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
+/// Returns the offset of the `{` opening the body of the first `fn`
+/// declared at or after `from` in the code view, if any. Skips braces that
+/// appear before the `fn` keyword (e.g. in `#[cfg(...)]` attributes).
+fn fn_body_open(code: &str, from: usize) -> Option<usize> {
+    let mut search = from;
+    let fn_at = loop {
+        let rel = code[search..].find("fn")?;
+        let at = search + rel;
+        search = at + 2;
+        if token_at(code, at, "fn") {
+            break at;
+        }
+    };
+    code[fn_at..].find('{').map(|r| fn_at + r)
+}
+
+/// Returns the offset one past the `}` matching the `{` at `open`.
+fn brace_close(code: &str, open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (k, b) in code.bytes().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Rule `hot_noalloc`: a `hot:noalloc` comment marker annotates the next
+/// function as a steady-state hot-path kernel — the per-candidate refine
+/// loop runs it thousands of times per slot, so any per-call heap
+/// allocation (`Vec::new`, `vec!`, `.clone()`, `.to_vec()`) melts the
+/// allocation-free guarantee the offset-search rewrite established. Scratch
+/// must come from the caller, a `choir_dsp::workspace` checkout, or a
+/// reused field.
+fn no_hot_allocs(f: &SourceFile, out: &mut Vec<Violation>) {
+    const NEEDLES: [(&str, &str); 4] = [
+        (
+            "Vec::new",
+            "`Vec::new` inside a hot:noalloc function — take scratch from the workspace arena",
+        ),
+        (
+            "vec!",
+            "`vec!` inside a hot:noalloc function — take scratch from the workspace arena",
+        ),
+        (
+            ".clone()",
+            "`.clone()` inside a hot:noalloc function — borrow or reuse a buffer instead",
+        ),
+        (
+            ".to_vec()",
+            "`.to_vec()` inside a hot:noalloc function — borrow or reuse a buffer instead",
+        ),
+    ];
+    let mut marker = 0usize;
+    while let Some(rel) = f.comments[marker..].find("hot:noalloc") {
+        let at = marker + rel;
+        marker = at + "hot:noalloc".len();
+        let Some(open) = fn_body_open(&f.code, marker) else {
+            continue;
+        };
+        let Some(close) = brace_close(&f.code, open) else {
+            continue;
+        };
+        for (needle, msg) in NEEDLES {
+            let mut search = open;
+            while let Some(rel) = f.code[search..close].find(needle) {
+                let hit = search + rel;
+                search = hit + needle.len();
+                // Identifier boundary on the left for the non-`.` needles,
+                // so `my_vec!` / `SmallVec::new`-style idents don't match
+                // (a path-qualified `std::vec::Vec::new` still does).
+                if !needle.starts_with('.') {
+                    let prev = f.code.as_bytes().get(hit.wrapping_sub(1)).copied();
+                    if let Some(p) = prev {
+                        if p.is_ascii_alphanumeric() || p == b'_' {
+                            continue;
+                        }
+                    }
+                }
+                push(f, out, hit, "hot_noalloc", msg.to_string());
+            }
+        }
+    }
+}
+
 /// Rule `missing_docs_gate` + `lints_inherit`: every library crate must
 /// hard-deny missing docs and inherit the workspace lint table. Returns
 /// violations with pseudo-positions (line 1).
@@ -432,6 +525,43 @@ mod tests {
         assert!(violations(
             "crates/choir-dsp/src/planted.rs",
             "pub fn f(x: u32) -> f64 { x as f64 }\n",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn hot_noalloc_bans_allocations_in_annotated_fns() {
+        // All four banned constructs inside one annotated function.
+        let v = violations(
+            "crates/choir-dsp/src/planted.rs",
+            "// hot:noalloc — per-candidate kernel\npub fn f(x: &[u8]) -> Vec<u8> {\n    let a: Vec<u8> = Vec::new();\n    let b = vec![0u8; 4];\n    let c = a.clone();\n    let d = x.to_vec();\n    let _ = (b, c, d);\n    a\n}\n",
+        );
+        assert_eq!(
+            v,
+            ["hot_noalloc", "hot_noalloc", "hot_noalloc", "hot_noalloc"]
+        );
+        // The same body without the marker is not this rule's business.
+        assert!(violations(
+            "crates/choir-dsp/src/planted.rs",
+            "pub fn f(x: &[u8]) -> Vec<u8> { x.to_vec() }\n",
+        )
+        .is_empty());
+        // Allocations in a *following* unannotated function stay legal.
+        assert!(violations(
+            "crates/choir-dsp/src/planted.rs",
+            "// hot:noalloc — kernel\npub fn hot(x: &mut [u8]) { x[0] = 1; }\npub fn cold(x: &[u8]) -> Vec<u8> { x.to_vec() }\n",
+        )
+        .is_empty());
+        // An allowlisted site with a reason is exempt.
+        assert!(violations(
+            "crates/choir-dsp/src/planted.rs",
+            "// hot:noalloc — kernel\npub fn f(x: &[u8]) -> Vec<u8> {\n    // lint:allow(hot_noalloc) — one-time setup outside the probe loop\n    x.to_vec()\n}\n",
+        )
+        .is_empty());
+        // Identifier boundaries: `my_vec!` and `SmallVec::new` don't match.
+        assert!(violations(
+            "crates/choir-dsp/src/planted.rs",
+            "// hot:noalloc — kernel\npub fn f() { my_vec!(); let _ = SmallVec::new(); }\n",
         )
         .is_empty());
     }
