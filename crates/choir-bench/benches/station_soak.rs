@@ -1,0 +1,195 @@
+//! Soak benchmark for the streaming station runtime.
+//!
+//! Two profiles, both against the same synthesised 8-slot two-user
+//! workload:
+//!
+//! * **nominal** — the stream is pushed in 2048-sample chunks with a
+//!   `service()` call per chunk, over and over until the time budget
+//!   (`STATION_SOAK_BUDGET_S`, default 10 s; CI uses 30 s) is spent.
+//!   Every round's output must be bit-identical to the batch decode of
+//!   the same pre-cut captures, and **any** shed event fails the bench:
+//!   a keeping-up station must never drop work.
+//! * **overload** — the whole stream arrives as one burst with a 2-slot
+//!   in-flight budget and no servicing, which must shed loudly (counted
+//!   events, exact slot accounting) rather than block or grow memory.
+//!
+//! Results land in `BENCH_station.json`; CI's `station-soak` job fails on
+//! >20 % slots/sec regression against the committed reference.
+
+use std::time::Instant;
+
+use choir_bench::two_user_scenario;
+use choir_core::decoder::{ChoirDecoder, SlotCapture, SlotResult};
+use choir_core::profile;
+use choir_dsp::complex::C64;
+use choir_station::{SlotSchedule, Station, StationConfig};
+use lora_phy::params::PhyParams;
+
+const SLOTS: usize = 8;
+const PAYLOAD_LEN: usize = 8;
+const CHUNK: usize = 2048;
+
+/// Same bit-exact digest as `batch_decode.rs`: any divergence between the
+/// streaming and batch outputs, even a last-ulp float, changes it.
+fn digest(results: &[SlotResult]) -> Vec<u64> {
+    let mut d = Vec::new();
+    for r in results {
+        d.push(r.users.len() as u64);
+        d.push(r.error.is_some() as u64);
+        for u in &r.users {
+            d.push(u.user.offset_bins.to_bits());
+            d.push(u.user.frac.to_bits());
+            d.push(u.user.channel.re.to_bits());
+            d.push(u.user.channel.im.to_bits());
+            d.push(u.user.timing_chips.to_bits());
+            d.extend(u.symbols.iter().map(|&s| u64::from(s)));
+            d.push(u.sync_errors as u64);
+            d.push(u.erasures as u64);
+            d.push(u.payload_ok() as u64);
+        }
+    }
+    d
+}
+
+fn budget_s() -> f64 {
+    std::env::var("STATION_SOAK_BUDGET_S")
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .filter(|b| b.is_finite() && *b > 0.0)
+        .unwrap_or(10.0)
+}
+
+fn main() {
+    let budget = budget_s();
+    println!("## bench group: station_soak (budget {budget:.0} s)");
+
+    // Workload: 8 two-user slots concatenated with silence gaps.
+    let mut stream: Vec<C64> = Vec::new();
+    let mut starts: Vec<u64> = Vec::new();
+    let mut captures: Vec<SlotCapture> = Vec::new();
+    for i in 0..SLOTS as u64 {
+        let s = two_user_scenario(200 + i);
+        stream.resize(stream.len() + 401 + 137 * i as usize, C64::ZERO);
+        starts.push((stream.len() + s.slot_start) as u64);
+        stream.extend_from_slice(&s.samples);
+        captures.push(SlotCapture::known_len(
+            &s.params,
+            s.samples,
+            s.slot_start,
+            PAYLOAD_LEN,
+        ));
+    }
+    let chunks: Vec<Vec<C64>> = stream.chunks(CHUNK).map(|c| c.to_vec()).collect();
+
+    // Batch reference for the bit-identity gate.
+    let dec = ChoirDecoder::new(PhyParams::default());
+    let batch = dec.decode_slots_with_pool(&captures, *choir_pool::global());
+    let batch_digest = digest(&batch);
+    let crc_ok: usize = batch.iter().map(|r| r.ok_users().count()).sum();
+    println!("batch reference: {crc_ok} CRC-ok users across {SLOTS} slots");
+
+    // ---- nominal profile -------------------------------------------------
+    let nominal_cfg = || StationConfig::known_len(PhyParams::default(), PAYLOAD_LEN);
+    // Warm-up round (FFT plans, pool spawn) outside the accounting.
+    let _ = Station::new(nominal_cfg(), SlotSchedule::Explicit(starts.clone())).run(chunks.clone());
+    let _ = profile::snapshot_and_reset();
+
+    let mut rounds = 0u64;
+    let mut shed_nominal = 0u64;
+    let mut identical = true;
+    let mut last_metrics_json = String::new();
+    let t = Instant::now();
+    let nominal_budget = 0.8 * budget;
+    while t.elapsed().as_secs_f64() < nominal_budget {
+        let station = Station::new(nominal_cfg(), SlotSchedule::Explicit(starts.clone()));
+        let report = station.run(chunks.clone());
+        shed_nominal += report.metrics.slots_shed + report.metrics.samples_dropped;
+        let streamed: Vec<SlotResult> = report.slots.iter().map(|s| s.result.clone()).collect();
+        if digest(&streamed) != batch_digest {
+            identical = false;
+        }
+        last_metrics_json = report.metrics.to_json();
+        rounds += 1;
+    }
+    let elapsed = t.elapsed().as_secs_f64();
+    let stages = profile::snapshot_and_reset();
+    let slots_per_sec = (rounds * SLOTS as u64) as f64 / elapsed;
+    println!(
+        "station_soak/nominal    {slots_per_sec:8.3} slots/s  ({rounds} rounds, {elapsed:.2} s)"
+    );
+    let total: f64 = stages.iter().sum();
+    for (name, s) in profile::STAGE_NAMES.iter().zip(&stages) {
+        println!(
+            "    stage {name:<8} {s:7.3} s  ({:5.1}%)",
+            100.0 * s / total.max(1e-12)
+        );
+    }
+    println!("nominal shed events + dropped samples: {shed_nominal}");
+    println!("streaming output bit-identical to batch: {identical}");
+
+    // ---- overload profile ------------------------------------------------
+    let mut overload_cfg = StationConfig::known_len(PhyParams::default(), PAYLOAD_LEN);
+    overload_cfg.max_in_flight = 2;
+    let mut station = Station::new(overload_cfg, SlotSchedule::Explicit(starts.clone()));
+    station.push_chunk(&stream); // one burst, no servicing until the end
+    let overload = station.finish();
+    let overload_ok = overload.metrics.slots_shed > 0
+        && overload.metrics.slots_shed == overload.shed.len() as u64
+        && overload.metrics.slots_accounted();
+    println!(
+        "station_soak/overload   shed {} of {} slots (accounting ok: {overload_ok})",
+        overload.metrics.slots_shed, overload.metrics.slots_seen
+    );
+
+    let stages_fields: Vec<String> = profile::STAGE_NAMES
+        .iter()
+        .zip(&stages)
+        .map(|(name, s)| format!("\"{name}\": {s:.4}"))
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"station_soak\",\n",
+            "  \"slots_per_round\": {slots},\n",
+            "  \"users_per_slot\": 2,\n",
+            "  \"payload_len\": {payload},\n",
+            "  \"chunk_samples\": {chunk},\n",
+            "  \"rounds\": {rounds},\n",
+            "  \"slots_per_sec\": {sps:.4},\n",
+            "  \"outputs_bit_identical\": {identical},\n",
+            "  \"nominal_shed\": {shed},\n",
+            "  \"overload_shed\": {osh},\n",
+            "  \"stages_s\": {{{stages}}},\n",
+            "  \"last_round_metrics\": {metrics}\n",
+            "}}\n"
+        ),
+        slots = SLOTS,
+        payload = PAYLOAD_LEN,
+        chunk = CHUNK,
+        rounds = rounds,
+        sps = slots_per_sec,
+        identical = identical,
+        shed = shed_nominal,
+        osh = overload.metrics.slots_shed,
+        stages = stages_fields.join(", "),
+        metrics = last_metrics_json,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_station.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    if shed_nominal > 0 {
+        eprintln!("ERROR: station shed work under nominal load");
+        std::process::exit(1);
+    }
+    if !identical {
+        eprintln!("ERROR: streaming output diverged from batch decode");
+        std::process::exit(1);
+    }
+    if !overload_ok {
+        eprintln!("ERROR: overload shedding unaccounted");
+        std::process::exit(1);
+    }
+}

@@ -180,6 +180,42 @@ impl SlotCapture {
         let num_data_symbols = lora_phy::frame::frame_symbol_count(params, payload_len);
         SlotCapture::new(samples, slot_start, num_data_symbols)
     }
+
+    /// Borrows this capture as a [`SlotView`].
+    pub fn as_view(&self) -> SlotView<'_> {
+        SlotView {
+            samples: &self.samples,
+            slot_start: self.slot_start,
+            num_data_symbols: self.num_data_symbols,
+        }
+    }
+}
+
+/// A borrowed view of one slot's capture — the zero-copy counterpart of
+/// [`SlotCapture`]. The streaming station hands its workers views into
+/// buffers it already owns; batch callers get them from
+/// [`SlotCapture::as_view`]. Decoding a view is bit-identical to decoding
+/// the owning capture: the decoder is a pure function of the sample bytes,
+/// the relative slot start and the symbol count.
+#[derive(Clone, Copy, Debug)]
+pub struct SlotView<'a> {
+    /// The IQ samples containing the slot.
+    pub samples: &'a [C64],
+    /// Sample index of the slot boundary (beacon-aligned) within `samples`.
+    pub slot_start: usize,
+    /// Expected number of data symbols after the sync word.
+    pub num_data_symbols: usize,
+}
+
+impl<'a> SlotView<'a> {
+    /// A view with an explicit data-symbol count.
+    pub fn new(samples: &'a [C64], slot_start: usize, num_data_symbols: usize) -> Self {
+        SlotView {
+            samples,
+            slot_start,
+            num_data_symbols,
+        }
+    }
 }
 
 /// The outcome of one slot in a batch decode.
@@ -1083,8 +1119,20 @@ impl ChoirDecoder {
         slots: &[SlotCapture],
         pool: ThreadPool,
     ) -> Vec<SlotResult> {
-        pool.map(slots, |_, slot| {
-            match self.try_decode(&slot.samples, slot.slot_start, slot.num_data_symbols) {
+        let views: Vec<SlotView<'_>> = slots.iter().map(SlotCapture::as_view).collect();
+        self.decode_slot_views_with_pool(&views, pool)
+    }
+
+    /// Batch decode over borrowed [`SlotView`]s — the entry point the
+    /// streaming station dispatches through, sharing the owned-capture
+    /// path (and its determinism contract) exactly.
+    pub fn decode_slot_views_with_pool(
+        &self,
+        views: &[SlotView<'_>],
+        pool: ThreadPool,
+    ) -> Vec<SlotResult> {
+        pool.map(views, |_, view| {
+            match self.try_decode(view.samples, view.slot_start, view.num_data_symbols) {
                 Ok(users) => SlotResult { users, error: None },
                 Err(e) => SlotResult {
                     users: Vec::new(),
@@ -1092,6 +1140,11 @@ impl ChoirDecoder {
                 },
             }
         })
+    }
+
+    /// [`Self::try_decode`] on a borrowed [`SlotView`].
+    pub fn try_decode_view(&self, view: SlotView<'_>) -> Result<Vec<DecodedUser>, DecodeError> {
+        self.try_decode(view.samples, view.slot_start, view.num_data_symbols)
     }
 
     /// Convenience: decode when the payload length (bytes) is known, as in

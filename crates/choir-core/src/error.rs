@@ -37,6 +37,17 @@ pub enum DecodeError {
     },
     /// No users were discovered in the slot's preamble region.
     NoUsersFound,
+    /// The capture contained NaN or Inf samples. Debug builds trip the
+    /// `choir_dsp::checks` sanitizer instead (panicking at the stage that
+    /// produced the buffer); release pipelines — where the sanitizer is
+    /// compiled out — report the corruption as this typed error rather
+    /// than silently decoding garbage.
+    NonFiniteInput {
+        /// Samples with a NaN real or imaginary part.
+        nan: usize,
+        /// Samples with an infinite real or imaginary part.
+        inf: usize,
+    },
     /// A user's recovered symbol stream failed the frame chain.
     Frame {
         /// Aggregate offset (in bins) of the user whose frame failed,
@@ -69,6 +80,10 @@ impl std::fmt::Display for DecodeError {
                 "SIC stalled at phase {sic_phase} with relative residual {relative_residual:.3e}"
             ),
             DecodeError::NoUsersFound => write!(f, "no users discovered in preamble"),
+            DecodeError::NonFiniteInput { nan, inf } => write!(
+                f,
+                "capture contains non-finite samples ({nan} NaN, {inf} Inf)"
+            ),
             DecodeError::Frame {
                 offset_bins,
                 source,
@@ -103,6 +118,8 @@ mod tests {
             relative_residual: 0.25,
         };
         assert!(e.to_string().contains("phase 2"));
+        let e = DecodeError::NonFiniteInput { nan: 3, inf: 1 };
+        assert!(e.to_string().contains("3 NaN"));
     }
 
     #[test]

@@ -53,7 +53,9 @@ pub mod profile;
 pub mod sic;
 pub mod unb;
 
-pub use decoder::{ChoirConfig, ChoirDecoder, DecodedUser, SlotCapture, SlotResult, UserEstimate};
+pub use decoder::{
+    ChoirConfig, ChoirDecoder, DecodedUser, SlotCapture, SlotResult, SlotView, UserEstimate,
+};
 pub use error::DecodeError;
 pub use estimator::{ComponentEstimate, EstimatorConfig, OffsetEstimator};
 pub use lowsnr::{TeamConfig, TeamDecoder, TeamDetection};

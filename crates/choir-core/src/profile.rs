@@ -31,15 +31,25 @@ pub enum Stage {
     Sic,
     /// Track merging and constrained user assignment.
     Cluster,
+    /// Streaming-station ingest: ring append, capture cutting, queue
+    /// bookkeeping (everything on the producer side except detection).
+    Ingest,
+    /// Streaming-station online preamble/slot detection (incremental
+    /// window scans and occupancy gating).
+    Detect,
 }
 
 /// Number of distinct stages (length of [`STAGE_NAMES`]).
-pub const NUM_STAGES: usize = 5;
+pub const NUM_STAGES: usize = 7;
 
 /// Stable lowercase names, index-aligned with [`Stage`] discriminants.
-pub const STAGE_NAMES: [&str; NUM_STAGES] = ["dechirp", "refine", "demod", "sic", "cluster"];
+pub const STAGE_NAMES: [&str; NUM_STAGES] = [
+    "dechirp", "refine", "demod", "sic", "cluster", "ingest", "detect",
+];
 
 static TOTALS: [AtomicU64; NUM_STAGES] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),
     AtomicU64::new(0),

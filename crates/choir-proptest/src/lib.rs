@@ -222,6 +222,77 @@ pub mod prop {
     pub use crate::sample;
 }
 
+/// Seeded fuzzing: many independently-seeded cases per test, with failing
+/// seeds printed in a directly reproducible `CHOIR_FUZZ_SEED=…` form.
+///
+/// Unlike the [`proptest!`] runner — one RNG threaded through every case,
+/// so case `k` depends on cases `0..k` — each fuzz case here derives its
+/// own 64-bit seed. A failure therefore reproduces *alone*: re-run the
+/// test with `CHOIR_FUZZ_SEED=<printed value>` and only the failing case
+/// executes.
+pub mod fuzz {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Environment variable that replays a single fuzz case by seed.
+    /// Accepts decimal or `0x`-prefixed hex.
+    pub const SEED_ENV: &str = "CHOIR_FUZZ_SEED";
+
+    /// Parses a seed in either spelling [`SEED_ENV`] accepts
+    /// (`0x`-prefixed hex or decimal).
+    pub fn parse_seed(raw: &str) -> Option<u64> {
+        let raw = raw.trim();
+        match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+            Some(hex) => u64::from_str_radix(hex, 16).ok(),
+            None => raw.parse().ok(),
+        }
+    }
+
+    /// The seed requested via [`SEED_ENV`], if any.
+    pub fn seed_from_env() -> Option<u64> {
+        let raw = std::env::var(SEED_ENV).ok()?;
+        let seed = parse_seed(&raw);
+        if seed.is_none() && !raw.trim().is_empty() {
+            eprintln!("fuzz: ignoring unparsable {SEED_ENV}={raw:?}");
+        }
+        seed
+    }
+
+    /// Runs `cases` fuzz cases of `body(seed, rng)`, where `rng` is a
+    /// fresh `StdRng` seeded with the case's own `seed`. The case seeds
+    /// derive deterministically from `name` (same FNV scheme as
+    /// [`crate::test_rng`]), so every `cargo test` run replays the same
+    /// sequence. When a case panics, the runner prints
+    /// `CHOIR_FUZZ_SEED=0x…` and re-raises; when [`SEED_ENV`] is set, only
+    /// that case runs.
+    pub fn run_cases<F>(name: &str, cases: u32, body: F)
+    where
+        F: Fn(u64, &mut StdRng),
+    {
+        if let Some(seed) = seed_from_env() {
+            eprintln!("fuzz {name}: replaying single case {SEED_ENV}=0x{seed:016x}");
+            let mut rng = StdRng::seed_from_u64(seed);
+            body(seed, &mut rng);
+            return;
+        }
+        let mut seeder = crate::test_rng(name);
+        for case in 0..cases {
+            let seed = seeder.next_u64();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                body(seed, &mut rng);
+            }));
+            if let Err(payload) = outcome {
+                eprintln!(
+                    "fuzz {name}: case {case}/{cases} failed — reproduce with \
+                     {SEED_ENV}=0x{seed:016x} cargo test {name}"
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
 /// Everything a property-test file needs, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{any, prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
@@ -334,5 +405,40 @@ mod tests {
         for _ in 0..10 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
+    }
+
+    #[test]
+    fn fuzz_cases_deterministic_with_distinct_seeds() {
+        use rand::RngCore;
+        use std::sync::Mutex;
+        let run = || {
+            let seen: Mutex<Vec<(u64, u64)>> = Mutex::new(Vec::new());
+            crate::fuzz::run_cases("fuzz_determinism_probe", 8, |seed, rng| {
+                seen.lock().unwrap().push((seed, rng.next_u64()));
+            });
+            seen.into_inner().unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "case sequence must replay identically");
+        assert_eq!(a.len(), 8);
+        let mut seeds: Vec<u64> = a.iter().map(|&(s, _)| s).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 8, "per-case seeds must be distinct");
+    }
+
+    #[test]
+    fn fuzz_seed_parsing() {
+        use crate::fuzz::parse_seed;
+        assert_eq!(parse_seed("0x10"), Some(16));
+        assert_eq!(parse_seed("0X0000000000000010"), Some(16));
+        assert_eq!(parse_seed(" 42 "), Some(42));
+        assert_eq!(
+            parse_seed("0xdeadbeefdeadbeef"),
+            Some(0xdead_beef_dead_beef)
+        );
+        assert_eq!(parse_seed("nonsense"), None);
+        assert_eq!(parse_seed(""), None);
     }
 }

@@ -1,0 +1,34 @@
+//! # choir-station — streaming base-station runtime for the Choir decoder
+//!
+//! The batch pipeline (`choir-core`) decodes pre-cut slot captures; real
+//! base stations see an unbroken stream of IQ chunks of arbitrary sizes,
+//! with gaps, partial slots, and bursts faster than the decoder. This
+//! crate turns any `Iterator<Item = IqChunk>` into decoded frames under a
+//! **bounded-memory, never-block-ingest** contract:
+//!
+//! - [`SampleRing`] — fixed-capacity sample ring addressed by absolute
+//!   stream index, with explicit overflow accounting ([`ring::RingGap`]).
+//! - [`Station`] — slot cutting from a [`SlotSchedule`] (beacon-aligned
+//!   periodic/explicit, or free-running preamble detection), a bounded
+//!   decode queue with drop-oldest shedding ([`SheddingEvent`]), and
+//!   graceful degradation (reduced SIC passes) under pressure.
+//! - [`StationMetrics`] — monotone counter snapshot across the whole
+//!   ingest → detect → dispatch → decode path, serializable to JSON.
+//!
+//! In scheduled modes the station's captures are sample-exact, so its
+//! output is bit-identical to batch-decoding the same pre-cut slots — the
+//! `equivalence` integration test enforces this against the seeded golden
+//! scenarios at 1 and 4 worker threads.
+
+#![deny(missing_docs)]
+
+pub mod metrics;
+pub mod ring;
+pub mod station;
+
+pub use metrics::StationMetrics;
+pub use ring::SampleRing;
+pub use station::{
+    IqChunk, ShedReason, SheddingEvent, SlotSchedule, Station, StationConfig, StationReport,
+    StationSlot,
+};

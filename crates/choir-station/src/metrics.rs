@@ -1,0 +1,197 @@
+//! Station observability: a counter snapshot covering the whole ingest →
+//! detect → dispatch → decode path, serializable to JSON without serde.
+//!
+//! Every field except `queue_depth` is a monotone counter — the fuzz
+//! harness asserts [`StationMetrics::monotone_since`] across arbitrary
+//! hostile inputs, so any code path that decrements one is a bug by
+//! construction. Wall-clock per *decode* stage is not duplicated here: the
+//! decoder already bills its stages to [`choir_core::profile`], and the
+//! station adds `ingest`/`detect` scopes to the same accounting.
+
+/// Counters describing everything a [`crate::Station`] has processed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StationMetrics {
+    /// IQ samples pushed into the station.
+    pub samples_ingested: u64,
+    /// Samples lost to ring overwrite before they could be consumed.
+    pub samples_dropped: u64,
+    /// Chunks pushed (arbitrary sizes — this counts calls, not bytes).
+    pub chunks_ingested: u64,
+    /// Symbol windows examined by the online detector / occupancy gate.
+    pub windows_scanned: u64,
+    /// Detector firings: free-running preamble hits, or scheduled slots
+    /// whose occupancy gate saw energy.
+    pub detector_triggers: u64,
+    /// Triggers that decoded to nothing (`NoUsersFound`) — the numerator
+    /// of [`StationMetrics::false_trigger_rate`].
+    pub false_triggers: u64,
+    /// Slot captures the station attempted to cut.
+    pub slots_seen: u64,
+    /// Scheduled slots gated out as silent (no decode attempted).
+    pub slots_empty: u64,
+    /// Slots that went through the decoder.
+    pub slots_decoded: u64,
+    /// Slots dropped by load shedding (queue overflow or ring overrun).
+    pub slots_shed: u64,
+    /// Decoded slots that returned a typed `DecodeError`.
+    pub decode_errors: u64,
+    /// Users produced across all decoded slots.
+    pub users_decoded: u64,
+    /// Users whose frame passed CRC.
+    pub users_crc_ok: u64,
+    /// Slots decoded in degraded mode (reduced SIC under pressure).
+    pub degraded_decodes: u64,
+    /// Captures currently queued for decode (gauge — not monotone).
+    pub queue_depth: u64,
+    /// High-water mark of `queue_depth`.
+    pub max_queue_depth: u64,
+}
+
+impl StationMetrics {
+    /// Detector firings that found no decodable user, as a fraction of all
+    /// firings (0.0 when the detector never fired).
+    pub fn false_trigger_rate(&self) -> f64 {
+        if self.detector_triggers == 0 {
+            return 0.0;
+        }
+        self.false_triggers as f64 / self.detector_triggers as f64
+    }
+
+    /// True when every monotone counter is ≥ its value in `prev`
+    /// (`queue_depth` is a gauge and exempt). The fuzz harness checks this
+    /// between every pair of snapshots.
+    pub fn monotone_since(&self, prev: &StationMetrics) -> bool {
+        self.samples_ingested >= prev.samples_ingested
+            && self.samples_dropped >= prev.samples_dropped
+            && self.chunks_ingested >= prev.chunks_ingested
+            && self.windows_scanned >= prev.windows_scanned
+            && self.detector_triggers >= prev.detector_triggers
+            && self.false_triggers >= prev.false_triggers
+            && self.slots_seen >= prev.slots_seen
+            && self.slots_empty >= prev.slots_empty
+            && self.slots_decoded >= prev.slots_decoded
+            && self.slots_shed >= prev.slots_shed
+            && self.decode_errors >= prev.decode_errors
+            && self.users_decoded >= prev.users_decoded
+            && self.users_crc_ok >= prev.users_crc_ok
+            && self.degraded_decodes >= prev.degraded_decodes
+            && self.max_queue_depth >= prev.max_queue_depth
+    }
+
+    /// Accounting identity: every slot the station saw is decoded, gated
+    /// empty, shed, or still queued. Violations mean slots leaked.
+    pub fn slots_accounted(&self) -> bool {
+        self.slots_seen
+            == self.slots_decoded + self.slots_empty + self.slots_shed + self.queue_depth
+    }
+
+    /// Hand-rolled JSON object (the workspace has no serde), one key per
+    /// counter plus the derived false-trigger rate.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"samples_ingested\": {}, \"samples_dropped\": {}, ",
+                "\"chunks_ingested\": {}, \"windows_scanned\": {}, ",
+                "\"detector_triggers\": {}, \"false_triggers\": {}, ",
+                "\"false_trigger_rate\": {:.6}, ",
+                "\"slots_seen\": {}, \"slots_empty\": {}, ",
+                "\"slots_decoded\": {}, \"slots_shed\": {}, ",
+                "\"decode_errors\": {}, \"users_decoded\": {}, ",
+                "\"users_crc_ok\": {}, \"degraded_decodes\": {}, ",
+                "\"queue_depth\": {}, \"max_queue_depth\": {}}}"
+            ),
+            self.samples_ingested,
+            self.samples_dropped,
+            self.chunks_ingested,
+            self.windows_scanned,
+            self.detector_triggers,
+            self.false_triggers,
+            self.false_trigger_rate(),
+            self.slots_seen,
+            self.slots_empty,
+            self.slots_decoded,
+            self.slots_shed,
+            self.decode_errors,
+            self.users_decoded,
+            self.users_crc_ok,
+            self.degraded_decodes,
+            self.queue_depth,
+            self.max_queue_depth,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_ignores_gauge() {
+        let a = StationMetrics {
+            slots_decoded: 3,
+            queue_depth: 5,
+            ..StationMetrics::default()
+        };
+        let mut b = a;
+        b.queue_depth = 0; // gauge may fall
+        b.slots_decoded = 4;
+        assert!(b.monotone_since(&a));
+        let mut c = b;
+        c.slots_decoded = 2; // counter may not
+        assert!(!c.monotone_since(&b));
+    }
+
+    #[test]
+    fn accounting_identity() {
+        let mut m = StationMetrics {
+            slots_seen: 10,
+            slots_decoded: 6,
+            slots_empty: 2,
+            slots_shed: 1,
+            queue_depth: 1,
+            ..StationMetrics::default()
+        };
+        assert!(m.slots_accounted());
+        m.slots_shed = 0;
+        assert!(!m.slots_accounted());
+    }
+
+    #[test]
+    fn json_has_every_counter_and_balances() {
+        let m = StationMetrics {
+            detector_triggers: 4,
+            false_triggers: 1,
+            ..StationMetrics::default()
+        };
+        let j = m.to_json();
+        for key in [
+            "samples_ingested",
+            "samples_dropped",
+            "chunks_ingested",
+            "windows_scanned",
+            "detector_triggers",
+            "false_triggers",
+            "false_trigger_rate",
+            "slots_seen",
+            "slots_empty",
+            "slots_decoded",
+            "slots_shed",
+            "decode_errors",
+            "users_decoded",
+            "users_crc_ok",
+            "degraded_decodes",
+            "queue_depth",
+            "max_queue_depth",
+        ] {
+            assert!(j.contains(&format!("\"{key}\"")), "missing {key} in {j}");
+        }
+        assert!(j.contains("0.250000"), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn false_trigger_rate_guards_zero() {
+        let m = StationMetrics::default();
+        assert_eq!(m.false_trigger_rate().to_bits(), 0.0f64.to_bits());
+    }
+}

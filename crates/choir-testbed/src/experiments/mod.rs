@@ -11,6 +11,7 @@ pub mod fig09;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
+pub mod station;
 
 /// Experiment effort.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,5 +46,6 @@ pub fn run_all(scale: Scale) -> Vec<crate::report::FigureReport> {
         fig11::run_grouping(scale),
         fig11::run_end_to_end(scale),
         fig12::run(scale),
+        station::run(scale),
     ]
 }

@@ -34,6 +34,10 @@ pub enum RxError {
     NotFound,
     /// The two sync symbols disagreed about the integer shift.
     SyncMismatch,
+    /// The sync symbols agreed on a shift, but the windows before them do
+    /// not demodulate like a preamble — the "packet" was a coincidence in
+    /// mid-stream data or noise, not a transmission start.
+    NoPreamble,
     /// Frame-level decoding failed.
     Frame(FrameError),
 }
@@ -43,6 +47,7 @@ impl std::fmt::Display for RxError {
         match self {
             RxError::NotFound => write!(f, "no packet found"),
             RxError::SyncMismatch => write!(f, "sync symbols disagree on shift"),
+            RxError::NoPreamble => write!(f, "sync candidate not preceded by a preamble"),
             RxError::Frame(e) => write!(f, "frame error: {e}"),
         }
     }
@@ -85,6 +90,92 @@ pub fn scan_for_packets(samples: &[C64], modem: &Modem, threshold: f64) -> Vec<u
     starts
 }
 
+/// Incremental [`scan_for_packets`] for chunked streams: feed IQ in
+/// arbitrary-size chunks (one sample or a megasample at a time) and the
+/// scanner reports the same packet starts, as **absolute** sample indices,
+/// that a one-shot scan of the concatenated stream would — windows are
+/// re-assembled across chunk boundaries from an internal sub-window carry,
+/// so chunking can never split or shift a detection.
+///
+/// Detections are emitted when a preamble run *ends* (the first quiet
+/// window after it); a run still open when the stream ends is surfaced by
+/// [`StreamScanner::flush`].
+#[derive(Clone, Debug)]
+pub struct StreamScanner {
+    modem: Modem,
+    threshold: f64,
+    min_run: usize,
+    /// Carry of `< 2^SF` samples: the tail of the pushed stream that does
+    /// not yet fill a whole symbol window.
+    carry: Vec<C64>,
+    /// Absolute stream index of `carry[0]`.
+    carry_start: u64,
+    run: usize,
+    run_start: u64,
+    windows: u64,
+}
+
+impl StreamScanner {
+    /// Builds a scanner; `threshold` as for [`scan_for_packets`].
+    pub fn new(modem: Modem, threshold: f64) -> Self {
+        let min_run = modem.params().preamble_len.saturating_sub(2).max(2);
+        StreamScanner {
+            modem,
+            threshold,
+            min_run,
+            carry: Vec::new(),
+            carry_start: 0,
+            run: 0,
+            run_start: 0,
+            windows: 0,
+        }
+    }
+
+    /// Total samples pushed so far (the absolute index of the next one).
+    pub fn position(&self) -> u64 {
+        self.carry_start + self.carry.len() as u64
+    }
+
+    /// Symbol windows examined so far.
+    pub fn windows_scanned(&self) -> u64 {
+        self.windows
+    }
+
+    /// Consumes one chunk, appending any completed detections (absolute
+    /// packet-start indices) to `hits`.
+    pub fn push(&mut self, chunk: &[C64], hits: &mut Vec<u64>) {
+        let n = self.modem.n();
+        self.carry.extend_from_slice(chunk);
+        let mut idx = 0usize;
+        while idx + n <= self.carry.len() {
+            let metric = self.modem.detection_metric(&self.carry[idx..idx + n]);
+            self.windows += 1;
+            if metric >= self.threshold {
+                if self.run == 0 {
+                    self.run_start = self.carry_start + idx as u64;
+                }
+                self.run += 1;
+            } else {
+                if self.run >= self.min_run {
+                    hits.push(self.run_start);
+                }
+                self.run = 0;
+            }
+            idx += n;
+        }
+        self.carry.drain(..idx);
+        self.carry_start += idx as u64;
+    }
+
+    /// End-of-stream: returns the start of a preamble run still open when
+    /// the samples ran out (matching the tail check of
+    /// [`scan_for_packets`]), and resets the run state.
+    pub fn flush(&mut self) -> Option<u64> {
+        let run = std::mem::take(&mut self.run);
+        (run >= self.min_run).then_some(self.run_start)
+    }
+}
+
 /// Synchronises to a packet whose preamble begins within one symbol after
 /// `approx_start` (e.g. a hit from [`scan_for_packets`], or the scheduled
 /// slot time in the MAC simulator).
@@ -109,6 +200,25 @@ pub fn synchronize(
     let c2 = (s2 + alphabet - SYNC_SYMBOLS[1]) % alphabet;
     if c1 != c2 {
         return Err(RxError::SyncMismatch);
+    }
+    // The sync word alone is two symbols — 1-in-2^SF odds of a mid-stream
+    // coincidence, which the old code happily returned as a worst-bin
+    // "sync". A real packet precedes the sync word with a preamble of base
+    // up-chirps, and (timing + CFO being a *common* shift — Sec. 6.1)
+    // every interior preamble window must demodulate to the same `c` the
+    // sync word measured. Window 0 may straddle the packet edge for a
+    // delayed transmitter, so it is excluded; a strict majority of the
+    // rest tolerates occasional noise-flipped bins.
+    let interior = 1..p.preamble_len;
+    let mut matches = 0usize;
+    for w in interior.clone() {
+        let lo = approx_start + w * n;
+        if modem.demod_symbol(&samples[lo..lo + n]) == c1 {
+            matches += 1;
+        }
+    }
+    if 2 * matches <= interior.len() {
+        return Err(RxError::NoPreamble);
     }
     Ok(PacketSync {
         data_start: sync_at + 2 * n,
@@ -250,5 +360,87 @@ mod tests {
         let wave = transmit_packet(&p, b"cut");
         let cut = &wave[..8 * 256]; // preamble only
         assert_eq!(synchronize(cut, &modem, 0), Err(RxError::NotFound));
+    }
+
+    /// Regression (PR 4): `synchronize` used to trust any position where
+    /// the two worst-bin guesses at the sync offsets happened to agree.
+    /// Mid-stream data containing the sync values at the right spacing —
+    /// no preamble anywhere — returned a bogus `Ok(PacketSync)`. It must
+    /// be a typed `NoPreamble` miss.
+    #[test]
+    fn mid_stream_sync_coincidence_is_no_preamble() {
+        let p = params();
+        let modem = Modem::new(p);
+        // Arbitrary data symbols, with the sync word planted where the
+        // receiver will look for it (windows 8 and 9 for an 8-symbol
+        // preamble) — exactly the coincidence a long payload produces.
+        let mut syms: Vec<u16> = vec![17, 203, 91, 54, 140, 222, 9, 180];
+        syms.push(SYNC_SYMBOLS[0]);
+        syms.push(SYNC_SYMBOLS[1]);
+        syms.extend([33u16, 77, 129]);
+        let wave = modem.modulate(&syms);
+        // Before the fix: Ok(PacketSync { shift: 0 }) — the worst-bin guess.
+        assert_eq!(synchronize(&wave, &modem, 0), Err(RxError::NoPreamble));
+        // And the true packet still synchronises (the check accepts every
+        // legitimate preamble).
+        let packet = transmit_packet(&p, b"real");
+        assert!(synchronize(&packet, &modem, 0).is_ok());
+    }
+
+    /// The incremental scanner must report exactly the hits of a one-shot
+    /// scan, for any chunking of the same stream — including chunks that
+    /// split symbol windows and the preamble itself.
+    #[test]
+    fn stream_scanner_matches_one_shot_scan() {
+        let p = params();
+        let modem = Modem::new(p);
+        let mut stream = vec![C64::ZERO; 3 * 256 + 71];
+        stream.extend(transmit_packet(&p, b"first"));
+        stream.extend(vec![C64::ZERO; 5 * 256]);
+        stream.extend(transmit_packet(&p, b"second packet"));
+        stream.extend(vec![C64::ZERO; 2 * 256 + 19]);
+        let reference: Vec<u64> = scan_for_packets(&stream, &modem, 40.0)
+            .iter()
+            .map(|&s| s as u64)
+            .collect();
+        assert!(!reference.is_empty(), "scan found nothing to compare");
+        // Deterministic "random" chunk lengths, including 1-sample chunks.
+        let mut lens = [1usize, 255, 256, 257, 13, 4096, 777, 2048, 3, 100]
+            .iter()
+            .cycle();
+        for trial in 0..3 {
+            let mut scanner = StreamScanner::new(modem.clone(), 40.0);
+            let mut hits = Vec::new();
+            let mut off = 0usize;
+            while off < stream.len() {
+                let len = (*lens.next().unwrap() + trial * 7).clamp(1, stream.len() - off);
+                scanner.push(&stream[off..off + len], &mut hits);
+                off += len;
+            }
+            if let Some(tail) = scanner.flush() {
+                hits.push(tail);
+            }
+            assert_eq!(hits, reference, "trial {trial}");
+            assert_eq!(scanner.position(), stream.len() as u64);
+            assert_eq!(scanner.windows_scanned(), (stream.len() / 256) as u64);
+        }
+    }
+
+    /// A run still open at end-of-stream (packet truncated mid-air) is
+    /// surfaced by `flush`, exactly like the one-shot scan's tail check.
+    #[test]
+    fn stream_scanner_flush_reports_open_run() {
+        let p = params();
+        let modem = Modem::new(p);
+        let mut stream = vec![C64::ZERO; 2 * 256];
+        let wave = transmit_packet(&p, b"truncated");
+        stream.extend(&wave[..6 * 256]); // 6 preamble symbols, then silence ends
+        let mut scanner = StreamScanner::new(modem, 40.0);
+        let mut hits = Vec::new();
+        scanner.push(&stream, &mut hits);
+        assert!(hits.is_empty(), "no quiet window yet: {hits:?}");
+        assert_eq!(scanner.flush(), Some(2 * 256));
+        // flush resets: a second flush reports nothing.
+        assert_eq!(scanner.flush(), None);
     }
 }

@@ -36,6 +36,7 @@ pub use choir_dsp as dsp;
 pub use choir_mac as mac;
 pub use choir_mimo as mimo;
 pub use choir_sensors as sensors;
+pub use choir_station as station;
 pub use choir_testbed as testbed;
 pub use lora_phy as phy;
 
@@ -46,6 +47,7 @@ pub mod prelude {
     pub use choir_core::{ChoirConfig, ChoirDecoder, TeamConfig, TeamDecoder};
     pub use choir_mac::{run_sim, MacScheme, SimConfig};
     pub use choir_sensors::{Building, EnvField, Quantizer, Strategy};
+    pub use choir_station::{Station, StationConfig};
     pub use choir_testbed::{Scale, Topology};
     pub use lora_phy::{Modem, PhyParams, SpreadingFactor};
 }
