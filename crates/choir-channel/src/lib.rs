@@ -13,7 +13,7 @@
 //!   Sec. 9.1 / Fig. 7);
 //! * [`noise`] / [`adc`] — thermal floor, AWGN, 14-bit quantization and
 //!   clipping (the near-far ceiling of Sec. 5.2);
-//! * [`mix`] — the superposition engine rendering colliding impaired
+//! * [`mod@mix`] — the superposition engine rendering colliding impaired
 //!   transmitters sample-exactly;
 //! * [`link`] — the end-to-end budget that puts the single-node urban
 //!   decode limit at ~1 km, as the paper measures;

@@ -304,6 +304,9 @@ impl ChoirDecoder {
             let Some(win) = self.window(samples, slot_start, w) else {
                 break;
             };
+            // Stamp the window context so offset-search and SIC events
+            // emitted below carry the preamble window they ran over.
+            choir_trace::set_window(w as u64);
             per_window.push(phased_sic(&self.est, win, &self.cfg.sic).components);
         }
         if per_window.is_empty() {
@@ -330,6 +333,7 @@ impl ChoirDecoder {
         // direct alignment scan. Integer errors of a few chips are benign
         // (a chirp's time shift and the matching frequency shift cancel in
         // both the comb demodulator and the subtraction template).
+        choir_trace::set_window(p as u64);
         let transition = self
             .window(samples, slot_start, p)
             .map(|win| phased_sic(&self.est, win, &self.cfg.sic).components)
@@ -345,6 +349,18 @@ impl ChoirDecoder {
                 u.offset_bins = self.refine_offset_aligned(samples, slot_start, u);
                 u.frac = u.offset_bins.fract();
                 u.timing_chips = self.refine_timing(samples, slot_start, u, u.timing_chips);
+            }
+        }
+        // Provenance: the surviving user tracks as they enter
+        // demodulation, with final (timing-refined) positions.
+        if choir_trace::enabled(choir_trace::TraceLevel::Full) {
+            for (i, u) in users.iter().enumerate() {
+                choir_trace::full(|| choir_trace::TraceEvent::UserTrack {
+                    track: u32::try_from(i).unwrap_or(u32::MAX),
+                    pos_bins: u.offset_bins,
+                    support: u32::try_from(u.support).unwrap_or(u32::MAX),
+                    mag: u.mag,
+                });
             }
         }
         users
@@ -876,11 +892,12 @@ impl ChoirDecoder {
                 symbol: samples.len().saturating_sub(slot_start) / n,
                 needed,
                 available: samples.len(),
-            });
+            }
+            .traced());
         }
         let users = self.discover_users(samples, slot_start);
         if users.is_empty() {
-            return Err(DecodeError::NoUsersFound);
+            return Err(DecodeError::NoUsersFound.traced());
         }
         Ok(self.decode_with_users(samples, slot_start, num_data_symbols, users))
     }
@@ -990,10 +1007,13 @@ impl ChoirDecoder {
                 Ok(f) => (Some(f), None),
                 Err(source) => (
                     None,
-                    Some(DecodeError::Frame {
-                        offset_bins: user.offset_bins,
-                        source,
-                    }),
+                    Some(
+                        DecodeError::Frame {
+                            offset_bins: user.offset_bins,
+                            source,
+                        }
+                        .traced(),
+                    ),
                 ),
             };
             let crc_ok = frame.as_ref().map(|f| f.crc_ok).unwrap_or(false);
@@ -1022,7 +1042,15 @@ impl ChoirDecoder {
                 frame_error,
             });
         }
-        dedup_ghosts(decoded)
+        let out = dedup_ghosts(decoded);
+        // Outcome-level provenance: what the slot yielded.
+        choir_trace::outcome(|| choir_trace::TraceEvent::SlotOutcome {
+            slot_start: slot_start as u64,
+            users: u32::try_from(out.len()).unwrap_or(u32::MAX),
+            crc_ok: u32::try_from(out.iter().filter(|u| u.payload_ok()).count())
+                .unwrap_or(u32::MAX),
+        });
+        out
     }
 
     /// Tries alternative values at the most-suspect data windows until a
@@ -1176,7 +1204,7 @@ fn dedup_ghosts(mut decoded: Vec<DecodedUser>) -> Vec<DecodedUser> {
     decoded.sort_by(|a, b| b.user.mag.total_cmp(&a.user.mag));
     let mut out: Vec<DecodedUser> = Vec::with_capacity(decoded.len());
     for d in decoded {
-        let dup = out.iter().any(|kept| {
+        let dup = out.iter().find_map(|kept| {
             let same = kept
                 .symbols
                 .iter()
@@ -1186,10 +1214,23 @@ fn dedup_ghosts(mut decoded: Vec<DecodedUser>) -> Vec<DecodedUser> {
             let len = kept.symbols.len().min(d.symbols.len()).max(1);
             // Distinct users share only the frame header (~25 % of a short
             // packet); a ghost reproduces most of its parent's stream.
-            same * 10 >= len * 6 // ≥60 % identical symbols
+            if same * 10 >= len * 6 {
+                // ≥60 % identical symbols
+                Some((kept.user.offset_bins, same as f64 / len as f64))
+            } else {
+                None
+            }
         });
-        if !dup {
-            out.push(d);
+        match dup {
+            Some((kept_bins, identical_frac)) => {
+                // Provenance: record the ghost verdict (who absorbed whom).
+                choir_trace::full(|| choir_trace::TraceEvent::PeakDedup {
+                    kept_bins,
+                    dropped_bins: d.user.offset_bins,
+                    identical_frac,
+                });
+            }
+            None => out.push(d),
         }
     }
     out

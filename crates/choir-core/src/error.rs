@@ -58,6 +58,37 @@ pub enum DecodeError {
     },
 }
 
+impl DecodeError {
+    /// Stable snake_case tag naming the variant in exported trace logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DecodeError::TruncatedSlot { .. } => "truncated_slot",
+            DecodeError::SingularFit { .. } => "singular_fit",
+            DecodeError::SicStalled { .. } => "sic_stalled",
+            DecodeError::NoUsersFound => "no_users_found",
+            DecodeError::NonFiniteInput { .. } => "non_finite_input",
+            DecodeError::Frame { .. } => "frame",
+        }
+    }
+
+    /// Records this error in the flight recorder (an `Outcome`-level
+    /// `TraceEvent::DecodeFailed`) and hands it back, so construction
+    /// sites stay a single expression:
+    /// `Err(DecodeError::NoUsersFound.traced())`.
+    ///
+    /// The `trace_event` rule of `cargo xtask lint` requires every
+    /// `DecodeError` construction site in library code to route through
+    /// this method, keeping errors and traces in lockstep.
+    #[must_use]
+    pub fn traced(self) -> Self {
+        choir_trace::outcome(|| choir_trace::TraceEvent::DecodeFailed {
+            kind: self.kind(),
+            detail: self.to_string(),
+        });
+        self
+    }
+}
+
 impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

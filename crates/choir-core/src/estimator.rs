@@ -405,7 +405,8 @@ impl OffsetEstimator {
             }
             None => Err(DecodeError::SingularFit {
                 components: freqs.len(),
-            }),
+            }
+            .traced()),
         }
     }
 
@@ -429,6 +430,15 @@ impl OffsetEstimator {
                 self.cfg.max_sweeps,
             );
             let (channels, _) = self.fit(&de, &opt.x);
+            // Provenance: the coarse candidates entering the Algorithm-1
+            // search, where they converged, and the joint residual there.
+            choir_trace::full(|| choir_trace::TraceEvent::OffsetSearch {
+                window: choir_trace::current_window(),
+                evals: opt.evals as u64,
+                coarse_bins: coarse_bins.to_vec(),
+                refined_bins: opt.x.iter().map(|&f| f.rem_euclid(self.n as f64)).collect(),
+                residual: opt.value,
+            });
             opt.x
                 .iter()
                 .zip(channels)

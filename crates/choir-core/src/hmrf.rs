@@ -255,6 +255,29 @@ pub fn cluster(
         energy = e;
     }
 
+    // Provenance: one event per observation with the final label and how
+    // many cannot-link constraints that labelling violates at the
+    // observation (0 for a clean constrained solution).
+    if choir_trace::enabled(choir_trace::TraceLevel::Full) {
+        let mut violations = vec![0u32; obs.len()];
+        for c in constraints {
+            if let Constraint::CannotLink(a, b) = *c {
+                if assignment[a] == assignment[b] {
+                    violations[a] = violations[a].saturating_add(1);
+                    violations[b] = violations[b].saturating_add(1);
+                }
+            }
+        }
+        for (i, (o, &a)) in obs.iter().zip(&assignment).enumerate() {
+            choir_trace::full(|| choir_trace::TraceEvent::ClusterAssign {
+                obs: i as u64,
+                window: o.window as u64,
+                cluster: u32::try_from(a).unwrap_or(u32::MAX),
+                violations: violations[i],
+            });
+        }
+    }
+
     Clustering {
         assignment,
         centroids,

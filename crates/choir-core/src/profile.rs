@@ -63,18 +63,26 @@ thread_local! {
 }
 
 /// Runs `f`, billing its *exclusive* wall-clock time to `stage`.
+///
+/// When `Full` tracing is on (`choir-trace`), the scope also lands as a
+/// `span_enter`/`span_exit` event pair in the flight recorder, so a
+/// drained log shows which stage produced each interleaved event; the
+/// exit span carries the same exclusive nanoseconds billed here.
 pub fn scope<R>(stage: Stage, f: impl FnOnce() -> R) -> R {
+    choir_trace::span_enter(STAGE_NAMES[stage as usize]);
     let start = Instant::now();
     SCOPES.with(|s| s.borrow_mut().push((stage as usize, 0)));
     let out = f();
     let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
     let child = SCOPES.with(|s| s.borrow_mut().pop()).map_or(0, |(_, c)| c);
-    TOTALS[stage as usize].fetch_add(elapsed.saturating_sub(child), Ordering::Relaxed);
+    let exclusive = elapsed.saturating_sub(child);
+    TOTALS[stage as usize].fetch_add(exclusive, Ordering::Relaxed);
     SCOPES.with(|s| {
         if let Some(top) = s.borrow_mut().last_mut() {
             top.1 = top.1.saturating_add(elapsed);
         }
     });
+    choir_trace::span_exit(STAGE_NAMES[stage as usize], exclusive);
     out
 }
 

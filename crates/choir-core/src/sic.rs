@@ -79,10 +79,13 @@ fn phased_sic_inner(est: &OffsetEstimator, window: &[C64], cfg: &SicConfig) -> S
         let cohort = est.estimate(&work);
         if cohort.is_empty() {
             if input_power > 0.0 {
-                out.stall = Some(DecodeError::SicStalled {
-                    sic_phase: out.phases,
-                    relative_residual: resid_power / input_power,
-                });
+                out.stall = Some(
+                    DecodeError::SicStalled {
+                        sic_phase: out.phases,
+                        relative_residual: resid_power / input_power,
+                    }
+                    .traced(),
+                );
             }
             break;
         }
@@ -94,8 +97,28 @@ fn phased_sic_inner(est: &OffsetEstimator, window: &[C64], cfg: &SicConfig) -> S
         for (w, r) in work.iter_mut().zip(&recon) {
             *w -= *r;
         }
+        let cancelled_from = out.components.len();
         out.components.extend(take);
         out.phases += 1;
+        // Provenance: what this pass cancelled and what power it left
+        // behind. The residual sum is only computed when Full tracing is
+        // on, so the hot path stays untouched.
+        if choir_trace::enabled(choir_trace::TraceLevel::Full) {
+            let after: f64 = work.iter().map(|z| z.norm_sqr()).sum();
+            choir_trace::full(|| choir_trace::TraceEvent::SicPass {
+                window: choir_trace::current_window(),
+                phase: u32::try_from(out.phases - 1).unwrap_or(u32::MAX),
+                relative_residual: if input_power > 0.0 {
+                    after / input_power
+                } else {
+                    0.0
+                },
+                cancelled_bins: out.components[cancelled_from..]
+                    .iter()
+                    .map(|c| c.freq_bins)
+                    .collect(),
+            });
+        }
     }
     // Final joint polish: greedy per-phase fitting biases earlier phases'
     // positions toward the centroid of unresolved neighbours; re-refining

@@ -6,7 +6,7 @@
 //! are *already* separated in frequency by their hardware offsets, and the
 //! base station only has to channelise: find the active carriers, filter
 //! each out, demodulate. ("Filtering their transmissions based on hardware
-//! offsets [is] significantly simpler" than the chirp case.)
+//! offsets \[is\] significantly simpler" than the chirp case.)
 //!
 //! This module is a compact demonstration of that claim: a DBPSK
 //! SigFox-like uplink, a wideband capture, and an offset-channelising

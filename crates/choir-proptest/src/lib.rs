@@ -168,7 +168,7 @@ impl_tuple_strategy! {
 pub mod collection {
     use super::{RngCore, StdRng, Strategy};
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`fn@vec`].
     pub struct VecStrategy<S> {
         element: S,
         len: core::ops::Range<usize>,

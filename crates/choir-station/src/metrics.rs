@@ -85,6 +85,15 @@ impl StationMetrics {
             == self.slots_decoded + self.slots_empty + self.slots_shed + self.queue_depth
     }
 
+    /// Records the current counters as an `Outcome`-level
+    /// `metrics_snapshot` trace event (the station calls this once per
+    /// `finish`, so every drained log ends with the final accounting).
+    pub fn trace_snapshot(&self) {
+        choir_trace::outcome(|| choir_trace::TraceEvent::MetricsSnapshot {
+            json: self.to_json(),
+        });
+    }
+
     /// Hand-rolled JSON object (the workspace has no serde), one key per
     /// counter plus the derived false-trigger rate.
     pub fn to_json(&self) -> String {

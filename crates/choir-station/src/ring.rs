@@ -113,6 +113,16 @@ impl SampleRing {
             self.head += 1;
         }
         self.overwritten += dropped;
+        if dropped > 0 {
+            // Provenance: a wrap means ingest outran the decode side past
+            // the ring capacity — any capture spanning the old tail will
+            // later surface as a `ring_overrun` shed.
+            choir_trace::full(|| choir_trace::TraceEvent::RingOverwrite {
+                overwritten: dropped,
+                tail: self.tail,
+                head: self.head,
+            });
+        }
         dropped
     }
 

@@ -249,6 +249,9 @@ pub struct Station {
     /// Absolute positions of components zeroed by the ingest sanitizer
     /// (`true` = was NaN), ascending; pruned with the ring tail.
     corrupt: VecDeque<(u64, bool)>,
+    /// Last serviced batch's pressure mode, so the degrade *transition*
+    /// (not every batch) lands in the trace log.
+    was_degraded: bool,
 }
 
 impl Station {
@@ -291,6 +294,7 @@ impl Station {
             metrics: StationMetrics::default(),
             hit_scratch: Vec::new(),
             corrupt: VecDeque::new(),
+            was_degraded: false,
         }
     }
 
@@ -330,7 +334,13 @@ impl Station {
                 None
             };
             let data: &[C64] = sanitized.as_deref().unwrap_or(chunk);
-            self.metrics.samples_dropped += self.ring.push(data);
+            let overwritten = self.ring.push(data);
+            self.metrics.samples_dropped += overwritten;
+            choir_trace::full(|| choir_trace::TraceEvent::StationIngest {
+                samples: data.len() as u64,
+                overwritten,
+                stream_pos: self.ring.head(),
+            });
             if self.scanner.is_some() {
                 scope(Stage::Detect, || self.detect(data));
             }
@@ -347,6 +357,14 @@ impl Station {
             return;
         }
         let degraded = self.queue.len() > self.cfg.pressure_watermark.max(1);
+        if degraded != self.was_degraded {
+            let depth = self.queue.len() as u64;
+            choir_trace::outcome(|| choir_trace::TraceEvent::StationDegrade {
+                active: degraded,
+                queue_depth: depth,
+            });
+            self.was_degraded = degraded;
+        }
         let take = self.cfg.service_batch.max(1).min(self.queue.len());
         let batch: Vec<PendingCapture> = self.queue.drain(..take).collect();
         self.metrics.queue_depth = self.queue.len() as u64;
@@ -369,6 +387,7 @@ impl Station {
             self.service();
         }
         self.metrics.queue_depth = 0;
+        self.metrics.trace_snapshot();
         StationReport {
             slots: self.slots,
             shed: self.shed,
@@ -482,6 +501,10 @@ impl Station {
             // Part of the capture was overwritten before we got here:
             // ingest outran the decode side past the ring's capacity.
             self.metrics.slots_shed += 1;
+            choir_trace::outcome(|| choir_trace::TraceEvent::StationShed {
+                slot_start,
+                reason: "ring_overrun",
+            });
             self.shed.push(SheddingEvent {
                 slot_start,
                 reason: ShedReason::RingOverrun,
@@ -526,6 +549,10 @@ impl Station {
         while self.queue.len() > self.cfg.max_in_flight.max(1) {
             if let Some(victim) = self.queue.pop_front() {
                 self.metrics.slots_shed += 1;
+                choir_trace::outcome(|| choir_trace::TraceEvent::StationShed {
+                    slot_start: victim.slot_start,
+                    reason: "queue_full",
+                });
                 self.shed.push(SheddingEvent {
                     slot_start: victim.slot_start,
                     reason: ShedReason::QueueFull,
@@ -605,7 +632,7 @@ impl Station {
             if let Some((nan, inf)) = counts {
                 out[i] = Some(SlotResult {
                     users: Vec::new(),
-                    error: Some(DecodeError::NonFiniteInput { nan, inf }),
+                    error: Some(DecodeError::NonFiniteInput { nan, inf }.traced()),
                 });
             } else {
                 decode_idx.push(i);

@@ -1,0 +1,444 @@
+//! The typed event vocabulary of the decode pipeline, plus hand-rolled
+//! JSON serialisation (the workspace builds offline with no serde).
+
+/// One provenance record from the decode pipeline.
+///
+/// Variants are grouped by the level at which emission sites record them:
+/// `Full`-level events describe *how* a decode proceeded (per window, per
+/// SIC pass, per cluster assignment), `Outcome`-level events describe
+/// *what happened* (slot results, typed errors, station transitions).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// One Algorithm-1 offset-search refinement over a dechirped preamble
+    /// window: the coarse FFT-peak candidates, the converged fractional
+    /// positions and the joint residual they achieved. (`Full`)
+    OffsetSearch {
+        /// Preamble window index this search ran over.
+        window: u64,
+        /// Residual evaluations spent before convergence (search effort).
+        evals: u64,
+        /// Coarse candidate positions entering the search, in bins.
+        coarse_bins: Vec<f64>,
+        /// Refined candidate positions at convergence, index-aligned with
+        /// `coarse_bins`.
+        refined_bins: Vec<f64>,
+        /// Joint least-squares residual power at the refined positions.
+        residual: f64,
+    },
+    /// One phased-SIC pass: which user components were cancelled and how
+    /// much residual power the window retained afterwards. (`Full`)
+    SicPass {
+        /// Preamble window index the pass ran over.
+        window: u64,
+        /// Zero-based pass (phase) number.
+        phase: u32,
+        /// Residual power after subtracting this pass's cohort, relative
+        /// to the window's input power.
+        relative_residual: f64,
+        /// Fractional-bin positions of the components cancelled by this
+        /// pass — the pipeline's user identities at this stage.
+        cancelled_bins: Vec<f64>,
+    },
+    /// A peak de-duplication verdict: a candidate decode was dropped as a
+    /// ghost of a stronger one because their symbol streams were near
+    /// identical. (`Full`)
+    PeakDedup {
+        /// Offset (bins) of the decode that was kept.
+        kept_bins: f64,
+        /// Offset (bins) of the decode that was discarded.
+        dropped_bins: f64,
+        /// Fraction of symbol positions on which the two agreed.
+        identical_frac: f64,
+    },
+    /// One HMRF-KMeans assignment decision: which cluster an observation
+    /// landed in and how many cannot-link constraints the final labelling
+    /// violates at that observation. (`Full`)
+    ClusterAssign {
+        /// Observation index in the clustering input.
+        obs: u64,
+        /// Window the observation came from.
+        window: u64,
+        /// Assigned cluster id.
+        cluster: u32,
+        /// Cannot-link constraints involving `obs` that the final
+        /// assignment violates (0 for a clean labelling).
+        violations: u32,
+    },
+    /// One merged user track surviving preamble discovery — the decoder's
+    /// working definition of "a user" entering demodulation. (`Full`)
+    UserTrack {
+        /// Track index (order of discovery).
+        track: u32,
+        /// Circular-mean position of the track, in bins.
+        pos_bins: f64,
+        /// Number of preamble windows supporting the track.
+        support: u32,
+        /// Mean channel magnitude across supporting windows.
+        mag: f64,
+    },
+    /// Entry into a `choir_core::profile` stage scope. (`Full`)
+    SpanEnter {
+        /// Stage name, index-aligned with `profile::STAGE_NAMES`.
+        stage: &'static str,
+    },
+    /// Exit from a `choir_core::profile` stage scope. (`Full`)
+    SpanExit {
+        /// Stage name, index-aligned with `profile::STAGE_NAMES`.
+        stage: &'static str,
+        /// Exclusive nanoseconds billed to the stage by the profiler
+        /// (child scopes subtracted).
+        exclusive_ns: u64,
+    },
+    /// A slot finished decoding. (`Outcome`)
+    ///
+    /// Emitted by the decoder itself, so both batch and streaming paths
+    /// produce one per slot; whether a streaming slot ran in degraded
+    /// mode is bracketed by the surrounding [`TraceEvent::StationDegrade`]
+    /// transitions.
+    SlotOutcome {
+        /// Start position of the slot within its capture buffer.
+        slot_start: u64,
+        /// Users decoded from the collision.
+        users: u32,
+        /// Users whose payload passed CRC.
+        crc_ok: u32,
+    },
+    /// A typed `DecodeError` was constructed — every construction site in
+    /// the pipeline emits one of these (enforced by the `trace_event`
+    /// lint rule). (`Outcome`)
+    DecodeFailed {
+        /// Stable error-kind tag (`truncated_slot`, `singular_fit`, ...).
+        kind: &'static str,
+        /// Human-readable detail (the error's `Display` output).
+        detail: String,
+    },
+    /// A chunk of IQ samples entered the station ring. (`Full`)
+    StationIngest {
+        /// Samples in the pushed chunk.
+        samples: u64,
+        /// Ring samples overwritten to make room (0 when keeping up).
+        overwritten: u64,
+        /// Absolute stream position after the push.
+        stream_pos: u64,
+    },
+    /// The sample ring wrapped: unconsumed samples were overwritten by
+    /// newer ones because ingest outran the decode side. (`Full`)
+    RingOverwrite {
+        /// Samples overwritten by this push.
+        overwritten: u64,
+        /// Oldest still-resident absolute sample index after the push.
+        tail: u64,
+        /// Absolute stream position after the push.
+        head: u64,
+    },
+    /// The station shed a scheduled slot instead of decoding it. (`Outcome`)
+    StationShed {
+        /// Absolute stream position of the shed slot.
+        slot_start: u64,
+        /// Why: `queue_full` (dispatch backlog) or `ring_overrun`
+        /// (samples overwritten before capture).
+        reason: &'static str,
+    },
+    /// The station crossed its pressure watermark and switched decode
+    /// configurations. (`Outcome`)
+    StationDegrade {
+        /// True when entering degraded mode, false when recovering.
+        active: bool,
+        /// Dispatch-queue depth at the transition.
+        queue_depth: u64,
+    },
+    /// A station metrics snapshot, embedded as its canonical JSON
+    /// object. (`Outcome`)
+    MetricsSnapshot {
+        /// `StationMetrics::to_json()` output (a valid JSON object).
+        json: String,
+    },
+    /// One MAC-simulation slot outcome from a Choir-backed PHY. (`Full`)
+    MacSlot {
+        /// Slot number within the simulation.
+        slot: u64,
+        /// Transmissions offered to the slot (colliders).
+        offered: u32,
+        /// Frames delivered after collision decoding.
+        delivered: u32,
+    },
+}
+
+impl TraceEvent {
+    /// Stable snake_case tag identifying the variant in exported logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::OffsetSearch { .. } => "offset_search",
+            TraceEvent::SicPass { .. } => "sic_pass",
+            TraceEvent::PeakDedup { .. } => "peak_dedup",
+            TraceEvent::ClusterAssign { .. } => "cluster_assign",
+            TraceEvent::UserTrack { .. } => "user_track",
+            TraceEvent::SpanEnter { .. } => "span_enter",
+            TraceEvent::SpanExit { .. } => "span_exit",
+            TraceEvent::SlotOutcome { .. } => "slot_outcome",
+            TraceEvent::DecodeFailed { .. } => "decode_failed",
+            TraceEvent::StationIngest { .. } => "station_ingest",
+            TraceEvent::RingOverwrite { .. } => "ring_overwrite",
+            TraceEvent::StationShed { .. } => "station_shed",
+            TraceEvent::StationDegrade { .. } => "station_degrade",
+            TraceEvent::MetricsSnapshot { .. } => "metrics_snapshot",
+            TraceEvent::MacSlot { .. } => "mac_slot",
+        }
+    }
+
+    /// Appends this event's fields (without the enclosing braces) as
+    /// `"key": value` JSON members, `kind` first.
+    pub(crate) fn write_json_fields(&self, out: &mut String) {
+        out.push_str("\"kind\": \"");
+        out.push_str(self.kind());
+        out.push('"');
+        match self {
+            TraceEvent::OffsetSearch {
+                window,
+                evals,
+                coarse_bins,
+                refined_bins,
+                residual,
+            } => {
+                jint(out, "window", *window);
+                jint(out, "evals", *evals);
+                jarr(out, "coarse_bins", coarse_bins);
+                jarr(out, "refined_bins", refined_bins);
+                jnum(out, "residual", *residual);
+            }
+            TraceEvent::SicPass {
+                window,
+                phase,
+                relative_residual,
+                cancelled_bins,
+            } => {
+                jint(out, "window", *window);
+                jint(out, "phase", u64::from(*phase));
+                jnum(out, "relative_residual", *relative_residual);
+                jarr(out, "cancelled_bins", cancelled_bins);
+            }
+            TraceEvent::PeakDedup {
+                kept_bins,
+                dropped_bins,
+                identical_frac,
+            } => {
+                jnum(out, "kept_bins", *kept_bins);
+                jnum(out, "dropped_bins", *dropped_bins);
+                jnum(out, "identical_frac", *identical_frac);
+            }
+            TraceEvent::ClusterAssign {
+                obs,
+                window,
+                cluster,
+                violations,
+            } => {
+                jint(out, "obs", *obs);
+                jint(out, "window", *window);
+                jint(out, "cluster", u64::from(*cluster));
+                jint(out, "violations", u64::from(*violations));
+            }
+            TraceEvent::UserTrack {
+                track,
+                pos_bins,
+                support,
+                mag,
+            } => {
+                jint(out, "track", u64::from(*track));
+                jnum(out, "pos_bins", *pos_bins);
+                jint(out, "support", u64::from(*support));
+                jnum(out, "mag", *mag);
+            }
+            TraceEvent::SpanEnter { stage } => jstr(out, "stage", stage),
+            TraceEvent::SpanExit {
+                stage,
+                exclusive_ns,
+            } => {
+                jstr(out, "stage", stage);
+                jint(out, "exclusive_ns", *exclusive_ns);
+            }
+            TraceEvent::SlotOutcome {
+                slot_start,
+                users,
+                crc_ok,
+            } => {
+                jint(out, "slot_start", *slot_start);
+                jint(out, "users", u64::from(*users));
+                jint(out, "crc_ok", u64::from(*crc_ok));
+            }
+            TraceEvent::DecodeFailed { kind, detail } => {
+                jstr(out, "error", kind);
+                jstr(out, "detail", detail);
+            }
+            TraceEvent::StationIngest {
+                samples,
+                overwritten,
+                stream_pos,
+            } => {
+                jint(out, "samples", *samples);
+                jint(out, "overwritten", *overwritten);
+                jint(out, "stream_pos", *stream_pos);
+            }
+            TraceEvent::RingOverwrite {
+                overwritten,
+                tail,
+                head,
+            } => {
+                jint(out, "overwritten", *overwritten);
+                jint(out, "tail", *tail);
+                jint(out, "head", *head);
+            }
+            TraceEvent::StationShed { slot_start, reason } => {
+                jint(out, "slot_start", *slot_start);
+                jstr(out, "reason", reason);
+            }
+            TraceEvent::StationDegrade {
+                active,
+                queue_depth,
+            } => {
+                jbool(out, "active", *active);
+                jint(out, "queue_depth", *queue_depth);
+            }
+            TraceEvent::MetricsSnapshot { json } => {
+                // Already a JSON object; embed verbatim.
+                out.push_str(", \"metrics\": ");
+                out.push_str(json);
+            }
+            TraceEvent::MacSlot {
+                slot,
+                offered,
+                delivered,
+            } => {
+                jint(out, "slot", *slot);
+                jint(out, "offered", u64::from(*offered));
+                jint(out, "delivered", u64::from(*delivered));
+            }
+        }
+    }
+}
+
+fn jkey(out: &mut String, key: &str) {
+    out.push_str(", \"");
+    out.push_str(key);
+    out.push_str("\": ");
+}
+
+fn jint(out: &mut String, key: &str, v: u64) {
+    jkey(out, key);
+    out.push_str(&v.to_string());
+}
+
+fn jbool(out: &mut String, key: &str, v: bool) {
+    jkey(out, key);
+    out.push_str(if v { "true" } else { "false" });
+}
+
+/// Finite floats print via Rust's shortest-round-trip `Display`; NaN and
+/// infinities (invalid JSON numbers) serialise as `null`.
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let s = v.to_string();
+        out.push_str(&s);
+        // Bare integers like "3" are valid JSON but lose the "this was a
+        // float" signal round-trip; keep a decimal point.
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn jnum(out: &mut String, key: &str, v: f64) {
+    jkey(out, key);
+    write_f64(out, v);
+}
+
+fn jarr(out: &mut String, key: &str, vs: &[f64]) {
+    jkey(out, key);
+    out.push('[');
+    for (i, v) in vs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_f64(out, *v);
+    }
+    out.push(']');
+}
+
+/// JSON string escaping: quotes, backslashes and control characters.
+pub(crate) fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn jstr(out: &mut String, key: &str, v: &str) {
+    jkey(out, key);
+    out.push('"');
+    escape_into(out, v);
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_tags_are_stable() {
+        let e = TraceEvent::SicPass {
+            window: 2,
+            phase: 0,
+            relative_residual: 0.25,
+            cancelled_bins: vec![3.5],
+        };
+        assert_eq!(e.kind(), "sic_pass");
+    }
+
+    #[test]
+    fn non_finite_floats_serialise_as_null() {
+        let mut out = String::new();
+        let e = TraceEvent::PeakDedup {
+            kept_bins: f64::NAN,
+            dropped_bins: f64::INFINITY,
+            identical_frac: 0.5,
+        };
+        e.write_json_fields(&mut out);
+        assert!(out.contains("\"kept_bins\": null"));
+        assert!(out.contains("\"dropped_bins\": null"));
+        assert!(out.contains("\"identical_frac\": 0.5"));
+    }
+
+    #[test]
+    fn integral_floats_keep_a_decimal_point() {
+        let mut out = String::new();
+        let e = TraceEvent::UserTrack {
+            track: 0,
+            pos_bins: 17.0,
+            support: 6,
+            mag: 1.0,
+        };
+        e.write_json_fields(&mut out);
+        assert!(out.contains("\"pos_bins\": 17.0"), "got: {out}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        let e = TraceEvent::DecodeFailed {
+            kind: "frame",
+            detail: "bad \"sync\"\nline".to_string(),
+        };
+        e.write_json_fields(&mut out);
+        assert!(out.contains("bad \\\"sync\\\"\\nline"), "got: {out}");
+    }
+}

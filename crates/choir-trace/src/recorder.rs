@@ -1,0 +1,243 @@
+//! The flight recorder: bounded per-thread ring buffers with absolute
+//! sequence numbers, merged into one causally ordered log on drain.
+//!
+//! Each thread appends to its own ring (overwrite-oldest), so the hot
+//! path never contends with other emitters; the per-ring mutex is only
+//! ever contested by a drain. Sequence numbers come from one process-wide
+//! relaxed counter and are *absolute*: they keep climbing across drains,
+//! so two drained logs can be concatenated and re-sorted without
+//! ambiguity, and a gap in the sequence pinpoints overwritten records.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::event::TraceEvent;
+
+/// Default ring capacity per thread (records), `CHOIR_TRACE_CAP` overrides.
+const DEFAULT_CAP: usize = 4096;
+
+/// One recorded event with its global ordering stamp.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Record {
+    /// Absolute process-wide sequence number (emission order).
+    pub seq: u64,
+    /// Small dense id of the emitting thread (assignment order).
+    pub thread: u64,
+    /// The event payload.
+    pub event: TraceEvent,
+}
+
+impl Record {
+    /// Serialises the record as one self-contained JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"seq\": ");
+        out.push_str(&self.seq.to_string());
+        out.push_str(", \"thread\": ");
+        out.push_str(&self.thread.to_string());
+        out.push_str(", ");
+        self.event.write_json_fields(&mut out);
+        out.push('}');
+        out
+    }
+}
+
+/// A bounded overwrite-oldest buffer owned by one emitting thread.
+struct Ring {
+    buf: VecDeque<Record>,
+    cap: usize,
+    overwritten: u64,
+}
+
+impl Ring {
+    fn new(cap: usize) -> Self {
+        Ring {
+            buf: VecDeque::with_capacity(cap.min(1024)),
+            cap,
+            overwritten: 0,
+        }
+    }
+
+    fn push(&mut self, r: Record) {
+        if self.buf.len() >= self.cap {
+            self.buf.pop_front();
+            self.overwritten += 1;
+        }
+        self.buf.push_back(r);
+    }
+}
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static THREAD_IDS: AtomicU64 = AtomicU64::new(0);
+
+type Shared = Arc<Mutex<Ring>>;
+
+fn registry() -> &'static Mutex<Vec<Shared>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Shared>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+static CAP: OnceLock<usize> = OnceLock::new();
+
+fn capacity() -> usize {
+    *CAP.get_or_init(|| {
+        std::env::var("CHOIR_TRACE_CAP")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(DEFAULT_CAP)
+    })
+}
+
+/// Pins the per-thread ring capacity programmatically, overriding
+/// `CHOIR_TRACE_CAP`. Only effective before the first emission — rings
+/// that already exist keep their size. Returns false if the capacity was
+/// already fixed.
+pub fn set_capacity(cap: usize) -> bool {
+    CAP.set(cap.max(1)).is_ok()
+}
+
+thread_local! {
+    /// This thread's (id, ring); created lazily on first emission and
+    /// kept alive by the registry after the thread exits, so late drains
+    /// still see the records of finished worker threads.
+    static LOCAL: RefCell<Option<(u64, Shared)>> = const { RefCell::new(None) };
+}
+
+/// Appends an event to the calling thread's ring (called by `emit` after
+/// the level check passed).
+pub(crate) fn record(event: TraceEvent) {
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    LOCAL.with(|l| {
+        let mut slot = l.borrow_mut();
+        let (thread, ring) = slot.get_or_insert_with(|| {
+            let id = THREAD_IDS.fetch_add(1, Ordering::Relaxed);
+            let ring: Shared = Arc::new(Mutex::new(Ring::new(capacity())));
+            lock_clean(registry()).push(Arc::clone(&ring));
+            (id, ring)
+        });
+        lock_clean(ring).push(Record {
+            seq,
+            thread: *thread,
+            event,
+        });
+    });
+}
+
+/// Locks a mutex, recovering the guard if a previous holder panicked —
+/// a half-written trace log is still worth draining.
+fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Removes and returns every buffered record from every thread, merged
+/// into absolute sequence order. Overwrite counters are left untouched
+/// (see [`dropped`]); sequence numbers keep climbing across drains.
+pub fn drain() -> Vec<Record> {
+    let rings = lock_clean(registry());
+    let mut all: Vec<Record> = Vec::new();
+    for ring in rings.iter() {
+        all.extend(lock_clean(ring).buf.drain(..));
+    }
+    drop(rings);
+    all.sort_by_key(|r| r.seq);
+    all
+}
+
+/// Total records overwritten (lost to ring wraparound) since the last
+/// [`clear`], summed over all threads. Non-zero means the drained log has
+/// sequence gaps.
+pub fn dropped() -> u64 {
+    let rings = lock_clean(registry());
+    rings.iter().map(|r| lock_clean(r).overwritten).sum()
+}
+
+/// Discards all buffered records and resets overwrite counters. Sequence
+/// numbers are *not* reset — they are absolute for the process lifetime.
+pub fn clear() {
+    let rings = lock_clean(registry());
+    for ring in rings.iter() {
+        let mut g = lock_clean(ring);
+        g.buf.clear();
+        g.overwritten = 0;
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    lock_clean(&GUARD)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceLevel;
+
+    fn span(stage: &'static str) -> TraceEvent {
+        TraceEvent::SpanEnter { stage }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts() {
+        let mut ring = Ring::new(3);
+        for i in 0..5u64 {
+            ring.push(Record {
+                seq: i,
+                thread: 0,
+                event: span("dechirp"),
+            });
+        }
+        assert_eq!(ring.overwritten, 2);
+        let seqs: Vec<u64> = ring.buf.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4], "oldest records must be evicted");
+    }
+
+    #[test]
+    fn drain_merges_threads_in_sequence_order() {
+        let _g = test_guard();
+        crate::set_level(TraceLevel::Full);
+        clear();
+        let _ = drain();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..25 {
+                        crate::full(|| span("refine"));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            let _ = t.join();
+        }
+        crate::full(|| span("sic"));
+        let log = drain();
+        crate::set_level(TraceLevel::Off);
+        assert_eq!(log.len(), 101);
+        for pair in log.windows(2) {
+            assert!(pair[0].seq < pair[1].seq, "drain must sort by sequence");
+        }
+        let distinct: std::collections::HashSet<u64> = log.iter().map(|r| r.thread).collect();
+        assert!(distinct.len() >= 4, "expected records from worker threads");
+        assert!(drain().is_empty(), "drain must consume the buffers");
+    }
+
+    #[test]
+    fn record_json_is_one_object_per_line() {
+        let r = Record {
+            seq: 7,
+            thread: 1,
+            event: TraceEvent::StationShed {
+                slot_start: 4096,
+                reason: "queue_full",
+            },
+        };
+        let j = r.to_json();
+        assert!(j.starts_with("{\"seq\": 7, \"thread\": 1, \"kind\": \"station_shed\""));
+        assert!(j.contains("\"reason\": \"queue_full\""));
+        assert!(!j.contains('\n'));
+    }
+}

@@ -1,0 +1,306 @@
+//! `cargo xtask ci` — the repository's merge gates as one tested binary.
+//!
+//! CI used to enforce the bench floors with inline Python heredocs pasted
+//! into the workflow; the logic lived untested in YAML and drifted from
+//! the benches it judged. Each gate is now a subcommand that owns the
+//! whole sequence:
+//!
+//! * `cargo xtask ci bench-smoke` — snapshot the committed
+//!   `BENCH_kernel.json` reference, run the `batch_decode` bench (which
+//!   overwrites the file), then enforce the slots/sec floor (≥ 80 % of
+//!   reference) and cross-thread bit-identity.
+//! * `cargo xtask ci station-soak` — same dance with
+//!   `BENCH_station.json` and the `station_soak` bench, plus the
+//!   shed-free nominal profile and the < 5 % tracing-overhead budget.
+//!
+//! The JSON reading is a deliberately tiny key scanner (the workspace has
+//! no serde): every key the gates consult is unique within its file, so
+//! `"key": value` extraction is unambiguous. The gate predicates are pure
+//! functions over (reference, fresh-JSON) and unit-tested against
+//! synthetic fixtures for the pass, regression, divergence and shed
+//! cases — the checks are code under test, not workflow prose.
+
+use std::process::ExitCode;
+
+/// Fraction of the committed reference throughput a fresh run must reach.
+const FLOOR_FRAC: f64 = 0.8;
+/// Maximum slots/sec cost of `Outcome`-level tracing, in percent.
+const TRACE_OVERHEAD_LIMIT_PCT: f64 = 5.0;
+
+/// Entry point for `cargo xtask ci <gate>`.
+pub fn run(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("bench-smoke") => gate(
+            "BENCH_kernel.json",
+            "after_slots_per_sec",
+            "batch_decode",
+            check_kernel,
+        ),
+        Some("station-soak") => gate(
+            "BENCH_station.json",
+            "slots_per_sec",
+            "station_soak",
+            check_station,
+        ),
+        _ => {
+            eprintln!("usage: cargo xtask ci <bench-smoke|station-soak>");
+            eprintln!(
+                "  bench-smoke   run batch_decode, enforce kernel slots/sec floor + bit-identity"
+            );
+            eprintln!("  station-soak  run station_soak, enforce station floor + shed-free + trace overhead");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Shared gate skeleton: read the committed reference throughput, run the
+/// bench (it rewrites the JSON), re-read, and apply the pure checks.
+fn gate(
+    json_name: &str,
+    ref_key: &str,
+    bench: &str,
+    check: fn(f64, &str) -> Vec<String>,
+) -> ExitCode {
+    let root = crate::workspace_root();
+    let path = root.join(json_name);
+    let committed = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ci: cannot read committed {json_name}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(reference) = json_f64(&committed, ref_key) else {
+        eprintln!("ci: committed {json_name} has no numeric {ref_key:?}");
+        return ExitCode::FAILURE;
+    };
+    println!("ci: committed reference {reference:.4} slots/s ({json_name} {ref_key})");
+
+    let status = std::process::Command::new("cargo")
+        .args(["bench", "-p", "choir-bench", "--bench", bench])
+        .current_dir(&root)
+        .status();
+    match status {
+        Ok(s) if s.success() => {}
+        Ok(s) => {
+            eprintln!("ci: cargo bench --bench {bench} exited with {s}");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("ci: could not launch cargo bench --bench {bench}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let fresh = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ci: bench did not leave a readable {json_name}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let failures = check(reference, &fresh);
+    if failures.is_empty() {
+        println!("ci: {bench} gate passed");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("ci: FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Gate predicates for `BENCH_kernel.json` (the batch-decode kernel
+/// bench): throughput floor and cross-thread bit-identity.
+fn check_kernel(reference: f64, json: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let floor = FLOOR_FRAC * reference;
+    match json_f64(json, "after_slots_per_sec") {
+        Some(sps) => {
+            println!("ci: fresh {sps:.4} slots/s, floor {floor:.4}");
+            if sps < floor {
+                out.push(format!(
+                    "kernel slots/sec regression >20%: {sps:.4} < floor {floor:.4} (reference {reference:.4})"
+                ));
+            }
+        }
+        None => out.push("fresh BENCH_kernel.json has no numeric after_slots_per_sec".to_string()),
+    }
+    match json_bool(json, "outputs_bit_identical") {
+        Some(true) => {}
+        Some(false) => out.push("kernel outputs diverged across thread counts".to_string()),
+        None => out.push("fresh BENCH_kernel.json has no outputs_bit_identical".to_string()),
+    }
+    out
+}
+
+/// Gate predicates for `BENCH_station.json` (the streaming soak):
+/// throughput floor, shed-free nominal profile, batch/streaming
+/// bit-identity, and the tracing-overhead budget.
+fn check_station(reference: f64, json: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let floor = FLOOR_FRAC * reference;
+    match json_f64(json, "slots_per_sec") {
+        Some(sps) => {
+            println!("ci: fresh {sps:.4} slots/s, floor {floor:.4}");
+            if sps < floor {
+                out.push(format!(
+                    "station slots/sec regression >20%: {sps:.4} < floor {floor:.4} (reference {reference:.4})"
+                ));
+            }
+        }
+        None => out.push("fresh BENCH_station.json has no numeric slots_per_sec".to_string()),
+    }
+    match json_u64(json, "nominal_shed") {
+        Some(0) => {}
+        Some(n) => out.push(format!("station shed work under nominal load ({n} events)")),
+        None => out.push("fresh BENCH_station.json has no nominal_shed".to_string()),
+    }
+    match json_bool(json, "outputs_bit_identical") {
+        Some(true) => {}
+        Some(false) => out.push("streaming output diverged from batch decode".to_string()),
+        None => out.push("fresh BENCH_station.json has no outputs_bit_identical".to_string()),
+    }
+    match json_f64(json, "trace_overhead_pct") {
+        Some(pct) if pct <= TRACE_OVERHEAD_LIMIT_PCT => {}
+        Some(pct) => out.push(format!(
+            "Outcome-level tracing costs {pct:.2}% slots/sec (limit {TRACE_OVERHEAD_LIMIT_PCT}%)"
+        )),
+        None => out.push("fresh BENCH_station.json has no trace_overhead_pct".to_string()),
+    }
+    out
+}
+
+/// Returns the raw value token following `"key":`. Only sound because
+/// every key the gates read is unique within its bench file (the nested
+/// `last_round_metrics` object shares no key names with the gates).
+fn json_value<'a>(src: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let at = src.find(&needle)? + needle.len();
+    let rest = src[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find([',', '}', '\n'])
+        .unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn json_f64(src: &str, key: &str) -> Option<f64> {
+    json_value(src, key)?.parse().ok()
+}
+
+fn json_u64(src: &str, key: &str) -> Option<u64> {
+    json_value(src, key)?.parse().ok()
+}
+
+fn json_bool(src: &str, key: &str) -> Option<bool> {
+    match json_value(src, key)? {
+        "true" => Some(true),
+        "false" => Some(false),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic `BENCH_kernel.json` in the exact shape the bench writes.
+    fn kernel_fixture(sps: f64, identical: bool) -> String {
+        format!(
+            concat!(
+                "{{\n  \"bench\": \"batch_decode\",\n",
+                "  \"after_slots_per_sec\": {sps:.4},\n",
+                "  \"before_slots_per_sec\": 1.1,\n",
+                "  \"outputs_bit_identical\": {identical}\n}}\n"
+            ),
+            sps = sps,
+            identical = identical,
+        )
+    }
+
+    /// A synthetic `BENCH_station.json` covering every gated key.
+    fn station_fixture(sps: f64, shed: u64, identical: bool, overhead: f64) -> String {
+        format!(
+            concat!(
+                "{{\n  \"bench\": \"station_soak\",\n",
+                "  \"slots_per_sec\": {sps:.4},\n",
+                "  \"slots_per_sec_traced\": {tr:.4},\n",
+                "  \"trace_overhead_pct\": {overhead:.2},\n",
+                "  \"outputs_bit_identical\": {identical},\n",
+                "  \"nominal_shed\": {shed},\n",
+                "  \"last_round_metrics\": {{\"slots_shed\": 0, \"queue_depth\": 0}}\n}}\n"
+            ),
+            sps = sps,
+            tr = sps * (1.0 - overhead / 100.0),
+            overhead = overhead,
+            identical = identical,
+            shed = shed,
+        )
+    }
+
+    #[test]
+    fn kernel_gate_passes_at_floor() {
+        // Exactly on the floor is a pass; the gate is ≥, not >.
+        assert!(check_kernel(1.0, &kernel_fixture(0.8, true)).is_empty());
+        assert!(check_kernel(2.9240, &kernel_fixture(2.9240, true)).is_empty());
+    }
+
+    #[test]
+    fn kernel_gate_fails_on_regression() {
+        let fails = check_kernel(1.0, &kernel_fixture(0.79, true));
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("regression"), "{fails:?}");
+    }
+
+    #[test]
+    fn kernel_gate_fails_on_divergence() {
+        let fails = check_kernel(1.0, &kernel_fixture(1.0, false));
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("diverged"), "{fails:?}");
+    }
+
+    #[test]
+    fn kernel_gate_fails_on_missing_keys() {
+        let fails = check_kernel(1.0, "{}");
+        assert_eq!(fails.len(), 2, "{fails:?}");
+    }
+
+    #[test]
+    fn station_gate_passes_nominal() {
+        assert!(check_station(2.9178, &station_fixture(2.9178, 0, true, 1.3)).is_empty());
+        // Negative overhead (measurement noise) is fine.
+        assert!(check_station(2.9178, &station_fixture(3.0, 0, true, -0.4)).is_empty());
+    }
+
+    #[test]
+    fn station_gate_fails_on_nominal_shed() {
+        let fails = check_station(1.0, &station_fixture(1.0, 3, true, 0.0));
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("shed"), "{fails:?}");
+    }
+
+    #[test]
+    fn station_gate_fails_on_divergence_and_regression() {
+        let fails = check_station(2.0, &station_fixture(1.5, 0, false, 0.0));
+        assert_eq!(fails.len(), 2, "{fails:?}");
+    }
+
+    #[test]
+    fn station_gate_fails_on_trace_overhead() {
+        let fails = check_station(1.0, &station_fixture(1.0, 0, true, 6.7));
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("tracing"), "{fails:?}");
+    }
+
+    #[test]
+    fn json_scanner_reads_exact_keys_only() {
+        let s = station_fixture(2.5, 0, true, 1.0);
+        // `slots_per_sec` must not match the `slots_per_sec_traced` key.
+        assert_eq!(json_f64(&s, "slots_per_sec"), Some(2.5));
+        assert_eq!(json_u64(&s, "nominal_shed"), Some(0));
+        assert_eq!(json_bool(&s, "outputs_bit_identical"), Some(true));
+        assert_eq!(json_f64(&s, "missing"), None);
+        assert_eq!(json_bool(&s, "slots_per_sec"), None);
+    }
+}

@@ -20,7 +20,12 @@
 //!
 //! `cargo xtask selftest` feeds deliberately planted violations through
 //! the engine and fails if any escape — the lint linting itself.
+//!
+//! `cargo xtask ci <gate>` runs one of the repository's merge gates
+//! (bench floors, bit-identity, shed-free soak, tracing overhead) as a
+//! single tested command — see the [`ci`] module.
 
+mod ci;
 mod rules;
 mod scan;
 
@@ -32,10 +37,12 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
         Some("selftest") => selftest(),
+        Some("ci") => ci::run(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask <lint|selftest>");
+            eprintln!("usage: cargo xtask <lint|selftest|ci>");
             eprintln!("  lint      run the Choir static-analysis pass over the workspace");
             eprintln!("  selftest  verify the lint engine catches planted violations");
+            eprintln!("  ci        run a merge gate (bench-smoke, station-soak)");
             ExitCode::from(2)
         }
     }
@@ -180,6 +187,16 @@ fn selftest() -> ExitCode {
         (
             "crates/choir-dsp/src/planted.rs",
             "pub fn f(x: Option<u8>) -> u8 {\n    // lint:allow(unwrap) — caller guarantees Some\n    x.unwrap()\n}\n",
+            &[],
+        ),
+        (
+            "crates/choir-core/src/planted.rs",
+            "pub fn f() -> Result<(), DecodeError> {\n    Err(DecodeError::NoUsersFound { window_hits: 2 })\n}\n",
+            &["trace_event"],
+        ),
+        (
+            "crates/choir-core/src/planted.rs",
+            "pub fn f() -> Result<(), DecodeError> {\n    Err(DecodeError::NoUsersFound { window_hits: 2 }.traced())\n}\n",
             &[],
         ),
     ];

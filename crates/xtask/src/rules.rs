@@ -85,6 +85,7 @@ pub fn check_file(f: &SourceFile) -> Vec<Violation> {
     no_float_eq(f, &mut out);
     no_lossy_casts(f, &mut out);
     no_hot_allocs(f, &mut out);
+    trace_event(f, &mut out);
     out
 }
 
@@ -384,6 +385,89 @@ fn no_hot_allocs(f: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
+/// Rule `trace_event`: every `DecodeError` *construction* in library code
+/// must emit its provenance — call `.traced()` on the fresh value within
+/// the same statement — or carry a `lint:allow(trace_event)` marker.
+/// `DecodeError::traced()` is the one blessed emission point for the
+/// `decode_failed` trace event, so this rule is what keeps the flight
+/// recorder in lockstep with the typed error surface: a new error path
+/// cannot silently skip the log.
+///
+/// Pattern positions are not origination sites and are skipped: match
+/// arms (`=>` after the variant), rest patterns (`..` inside the field
+/// braces, as in `DecodeError::Frame { .. }`), and `==`/`!=` comparisons
+/// against an error that already exists.
+fn trace_event(f: &SourceFile, out: &mut Vec<Violation>) {
+    if !is_library_source(&f.path) {
+        return;
+    }
+    const NEEDLE: &str = "DecodeError::";
+    let bytes = f.code.as_bytes();
+    let mut search = 0usize;
+    while let Some(rel) = f.code[search..].find(NEEDLE) {
+        let at = search + rel;
+        search = at + NEEDLE.len();
+        // Identifier boundary on the left (`MyDecodeError::` is not ours).
+        if at > 0 {
+            let p = bytes[at - 1];
+            if p.is_ascii_alphanumeric() || p == b'_' {
+                continue;
+            }
+        }
+        // Comparisons test an error that already exists.
+        let mut b = at;
+        while b > 0 && bytes[b - 1] == b' ' {
+            b -= 1;
+        }
+        if f.code[..b].ends_with("==") || f.code[..b].ends_with("!=") {
+            continue;
+        }
+        // Walk past the variant name and an optional `{ ... }` field block.
+        let mut rest = at + NEEDLE.len();
+        while rest < bytes.len() && (bytes[rest].is_ascii_alphanumeric() || bytes[rest] == b'_') {
+            rest += 1;
+        }
+        while rest < bytes.len() && bytes[rest].is_ascii_whitespace() {
+            rest += 1;
+        }
+        let mut is_pattern = false;
+        if bytes.get(rest) == Some(&b'{') {
+            let Some(close) = brace_close(&f.code, rest) else {
+                continue;
+            };
+            // A rest pattern in the field block means a match/if-let
+            // pattern, not a construction.
+            if f.code[rest..close].contains("..") {
+                is_pattern = true;
+            }
+            rest = close;
+            while rest < bytes.len() && bytes[rest].is_ascii_whitespace() {
+                rest += 1;
+            }
+        }
+        if f.code[rest..].starts_with("=>") {
+            is_pattern = true;
+        }
+        if is_pattern {
+            continue;
+        }
+        // A construction: `.traced()` must follow before the statement ends.
+        let stmt_end = f.code[rest..]
+            .find(';')
+            .map(|r| rest + r)
+            .unwrap_or(f.code.len());
+        if !f.code[rest..stmt_end].contains(".traced(") {
+            push(
+                f,
+                out,
+                at,
+                "trace_event",
+                "`DecodeError` constructed without `.traced()` — emit the decode_failed trace event at the origination site".to_string(),
+            );
+        }
+    }
+}
+
 /// Rule `missing_docs_gate` + `lints_inherit`: every library crate must
 /// hard-deny missing docs and inherit the workspace lint table. Returns
 /// violations with pseudo-positions (line 1).
@@ -562,6 +646,41 @@ mod tests {
         assert!(violations(
             "crates/choir-dsp/src/planted.rs",
             "// hot:noalloc — kernel\npub fn f() { my_vec!(); let _ = SmallVec::new(); }\n",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn decode_error_constructions_need_traced() {
+        // Bare construction: flagged.
+        let v = violations(
+            "crates/choir-core/src/planted.rs",
+            "pub fn f() -> Result<(), DecodeError> {\n    Err(DecodeError::SicStalled { window: 3, relative_residual: 0.5 })\n}\n",
+        );
+        assert_eq!(v, ["trace_event"]);
+        // Construction with `.traced()` in the same statement: clean.
+        assert!(violations(
+            "crates/choir-core/src/planted.rs",
+            "pub fn f() -> Result<(), DecodeError> {\n    Err(DecodeError::SicStalled { window: 3, relative_residual: 0.5 }.traced())\n}\n",
+        )
+        .is_empty());
+        // Match arms, rest patterns and comparisons are not origination
+        // sites.
+        assert!(violations(
+            "crates/choir-core/src/planted.rs",
+            "pub fn kind(e: &DecodeError) -> &'static str {\n    match e {\n        DecodeError::TruncatedSlot { slot_start, needed, have } => \"truncated\",\n        DecodeError::Frame { .. } => \"frame\",\n    }\n}\npub fn same(a: DecodeError, b: DecodeError) -> bool { a == b }\n",
+        )
+        .is_empty());
+        // An allowlisted site with a reason is exempt.
+        assert!(violations(
+            "crates/choir-core/src/planted.rs",
+            "pub fn f() -> DecodeError {\n    // lint:allow(trace_event) — probe error, never surfaced to callers\n    DecodeError::NoUsersFound { window_hits: 0 }\n}\n",
+        )
+        .is_empty());
+        // Test code is exempt wholesale.
+        assert!(violations(
+            "crates/choir-core/src/planted.rs",
+            "#[cfg(test)]\nmod tests { fn f() -> DecodeError { DecodeError::NoUsersFound { window_hits: 0 } } }\n",
         )
         .is_empty());
     }
