@@ -12,8 +12,8 @@
 //! recorded unless a scope runs. Totals are process-wide atomics so
 //! worker-pool threads need no merging step.
 
+use choir_sync::atomic::{AtomicU64, Ordering};
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// A pipeline stage of the per-slot latency breakdown.
@@ -76,7 +76,7 @@ pub fn scope<R>(stage: Stage, f: impl FnOnce() -> R) -> R {
     let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
     let child = SCOPES.with(|s| s.borrow_mut().pop()).map_or(0, |(_, c)| c);
     let exclusive = elapsed.saturating_sub(child);
-    TOTALS[stage as usize].fetch_add(exclusive, Ordering::Relaxed);
+    bill(stage, exclusive);
     SCOPES.with(|s| {
         if let Some(top) = s.borrow_mut().last_mut() {
             top.1 = top.1.saturating_add(elapsed);
@@ -86,12 +86,36 @@ pub fn scope<R>(stage: Stage, f: impl FnOnce() -> R) -> R {
     out
 }
 
+/// Adds `ns` nanoseconds to `stage`'s process-wide total.
+///
+/// This is the one write path into the totals — [`scope`] computes an
+/// exclusive elapsed time and bills it here. Concurrent bills from
+/// worker-pool threads accumulate without loss, and a concurrent
+/// [`snapshot_and_reset`] attributes each billed amount to exactly one
+/// snapshot (the `fetch_add`/`swap` pair can split a set of bills across
+/// two snapshots, but never drops or double-counts one) — invariants
+/// model-checked in `tests/model.rs`.
+pub fn bill(stage: Stage, ns: u64) {
+    TOTALS[stage as usize].fetch_add(ns, Ordering::Relaxed); // ordering: totals are commutative sums read via swap; no other memory is published through them
+}
+
 /// Returns the accumulated per-stage seconds and resets the counters.
 /// Indexed like [`STAGE_NAMES`].
 pub fn snapshot_and_reset() -> [f64; NUM_STAGES] {
     let mut out = [0.0; NUM_STAGES];
     for (i, total) in TOTALS.iter().enumerate() {
-        out[i] = total.swap(0, Ordering::Relaxed) as f64 * 1e-9;
+        out[i] = total.swap(0, Ordering::Relaxed) as f64 * 1e-9; // ordering: swap atomically hands the accumulated sum to exactly one snapshot; stage slots are independent counters
+    }
+    out
+}
+
+/// Raw-nanosecond variant of [`snapshot_and_reset`], for callers that
+/// need exact conservation accounting (tests, the model-checked suites)
+/// rather than report-friendly seconds.
+pub fn snapshot_and_reset_ns() -> [u64; NUM_STAGES] {
+    let mut out = [0; NUM_STAGES];
+    for (i, total) in TOTALS.iter().enumerate() {
+        out[i] = total.swap(0, Ordering::Relaxed); // ordering: same swap-handoff as snapshot_and_reset
     }
     out
 }

@@ -1,0 +1,100 @@
+//! Model-checked suite for the per-stage profiling counters.
+//!
+//! Drives the real `choir_core::profile` write path (`bill`) and the
+//! `snapshot_and_reset_ns` swap-handoff under the `choir-sync` schedule
+//! explorer. Compiled only under `RUSTFLAGS="--cfg choir_model"`
+//! (`cargo xtask ci model-check`).
+//!
+//! The totals are process-global, so the tests serialise on a local
+//! mutex and reset the counters at the top of every schedule.
+#![cfg(choir_model)]
+
+use choir_core::profile::{bill, snapshot_and_reset_ns, Stage};
+use choir_sync::model::{explore, Config};
+use choir_sync::thread;
+
+/// Serialises the tests in this binary: they all mutate the
+/// process-global stage totals.
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    GUARD
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Concurrent bills from pool workers are never lost: whatever the
+/// interleaving of the `fetch_add`s, the post-join snapshot sees the
+/// exact sum per stage, and untouched stages stay zero.
+#[test]
+fn concurrent_bills_accumulate_without_loss() {
+    let _s = serial();
+    let report = explore(Config::new(400), || {
+        let _ = snapshot_and_reset_ns();
+        thread::scope(|s| {
+            s.spawn(|| {
+                bill(Stage::Refine, 3);
+                bill(Stage::Sic, 10);
+            });
+            s.spawn(|| {
+                bill(Stage::Refine, 5);
+                bill(Stage::Demod, 7);
+            });
+        });
+        let snap = snapshot_and_reset_ns();
+        assert_eq!(snap[Stage::Refine as usize], 8, "a refine bill was lost");
+        assert_eq!(snap[Stage::Sic as usize], 10, "the sic bill was lost");
+        assert_eq!(snap[Stage::Demod as usize], 7, "the demod bill was lost");
+        assert_eq!(
+            snap[Stage::Dechirp as usize],
+            0,
+            "billed to the wrong stage"
+        );
+    });
+    assert!(
+        report.distinct >= 200,
+        "expected broad bill-interleaving coverage, got {report:?}"
+    );
+}
+
+/// A snapshot racing live billers conserves every nanosecond: each bill
+/// lands in exactly one snapshot (the racing one or the final one),
+/// never zero, never both — per stage and in total.
+#[test]
+fn snapshot_racing_bills_conserves_every_nanosecond() {
+    let _s = serial();
+    let report = explore(Config::new(500), || {
+        let _ = snapshot_and_reset_ns();
+        let mut mid = [0u64; choir_core::profile::NUM_STAGES];
+        thread::scope(|s| {
+            s.spawn(|| {
+                bill(Stage::Ingest, 100);
+                bill(Stage::Detect, 1);
+                bill(Stage::Ingest, 10);
+            });
+            // Races the biller: may capture any prefix of its bills.
+            mid = snapshot_and_reset_ns();
+        });
+        let rest = snapshot_and_reset_ns();
+        assert_eq!(
+            mid[Stage::Ingest as usize] + rest[Stage::Ingest as usize],
+            110,
+            "an ingest bill was dropped or double-counted across snapshots"
+        );
+        assert_eq!(
+            mid[Stage::Detect as usize] + rest[Stage::Detect as usize],
+            1,
+            "the detect bill was dropped or double-counted across snapshots"
+        );
+        // The racing snapshot must capture a *prefix-consistent* view per
+        // stage: only 0, 100, or 110 are reachable ingest captures.
+        let got = mid[Stage::Ingest as usize];
+        assert!(
+            got == 0 || got == 100 || got == 110,
+            "snapshot observed a torn ingest total: {got}"
+        );
+    });
+    assert!(
+        report.distinct >= 200,
+        "expected broad snapshot-vs-bill coverage, got {report:?}"
+    );
+}

@@ -18,8 +18,9 @@
 
 use crate::complex::C64;
 use crate::workspace::{self, Workspace};
+use choir_sync::{Mutex, OnceLock};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::Arc;
 
 /// Sign convention: forward transform uses `e^{-j2πkn/N}`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -304,15 +305,15 @@ impl PlanCache {
     /// # Panics
     /// Panics if `n == 0` (as [`FftPlan::new`] does).
     pub fn get(&self, n: usize) -> Arc<FftPlan> {
-        // A poisoned lock only means another thread panicked mid-insert;
-        // the map itself is still structurally valid, so keep using it.
-        let mut plans = self.plans.lock().unwrap_or_else(|e| e.into_inner());
+        // The facade lock recovers from poisoning: another thread
+        // panicking mid-insert leaves the map structurally valid.
+        let mut plans = self.plans.lock();
         Arc::clone(plans.entry(n).or_insert_with(|| Arc::new(FftPlan::new(n))))
     }
 
     /// Number of distinct sizes currently cached.
     pub fn len(&self) -> usize {
-        self.plans.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.plans.lock().len()
     }
 
     /// True when no size has been planned yet.

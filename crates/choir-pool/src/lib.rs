@@ -20,14 +20,22 @@
 //! so uneven per-item cost (e.g. slots with different collision orders)
 //! load-balances without any unsafe code or channels.
 //!
-//! Panics in the closure are propagated: the first panicking worker's
-//! payload is re-raised on the calling thread via
-//! [`std::panic::resume_unwind`], matching what a sequential loop would do.
+//! Panics in the closure are propagated deterministically: every item is
+//! still evaluated, each worker records the lowest panicking item index
+//! it saw, and the payload re-raised on the calling thread via
+//! [`std::panic::resume_unwind`] is the one from the **lowest panicking
+//! index overall** — exactly the panic a sequential loop would have
+//! raised first, independent of worker count and OS scheduling.
+//!
+//! All synchronisation goes through the [`choir_sync`] facade, so the
+//! chunk-claiming protocol runs under the schedule-exploring model
+//! checker (`cargo xtask ci model-check`, `tests/model.rs`).
 
 #![deny(missing_docs)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use choir_sync::atomic::{AtomicUsize, Ordering};
+use choir_sync::{thread, OnceLock};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Environment variable that fixes the worker count for pools built with
 /// [`ThreadPool::from_env`] (and thus the [`global`] pool). Unset or
@@ -38,6 +46,9 @@ pub const THREADS_ENV: &str = "CHOIR_THREADS";
 /// Upper bound on workers so a typo'd `CHOIR_THREADS=4000` cannot fork-bomb
 /// the host.
 const MAX_THREADS: usize = 256;
+
+/// A caught panic payload, as produced by [`std::panic::catch_unwind`].
+type Payload = Box<dyn std::any::Any + Send + 'static>;
 
 /// A lightweight handle describing how many workers to use.
 ///
@@ -76,7 +87,7 @@ impl ThreadPool {
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&n| n > 0)
             .unwrap_or_else(|| {
-                std::thread::available_parallelism()
+                thread::available_parallelism()
                     .map(std::num::NonZeroUsize::get)
                     .unwrap_or(1)
             });
@@ -91,9 +102,12 @@ impl ThreadPool {
     /// Maps `f` over `items`, returning one result per item **in item
     /// order**. `f` receives the item index and a reference to the item.
     ///
-    /// Deterministic: the output is identical for any worker count. A panic
-    /// inside `f` is re-raised on the calling thread after the workers shut
-    /// down.
+    /// Deterministic: the output is identical for any worker count. If `f`
+    /// panics, the payload re-raised on the calling thread after the
+    /// workers shut down is the one from the lowest panicking item index —
+    /// the same panic a sequential loop would raise — no matter how many
+    /// workers ran or how they interleaved. (Every item is still
+    /// evaluated; the remaining panics are discarded.)
     pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
@@ -121,43 +135,55 @@ impl ThreadPool {
         let num_chunks = len.div_ceil(chunk);
         let next_chunk = AtomicUsize::new(0);
         let mut tagged: Vec<(usize, R)> = Vec::with_capacity(len);
-        let mut panic_payload = None;
-        std::thread::scope(|scope| {
+        // Lowest panicking item index and its payload, across all workers.
+        let mut first_panic: Option<(usize, Payload)> = None;
+        thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let f = &f;
                     let next_chunk = &next_chunk;
                     scope.spawn(move || {
                         let mut local: Vec<(usize, R)> = Vec::new();
+                        // This worker's lowest panicking item, if any.
+                        // Items are caught one at a time so every item is
+                        // evaluated exactly once regardless of panics —
+                        // that is what makes the winning panic (the
+                        // globally lowest index) deterministic.
+                        let mut local_panic: Option<(usize, Payload)> = None;
                         loop {
-                            let c = next_chunk.fetch_add(1, Ordering::Relaxed);
+                            let c = next_chunk.fetch_add(1, Ordering::Relaxed); // ordering: chunk ids only claim work; writeback is keyed by item index and joined via scope exit, so claim order never needs to synchronise data
                             if c >= num_chunks {
                                 break;
                             }
                             let lo = c * chunk;
                             let hi = (lo + chunk).min(len);
                             for i in lo..hi {
-                                local.push((i, f(i)));
+                                match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                                    Ok(r) => local.push((i, r)),
+                                    Err(p) => {
+                                        if local_panic.as_ref().is_none_or(|(j, _)| i < *j) {
+                                            local_panic = Some((i, p));
+                                        }
+                                    }
+                                }
                             }
                         }
-                        local
+                        (local, local_panic)
                     })
                 })
                 .collect();
             for h in handles {
-                match h.join() {
-                    Ok(local) => tagged.extend(local),
-                    Err(payload) => {
-                        // Keep the first panic; drain remaining workers so
-                        // the scope exits cleanly before re-raising.
-                        if panic_payload.is_none() {
-                            panic_payload = Some(payload);
+                if let Ok((local, local_panic)) = h.join() {
+                    tagged.extend(local);
+                    if let Some((i, p)) = local_panic {
+                        if first_panic.as_ref().is_none_or(|(j, _)| i < *j) {
+                            first_panic = Some((i, p));
                         }
                     }
                 }
             }
         });
-        if let Some(payload) = panic_payload {
+        if let Some((_, payload)) = first_panic {
             std::panic::resume_unwind(payload);
         }
         // Re-assemble in index order. Chunks are contiguous and disjoint,
@@ -245,6 +271,49 @@ mod tests {
             .cloned()
             .unwrap_or_default();
         assert!(msg.contains("boom at 37"), "payload: {msg}");
+    }
+
+    #[test]
+    fn fewer_items_than_workers_still_parallel_and_ordered() {
+        // len=3 with 8 workers exercises the parallel path (len > 1) where
+        // most workers find the chunk counter already exhausted.
+        let pool = ThreadPool::with_threads(8);
+        let out = pool.run(3, |i| i * 10);
+        assert_eq!(out, vec![0, 10, 20]);
+        let items = [5u8, 6, 7];
+        assert_eq!(pool.map(&items, |_, &b| b as usize), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn zero_length_run_spawns_nothing() {
+        let pool = ThreadPool::with_threads(8);
+        assert_eq!(pool.run(0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn concurrent_panics_lowest_index_wins_deterministically() {
+        // Two items panic; whichever worker finishes first, the caller must
+        // always observe the panic a sequential loop would have hit first.
+        let pool = ThreadPool::with_threads(4);
+        for round in 0..50 {
+            let res = std::panic::catch_unwind(|| {
+                pool.run(64, |i| {
+                    if i == 17 || i == 37 {
+                        panic!("boom at {i}");
+                    }
+                    i
+                })
+            });
+            let payload = res.expect_err("panic should propagate");
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert!(
+                msg.contains("boom at 17"),
+                "round {round}: expected the lowest-index panic, got: {msg}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Model-checked suite for the pool's chunked self-scheduling protocol.
+//!
+//! Runs the *real* `ThreadPool` code under the `choir-sync` schedule
+//! explorer: every atomic chunk claim and every scoped spawn/join is a
+//! scheduler decision point, and the invariants below are asserted under
+//! every explored interleaving. Compiled only under
+//! `RUSTFLAGS="--cfg choir_model"` (`cargo xtask ci model-check`).
+#![cfg(choir_model)]
+
+use choir_pool::ThreadPool;
+use choir_sync::model::{explore, Config};
+
+/// Every index is computed exactly once and written back in order, no
+/// matter how workers interleave their chunk claims.
+#[test]
+fn chunk_claims_cover_every_item_exactly_once() {
+    // len=6 with 3 workers → chunk size 1, six claims racing over the
+    // shared counter; the output must be identical in every schedule.
+    let report = explore(Config::new(600), || {
+        let pool = ThreadPool::with_threads(3);
+        let out = pool.run(6, |i| i * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50]);
+    });
+    assert!(
+        report.distinct >= 300,
+        "expected a wide interleaving sweep of the claim protocol, got {report:?}"
+    );
+}
+
+/// `map` writeback stays keyed by item index (not completion order)
+/// when there are fewer items than workers and most workers go idle.
+#[test]
+fn order_preserved_with_idle_workers() {
+    let report = explore(Config::new(250), || {
+        let pool = ThreadPool::with_threads(4);
+        let items = [3u64, 1, 4];
+        let out = pool.map(&items, |i, &x| (i as u64) * 100 + x);
+        assert_eq!(out, vec![3, 101, 204]);
+    });
+    assert!(
+        report.distinct >= 120,
+        "expected many idle-worker schedules, got {report:?}"
+    );
+}
+
+/// Panic propagation is deterministic under every schedule: with two
+/// panicking items the caller always observes the lower index, exactly
+/// as a sequential loop would.
+#[test]
+fn lowest_index_panic_wins_in_every_schedule() {
+    let report = explore(Config::new(400), || {
+        let pool = ThreadPool::with_threads(2);
+        let res = std::panic::catch_unwind(|| {
+            pool.run(4, |i| {
+                if i == 1 || i == 3 {
+                    std::panic::panic_any(format!("boom at {i}"));
+                }
+                i
+            })
+        });
+        let payload = match res {
+            Err(p) => p,
+            Ok(_) => unreachable!("panicking items must propagate"),
+        };
+        let msg = payload.downcast_ref::<String>().map(String::as_str);
+        assert_eq!(
+            msg,
+            Some("boom at 1"),
+            "the winning panic must be the lowest item index under every schedule"
+        );
+    });
+    assert!(
+        report.distinct >= 150,
+        "expected broad panic-schedule coverage, got {report:?}"
+    );
+}

@@ -1,0 +1,79 @@
+//! Regression test: a long-lived station that churns decoder worker
+//! threads must not leak per-thread trace rings.
+//!
+//! Every `ThreadPool::map` call spawns fresh scoped OS threads, and each
+//! worker that emits a trace event registers a ring. Before the recorder
+//! pruned exited owners' rings (see `choir_trace::drain`), a station
+//! running under `CHOIR_TRACE=full` grew its ring registry by one ring
+//! per worker per decode, forever. This test drives repeated station
+//! runs with a multi-worker pool and requires the registry to stay
+//! bounded across rounds.
+
+use choir_channel::impairments::HardwareProfile;
+use choir_channel::scenario::ScenarioBuilder;
+use choir_dsp::complex::C64;
+use choir_pool::ThreadPool;
+use choir_station::{SlotSchedule, Station, StationConfig};
+use choir_trace::TraceLevel;
+use lora_phy::params::PhyParams;
+
+const PAYLOAD_LEN: usize = 4;
+
+#[test]
+fn station_rounds_do_not_leak_trace_rings() {
+    // One clean single-user slot: cheap to decode, but the decode still
+    // fans out over pool workers that all emit Full-level trace events.
+    let params = PhyParams::default();
+    let scenario = ScenarioBuilder::new(params)
+        .snrs_db(&[20.0])
+        .payload_len(PAYLOAD_LEN)
+        .profiles(vec![HardwareProfile {
+            cfo_hz: 2.0 * 125e3 / 256.0,
+            timing_offset_symbols: 0.15,
+            phase: 1.0,
+            cfo_jitter_hz: 0.0,
+            timing_jitter_symbols: 0.0,
+        }])
+        .seed(41)
+        .build();
+
+    choir_trace::set_level(TraceLevel::Full);
+    choir_trace::clear();
+    let _ = choir_trace::drain();
+    let baseline = choir_trace::active_rings();
+
+    let mut stream: Vec<C64> = vec![C64::ZERO; 500];
+    let slot_start = (stream.len() + scenario.slot_start) as u64;
+    stream.extend_from_slice(&scenario.samples);
+    stream.resize(stream.len() + 500, C64::ZERO);
+    let chunks: Vec<Vec<C64>> = stream.chunks(2048).map(<[C64]>::to_vec).collect();
+
+    let mut peak_after_drain = 0;
+    for round in 0..8 {
+        let cfg = StationConfig::known_len(params, PAYLOAD_LEN);
+        let station = Station::new(cfg, SlotSchedule::Explicit(vec![slot_start]))
+            .with_pool(ThreadPool::with_threads(4));
+        let report = station.run(chunks.iter().cloned());
+        assert_eq!(
+            report.slots.len(),
+            1,
+            "round {round}: the slot must be captured"
+        );
+        // The drain prunes rings owned by this round's exited workers.
+        let log = choir_trace::drain();
+        assert!(
+            !log.is_empty(),
+            "round {round}: Full tracing must have recorded events"
+        );
+        peak_after_drain = peak_after_drain.max(choir_trace::active_rings());
+    }
+    choir_trace::set_level(TraceLevel::Off);
+
+    // Without pruning this grows by several rings per round (one per
+    // emitting worker); with pruning only the persistent test thread and
+    // at most one round's not-yet-churned stragglers remain.
+    assert!(
+        peak_after_drain <= baseline + 2,
+        "trace ring registry leaked across station rounds: baseline {baseline}, peak after drains {peak_after_drain}"
+    );
+}

@@ -1,0 +1,71 @@
+//! Atomic integers: std re-exports in normal builds, yield-point wrappers
+//! under `cfg(choir_model)`.
+//!
+//! Only the API subset the workspace uses is wrapped (`new` / `load` /
+//! `store` / `swap` / `fetch_add`); extending it is a one-line addition
+//! to the macro invocation below. `Ordering` is always std's enum — the
+//! model scheduler serialises execution, so every ordering is at least
+//! as strong as requested.
+
+pub use std::sync::atomic::Ordering;
+
+#[cfg(not(choir_model))]
+pub use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize};
+
+#[cfg(choir_model)]
+macro_rules! model_atomic {
+    ($name:ident, $inner:path, $ty:ty) => {
+        /// Model-checked atomic: every operation is a scheduler yield
+        /// point, then delegates to the std atomic it wraps.
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: $inner,
+        }
+
+        impl $name {
+            /// Creates a new atomic with the given initial value.
+            pub const fn new(v: $ty) -> Self {
+                $name {
+                    inner: <$inner>::new(v),
+                }
+            }
+
+            /// Loads the value (yield point under the model).
+            #[inline]
+            pub fn load(&self, order: Ordering) -> $ty {
+                crate::model::op_yield();
+                self.inner.load(order)
+            }
+
+            /// Stores a value (yield point under the model).
+            #[inline]
+            pub fn store(&self, v: $ty, order: Ordering) {
+                crate::model::op_yield();
+                self.inner.store(v, order);
+            }
+
+            /// Swaps the value, returning the previous one (yield point
+            /// under the model).
+            #[inline]
+            pub fn swap(&self, v: $ty, order: Ordering) -> $ty {
+                crate::model::op_yield();
+                self.inner.swap(v, order)
+            }
+
+            /// Adds to the value, returning the previous one (yield point
+            /// under the model).
+            #[inline]
+            pub fn fetch_add(&self, v: $ty, order: Ordering) -> $ty {
+                crate::model::op_yield();
+                self.inner.fetch_add(v, order)
+            }
+        }
+    };
+}
+
+#[cfg(choir_model)]
+model_atomic!(AtomicU8, std::sync::atomic::AtomicU8, u8);
+#[cfg(choir_model)]
+model_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+#[cfg(choir_model)]
+model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);

@@ -1,0 +1,55 @@
+//! # choir-sync — the workspace's one door to `std::sync`
+//!
+//! Every concurrency primitive the Choir pipeline uses — the pool's
+//! chunk counter, the trace recorder's rings and sequence stamp, the
+//! profile totals, the FFT-plan and chirp-table caches — goes through
+//! this crate. The `sync_facade` lint rule (`cargo xtask lint`) bans
+//! direct `std::sync::atomic` / `Mutex` / `OnceLock` / `std::thread`
+//! use everywhere else, which buys two things:
+//!
+//! 1. **Normal builds are exactly std.** Each wrapper is a
+//!    `#[repr(transparent)]`-style `#[inline]` pass-through (atomics are
+//!    literal re-exports); there is no runtime cost and no semantic
+//!    drift, with one deliberate exception: [`Mutex::lock`] recovers
+//!    from poisoning instead of returning a `Result`, because every
+//!    caller in the workspace wants the
+//!    `lock().unwrap_or_else(PoisonError::into_inner)` behaviour — a
+//!    half-written trace ring or plan cache is still structurally valid.
+//! 2. **Model builds are checkable.** Under `RUSTFLAGS="--cfg
+//!    choir_model"` (test-only; `cargo xtask ci model-check` drives it)
+//!    every operation first yields to the deterministic scheduler in
+//!    the `model` module (compiled only under that cfg), which explores
+//!    bounded permutations of thread
+//!    interleavings — DFS over the yield points with a seeded random
+//!    fallback sampler, loom-style but hand-rolled so the offline
+//!    container needs no external dependency. The real code runs under
+//!    every explored schedule and its invariants are asserted in each.
+//!
+//! The model serialises execution (one thread runs between yield
+//! points), so it explores all interleavings of the *operations* under
+//! sequential consistency; it does not model weak-memory reordering.
+//! That matches how the workspace uses atomics — counters and
+//! first-writer-wins flags, never release/acquire publication chains —
+//! and the `atomic_ordering` lint keeps every ordering choice annotated
+//! so a future publication chain would be visible in review.
+//!
+//! ```
+//! use choir_sync::atomic::{AtomicU64, Ordering};
+//!
+//! static HITS: AtomicU64 = AtomicU64::new(0);
+//! HITS.fetch_add(1, Ordering::Relaxed); // ordering: doc example counter
+//! assert!(HITS.load(Ordering::Relaxed) >= 1); // ordering: doc example counter
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod atomic;
+mod mutex;
+mod once;
+pub mod thread;
+
+#[cfg(choir_model)]
+pub mod model;
+
+pub use mutex::{Mutex, MutexGuard};
+pub use once::OnceLock;

@@ -1,0 +1,582 @@
+//! The deterministic model scheduler behind `cfg(choir_model)`.
+//!
+//! One thread runs at a time; every facade operation (atomic op, lock
+//! acquire/release, `OnceLock` access, spawn/join) is a *yield point*
+//! where the scheduler may hand the token to another runnable thread.
+//! [`explore`] runs a closure under many schedules: first a depth-first
+//! enumeration of the branching decision tree (exhaustive when it fits
+//! the budget), then seeded random sampling for the remainder. Executed
+//! code is the real workspace code — the only difference from a normal
+//! build is *when* each thread advances.
+//!
+//! Because execution is serialised, the model checks all interleavings
+//! of operations under sequential consistency; it does not model
+//! weak-memory reordering (see the crate docs for why that matches this
+//! workspace's atomics usage).
+//!
+//! A failing schedule prints its decision path; re-run the same test
+//! with `CHOIR_MODEL_REPLAY=<comma-separated path>` to execute exactly
+//! that schedule first.
+
+use std::collections::HashSet;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Marker payload used to unwind threads of an aborted schedule
+/// (deadlock or root panic). Never surfaces as a test failure itself.
+struct AbortPanic;
+
+/// What a model thread is currently doing, from the scheduler's view.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Th {
+    Runnable,
+    /// Waiting for the modelled lock at this address.
+    BlockedLock(usize),
+    /// Waiting for the thread with this id to finish.
+    BlockedJoin(usize),
+    Finished,
+}
+
+/// Sentinel for "no thread holds the token".
+const NO_TID: usize = usize::MAX;
+
+/// How long a token wait may sit idle before the run is declared stuck.
+/// Generous: real schedules hand the token over in microseconds.
+const STUCK_TIMEOUT: Duration = Duration::from_secs(20);
+
+/// Cap on model threads per schedule; a test exceeding it is a bug.
+const MAX_THREADS: usize = 64;
+
+struct State {
+    /// True while `explore` is running a schedule.
+    active: bool,
+    /// True once the current schedule is being torn down.
+    aborted: bool,
+    /// Human-readable deadlock / stuck diagnosis, if any.
+    deadlock: Option<String>,
+    threads: Vec<Th>,
+    /// Thread id currently holding the run token.
+    current: usize,
+    /// Modelled lock table: `(mutex address, owner tid)`.
+    locks: Vec<(usize, usize)>,
+    /// Decision indices to replay from a previous schedule (DFS).
+    prefix: Vec<usize>,
+    /// `(chosen index, candidate count)` per branching decision so far.
+    decisions: Vec<(usize, usize)>,
+    /// Stop recording decisions past this depth (choices default to 0).
+    max_depth: usize,
+    /// Random sampling mode (vs DFS first-candidate default).
+    sample: bool,
+    rng: u64,
+}
+
+impl State {
+    const fn new() -> Self {
+        State {
+            active: false,
+            aborted: false,
+            deadlock: None,
+            threads: Vec::new(),
+            current: NO_TID,
+            locks: Vec::new(),
+            prefix: Vec::new(),
+            decisions: Vec::new(),
+            max_depth: 0,
+            sample: false,
+            rng: 1,
+        }
+    }
+}
+
+static STATE: StdMutex<State> = StdMutex::new(State::new());
+static CV: Condvar = Condvar::new();
+/// Serialises whole explorations: the scheduler state is global, so two
+/// concurrent `explore` calls (e.g. two `#[test]`s) must not interleave.
+static EXPLORE_LOCK: StdMutex<()> = StdMutex::new(());
+
+thread_local! {
+    /// This OS thread's model id, if it belongs to the active schedule.
+    static TID: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+fn cur_tid() -> Option<usize> {
+    TID.with(std::cell::Cell::get)
+}
+
+fn lock_state() -> StdMutexGuard<'static, State> {
+    STATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn raise_abort() -> ! {
+    resume_unwind(Box::new(AbortPanic))
+}
+
+/// True if `p` is the internal abort marker rather than a real panic.
+pub(crate) fn is_abort_payload(p: &(dyn std::any::Any + Send)) -> bool {
+    p.downcast_ref::<AbortPanic>().is_some()
+}
+
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+fn describe(st: &State) -> String {
+    let mut out = String::from("threads: ");
+    for (i, th) in st.threads.iter().enumerate() {
+        out.push_str(&format!("[{i}:{th:?}] "));
+    }
+    out.push_str("locks: ");
+    for (addr, owner) in &st.locks {
+        out.push_str(&format!("[{addr:#x} held by {owner}] "));
+    }
+    out
+}
+
+/// Picks the next token holder among runnable threads, recording the
+/// decision when it branches. Declares deadlock if nothing can run while
+/// unfinished threads remain. Returns `Err(())` on abort/deadlock.
+fn pick_next(st: &mut State) -> Result<(), ()> {
+    let candidates: Vec<usize> = st
+        .threads
+        .iter()
+        .enumerate()
+        .filter(|(_, th)| **th == Th::Runnable)
+        .map(|(i, _)| i)
+        .collect();
+    if candidates.is_empty() {
+        if st.threads.iter().all(|th| *th == Th::Finished) {
+            st.current = NO_TID;
+            CV.notify_all();
+            return Ok(());
+        }
+        st.deadlock = Some(format!("no runnable thread; {}", describe(st)));
+        st.aborted = true;
+        CV.notify_all();
+        return Err(());
+    }
+    let depth = st.decisions.len();
+    let idx = if depth < st.prefix.len() {
+        st.prefix[depth].min(candidates.len() - 1)
+    } else if candidates.len() <= 1 {
+        0
+    } else if st.sample {
+        (xorshift(&mut st.rng) as usize) % candidates.len()
+    } else {
+        0
+    };
+    if candidates.len() > 1 && depth < st.max_depth {
+        st.decisions.push((idx, candidates.len()));
+    }
+    st.current = candidates[idx];
+    CV.notify_all();
+    Ok(())
+}
+
+/// Blocks until `me` holds the token. `Err(())` means the schedule
+/// aborted while waiting (caller decides whether that may panic — drop
+/// paths must not).
+fn wait_for_token(
+    mut g: StdMutexGuard<'static, State>,
+    me: usize,
+) -> Result<StdMutexGuard<'static, State>, ()> {
+    let mut timeouts = 0u32;
+    while !g.aborted && g.current != me {
+        let (ng, to) = CV
+            .wait_timeout(g, STUCK_TIMEOUT)
+            .unwrap_or_else(PoisonError::into_inner);
+        g = ng;
+        if to.timed_out() {
+            timeouts += 1;
+            if timeouts >= 2 {
+                g.deadlock = Some(format!(
+                    "scheduler stuck: thread {me} never got the token; {}",
+                    describe(&g)
+                ));
+                g.aborted = true;
+                CV.notify_all();
+            }
+        }
+    }
+    if g.aborted {
+        Err(())
+    } else {
+        Ok(g)
+    }
+}
+
+/// A scheduling decision point: the current thread offers the token to
+/// any runnable thread (possibly keeping it). No-op off-schedule.
+pub(crate) fn op_yield() {
+    let Some(me) = cur_tid() else { return };
+    let g = lock_state();
+    if g.aborted {
+        drop(g);
+        raise_abort();
+    }
+    yield_from(g, me);
+}
+
+/// Shared tail of every panicking yield: pick a successor, wait for the
+/// token back, abort-unwind if the schedule died meanwhile.
+fn yield_from(mut g: StdMutexGuard<'static, State>, me: usize) {
+    if pick_next(&mut g).is_err() {
+        drop(g);
+        raise_abort();
+    }
+    if wait_for_token(g, me).is_err() {
+        raise_abort();
+    }
+}
+
+/// Acquires the modelled lock at `addr`, blocking in the model while
+/// another model thread owns it. Returns `false` (no-op) off-schedule.
+pub(crate) fn lock_acquire(addr: usize) -> bool {
+    let Some(me) = cur_tid() else { return false };
+    op_yield();
+    loop {
+        let mut g = lock_state();
+        if g.aborted {
+            drop(g);
+            raise_abort();
+        }
+        if g.locks.iter().all(|(a, _)| *a != addr) {
+            g.locks.push((addr, me));
+            return true;
+        }
+        g.threads[me] = Th::BlockedLock(addr);
+        if pick_next(&mut g).is_err() {
+            drop(g);
+            raise_abort();
+        }
+        match wait_for_token(g, me) {
+            Ok(_) => {} // woken as owner candidate: retry the acquire
+            Err(()) => raise_abort(),
+        }
+    }
+}
+
+/// Releases the modelled lock at `addr` and yields. Runs on guard-drop
+/// paths (possibly mid-unwind), so it must never start a new panic:
+/// on abort it cleans up and returns.
+pub(crate) fn lock_release(addr: usize) {
+    let Some(me) = cur_tid() else { return };
+    let mut g = lock_state();
+    g.locks.retain(|(a, _)| *a != addr);
+    for th in g.threads.iter_mut() {
+        if *th == Th::BlockedLock(addr) {
+            *th = Th::Runnable;
+        }
+    }
+    if g.aborted {
+        CV.notify_all();
+        return;
+    }
+    // A release can only unblock threads, and `me` is still runnable, so
+    // pick_next cannot report deadlock here.
+    if pick_next(&mut g).is_err() {
+        return;
+    }
+    drop(wait_for_token(g, me));
+}
+
+/// Registers a thread about to be spawned. `None` when the spawner is
+/// not part of a schedule — the child then runs unmodelled.
+pub(crate) fn spawn_register() -> Option<usize> {
+    cur_tid()?;
+    let mut g = lock_state();
+    if !g.active {
+        return None;
+    }
+    if g.aborted {
+        drop(g);
+        raise_abort();
+    }
+    if g.threads.len() >= MAX_THREADS {
+        g.deadlock = Some(format!(
+            "model thread limit ({MAX_THREADS}) exceeded; {}",
+            describe(&g)
+        ));
+        g.aborted = true;
+        CV.notify_all();
+        drop(g);
+        raise_abort();
+    }
+    let id = g.threads.len();
+    g.threads.push(Th::Runnable);
+    Some(id)
+}
+
+/// First call inside a spawned model thread: adopt `id` and wait to be
+/// scheduled for the first time.
+pub(crate) fn child_begin(id: usize) {
+    TID.with(|t| t.set(Some(id)));
+    let g = lock_state();
+    if wait_for_token(g, id).is_err() {
+        raise_abort();
+    }
+}
+
+/// Last call inside a spawned model thread: mark it finished, wake any
+/// joiner, and hand the token on. Runs after the panic guard, so it must
+/// not panic itself.
+pub(crate) fn child_end(id: usize) {
+    let mut g = lock_state();
+    g.threads[id] = Th::Finished;
+    // A finished thread must not leak a modelled lock (a panicking
+    // holder released via guard drop during unwind; anything left here
+    // would wedge every waiter).
+    g.locks.retain(|(_, owner)| *owner != id);
+    for th in g.threads.iter_mut() {
+        if *th == Th::BlockedJoin(id) {
+            *th = Th::Runnable;
+        }
+    }
+    TID.with(|t| t.set(None));
+    if g.aborted {
+        CV.notify_all();
+        return;
+    }
+    let _ = pick_next(&mut g);
+}
+
+/// Blocks the calling model thread until thread `id` finishes.
+pub(crate) fn join_wait(id: usize) {
+    let Some(me) = cur_tid() else { return };
+    loop {
+        let mut g = lock_state();
+        if g.threads[id] == Th::Finished {
+            return;
+        }
+        if g.aborted {
+            drop(g);
+            raise_abort();
+        }
+        g.threads[me] = Th::BlockedJoin(id);
+        if pick_next(&mut g).is_err() {
+            drop(g);
+            raise_abort();
+        }
+        if wait_for_token(g, me).is_err() {
+            raise_abort();
+        }
+    }
+}
+
+/// Aborts the current schedule: every waiting model thread wakes and
+/// unwinds with the internal abort marker.
+pub(crate) fn mark_abort() {
+    let mut g = lock_state();
+    g.aborted = true;
+    CV.notify_all();
+}
+
+/// Exploration budget and strategy knobs. `resolved()` applies the
+/// `CHOIR_MODEL_SCHEDULES` / `CHOIR_MODEL_DEPTH` / `CHOIR_MODEL_SEED`
+/// environment overrides.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Total schedules to run (DFS first, then random sampling).
+    pub max_schedules: usize,
+    /// Branching decisions recorded per schedule; deeper choices fall
+    /// back to first-candidate and are not enumerated.
+    pub max_depth: usize,
+    /// Seed for the sampling phase.
+    pub seed: u64,
+}
+
+impl Config {
+    /// A config running up to `max_schedules` schedules with the default
+    /// depth bound and seed.
+    pub const fn new(max_schedules: usize) -> Self {
+        Config {
+            max_schedules,
+            max_depth: 40,
+            seed: 0x5eed_c401,
+        }
+    }
+
+    /// Applies `CHOIR_MODEL_*` environment overrides to this config.
+    pub fn resolved(mut self) -> Self {
+        if let Some(n) = env_usize("CHOIR_MODEL_SCHEDULES") {
+            self.max_schedules = n;
+        }
+        if let Some(n) = env_usize("CHOIR_MODEL_DEPTH") {
+            self.max_depth = n;
+        }
+        if let Some(n) = env_usize("CHOIR_MODEL_SEED") {
+            self.seed = n as u64;
+        }
+        self
+    }
+}
+
+fn env_usize(key: &str) -> Option<usize> {
+    std::env::var(key).ok().and_then(|v| v.trim().parse().ok())
+}
+
+/// What an exploration covered.
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Schedules executed.
+    pub schedules: usize,
+    /// Distinct decision paths among them (sampling can repeat paths).
+    pub distinct: usize,
+    /// True when DFS exhausted the whole decision tree within budget —
+    /// every interleaving (at the recorded depth) was run.
+    pub complete: bool,
+}
+
+/// Runs `f` under explored thread schedules and reports coverage.
+///
+/// `f` runs once per schedule on the calling thread (model id 0); it
+/// typically spawns threads via [`crate::thread`] and asserts its
+/// invariants before returning. A panic in any schedule prints that
+/// schedule's decision path — re-run with `CHOIR_MODEL_REPLAY=<path>`
+/// to execute it first — and then propagates.
+pub fn explore<F: Fn()>(cfg: Config, f: F) -> Report {
+    let _serial = EXPLORE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let cfg = cfg.resolved();
+    let mut distinct: HashSet<Vec<(usize, usize)>> = HashSet::new();
+    let mut schedules = 0usize;
+
+    if let Ok(replay) = std::env::var("CHOIR_MODEL_REPLAY") {
+        let prefix: Vec<usize> = replay
+            .split(',')
+            .filter_map(|p| p.trim().parse().ok())
+            .collect();
+        eprintln!("choir_model: replaying requested schedule {prefix:?}");
+        let path = run_schedule(&f, prefix, false, 0, cfg.max_depth);
+        distinct.insert(path);
+        schedules += 1;
+    }
+
+    // Phase 1: DFS over the decision tree.
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut complete = false;
+    while schedules < cfg.max_schedules {
+        let path = run_schedule(&f, prefix.clone(), false, 0, cfg.max_depth);
+        schedules += 1;
+        // Backtrack: bump the deepest decision that still has an
+        // unexplored sibling, drop everything below it.
+        let mut next = path.clone();
+        distinct.insert(path);
+        loop {
+            match next.last().copied() {
+                None => {
+                    complete = true;
+                    break;
+                }
+                Some((idx, n)) if idx + 1 < n => {
+                    let depth = next.len() - 1;
+                    prefix = next.iter().take(depth).map(|d| d.0).collect();
+                    prefix.push(idx + 1);
+                    break;
+                }
+                Some(_) => {
+                    next.pop();
+                }
+            }
+        }
+        if complete {
+            break;
+        }
+    }
+
+    // Phase 2: seeded random sampling of whatever DFS did not reach.
+    let mut seed = cfg.seed;
+    while !complete && schedules < cfg.max_schedules {
+        let per_run = xorshift(&mut seed) | 1;
+        let path = run_schedule(&f, Vec::new(), true, per_run, cfg.max_depth);
+        schedules += 1;
+        distinct.insert(path);
+    }
+
+    Report {
+        schedules,
+        distinct: distinct.len(),
+        complete,
+    }
+}
+
+/// Runs one schedule and returns its recorded decision path.
+fn run_schedule<F: Fn()>(
+    f: &F,
+    prefix: Vec<usize>,
+    sample: bool,
+    rng: u64,
+    max_depth: usize,
+) -> Vec<(usize, usize)> {
+    {
+        let mut g = lock_state();
+        g.active = true;
+        g.aborted = false;
+        g.deadlock = None;
+        g.threads.clear();
+        g.threads.push(Th::Runnable);
+        g.current = 0;
+        g.locks.clear();
+        g.prefix = prefix;
+        g.decisions.clear();
+        g.max_depth = max_depth;
+        g.sample = sample;
+        g.rng = rng | 1;
+    }
+    TID.with(|t| t.set(Some(0)));
+    let result = catch_unwind(AssertUnwindSafe(f));
+    TID.with(|t| t.set(None));
+
+    // Teardown: drain any straggler threads so the next schedule starts
+    // from a clean slate, then collect what happened.
+    let (path, deadlock) = {
+        let mut g = lock_state();
+        g.threads[0] = Th::Finished;
+        if g.threads.iter().any(|th| *th != Th::Finished) {
+            g.aborted = true;
+            CV.notify_all();
+            let mut waited = 0u32;
+            while g.threads.iter().any(|th| *th != Th::Finished) && waited < 40 {
+                let (ng, _) = CV
+                    .wait_timeout(g, Duration::from_millis(500))
+                    .unwrap_or_else(PoisonError::into_inner);
+                g = ng;
+                waited += 1;
+            }
+            if g.threads.iter().any(|th| *th != Th::Finished) {
+                eprintln!(
+                    "choir_model: leaking a stuck thread at schedule teardown; {}",
+                    describe(&g)
+                );
+            }
+        }
+        g.active = false;
+        (std::mem::take(&mut g.decisions), g.deadlock.take())
+    };
+
+    match result {
+        Ok(()) if deadlock.is_none() => path,
+        outcome => {
+            let idx_path: Vec<usize> = path.iter().map(|d| d.0).collect();
+            let replay: Vec<String> = idx_path.iter().map(usize::to_string).collect();
+            eprintln!(
+                "choir_model: schedule failed; decision path {idx_path:?} \
+                 (reproduce with CHOIR_MODEL_REPLAY={})",
+                replay.join(",")
+            );
+            if let Some(d) = deadlock {
+                resume_unwind(Box::new(format!(
+                    "choir_model: deadlock under schedule {idx_path:?}: {d}"
+                )));
+            }
+            match outcome {
+                Err(p) if !is_abort_payload(&p) => resume_unwind(p),
+                _ => resume_unwind(Box::new(format!(
+                    "choir_model: schedule {idx_path:?} aborted without diagnosis"
+                ))),
+            }
+        }
+    }
+}

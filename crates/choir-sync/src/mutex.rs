@@ -1,0 +1,130 @@
+//! The facade mutex: a `std::sync::Mutex` whose `lock` recovers from
+//! poisoning, plus model-scheduler integration under `cfg(choir_model)`.
+
+/// A mutual-exclusion lock.
+///
+/// Identical to [`std::sync::Mutex`] except that [`lock`](Mutex::lock)
+/// never returns a poison error: if a previous holder panicked, the
+/// guard is recovered (`PoisonError::into_inner`). Every mutex-guarded
+/// structure in this workspace (trace rings, plan caches, chirp tables)
+/// stays structurally valid across a panicking holder, so poison
+/// propagation would only turn one failure into many.
+///
+/// Under `cfg(choir_model)` each acquire is a scheduler decision point
+/// and contended acquires block *in the model* (the scheduler marks the
+/// thread blocked and explores other threads) rather than in the OS.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+#[cfg(not(choir_model))]
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex holding `t`.
+    pub const fn new(t: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(t),
+        }
+    }
+
+    /// Acquires the lock, blocking until it is available; recovers the
+    /// guard if a previous holder panicked.
+    #[cfg(not(choir_model))]
+    #[inline]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Acquires the lock through the model scheduler: yields, blocks in
+    /// the model while another model thread holds it, and releases at
+    /// guard drop.
+    #[cfg(choir_model)]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let addr = self as *const Self as usize;
+        let modelled = crate::model::lock_acquire(addr);
+        // Exclusivity is enforced by the model scheduler for model
+        // threads (`lock_acquire` returns only once this thread owns the
+        // modelled lock), so the inner lock is uncontended there; for
+        // non-model threads it is the real lock.
+        let guard = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        MutexGuard {
+            inner: Some(guard),
+            addr: if modelled { Some(addr) } else { None },
+        }
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`] under the model: wraps the std
+/// guard and notifies the scheduler on drop.
+#[cfg(choir_model)]
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    /// The modelled lock identity to release on drop; `None` when the
+    /// acquiring thread was not part of a model run.
+    addr: Option<usize>,
+}
+
+#[cfg(choir_model)]
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        match &self.inner {
+            Some(g) => g,
+            None => unreachable!("guard dereferenced after drop"),
+        }
+    }
+}
+
+#[cfg(choir_model)]
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.inner {
+            Some(g) => g,
+            None => unreachable!("guard dereferenced after drop"),
+        }
+    }
+}
+
+#[cfg(choir_model)]
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock first, then tell the scheduler: a woken
+        // waiter must find the inner mutex free when it retries.
+        self.inner.take();
+        if let Some(addr) = self.addr {
+            crate::model::lock_release(addr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_round_trip() {
+        let m = Mutex::new(vec![1u8, 2]);
+        m.lock().push(3);
+        assert_eq!(*m.lock(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers() {
+        static M: Mutex<u32> = Mutex::new(7);
+        let _ = std::panic::catch_unwind(|| {
+            let _g = M.lock();
+            panic!("poison it");
+        });
+        assert_eq!(*M.lock(), 7, "lock must recover after a panicking holder");
+    }
+}

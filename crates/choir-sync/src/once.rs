@@ -1,0 +1,86 @@
+//! Facade `OnceLock`: std pass-through normally, a yield point per
+//! operation under the model.
+
+/// A cell that can be written to at most once.
+///
+/// Normal builds delegate directly to [`std::sync::OnceLock`]. Under
+/// `cfg(choir_model)` each operation is a scheduler yield point, and
+/// `get_or_init` may evaluate the initialiser on more than one thread in
+/// a racing schedule — the first completed `set` wins and every caller
+/// observes that winning value. The workspace's initialisers are pure
+/// (environment reads, empty-collection constructors), so running one
+/// twice is unobservable; do not store an initialiser with side effects.
+#[derive(Debug)]
+pub struct OnceLock<T> {
+    inner: std::sync::OnceLock<T>,
+}
+
+impl<T> OnceLock<T> {
+    /// Creates an empty cell.
+    pub const fn new() -> Self {
+        OnceLock {
+            inner: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Returns the stored value, if any.
+    #[inline]
+    pub fn get(&self) -> Option<&T> {
+        #[cfg(choir_model)]
+        crate::model::op_yield();
+        self.inner.get()
+    }
+
+    /// Stores `value` if the cell is empty; returns it back otherwise.
+    #[inline]
+    pub fn set(&self, value: T) -> Result<(), T> {
+        #[cfg(choir_model)]
+        crate::model::op_yield();
+        self.inner.set(value)
+    }
+
+    /// Returns the stored value, initialising it with `f` if empty.
+    #[cfg(not(choir_model))]
+    #[inline]
+    pub fn get_or_init<F: FnOnce() -> T>(&self, f: F) -> &T {
+        self.inner.get_or_init(f)
+    }
+
+    /// Model variant of [`get_or_init`](Self::get_or_init): yields, then
+    /// initialises without holding any real lock across the initialiser
+    /// (std's `get_or_init` would block a second model thread in the OS,
+    /// outside the scheduler's view). First completed `set` wins.
+    #[cfg(choir_model)]
+    pub fn get_or_init<F: FnOnce() -> T>(&self, f: F) -> &T {
+        crate::model::op_yield();
+        if self.inner.get().is_none() {
+            let v = f();
+            let _ = self.inner.set(v);
+        }
+        match self.inner.get() {
+            Some(v) => v,
+            None => unreachable!("OnceLock::set leaves the cell filled"),
+        }
+    }
+}
+
+impl<T> Default for OnceLock<T> {
+    fn default() -> Self {
+        OnceLock::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_writer_wins() {
+        let cell: OnceLock<u32> = OnceLock::new();
+        assert_eq!(cell.get(), None);
+        assert_eq!(cell.set(4), Ok(()));
+        assert_eq!(cell.set(9), Err(9));
+        assert_eq!(cell.get(), Some(&4));
+        assert_eq!(*cell.get_or_init(|| 11), 4);
+    }
+}

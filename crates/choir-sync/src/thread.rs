@@ -1,0 +1,212 @@
+//! Thread spawning through the facade: std re-exports normally; under
+//! `cfg(choir_model)` every spawned thread registers with the model
+//! scheduler and runs only when scheduled.
+//!
+//! The model wrappers keep std's semantics observable from the outside:
+//! `join` returns `Err(payload)` for a panicking thread, and a scope
+//! whose unjoined child panicked re-raises that payload at scope exit.
+//! Internally, though, child panics never cross a std join — they are
+//! caught in the wrapper, stashed in a side slot, and re-surfaced by
+//! *our* join, so an aborted model run (deadlock, failed schedule) can
+//! drain every OS thread without tripping std's double-panic paths.
+
+#[cfg(not(choir_model))]
+pub use std::thread::{available_parallelism, scope, spawn, JoinHandle, Scope, ScopedJoinHandle};
+
+#[cfg(choir_model)]
+pub use std::thread::available_parallelism;
+
+#[cfg(choir_model)]
+mod model_impl {
+    use crate::model;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+    type Payload = Box<dyn std::any::Any + Send + 'static>;
+    type Slot = Arc<StdMutex<Option<Payload>>>;
+    type Children = Arc<StdMutex<Vec<(usize, Slot)>>>;
+
+    fn take_slot(slot: &Slot) -> Option<Payload> {
+        slot.lock().unwrap_or_else(PoisonError::into_inner).take()
+    }
+
+    /// Runs `f`, stashing a panic payload in `slot` instead of letting it
+    /// unwind into std's thread machinery. Returns `Some(value)` on
+    /// success. Scheduler exit bookkeeping runs in both cases.
+    fn run_guarded<T>(f: impl FnOnce() -> T, slot: &Slot, id: Option<usize>) -> Option<T> {
+        if let Some(id) = id {
+            model::child_begin(id);
+        }
+        let out = match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(v) => Some(v),
+            Err(p) => {
+                *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(p);
+                None
+            }
+        };
+        if let Some(id) = id {
+            model::child_end(id);
+        }
+        out
+    }
+
+    /// A scope for spawning borrowed-data threads, mirroring
+    /// [`std::thread::scope`] with model-scheduler registration.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        children: Children,
+    }
+
+    /// Handle to a scoped model thread (see [`Scope::spawn`]).
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, Option<T>>,
+        id: Option<usize>,
+        slot: Slot,
+        children: Children,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; under a model run it executes only
+        /// when the scheduler selects it.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let id = model::spawn_register();
+            let slot: Slot = Arc::new(StdMutex::new(None));
+            let child_slot = Arc::clone(&slot);
+            let inner = self.inner.spawn(move || run_guarded(f, &child_slot, id));
+            if let Some(id) = id {
+                self.children
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push((id, Arc::clone(&slot)));
+                // The new thread is runnable: let the scheduler decide
+                // whether it or the parent proceeds.
+                model::op_yield();
+            }
+            ScopedJoinHandle {
+                inner,
+                id,
+                slot,
+                children: Arc::clone(&self.children),
+            }
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or its
+        /// panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            if let Some(id) = self.id {
+                model::join_wait(id);
+                self.children
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .retain(|(cid, _)| *cid != id);
+            }
+            match self.inner.join() {
+                Ok(Some(v)) => Ok(v),
+                Ok(None) => Err(take_slot(&self.slot)
+                    .unwrap_or_else(|| Box::new("choir-sync: missing panic payload"))),
+                Err(p) => Err(p),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning threads that borrow from the caller,
+    /// mirroring [`std::thread::scope`]. At scope exit every unjoined
+    /// child is awaited through the model scheduler; if one panicked, its
+    /// payload is re-raised here (std's unjoined-panic semantics).
+    pub fn scope<'env, F, T>(f: F) -> T
+    where
+        F: for<'scope, 'a> FnOnce(&'a Scope<'scope, 'env>) -> T,
+    {
+        enum Outcome<T> {
+            Done(T, Option<Payload>),
+            ClosurePanic(Payload),
+        }
+        let out = std::thread::scope(|inner| {
+            let s = Scope {
+                inner,
+                children: Arc::new(StdMutex::new(Vec::new())),
+            };
+            match catch_unwind(AssertUnwindSafe(|| f(&s))) {
+                Ok(v) => {
+                    // Await (and sweep panic payloads of) unjoined
+                    // children before the std scope's implicit join.
+                    let pending: Vec<(usize, Slot)> = std::mem::take(
+                        &mut *s.children.lock().unwrap_or_else(PoisonError::into_inner),
+                    );
+                    let mut child_panic = None;
+                    for (id, slot) in pending {
+                        model::join_wait(id);
+                        if child_panic.is_none() {
+                            child_panic = take_slot(&slot).filter(|p| !model::is_abort_payload(p));
+                        }
+                    }
+                    Outcome::Done(v, child_panic)
+                }
+                Err(p) => {
+                    // The scope closure is unwinding: wake every blocked
+                    // child so the std scope's implicit join can finish,
+                    // then re-raise outside the std scope.
+                    model::mark_abort();
+                    Outcome::ClosurePanic(p)
+                }
+            }
+        });
+        match out {
+            Outcome::Done(v, None) => v,
+            Outcome::Done(_, Some(p)) => resume_unwind(p),
+            Outcome::ClosurePanic(p) => resume_unwind(p),
+        }
+    }
+
+    /// Handle to a detached model thread (see [`spawn`]).
+    pub struct JoinHandle<T> {
+        inner: std::thread::JoinHandle<Option<T>>,
+        id: Option<usize>,
+        slot: Slot,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish, returning its result or its
+        /// panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            if let Some(id) = self.id {
+                model::join_wait(id);
+            }
+            match self.inner.join() {
+                Ok(Some(v)) => Ok(v),
+                Ok(None) => Err(take_slot(&self.slot)
+                    .unwrap_or_else(|| Box::new("choir-sync: missing panic payload"))),
+                Err(p) => Err(p),
+            }
+        }
+    }
+
+    /// Spawns a detached thread, mirroring [`std::thread::spawn`]; under
+    /// a model run it executes only when the scheduler selects it. Model
+    /// tests must join every spawned thread before their closure returns
+    /// (the run-end sweep waits for stragglers, but their work after the
+    /// closure's final assertion is unchecked).
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let id = model::spawn_register();
+        let slot: Slot = Arc::new(StdMutex::new(None));
+        let child_slot = Arc::clone(&slot);
+        let inner = std::thread::spawn(move || run_guarded(f, &child_slot, id));
+        if id.is_some() {
+            model::op_yield();
+        }
+        JoinHandle { inner, id, slot }
+    }
+}
+
+#[cfg(choir_model)]
+pub use model_impl::{scope, spawn, JoinHandle, Scope, ScopedJoinHandle};

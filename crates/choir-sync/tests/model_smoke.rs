@@ -1,0 +1,156 @@
+//! Self-checks for the model scheduler: these validate the checker
+//! itself (interleaving coverage, mutual exclusion, deadlock detection,
+//! panic containment) before the workspace suites rely on it.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg choir_model"`; see
+//! `cargo xtask ci model-check`.
+#![cfg(choir_model)]
+
+use choir_sync::atomic::{AtomicU64, Ordering};
+use choir_sync::model::{explore, Config};
+use choir_sync::{thread, Mutex};
+
+/// Two atomic incrementers: the total must be exact under every
+/// schedule, and the tiny space must be fully enumerated.
+#[test]
+fn atomic_counter_exact_under_all_schedules() {
+    let report = explore(Config::new(512), || {
+        let hits = AtomicU64::new(0);
+        thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    hits.fetch_add(1, Ordering::Relaxed); // ordering: model smoke counter
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2); // ordering: model smoke counter
+    });
+    assert!(
+        report.complete,
+        "two one-op threads must be exhaustively enumerable, got {report:?}"
+    );
+    assert!(
+        report.distinct >= 2,
+        "expected several interleavings, got {report:?}"
+    );
+}
+
+/// A deliberately racy read-modify-write: the checker must reach both
+/// the correct outcome and the lost-update outcome across schedules.
+#[test]
+fn lost_update_race_is_reachable() {
+    use std::sync::atomic::AtomicU8 as SeenMask; // test-side accumulator, invisible to the model
+    let seen = SeenMask::new(0);
+    explore(Config::new(512), || {
+        let racy = AtomicU64::new(0);
+        thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    let v = racy.load(Ordering::Relaxed); // ordering: intentional racy RMW
+                    racy.store(v + 1, Ordering::Relaxed); // ordering: intentional racy RMW
+                });
+            }
+        });
+        let end = racy.load(Ordering::Relaxed); // ordering: intentional racy RMW
+        assert!(end == 1 || end == 2, "impossible final value {end}");
+        seen.fetch_or(1 << end, std::sync::atomic::Ordering::Relaxed);
+    });
+    let mask = seen.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(
+        mask, 0b110,
+        "exploration must hit both the lost-update (1) and correct (2) outcomes, mask {mask:#b}"
+    );
+}
+
+/// Mutex-guarded increments never lose updates under any schedule.
+#[test]
+fn mutex_increments_never_lost() {
+    let report = explore(Config::new(1024), || {
+        let total = Mutex::new(0u64);
+        thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    let mut g = total.lock();
+                    let v = *g;
+                    *g = v + 1;
+                });
+            }
+        });
+        assert_eq!(*total.lock(), 3);
+    });
+    assert!(
+        report.distinct >= 10,
+        "three contending threads should branch widely, got {report:?}"
+    );
+}
+
+/// Self-deadlock (re-entrant lock) is reported as a deadlock with the
+/// failing schedule, not a hang.
+#[test]
+fn self_deadlock_is_detected() {
+    let result = std::panic::catch_unwind(|| {
+        explore(Config::new(8), || {
+            let m = Mutex::new(());
+            let _outer = m.lock();
+            let _inner = m.lock(); // re-entrant: blocks on itself forever
+        });
+    });
+    let Err(payload) = result else {
+        unreachable!("re-entrant locking must be reported as deadlock");
+    };
+    let msg = payload
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .unwrap_or("");
+    assert!(
+        msg.contains("deadlock"),
+        "expected a deadlock diagnosis, got: {msg}"
+    );
+}
+
+/// A panicking child is contained: `join` returns its payload, sibling
+/// threads and later schedules are unaffected.
+#[test]
+fn child_panic_is_contained_in_join() {
+    let report = explore(Config::new(256), || {
+        let ok = AtomicU64::new(0);
+        thread::scope(|s| {
+            let bad = s.spawn(|| std::panic::panic_any("boom"));
+            let good = s.spawn(|| {
+                ok.fetch_add(1, Ordering::Relaxed); // ordering: model smoke counter
+            });
+            let err = bad.join();
+            assert!(
+                matches!(err, Err(ref p) if p.downcast_ref::<&str>() == Some(&"boom")),
+                "join must surface the child's payload"
+            );
+            assert!(good.join().is_ok());
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 1); // ordering: model smoke counter
+    });
+    assert!(
+        report.schedules >= 2,
+        "expected exploration, got {report:?}"
+    );
+}
+
+/// An unjoined panicking child re-raises at scope exit (std semantics),
+/// and the failure report names the schedule.
+#[test]
+fn unjoined_child_panic_reraises_at_scope_exit() {
+    let result = std::panic::catch_unwind(|| {
+        explore(Config::new(8), || {
+            thread::scope(|s| {
+                s.spawn(|| std::panic::panic_any("late boom"));
+            });
+        });
+    });
+    let Err(payload) = result else {
+        unreachable!("scope must re-raise an unjoined child panic");
+    };
+    assert_eq!(
+        payload.downcast_ref::<&str>(),
+        Some(&"late boom"),
+        "scope exit must surface the original payload"
+    );
+}

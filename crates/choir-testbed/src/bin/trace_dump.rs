@@ -56,7 +56,9 @@ fn main() {
     // slot at `Full` produces a few thousand span records, so size the
     // ring to hold the entire run — a dump with overwrite gaps defeats
     // the point.
-    choir_trace::set_capacity(1 << 16);
+    if let Err(frozen) = choir_trace::set_capacity(1 << 16) {
+        eprintln!("trace_dump: {frozen}; the dump may have overwrite gaps");
+    }
     choir_trace::set_level(TraceLevel::Full);
     choir_trace::clear();
 

@@ -45,9 +45,9 @@ mod event;
 mod recorder;
 
 pub use event::TraceEvent;
-pub use recorder::{clear, drain, dropped, set_capacity, Record};
+pub use recorder::{active_rings, clear, drain, dropped, set_capacity, CapacityFrozen, Record};
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use choir_sync::atomic::{AtomicU8, Ordering};
 
 /// How much of the pipeline's provenance is recorded.
 ///
@@ -94,20 +94,21 @@ fn decode_level(v: u8) -> Option<TraceLevel> {
 /// unset or unrecognised means [`TraceLevel::Off`]); subsequent calls are
 /// one relaxed atomic load.
 pub fn level() -> TraceLevel {
-    if let Some(l) = decode_level(LEVEL.load(Ordering::Relaxed)) {
+    let cached = LEVEL.load(Ordering::Relaxed); // ordering: level is an idempotent cache of an env read; a stale miss re-parses the same value
+    if let Some(l) = decode_level(cached) {
         return l;
     }
     let l = std::env::var("CHOIR_TRACE")
         .map(|v| parse_level(&v))
         .unwrap_or(TraceLevel::Off);
-    LEVEL.store(l as u8, Ordering::Relaxed);
+    LEVEL.store(l as u8, Ordering::Relaxed); // ordering: racing initialisers store the same parsed value, so publication order is irrelevant
     l
 }
 
 /// Overrides the trace level for the whole process (tools and tests; the
 /// environment variable is only consulted before the first override).
 pub fn set_level(l: TraceLevel) {
-    LEVEL.store(l as u8, Ordering::Relaxed);
+    LEVEL.store(l as u8, Ordering::Relaxed); // ordering: a level flip may be observed late by other threads; emission is best-effort by contract
 }
 
 /// True when events at `min` verbosity would be recorded. Use to skip

@@ -13,8 +13,9 @@
 //! cycles there; at fractional times the wrap matters and is modelled.
 
 use choir_dsp::complex::C64;
+use choir_sync::{Mutex, OnceLock};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::Arc;
 
 /// Phase in radians of the symbol-`s` up-chirp at fractional chip time
 /// `tau ∈ [0, n)`, for an alphabet of `n = 2^SF` chips.
@@ -73,10 +74,9 @@ fn cached_tables(n: usize) -> (Arc<Vec<C64>>, Arc<Vec<C64>>) {
     type Tables = Mutex<HashMap<usize, (Arc<Vec<C64>>, Arc<Vec<C64>>)>>;
     static GLOBAL: OnceLock<Tables> = OnceLock::new();
     let cache = GLOBAL.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut map = match cache.lock() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
-    };
+    // The facade lock recovers from poisoning; a half-initialised map
+    // entry cannot exist (entries are inserted whole).
+    let mut map = cache.lock();
     map.entry(n)
         .or_insert_with(|| {
             let up = Arc::new(base_upchirp(n));

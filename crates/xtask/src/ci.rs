@@ -12,6 +12,11 @@
 //! * `cargo xtask ci station-soak` — same dance with
 //!   `BENCH_station.json` and the `station_soak` bench, plus the
 //!   shed-free nominal profile and the < 5 % tracing-overhead budget.
+//! * `cargo xtask ci model-check` — run the schedule-exploring
+//!   concurrency suites (`choir-sync` smoke plus the pool / trace /
+//!   profile invariants) under `--cfg choir_model`; they compile to
+//!   nothing in a plain `cargo test`, so this gate is their only
+//!   executor.
 //!
 //! The JSON reading is a deliberately tiny key scanner (the workspace has
 //! no serde): every key the gates consult is unique within its file, so
@@ -42,15 +47,69 @@ pub fn run(args: &[String]) -> ExitCode {
             "station_soak",
             check_station,
         ),
+        Some("model-check") => model_check(),
         _ => {
-            eprintln!("usage: cargo xtask ci <bench-smoke|station-soak>");
+            eprintln!("usage: cargo xtask ci <bench-smoke|station-soak|model-check>");
             eprintln!(
                 "  bench-smoke   run batch_decode, enforce kernel slots/sec floor + bit-identity"
             );
             eprintln!("  station-soak  run station_soak, enforce station floor + shed-free + trace overhead");
+            eprintln!("  model-check   run every schedule-explored concurrency suite under --cfg choir_model");
             ExitCode::from(2)
         }
     }
+}
+
+/// The model-checked concurrency suites: (package, test target). Each
+/// compiles to a no-op without `--cfg choir_model`, so they need their
+/// own gate — plain `cargo test` never exercises them.
+const MODEL_SUITES: [(&str, &str); 4] = [
+    ("choir-sync", "model_smoke"),
+    ("choir-pool", "model"),
+    ("choir-trace", "model"),
+    ("choir-core", "model"),
+];
+
+/// Appends `--cfg choir_model` to an inherited `RUSTFLAGS` value
+/// (idempotent, preserves existing flags).
+fn with_model_cfg(rustflags: &str) -> String {
+    if rustflags.contains("--cfg choir_model") {
+        return rustflags.to_string();
+    }
+    if rustflags.is_empty() {
+        "--cfg choir_model".to_string()
+    } else {
+        format!("{rustflags} --cfg choir_model")
+    }
+}
+
+/// `cargo xtask ci model-check` — run every model-checked suite (the
+/// `choir-sync` scheduler smoke tests plus the pool / trace / profile
+/// invariant suites) with the deterministic schedule explorer enabled.
+fn model_check() -> ExitCode {
+    let root = crate::workspace_root();
+    let rustflags = with_model_cfg(&std::env::var("RUSTFLAGS").unwrap_or_default());
+    for (pkg, test) in MODEL_SUITES {
+        println!("ci: model-check {pkg} --test {test}");
+        let status = std::process::Command::new("cargo")
+            .args(["test", "-p", pkg, "--test", test])
+            .env("RUSTFLAGS", &rustflags)
+            .current_dir(&root)
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("ci: model suite {pkg} --test {test} exited with {s}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("ci: could not launch cargo test for {pkg}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("ci: model-check gate passed — all schedule-explored suites green");
+    ExitCode::SUCCESS
 }
 
 /// Shared gate skeleton: read the committed reference throughput, run the
@@ -179,9 +238,7 @@ fn json_value<'a>(src: &'a str, key: &str) -> Option<&'a str> {
     let needle = format!("\"{key}\"");
     let at = src.find(&needle)? + needle.len();
     let rest = src[at..].trim_start().strip_prefix(':')?.trim_start();
-    let end = rest
-        .find([',', '}', '\n'])
-        .unwrap_or(rest.len());
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
     Some(rest[..end].trim())
 }
 
@@ -291,6 +348,20 @@ mod tests {
         let fails = check_station(1.0, &station_fixture(1.0, 0, true, 6.7));
         assert_eq!(fails.len(), 1);
         assert!(fails[0].contains("tracing"), "{fails:?}");
+    }
+
+    #[test]
+    fn model_cfg_flag_appends_idempotently() {
+        assert_eq!(with_model_cfg(""), "--cfg choir_model");
+        assert_eq!(
+            with_model_cfg("-D warnings"),
+            "-D warnings --cfg choir_model"
+        );
+        assert_eq!(
+            with_model_cfg("--cfg choir_model"),
+            "--cfg choir_model",
+            "must not duplicate the cfg"
+        );
     }
 
     #[test]

@@ -12,7 +12,14 @@
 //! * **lossy_cast** — narrowing `as` casts in DSP hot paths need a
 //!   justification marker;
 //! * **missing_docs_gate** / **lints_inherit** — every library crate
-//!   declares `#![deny(missing_docs)]` and inherits `[workspace.lints]`.
+//!   declares `#![deny(missing_docs)]` and inherits `[workspace.lints]`;
+//! * **sync_facade** — thread/lock primitives go through `choir_sync`,
+//!   never `std::thread` / `std::sync` directly (so the model checker
+//!   can schedule them);
+//! * **atomic_ordering** — every `Ordering::X` argument carries a
+//!   same-line `// ordering:` justification;
+//! * **lock_scope** — no `.lock()` while another `let`-bound guard is
+//!   still in scope, unless the nesting carries a lock-order argument.
 //!
 //! Violations are suppressed inside `#[cfg(test)]` scope, or with a
 //! `// lint:allow(<rule>) — <reason>` comment on the site's line or the
@@ -42,7 +49,7 @@ fn main() -> ExitCode {
             eprintln!("usage: cargo xtask <lint|selftest|ci>");
             eprintln!("  lint      run the Choir static-analysis pass over the workspace");
             eprintln!("  selftest  verify the lint engine catches planted violations");
-            eprintln!("  ci        run a merge gate (bench-smoke, station-soak)");
+            eprintln!("  ci        run a merge gate (bench-smoke, station-soak, model-check)");
             ExitCode::from(2)
         }
     }
@@ -197,6 +204,36 @@ fn selftest() -> ExitCode {
         (
             "crates/choir-core/src/planted.rs",
             "pub fn f() -> Result<(), DecodeError> {\n    Err(DecodeError::NoUsersFound { window_hits: 2 }.traced())\n}\n",
+            &[],
+        ),
+        (
+            "crates/choir-station/src/planted.rs",
+            "pub fn f() { std::thread::spawn(|| ()); }\n",
+            &["sync_facade"],
+        ),
+        (
+            "crates/choir-core/src/planted.rs",
+            "use std::sync::Arc;\nuse choir_sync::Mutex;\npub fn f(x: Arc<u8>) -> u8 { *x }\n",
+            &[],
+        ),
+        (
+            "crates/choir-pool/src/planted.rs",
+            "pub fn f(c: &AtomicU64) -> u64 { c.fetch_add(1, Ordering::Relaxed) }\n",
+            &["atomic_ordering"],
+        ),
+        (
+            "crates/choir-pool/src/planted.rs",
+            "pub fn f(c: &AtomicU64) -> u64 { c.fetch_add(1, Ordering::Relaxed) } // ordering: counter only needs uniqueness\n",
+            &[],
+        ),
+        (
+            "crates/choir-mac/src/planted.rs",
+            "pub fn f(a: &Mutex<u8>, b: &Mutex<u8>) -> u8 {\n    let g = a.lock();\n    let h = b.lock();\n    *g + *h\n}\n",
+            &["lock_scope"],
+        ),
+        (
+            "crates/choir-mac/src/planted.rs",
+            "pub fn f(a: &Mutex<u8>, b: &Mutex<u8>) -> u8 {\n    let g = a.lock();\n    // lint:allow(lock_scope) — a always precedes b, see module docs\n    let h = b.lock();\n    *g + *h\n}\n",
             &[],
         ),
     ];

@@ -77,6 +77,14 @@ fn token_at(code: &str, i: usize, tok: &str) -> bool {
     }
 }
 
+/// True for files inside the `choir-sync` facade crate, which is exempt
+/// from the concurrency-discipline rules: it is the one place that wraps
+/// the std primitives, and its model scheduler necessarily holds its own
+/// state lock across condvar waits.
+fn is_sync_facade_source(path: &str) -> bool {
+    path.starts_with("crates/choir-sync/")
+}
+
 /// Runs every rule over one file.
 pub fn check_file(f: &SourceFile) -> Vec<Violation> {
     let mut out = Vec::new();
@@ -86,6 +94,9 @@ pub fn check_file(f: &SourceFile) -> Vec<Violation> {
     no_lossy_casts(f, &mut out);
     no_hot_allocs(f, &mut out);
     trace_event(f, &mut out);
+    sync_facade(f, &mut out);
+    atomic_ordering(f, &mut out);
+    lock_scope(f, &mut out);
     out
 }
 
@@ -468,6 +479,171 @@ fn trace_event(f: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
+/// Rule `sync_facade`: library code must reach thread and lock
+/// primitives through the `choir_sync` facade, never `std` directly —
+/// otherwise the operation is invisible to the model checker and the
+/// schedule explorer silently under-covers it. `std::sync::Arc` (and
+/// `mpsc`) stay legal: the facade wraps schedulable *blocking/ordering*
+/// primitives, not reference counting.
+fn sync_facade(f: &SourceFile, out: &mut Vec<Violation>) {
+    if !is_library_source(&f.path) || is_sync_facade_source(&f.path) {
+        return;
+    }
+    const NEEDLES: [&str; 9] = [
+        "std::thread",
+        "std::sync::Mutex",
+        "std::sync::MutexGuard",
+        "std::sync::RwLock",
+        "std::sync::Condvar",
+        "std::sync::Once",
+        "std::sync::OnceLock",
+        "std::sync::Barrier",
+        "std::sync::atomic",
+    ];
+    for needle in NEEDLES {
+        let mut search = 0usize;
+        while let Some(rel) = f.code[search..].find(needle) {
+            let at = search + rel;
+            search = at + needle.len();
+            if !token_at(&f.code, at, needle) {
+                continue; // e.g. `std::sync::Once` inside `OnceLock`
+            }
+            push(
+                f,
+                out,
+                at,
+                "sync_facade",
+                format!(
+                    "direct `{needle}` in library code — go through the `choir_sync` facade so the model checker can schedule it"
+                ),
+            );
+        }
+    }
+    // `core::sync::atomic` is the same primitive under another path.
+    let mut search = 0usize;
+    while let Some(rel) = f.code[search..].find("core::sync::atomic") {
+        let at = search + rel;
+        search = at + "core::sync::atomic".len();
+        push(
+            f,
+            out,
+            at,
+            "sync_facade",
+            "direct `core::sync::atomic` in library code — go through the `choir_sync` facade so the model checker can schedule it"
+                .to_string(),
+        );
+    }
+}
+
+/// Rule `atomic_ordering`: every memory-ordering argument
+/// (`Ordering::Relaxed` … `Ordering::SeqCst`) in library code needs a
+/// same-line `// ordering:` comment justifying why that strength is
+/// sufficient. Orderings are the one part of concurrent code the model
+/// checker cannot exercise (it explores schedules under sequential
+/// consistency), so the justification carries the weakening argument
+/// that the tests cannot.
+fn atomic_ordering(f: &SourceFile, out: &mut Vec<Violation>) {
+    if !is_library_source(&f.path) || is_sync_facade_source(&f.path) {
+        return;
+    }
+    const VARIANTS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+    const NEEDLE: &str = "Ordering::";
+    let mut search = 0usize;
+    while let Some(rel) = f.code[search..].find(NEEDLE) {
+        let at = search + rel;
+        search = at + NEEDLE.len();
+        // `std::cmp::Ordering` is a different enum entirely.
+        if f.code[..at].ends_with("cmp::") {
+            continue;
+        }
+        let variant = token_after(&f.code, at + NEEDLE.len());
+        if !VARIANTS.contains(&variant) {
+            continue;
+        }
+        if f.comment_on_line_of(at).contains("ordering:") {
+            continue;
+        }
+        push(
+            f,
+            out,
+            at,
+            "atomic_ordering",
+            format!(
+                "`Ordering::{variant}` without a same-line `// ordering:` justification — state why this strength suffices"
+            ),
+        );
+    }
+}
+
+/// Rule `lock_scope`: taking a lock while a `let`-bound lock guard is
+/// still in scope nests critical sections, which is how lock-ordering
+/// deadlocks are born. Deliberate nesting (e.g. the trace registry→ring
+/// hierarchy) carries a `lint:allow(lock_scope)` marker naming the order
+/// argument. The scan is lexical: it tracks guards bound by a
+/// `let … = ….lock(…);` statement until the end of their enclosing
+/// block, and flags any further `.lock(` inside that span (an early
+/// `drop(guard)` does not end the span — restructure into narrower
+/// scopes instead).
+fn lock_scope(f: &SourceFile, out: &mut Vec<Violation>) {
+    if !is_library_source(&f.path) || is_sync_facade_source(&f.path) {
+        return;
+    }
+    const NEEDLE: &str = ".lock(";
+    // Offsets of every `.lock(` call, plus which are `let`-bound guards.
+    let mut sites: Vec<usize> = Vec::new();
+    let mut search = 0usize;
+    while let Some(rel) = f.code[search..].find(NEEDLE) {
+        let at = search + rel;
+        search = at + NEEDLE.len();
+        sites.push(at);
+    }
+    let mut flagged: Vec<usize> = Vec::new();
+    for &at in &sites {
+        // A guard binding: the site's own line starts with `let` (the
+        // guard then lives to the end of the enclosing block).
+        let line_start = f.code[..at].rfind('\n').map_or(0, |p| p + 1);
+        let line = f.code[line_start..at].trim_start();
+        if !(line.starts_with("let ") && line.contains('=')) {
+            continue;
+        }
+        // The binding statement ends at the first `;` at brace depth 0
+        // (closure bodies inside the initialiser stay balanced).
+        let bytes = f.code.as_bytes();
+        let mut depth = 0i64;
+        let mut stmt_end = f.code.len();
+        let mut scope_end = f.code.len();
+        for (k, &b) in bytes.iter().enumerate().skip(at) {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth < 0 {
+                        scope_end = k;
+                        break;
+                    }
+                }
+                b';' if depth == 0 && stmt_end == f.code.len() => stmt_end = k,
+                _ => {}
+            }
+        }
+        for &inner in &sites {
+            if inner > stmt_end && inner < scope_end && !flagged.contains(&inner) {
+                flagged.push(inner);
+                let (outer_line, _) = f.line_col(at);
+                push(
+                    f,
+                    out,
+                    inner,
+                    "lock_scope",
+                    format!(
+                        "`.lock()` while the guard bound on line {outer_line} is still held — nested critical sections need a lint:allow(lock_scope) lock-order argument"
+                    ),
+                );
+            }
+        }
+    }
+}
+
 /// Rule `missing_docs_gate` + `lints_inherit`: every library crate must
 /// hard-deny missing docs and inherit the workspace lint table. Returns
 /// violations with pseudo-positions (line 1).
@@ -681,6 +857,89 @@ mod tests {
         assert!(violations(
             "crates/choir-core/src/planted.rs",
             "#[cfg(test)]\nmod tests { fn f() -> DecodeError { DecodeError::NoUsersFound { window_hits: 0 } } }\n",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn direct_std_sync_is_caught_outside_the_facade() {
+        let v = violations(
+            "crates/choir-core/src/planted.rs",
+            "use std::sync::Mutex;\npub fn f(m: &Mutex<u8>) -> u8 { *m.lock().unwrap_or_else(|p| p.into_inner()) }\n",
+        );
+        assert!(v.contains(&"sync_facade".to_string()), "got {v:?}");
+        let v = violations(
+            "crates/choir-station/src/planted.rs",
+            "pub fn f() { std::thread::spawn(|| ()); }\n",
+        );
+        assert_eq!(v, ["sync_facade"]);
+        // The facade itself, Arc, and test code are all exempt.
+        assert!(violations(
+            "crates/choir-sync/src/planted.rs",
+            "pub fn f() { std::thread::spawn(|| ()); }\n",
+        )
+        .is_empty());
+        assert!(violations(
+            "crates/choir-core/src/planted.rs",
+            "use std::sync::Arc;\nuse choir_sync::Mutex;\npub fn f(x: Arc<u8>) -> u8 { *x }\n",
+        )
+        .is_empty());
+        assert!(violations(
+            "crates/choir-core/src/planted.rs",
+            "#[cfg(test)]\nmod tests { use std::sync::Mutex; fn f() { let _ = Mutex::new(0u8); } }\n",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn atomic_orderings_need_same_line_justification() {
+        let v = violations(
+            "crates/choir-pool/src/planted.rs",
+            "pub fn f(c: &AtomicU64) -> u64 { c.load(Ordering::Relaxed) }\n",
+        );
+        assert_eq!(v, ["atomic_ordering"]);
+        assert!(violations(
+            "crates/choir-pool/src/planted.rs",
+            "pub fn f(c: &AtomicU64) -> u64 { c.load(Ordering::Relaxed) } // ordering: monotonic counter read\n",
+        )
+        .is_empty());
+        // `std::cmp::Ordering` and non-variant paths are not this rule's
+        // business; a comment on the *previous* line does not count.
+        assert!(violations(
+            "crates/choir-pool/src/planted.rs",
+            "pub fn f(a: u8, b: u8) -> bool { a.cmp(&b) == std::cmp::Ordering::Less }\n",
+        )
+        .is_empty());
+        let v = violations(
+            "crates/choir-pool/src/planted.rs",
+            "// ordering: stale comment on the wrong line\npub fn f(c: &AtomicU64) -> u64 { c.load(Ordering::Acquire) }\n",
+        );
+        assert_eq!(v, ["atomic_ordering"]);
+    }
+
+    #[test]
+    fn nested_lock_guards_are_caught() {
+        let v = violations(
+            "crates/choir-mac/src/planted.rs",
+            "pub fn f(a: &Mutex<u8>, b: &Mutex<u8>) -> u8 {\n    let g = a.lock();\n    let h = b.lock();\n    *g + *h\n}\n",
+        );
+        assert_eq!(v, ["lock_scope"]);
+        // Sequential (non-overlapping) guards and lone temporaries are fine.
+        assert!(violations(
+            "crates/choir-mac/src/planted.rs",
+            "pub fn f(a: &Mutex<u8>) -> u8 {\n    let g = a.lock();\n    *g\n}\npub fn g2(b: &Mutex<u8>) -> u8 { *b.lock() }\n",
+        )
+        .is_empty());
+        // A justified nesting (the registry→ring pattern) is exempt.
+        assert!(violations(
+            "crates/choir-mac/src/planted.rs",
+            "pub fn f(a: &Mutex<u8>, b: &Mutex<u8>) -> u8 {\n    let g = a.lock();\n    // lint:allow(lock_scope) — a always precedes b, see module docs\n    let h = b.lock();\n    *g + *h\n}\n",
+        )
+        .is_empty());
+        // Guards whose scope closed before the next lock don't count.
+        assert!(violations(
+            "crates/choir-mac/src/planted.rs",
+            "pub fn f(a: &Mutex<u8>, b: &Mutex<u8>) -> u8 {\n    let x = { let g = a.lock(); *g };\n    let h = b.lock();\n    x + *h\n}\n",
         )
         .is_empty());
     }

@@ -212,6 +212,19 @@ impl SourceFile {
         self.test_mask.get(offset).copied().unwrap_or(false)
     }
 
+    /// The comment text on the (1-based) line containing `offset` — empty
+    /// when the line has no comment.
+    pub fn comment_on_line_of(&self, offset: usize) -> &str {
+        let (line, _) = self.line_col(offset);
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .copied()
+            .unwrap_or(self.comments.len());
+        self.comments[start.min(self.comments.len())..end.min(self.comments.len())].trim()
+    }
+
     /// True when a `lint:allow(<rule>)` marker with a non-empty reason
     /// appears in a comment on the same line as `offset` or the line above.
     pub fn allowed(&self, offset: usize, rule: &str) -> bool {
