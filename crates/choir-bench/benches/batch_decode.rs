@@ -11,6 +11,14 @@
 //! is enforced separately by the golden capture test in
 //! `crates/choir-core/tests/parallel.rs`.
 //!
+//! A second sweep forces each DSP backend `choir_dsp::backend` offers
+//! (scalar oracle, portable, and the host's vector ISA) on a fresh
+//! thread and re-measures single-thread throughput, verifying the
+//! decoded streams stay bit-identical across backends (the 0-ULP
+//! dispatch contract). `BENCH_kernel.json` records the scalar and
+//! vector slots/sec so the CI gate can floor the scalar path and track
+//! the vector speedup.
+//!
 //! Speedup is bounded by the host's core count: on a single-core
 //! container every thread count measures the same throughput (plus a few
 //! percent of pool overhead), which is expected and recorded as such.
@@ -20,6 +28,7 @@ use std::time::Instant;
 use choir_bench::two_user_scenario;
 use choir_core::decoder::{ChoirDecoder, SlotCapture, SlotResult};
 use choir_core::profile;
+use choir_dsp::backend::{self, BackendKind};
 use choir_pool::ThreadPool;
 use lora_phy::params::PhyParams;
 
@@ -120,6 +129,39 @@ fn main() {
         std::process::exit(1);
     }
 
+    // Per-backend sweep: force each DSP backend on a fresh thread (so
+    // per-thread caches cannot carry state between runs), measure
+    // single-thread throughput, and hold every decoded stream to the
+    // auto-dispatched digest from the sweep above.
+    let mut backends_identical = true;
+    let mut scalar_sps = 0.0f64;
+    let mut vector_backend = BackendKind::Portable;
+    let mut vector_sps = 0.0f64;
+    for kind in backend::available() {
+        let (sps, d) = run_backend(kind, &slots);
+        let same = baseline.as_ref() == Some(&d);
+        if !same {
+            backends_identical = false;
+        }
+        println!(
+            "batch_decode/{SLOTS}slots_2users_{:<9}  {sps:8.3} slots/s  (bit-identical: {same})",
+            kind.name()
+        );
+        if kind == BackendKind::Scalar {
+            scalar_sps = sps;
+        } else {
+            // `available()` lists backends narrowest-first, so the last
+            // non-scalar entry is the widest vector ISA the host offers.
+            vector_backend = kind;
+            vector_sps = sps;
+        }
+    }
+    println!("outputs bit-identical across DSP backends: {backends_identical}");
+    if !backends_identical {
+        eprintln!("ERROR: a DSP backend diverged from the scalar oracle");
+        std::process::exit(1);
+    }
+
     let json = format!(
         "{{\n  \"bench\": \"batch_decode\",\n  \"slots\": {SLOTS},\n  \"users_per_slot\": 2,\n  \"payload_len\": {PAYLOAD_LEN},\n  \"host_cores\": {},\n  \"outputs_bit_identical\": {identical},\n  \"runs\": [\n{}\n  ]\n}}\n",
         std::thread::available_parallelism().map_or(1, |n| n.get()),
@@ -137,14 +179,46 @@ fn main() {
     println!(
         "single-thread: {single_thread_sps:.4} slots/s vs {PR2_BASELINE_SLOTS_PER_SEC} baseline ({speedup:.2}x)"
     );
+    println!(
+        "backends: scalar {scalar_sps:.4} slots/s, {} {vector_sps:.4} slots/s ({:.2}x)",
+        vector_backend.name(),
+        vector_sps / scalar_sps.max(1e-12)
+    );
     let kernel_json = format!(
-        "{{\n  \"bench\": \"offset_search_kernel\",\n  \"slots\": {SLOTS},\n  \"users_per_slot\": 2,\n  \"payload_len\": {PAYLOAD_LEN},\n  \"before_slots_per_sec\": {PR2_BASELINE_SLOTS_PER_SEC},\n  \"after_slots_per_sec\": {single_thread_sps:.4},\n  \"speedup\": {speedup:.3},\n  \"outputs_bit_identical\": {identical},\n  \"stages_s\": {}\n}}\n",
+        "{{\n  \"bench\": \"offset_search_kernel\",\n  \"slots\": {SLOTS},\n  \"users_per_slot\": 2,\n  \"payload_len\": {PAYLOAD_LEN},\n  \"before_slots_per_sec\": {PR2_BASELINE_SLOTS_PER_SEC},\n  \"after_slots_per_sec\": {single_thread_sps:.4},\n  \"speedup\": {speedup:.3},\n  \"scalar_slots_per_sec\": {scalar_sps:.4},\n  \"vector_backend\": \"{}\",\n  \"vector_slots_per_sec\": {vector_sps:.4},\n  \"outputs_bit_identical\": {identical},\n  \"backends_bit_identical\": {backends_identical},\n  \"stages_s\": {}\n}}\n",
+        vector_backend.name(),
         stages_json(&single_thread_stages),
     );
     let kpath = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernel.json");
     match std::fs::write(kpath, kernel_json) {
         Ok(()) => println!("wrote {kpath}"),
         Err(e) => eprintln!("could not write {kpath}: {e}"),
+    }
+}
+
+/// Measures single-thread slots/sec with `kind` forced, on a fresh
+/// thread, returning the throughput and the output digest.
+fn run_backend(kind: BackendKind, slots: &[SlotCapture]) -> (f64, Vec<u64>) {
+    let joined = std::thread::scope(|s| {
+        s.spawn(move || {
+            backend::force(kind);
+            let dec = ChoirDecoder::new(PhyParams::default());
+            // Warm-up: FFT plans, tone bases, scratch arenas.
+            let _ = dec.decode_slots_with_pool(&slots[..2], ThreadPool::sequential());
+            let t = Instant::now();
+            let out = dec.decode_slots_with_pool(slots, ThreadPool::sequential());
+            let elapsed = t.elapsed().as_secs_f64();
+            (slots.len() as f64 / elapsed, digest(&out))
+        })
+        .join()
+    });
+    backend::reset();
+    match joined {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("ERROR: decode panicked under the {} backend", kind.name());
+            std::process::exit(1);
+        }
     }
 }
 

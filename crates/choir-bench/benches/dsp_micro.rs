@@ -4,6 +4,7 @@
 // Bench binary: setup failures should abort loudly.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 use choir_bench::harness::Bench;
+use choir_dsp::backend;
 use choir_dsp::complex::C64;
 use choir_dsp::fft::FftPlan;
 use choir_dsp::linalg::least_squares;
@@ -59,9 +60,44 @@ fn bench_modem(b: &mut Bench) {
     });
 }
 
+/// The four backend-dispatched kernels, each forced through every
+/// backend the host offers — the per-kernel counterpart of the
+/// end-to-end backend sweep in `batch_decode`.
+fn bench_backend_kernels(b: &mut Bench) {
+    let n = 256;
+    let x = tone(n, 10.3);
+    let y = tone(n, 55.7);
+    let taps: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+    let w = -2.0 * std::f64::consts::PI / n as f64;
+    let twiddles: Vec<C64> = (0..n / 2).map(|k| C64::cis(w * k as f64)).collect();
+    let amp = C64::cis(0.7);
+    for kind in backend::available() {
+        backend::force(kind);
+        let name = kind.name();
+        b.bench(&format!("conj_dot_256_{name}"), || {
+            backend::conj_dot(&x, &y)
+        });
+        b.bench(&format!("axpy_256_{name}"), || {
+            let mut acc = y.clone();
+            backend::axpy(&mut acc, &x, amp, true);
+            acc
+        });
+        b.bench(&format!("dot_rev_256_{name}"), || {
+            backend::dot_rev(&x, &taps)
+        });
+        b.bench(&format!("butterflies_256_{name}"), || {
+            let mut buf = x.clone();
+            backend::butterflies(&mut buf, &twiddles, true);
+            buf
+        });
+    }
+    backend::reset();
+}
+
 fn main() {
     let mut b = Bench::group("dsp_micro");
     bench_fft(&mut b);
     bench_least_squares(&mut b);
     bench_modem(&mut b);
+    bench_backend_kernels(&mut b);
 }

@@ -151,10 +151,7 @@ thread_local! {
 /// Writes the tone basis `e^{j2π f t / n}` into `buf` (length `n`).
 // hot:noalloc — in-place resynthesis of one basis column.
 fn synthesize_basis(buf: &mut [C64], n: usize, freq_bins: f64) {
-    let w = 2.0 * std::f64::consts::PI * freq_bins / n as f64;
-    for (t, v) in buf.iter_mut().enumerate() {
-        *v = C64::cis(w * t as f64);
-    }
+    choir_dsp::backend::tone_into(buf, n, freq_bins);
 }
 
 /// Returns the tone basis for `(n, freq_bins)`, served from the calling
@@ -332,11 +329,8 @@ impl OffsetEstimator {
     /// Dechirps a window (must be exactly `n` samples).
     pub fn dechirp(&self, window: &[C64]) -> Vec<C64> {
         assert_eq!(window.len(), self.n, "dechirp: wrong window length");
-        let out: Vec<C64> = window
-            .iter()
-            .zip(self.downchirp.iter())
-            .map(|(a, b)| a * b)
-            .collect();
+        let mut out = vec![C64::ZERO; self.n];
+        choir_dsp::backend::cmul_into(window, &self.downchirp, &mut out);
         // Debug sanitizer: the dechirped window feeds every later stage;
         // a NaN here means corrupt input samples, not a pipeline bug.
         checks::assert_finite("estimator::dechirp", &out);
@@ -467,17 +461,23 @@ impl OffsetEstimator {
     // hot:noalloc — a cache hit streams straight into the accumulator.
     fn accumulate_component_model(&self, c: &ComponentEstimate, out: &mut [C64], subtract: bool) {
         let b = self.basis(c.freq_bins);
-        for (t, (o, &bv)) in out.iter_mut().zip(b.iter()).enumerate() {
-            let amp = match &c.step {
-                Some(st) if t < st.boundary => c.channel + st.coeff,
-                _ => c.channel,
-            };
-            let m = amp * bv;
-            if subtract {
-                *o -= m;
-            } else {
-                *o += m;
+        let n = out.len().min(b.len());
+        // The amplitude is piecewise constant in `t` (head amplitude
+        // before the step boundary, tail after), so the per-sample `amp`
+        // selection becomes one backend axpy per segment — same
+        // multiplies and adds, in the same order, per element.
+        match &c.step {
+            Some(st) if st.boundary > 0 => {
+                let split = st.boundary.min(n);
+                choir_dsp::backend::axpy(
+                    &mut out[..split],
+                    &b[..split],
+                    c.channel + st.coeff,
+                    subtract,
+                );
+                choir_dsp::backend::axpy(&mut out[split..n], &b[split..n], c.channel, subtract);
             }
+            _ => choir_dsp::backend::axpy(&mut out[..n], &b[..n], c.channel, subtract),
         }
     }
 

@@ -1,0 +1,302 @@
+//! AVX2 backend: x86_64 `std::arch` intrinsics, f64 lanes only.
+//!
+//! This file (with `neon.rs`) is the workspace's sole sanctioned
+//! `unsafe` surface — see the module-level docs. Every kernel here is
+//! bit-identical to the scalar oracle by construction:
+//!
+//! * **No FMA.** `_mm256_fmadd_pd` rounds once where the oracle rounds
+//!   twice; only separate `mul`/`add`/`sub`/`addsub` are used.
+//! * **Exact complex multiply.** `_mm256_addsub_pd(t1, t2)` evaluates
+//!   `[p.re·q.re − p.im·q.im, p.re·q.im + p.im·q.re]` with the same two
+//!   roundings per component as `C64`'s `Mul`.
+//! * **Ordered reductions.** Dot products compute two products per
+//!   256-bit register but fold them into a 128-bit `(re, im)`
+//!   accumulator sequentially, in the oracle's index order; each lane
+//!   is an independent IEEE add, so no reassociation occurs. The
+//!   speedup comes from vectorizing the multiplies and element-wise
+//!   passes, not from reordering sums.
+//! * **Sign flips via XOR** with `-0.0` masks — exactly `f64`'s `Neg`,
+//!   NaN-safe.
+//!
+//! # Soundness
+//!
+//! The dispatcher only routes here after
+//! `is_x86_feature_detected!("avx2")` reported true, so the
+//! `#[target_feature(enable = "avx2")]` inner functions are reachable
+//! only on hosts that execute them correctly. Loads and stores use
+//! unaligned `loadu`/`storeu` through pointers derived from slices
+//! whose bounds the loop conditions respect; `C64` is `#[repr(C)]`
+//! (`re` then `im`), so a `[C64]` is layout-compatible with pairs of
+//! `f64` lanes.
+#![allow(unsafe_code)]
+
+use crate::complex::C64;
+use std::arch::x86_64::{
+    __m128d, __m256d, _mm256_add_pd, _mm256_addsub_pd, _mm256_castpd256_pd128,
+    _mm256_extractf128_pd, _mm256_loadu_pd, _mm256_movedup_pd, _mm256_mul_pd, _mm256_permute_pd,
+    _mm256_set1_pd, _mm256_setr_pd, _mm256_storeu_pd, _mm256_sub_pd, _mm256_xor_pd, _mm_add_pd,
+    _mm_setzero_pd, _mm_storeu_pd,
+};
+
+/// Two packed complex multiplies `p[i]·q[i]` (`i = 0, 1`), matching
+/// `C64`'s `Mul` component expressions exactly (two roundings each).
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn cmul2(p: __m256d, q: __m256d) -> __m256d {
+    let pre = _mm256_movedup_pd(p); // [p0.re, p0.re, p1.re, p1.re]
+    let pim = _mm256_permute_pd::<0xF>(p); // [p0.im, p0.im, p1.im, p1.im]
+    let t1 = _mm256_mul_pd(pre, q); // [p.re·q.re, p.re·q.im, ..]
+    let qsw = _mm256_permute_pd::<0x5>(q); // [q0.im, q0.re, q1.im, q1.re]
+    let t2 = _mm256_mul_pd(pim, qsw); // [p.im·q.im, p.im·q.re, ..]
+    _mm256_addsub_pd(t1, t2) // [t1 − t2, t1 + t2] per pair
+}
+
+/// Folds both packed products into the `(re, im)` accumulator in index
+/// order: low 128 bits first, then high — the oracle's fold.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn fold2(acc: __m128d, prod: __m256d) -> __m128d {
+    let acc = _mm_add_pd(acc, _mm256_castpd256_pd128(prod));
+    _mm_add_pd(acc, _mm256_extractf128_pd::<1>(prod))
+}
+
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn read_acc(acc: __m128d) -> C64 {
+    let mut parts = [0.0f64; 2];
+    _mm_storeu_pd(parts.as_mut_ptr(), acc);
+    crate::complex::c64(parts[0], parts[1])
+}
+
+/// Mask that negates the imaginary lane of each packed complex.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn conj_mask() -> __m256d {
+    _mm256_setr_pd(0.0, -0.0, 0.0, -0.0)
+}
+
+/// AVX2 [`super::conj_dot`]; bit-identical to the oracle.
+pub fn conj_dot(a: &[C64], b: &[C64]) -> C64 {
+    // SAFETY: the dispatcher (or a test over `available()`) only calls
+    // this after runtime AVX2 detection.
+    unsafe { conj_dot_impl(a, b) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn conj_dot_impl(a: &[C64], b: &[C64]) -> C64 {
+    let n = a.len().min(b.len());
+    let (pa, pb) = (a.as_ptr() as *const f64, b.as_ptr() as *const f64);
+    let mut acc = _mm_setzero_pd();
+    let neg = _mm256_set1_pd(-0.0);
+    let mut i = 0;
+    while i + 2 <= n {
+        let av = _mm256_loadu_pd(pa.add(2 * i));
+        let bv = _mm256_loadu_pd(pb.add(2 * i));
+        // conj(a)·b: negate the broadcast imaginary parts, then run the
+        // shared multiply — component expressions match
+        // `a.conj() * b` term for term.
+        let are = _mm256_movedup_pd(av);
+        let aim = _mm256_xor_pd(_mm256_permute_pd::<0xF>(av), neg);
+        let t1 = _mm256_mul_pd(are, bv);
+        let bsw = _mm256_permute_pd::<0x5>(bv);
+        let t2 = _mm256_mul_pd(aim, bsw);
+        acc = fold2(acc, _mm256_addsub_pd(t1, t2));
+        i += 2;
+    }
+    let mut out = read_acc(acc);
+    while i < n {
+        out += a[i].conj() * b[i];
+        i += 1;
+    }
+    out
+}
+
+/// AVX2 [`super::cmul_into`]; bit-identical to the oracle.
+pub fn cmul_into(a: &[C64], b: &[C64], out: &mut [C64]) {
+    // SAFETY: see `conj_dot`.
+    unsafe { cmul_into_impl(a, b, out) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn cmul_into_impl(a: &[C64], b: &[C64], out: &mut [C64]) {
+    let n = out.len().min(a.len()).min(b.len());
+    let (pa, pb) = (a.as_ptr() as *const f64, b.as_ptr() as *const f64);
+    let po = out.as_mut_ptr() as *mut f64;
+    let mut i = 0;
+    while i + 2 <= n {
+        let av = _mm256_loadu_pd(pa.add(2 * i));
+        let bv = _mm256_loadu_pd(pb.add(2 * i));
+        _mm256_storeu_pd(po.add(2 * i), cmul2(av, bv));
+        i += 2;
+    }
+    while i < n {
+        out[i] = a[i] * b[i];
+        i += 1;
+    }
+}
+
+/// AVX2 [`super::axpy`]; bit-identical to the oracle.
+pub fn axpy(out: &mut [C64], xs: &[C64], amp: C64, subtract: bool) {
+    // SAFETY: see `conj_dot`.
+    unsafe { axpy_impl(out, xs, amp, subtract) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn axpy_impl(out: &mut [C64], xs: &[C64], amp: C64, subtract: bool) {
+    let n = out.len().min(xs.len());
+    let px = xs.as_ptr() as *const f64;
+    let po = out.as_mut_ptr() as *mut f64;
+    let amp_re = _mm256_set1_pd(amp.re);
+    let amp_im = _mm256_set1_pd(amp.im);
+    // The subtract/add branch is hoisted outside the loops (as in the
+    // oracle) so each loop body contains a lone genuine `sub`/`add`.
+    // A branch *inside* the loop invites LLVM to fuse the arms into
+    // `ov + (±m)` with an XOR sign flip — IEEE-equivalent for every
+    // non-NaN value but not for NaN sign bits (see the module docs).
+    let mut i = 0;
+    if subtract {
+        while i + 2 <= n {
+            let xv = _mm256_loadu_pd(px.add(2 * i));
+            // amp·x with amp as the left operand, matching `amp * x`.
+            let t1 = _mm256_mul_pd(amp_re, xv);
+            let xsw = _mm256_permute_pd::<0x5>(xv);
+            let t2 = _mm256_mul_pd(amp_im, xsw);
+            let m = _mm256_addsub_pd(t1, t2);
+            let ov = _mm256_loadu_pd(po.add(2 * i));
+            _mm256_storeu_pd(po.add(2 * i), _mm256_sub_pd(ov, m));
+            i += 2;
+        }
+        while i < n {
+            out[i] -= amp * xs[i];
+            i += 1;
+        }
+    } else {
+        while i + 2 <= n {
+            let xv = _mm256_loadu_pd(px.add(2 * i));
+            let t1 = _mm256_mul_pd(amp_re, xv);
+            let xsw = _mm256_permute_pd::<0x5>(xv);
+            let t2 = _mm256_mul_pd(amp_im, xsw);
+            let m = _mm256_addsub_pd(t1, t2);
+            let ov = _mm256_loadu_pd(po.add(2 * i));
+            _mm256_storeu_pd(po.add(2 * i), _mm256_add_pd(ov, m));
+            i += 2;
+        }
+        while i < n {
+            out[i] += amp * xs[i];
+            i += 1;
+        }
+    }
+}
+
+/// AVX2 [`super::butterflies`]; bit-identical to the oracle. Passes
+/// with `half >= 2` process butterfly pairs two at a time; the first
+/// (twiddle-free) pass stays scalar.
+pub fn butterflies(x: &mut [C64], twiddles: &[C64], forward: bool) {
+    // SAFETY: see `conj_dot`.
+    unsafe { butterflies_impl(x, twiddles, forward) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn butterflies_impl(x: &mut [C64], twiddles: &[C64], forward: bool) {
+    let n = x.len();
+    let base = x.as_mut_ptr() as *mut f64;
+    let cmask = conj_mask();
+    let mut len = 2;
+    while len <= n {
+        let half = len / 2;
+        let stride = n / len;
+        if half < 2 {
+            for start in (0..n).step_by(len) {
+                let tw = twiddles[0];
+                let tw = if forward { tw } else { tw.conj() };
+                let a = x[start];
+                let b = x[start + 1] * tw;
+                x[start] = a + b;
+                x[start + 1] = a - b;
+            }
+        } else {
+            for start in (0..n).step_by(len) {
+                // `half` is a power of two ≥ 2, so the pair loop
+                // covers [0, half) exactly — no scalar tail.
+                let mut k = 0;
+                while k + 2 <= half {
+                    let tw0 = twiddles[k * stride];
+                    let tw1 = twiddles[(k + 1) * stride];
+                    let mut twv = _mm256_setr_pd(tw0.re, tw0.im, tw1.re, tw1.im);
+                    if !forward {
+                        // Inverse conjugates the twiddle as consumed.
+                        twv = _mm256_xor_pd(twv, cmask);
+                    }
+                    let pa = base.add(2 * (start + k));
+                    let pb = base.add(2 * (start + k + half));
+                    let av = _mm256_loadu_pd(pa);
+                    let bv = _mm256_loadu_pd(pb);
+                    // b·tw with the buffer element on the left,
+                    // matching `x[start + k + half] * tw`.
+                    let bt = cmul2(bv, twv);
+                    _mm256_storeu_pd(pa, _mm256_add_pd(av, bt));
+                    _mm256_storeu_pd(pb, _mm256_sub_pd(av, bt));
+                    k += 2;
+                }
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// AVX2 [`super::dot_rev`]; bit-identical to the oracle.
+pub fn dot_rev(xs: &[C64], kernel: &[f64]) -> C64 {
+    // SAFETY: see `conj_dot`.
+    unsafe { dot_rev_impl(xs, kernel) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn dot_rev_impl(xs: &[C64], kernel: &[f64]) -> C64 {
+    debug_assert_eq!(xs.len(), kernel.len());
+    let l = xs.len();
+    let px = xs.as_ptr() as *const f64;
+    let mut acc = _mm_setzero_pd();
+    let mut j = 0;
+    while j + 2 <= l {
+        // Kernel taps j and j+1 hit sources xs[l-1-j] and xs[l-2-j]:
+        // one contiguous load in memory order
+        // [xs[l-2-j], xs[l-1-j]], so tap j rides the high lanes.
+        let xv = _mm256_loadu_pd(px.add(2 * (l - 2 - j)));
+        let kv = _mm256_setr_pd(kernel[j + 1], kernel[j + 1], kernel[j], kernel[j]);
+        let prod = _mm256_mul_pd(xv, kv);
+        // Fold tap j (high) before tap j+1 (low) — oracle order.
+        acc = _mm_add_pd(acc, _mm256_extractf128_pd::<1>(prod));
+        acc = _mm_add_pd(acc, _mm256_castpd256_pd128(prod));
+        j += 2;
+    }
+    let mut out = read_acc(acc);
+    while j < l {
+        out += xs[l - 1 - j].scale(kernel[j]);
+        j += 1;
+    }
+    out
+}
+
+/// AVX2 [`super::conj_into`]; bit-identical to the oracle.
+pub fn conj_into(src: &[C64], out: &mut [C64]) {
+    // SAFETY: see `conj_dot`.
+    unsafe { conj_into_impl(src, out) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn conj_into_impl(src: &[C64], out: &mut [C64]) {
+    let n = out.len().min(src.len());
+    let ps = src.as_ptr() as *const f64;
+    let po = out.as_mut_ptr() as *mut f64;
+    let cmask = conj_mask();
+    let mut i = 0;
+    while i + 2 <= n {
+        let v = _mm256_loadu_pd(ps.add(2 * i));
+        _mm256_storeu_pd(po.add(2 * i), _mm256_xor_pd(v, cmask));
+        i += 2;
+    }
+    while i < n {
+        out[i] = src[i].conj();
+        i += 1;
+    }
+}

@@ -1,0 +1,368 @@
+//! Runtime-dispatched SIMD kernels with a scalar reference oracle.
+//!
+//! Stage profiles (BENCH_kernel.json) show the Algorithm-1 refine loop
+//! spending its time in a handful of dense complex kernels: dechirp
+//! multiplies, conjugated dot products for the Gram system, tone-basis
+//! synthesis, the sinc interpolation MAC, and the radix-2 FFT
+//! butterflies. This module gives each of those a narrow kernel entry
+//! point and selects an implementation once per process:
+//!
+//! * **scalar** — the reference oracle. Element-for-element the same
+//!   loops the rest of the workspace used before this module existed;
+//!   every other backend is defined as "bit-identical to this".
+//! * **portable** — safe Rust structured so LLVM can auto-vectorize the
+//!   element-wise kernels. No `unsafe`, no `std::arch`.
+//! * **avx2** — x86_64 `std::arch` intrinsics (f64 lanes only, no FMA).
+//! * **neon** — aarch64 `std::arch` intrinsics (f64 lanes only, no FMA).
+//!
+//! # ULP policy
+//!
+//! The policy machinery distinguishes decoded bits (symbols, CRCs,
+//! payloads) from intermediate floats, and could in principle grant
+//! vector paths a per-kernel ULP budget on the intermediates. The
+//! budget for every kernel in this module is currently **0 ULP**: the
+//! repo's determinism contract compares estimator outputs via
+//! `f64::to_bits` (`tests/golden_seeded.txt`, the bench digests, the
+//! `kernel_props.rs` suites), so any intermediate drift becomes a
+//! golden-capture diff. Vector implementations therefore:
+//!
+//! * never use FMA (it contracts `a*b+c` into one rounding, changing
+//!   bits relative to the two-rounding scalar expression);
+//! * keep reduction order identical to the scalar fold — lanes may
+//!   compute products in parallel, but sums accumulate sequentially in
+//!   the oracle's order;
+//! * flip signs by XOR with the IEEE sign bit (exact, matching `Neg`);
+//! * share the scalar `sin`/`cos` loop for tone synthesis, because libm
+//!   transcendentals cannot be reproduced lane-exactly by vector
+//!   polynomials.
+//!
+//! Within those rules the SIMD win comes from vectorizing the
+//! multiplies and the element-wise passes, which is where the cycles
+//! are. `crates/choir-dsp/tests/backend_props.rs` enforces the 0-ULP
+//! budget per kernel on adversarial inputs; the bench-smoke CI gate
+//! enforces it end-to-end across backends on decoded slots.
+//!
+//! **NaN results are outside the budget.** IEEE-754 leaves the sign and
+//! payload of a NaN produced by an invalid operation (or propagated
+//! through one) unspecified, and LLVM exploits that freedom — e.g.
+//! rewriting `x - y` as `x + (-y)`, identical for every non-NaN value
+//! but sign-flipping a propagated NaN. No backend (including pure
+//! scalar Rust, whose const-evaluated NaNs already differ from run-time
+//! ones) can pin NaN bits, so the contract is: bit-identical whenever
+//! the oracle's result is non-NaN; "is a NaN" match otherwise. The
+//! decode pipeline asserts finiteness at its seams, so NaNs never reach
+//! golden captures.
+//!
+//! # Dispatch
+//!
+//! The active backend is chosen on first use from `CHOIR_DSP_BACKEND`
+//! (`scalar|portable|avx2|neon|auto`, default `auto`) intersected with
+//! what the host supports, and cached in an atomic. `auto` picks the
+//! widest available vector backend; requesting an unavailable backend
+//! falls back to `scalar` (the one implementation every host has);
+//! unknown values behave like `auto`. [`force`] and [`reset`] exist so
+//! tests and benches can pin or re-derive the choice.
+//!
+//! # Why `unsafe` lives here and only here
+//!
+//! The workspace denies `unsafe_code`; this directory is the single
+//! sanctioned exception (`avx2.rs`/`neon.rs` re-allow it with an inner
+//! attribute) and the `cargo xtask lint` rule `simd_boundary` bans the
+//! `unsafe` and `std::arch` tokens everywhere else. Keeping the
+//! trusted surface to two leaf files makes the soundness argument
+//! reviewable: intrinsics are only reached after the matching CPU
+//! feature was detected at dispatch time.
+
+use crate::complex::C64;
+use choir_sync::atomic::{AtomicU8, Ordering};
+
+pub mod scalar;
+mod vector;
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+#[cfg(target_arch = "aarch64")]
+mod neon;
+
+/// Which kernel implementation the dispatcher routes to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The scalar reference oracle — defines correct bits.
+    Scalar,
+    /// Safe auto-vectorizable loops; the fallback "vector" tier.
+    Portable,
+    /// x86_64 AVX2 intrinsics (requires runtime `avx2` detection).
+    Avx2,
+    /// aarch64 NEON intrinsics (baseline on aarch64).
+    Neon,
+}
+
+impl BackendKind {
+    /// Stable lowercase name, matching the `CHOIR_DSP_BACKEND` values.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Scalar => "scalar",
+            BackendKind::Portable => "portable",
+            BackendKind::Avx2 => "avx2",
+            BackendKind::Neon => "neon",
+        }
+    }
+}
+
+/// Sentinel meaning "not chosen yet"; any other value is a
+/// `BackendKind` discriminant.
+const UNINIT: u8 = u8::MAX;
+
+/// Cached choice. Written idempotently: every thread that races the
+/// first lookup derives the same value from the same environment.
+static ACTIVE: AtomicU8 = AtomicU8::new(UNINIT);
+
+fn encode(kind: BackendKind) -> u8 {
+    match kind {
+        BackendKind::Scalar => 0,
+        BackendKind::Portable => 1,
+        BackendKind::Avx2 => 2,
+        BackendKind::Neon => 3,
+    }
+}
+
+fn decode(v: u8) -> BackendKind {
+    match v {
+        0 => BackendKind::Scalar,
+        1 => BackendKind::Portable,
+        2 => BackendKind::Avx2,
+        _ => BackendKind::Neon,
+    }
+}
+
+/// True when the AVX2 code path can be soundly called on this host.
+fn avx2_usable() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// True when the NEON code path can be soundly called on this host.
+/// NEON (AdvSIMD) is baseline for aarch64, so compilation target is
+/// the whole test.
+fn neon_usable() -> bool {
+    cfg!(target_arch = "aarch64")
+}
+
+/// Backends that can run on this host, scalar first.
+pub fn available() -> Vec<BackendKind> {
+    let mut kinds = vec![BackendKind::Scalar, BackendKind::Portable];
+    if avx2_usable() {
+        kinds.push(BackendKind::Avx2);
+    }
+    if neon_usable() {
+        kinds.push(BackendKind::Neon);
+    }
+    kinds
+}
+
+/// The backend `auto` resolves to on this host: the widest available
+/// vector implementation, or portable when the host has none.
+fn auto_kind() -> BackendKind {
+    if avx2_usable() {
+        BackendKind::Avx2
+    } else if neon_usable() {
+        BackendKind::Neon
+    } else {
+        BackendKind::Portable
+    }
+}
+
+/// Derives the backend from `CHOIR_DSP_BACKEND` and host capability.
+fn select_from_env() -> BackendKind {
+    let want = std::env::var("CHOIR_DSP_BACKEND").unwrap_or_default();
+    match want.trim().to_ascii_lowercase().as_str() {
+        "scalar" => BackendKind::Scalar,
+        "portable" => BackendKind::Portable,
+        "avx2" if avx2_usable() => BackendKind::Avx2,
+        "neon" if neon_usable() => BackendKind::Neon,
+        // An explicitly requested backend the host cannot run falls
+        // back to the oracle rather than guessing at a vector tier.
+        "avx2" | "neon" => BackendKind::Scalar,
+        // Empty, "auto", and anything unrecognised: pick for the host.
+        _ => auto_kind(),
+    }
+}
+
+/// The backend all kernel entry points currently dispatch to.
+///
+/// First call resolves `CHOIR_DSP_BACKEND` against host capability and
+/// caches the answer; later calls are a single atomic load. The init
+/// race is benign: every thread computes the same value.
+pub fn active() -> BackendKind {
+    let v = ACTIVE.load(Ordering::Relaxed); // ordering: single cell, no data published through it
+    if v != UNINIT {
+        return decode(v);
+    }
+    let kind = select_from_env();
+    ACTIVE.store(encode(kind), Ordering::Relaxed); // ordering: idempotent init; racers store the same value
+    kind
+}
+
+/// Pins the dispatcher to `kind` process-wide.
+///
+/// Test/bench hook — callers are responsible for only forcing backends
+/// reported by [`available`], and for serialising against concurrent
+/// kernel users; all backends produce identical bits, so a mid-flight
+/// switch is still correct, just not a meaningful measurement.
+pub fn force(kind: BackendKind) {
+    ACTIVE.store(encode(kind), Ordering::Relaxed); // ordering: single cell, no data published through it
+}
+
+/// Clears a [`force`], so the next [`active`] call re-derives the
+/// backend from the environment.
+pub fn reset() {
+    ACTIVE.store(UNINIT, Ordering::Relaxed); // ordering: single cell, no data published through it
+}
+
+/// Conjugated dot product `Σ conj(a[i])·b[i]` over `zip(a, b)`,
+/// accumulated in index order from `C64::ZERO`.
+pub fn conj_dot(a: &[C64], b: &[C64]) -> C64 {
+    match active() {
+        BackendKind::Scalar => scalar::conj_dot(a, b),
+        BackendKind::Portable => vector::conj_dot(a, b),
+        #[cfg(target_arch = "x86_64")]
+        BackendKind::Avx2 => avx2::conj_dot(a, b),
+        #[cfg(target_arch = "aarch64")]
+        BackendKind::Neon => neon::conj_dot(a, b),
+        #[allow(unreachable_patterns)]
+        _ => scalar::conj_dot(a, b),
+    }
+}
+
+/// Element-wise complex multiply `out[i] = a[i]·b[i]` over
+/// `zip(out, a, b)` (the dechirp / Hadamard kernel).
+pub fn cmul_into(a: &[C64], b: &[C64], out: &mut [C64]) {
+    match active() {
+        BackendKind::Scalar => scalar::cmul_into(a, b, out),
+        BackendKind::Portable => vector::cmul_into(a, b, out),
+        #[cfg(target_arch = "x86_64")]
+        BackendKind::Avx2 => avx2::cmul_into(a, b, out),
+        #[cfg(target_arch = "aarch64")]
+        BackendKind::Neon => neon::cmul_into(a, b, out),
+        #[allow(unreachable_patterns)]
+        _ => scalar::cmul_into(a, b, out),
+    }
+}
+
+/// Gram residual update `out[i] -= amp·xs[i]` (`subtract == true`) or
+/// `out[i] += amp·xs[i]`, over `zip(out, xs)`. Callers with a
+/// piecewise-constant amplitude (step components) split the slice at
+/// the step boundary and issue one call per segment.
+pub fn axpy(out: &mut [C64], xs: &[C64], amp: C64, subtract: bool) {
+    match active() {
+        BackendKind::Scalar => scalar::axpy(out, xs, amp, subtract),
+        BackendKind::Portable => vector::axpy(out, xs, amp, subtract),
+        #[cfg(target_arch = "x86_64")]
+        BackendKind::Avx2 => avx2::axpy(out, xs, amp, subtract),
+        #[cfg(target_arch = "aarch64")]
+        BackendKind::Neon => neon::axpy(out, xs, amp, subtract),
+        #[allow(unreachable_patterns)]
+        _ => scalar::axpy(out, xs, amp, subtract),
+    }
+}
+
+/// Tone-basis synthesis `buf[t] = cis(2π·freq_bins·t / n)`.
+///
+/// All backends share the scalar evaluation: `sin`/`cos` come from the
+/// platform libm and cannot be re-derived lane-exactly by vector
+/// polynomials, and phasor recurrences drift — either would violate
+/// the 0-ULP budget. The per-thread basis cache in `choir_core`
+/// already amortises this kernel, so it is pinned to the oracle by
+/// policy rather than dispatched.
+pub fn tone_into(buf: &mut [C64], n: usize, freq_bins: f64) {
+    scalar::tone_into(buf, n, freq_bins);
+}
+
+/// All radix-2 butterfly passes over an already bit-reversed buffer.
+/// `twiddles[k]` must hold `cis(-2πk/n)` for `k < n/2`; the inverse
+/// transform (`forward == false`) conjugates each twiddle as it is
+/// consumed, exactly as the oracle does.
+pub fn butterflies(x: &mut [C64], twiddles: &[C64], forward: bool) {
+    match active() {
+        BackendKind::Scalar => scalar::butterflies(x, twiddles, forward),
+        BackendKind::Portable => vector::butterflies(x, twiddles, forward),
+        #[cfg(target_arch = "x86_64")]
+        BackendKind::Avx2 => avx2::butterflies(x, twiddles, forward),
+        #[cfg(target_arch = "aarch64")]
+        BackendKind::Neon => neon::butterflies(x, twiddles, forward),
+        #[allow(unreachable_patterns)]
+        _ => scalar::butterflies(x, twiddles, forward),
+    }
+}
+
+/// Reversed real-kernel MAC `Σ_j xs[L-1-j]·kernel[j]` (`L = xs.len()`,
+/// `j` ascending, accumulated from `C64::ZERO`) — the interior of the
+/// sinc fractional-delay filter, where the source index walks backwards
+/// as the kernel index walks forwards.
+pub fn dot_rev(xs: &[C64], kernel: &[f64]) -> C64 {
+    match active() {
+        BackendKind::Scalar => scalar::dot_rev(xs, kernel),
+        BackendKind::Portable => vector::dot_rev(xs, kernel),
+        #[cfg(target_arch = "x86_64")]
+        BackendKind::Avx2 => avx2::dot_rev(xs, kernel),
+        #[cfg(target_arch = "aarch64")]
+        BackendKind::Neon => neon::dot_rev(xs, kernel),
+        #[allow(unreachable_patterns)]
+        _ => scalar::dot_rev(xs, kernel),
+    }
+}
+
+/// Element-wise conjugate `out[i] = conj(src[i])` over
+/// `zip(out, src)` (downchirp construction).
+pub fn conj_into(src: &[C64], out: &mut [C64]) {
+    match active() {
+        BackendKind::Scalar => scalar::conj_into(src, out),
+        BackendKind::Portable => vector::conj_into(src, out),
+        #[cfg(target_arch = "x86_64")]
+        BackendKind::Avx2 => avx2::conj_into(src, out),
+        #[cfg(target_arch = "aarch64")]
+        BackendKind::Neon => neon::conj_into(src, out),
+        #[allow(unreachable_patterns)]
+        _ => scalar::conj_into(src, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_env_values() {
+        for kind in available() {
+            assert_eq!(decode(encode(kind)), kind);
+            assert!(!kind.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn scalar_is_always_available() {
+        assert!(available().contains(&BackendKind::Scalar));
+        assert!(available().contains(&BackendKind::Portable));
+    }
+
+    #[test]
+    fn force_and_reset_steer_dispatch() {
+        // Serialised implicitly: this is the only test in the crate
+        // that mutates the dispatcher.
+        let before = active();
+        force(BackendKind::Scalar);
+        assert_eq!(active(), BackendKind::Scalar);
+        force(BackendKind::Portable);
+        assert_eq!(active(), BackendKind::Portable);
+        reset();
+        let rederived = active();
+        assert!(available().contains(&rederived));
+        force(before);
+    }
+}

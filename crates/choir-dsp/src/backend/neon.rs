@@ -1,0 +1,209 @@
+//! NEON backend: aarch64 `std::arch` intrinsics, f64 lanes only.
+//!
+//! One `float64x2_t` holds one complex sample (`re` in lane 0, `im` in
+//! lane 1), so reductions are naturally in the oracle's order — the
+//! win is vectorizing each component pair, not widening the fold.
+//! The bit-identity rules match `avx2.rs`: no FMA, sign flips via XOR
+//! with the IEEE sign bit, and the subtraction in the complex multiply
+//! uses `x + (−y)`, which IEEE 754 defines as exactly `x − y`.
+//!
+//! # Soundness
+//!
+//! AdvSIMD is baseline on every aarch64 target this workspace builds
+//! for, and the dispatcher only offers this backend when compiled for
+//! aarch64. Loads and stores go through pointers derived from slices
+//! whose bounds the loop conditions respect; `C64` is `#[repr(C)]`
+//! (`re` then `im`), so a `[C64]` is layout-compatible with `f64`
+//! lane pairs.
+#![allow(unsafe_code)]
+
+use crate::complex::C64;
+use std::arch::aarch64::{
+    float64x2_t, vaddq_f64, vcombine_u64, vcreate_u64, vdupq_laneq_f64, vdupq_n_f64, veorq_u64,
+    vextq_f64, vgetq_lane_f64, vld1q_f64, vmulq_f64, vmulq_n_f64, vreinterpretq_f64_u64,
+    vreinterpretq_u64_f64, vst1q_f64, vsubq_f64,
+};
+
+/// Flips the sign bit of lane 0 (the real part) — exactly `Neg`.
+#[inline]
+#[target_feature(enable = "neon")]
+unsafe fn neg_re(v: float64x2_t) -> float64x2_t {
+    let mask = vcombine_u64(vcreate_u64(0x8000_0000_0000_0000), vcreate_u64(0));
+    vreinterpretq_f64_u64(veorq_u64(vreinterpretq_u64_f64(v), mask))
+}
+
+/// Flips the sign bit of lane 1 (the imaginary part) — exactly `Neg`.
+#[inline]
+#[target_feature(enable = "neon")]
+unsafe fn neg_im(v: float64x2_t) -> float64x2_t {
+    let mask = vcombine_u64(vcreate_u64(0), vcreate_u64(0x8000_0000_0000_0000));
+    vreinterpretq_f64_u64(veorq_u64(vreinterpretq_u64_f64(v), mask))
+}
+
+/// One complex multiply `p·q`, component expressions identical to
+/// `C64`'s `Mul` (the lane-0 subtraction is realised as `t1 + (−t2)`,
+/// which IEEE 754 defines bit-for-bit as `t1 − t2`).
+#[inline]
+#[target_feature(enable = "neon")]
+unsafe fn cmul1(p: float64x2_t, q: float64x2_t) -> float64x2_t {
+    let pre = vdupq_laneq_f64::<0>(p); // [p.re, p.re]
+    let pim = vdupq_laneq_f64::<1>(p); // [p.im, p.im]
+    let t1 = vmulq_f64(pre, q); // [p.re·q.re, p.re·q.im]
+    let qsw = vextq_f64::<1>(q, q); // [q.im, q.re]
+    let t2 = vmulq_f64(pim, qsw); // [p.im·q.im, p.im·q.re]
+    vaddq_f64(t1, neg_re(t2)) // [t1 − t2, t1 + t2]
+}
+
+#[inline]
+#[target_feature(enable = "neon")]
+unsafe fn read_acc(acc: float64x2_t) -> C64 {
+    crate::complex::c64(vgetq_lane_f64::<0>(acc), vgetq_lane_f64::<1>(acc))
+}
+
+/// NEON [`super::conj_dot`]; bit-identical to the oracle.
+pub fn conj_dot(a: &[C64], b: &[C64]) -> C64 {
+    // SAFETY: AdvSIMD is baseline on aarch64; bounds respected below.
+    unsafe { conj_dot_impl(a, b) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn conj_dot_impl(a: &[C64], b: &[C64]) -> C64 {
+    let n = a.len().min(b.len());
+    let (pa, pb) = (a.as_ptr() as *const f64, b.as_ptr() as *const f64);
+    let mut acc = vdupq_n_f64(0.0);
+    for i in 0..n {
+        let av = vld1q_f64(pa.add(2 * i));
+        let bv = vld1q_f64(pb.add(2 * i));
+        // conj(a)·b: negate the broadcast imaginary part, then the
+        // shared multiply shape.
+        let are = vdupq_laneq_f64::<0>(av);
+        let aim = neg_re(neg_im(vdupq_laneq_f64::<1>(av))); // both lanes hold −a.im
+        let t1 = vmulq_f64(are, bv);
+        let bsw = vextq_f64::<1>(bv, bv);
+        let t2 = vmulq_f64(aim, bsw);
+        let prod = vaddq_f64(t1, neg_re(t2));
+        acc = vaddq_f64(acc, prod);
+    }
+    read_acc(acc)
+}
+
+/// NEON [`super::cmul_into`]; bit-identical to the oracle.
+pub fn cmul_into(a: &[C64], b: &[C64], out: &mut [C64]) {
+    // SAFETY: see `conj_dot`.
+    unsafe { cmul_into_impl(a, b, out) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn cmul_into_impl(a: &[C64], b: &[C64], out: &mut [C64]) {
+    let n = out.len().min(a.len()).min(b.len());
+    let (pa, pb) = (a.as_ptr() as *const f64, b.as_ptr() as *const f64);
+    let po = out.as_mut_ptr() as *mut f64;
+    for i in 0..n {
+        let av = vld1q_f64(pa.add(2 * i));
+        let bv = vld1q_f64(pb.add(2 * i));
+        vst1q_f64(po.add(2 * i), cmul1(av, bv));
+    }
+}
+
+/// NEON [`super::axpy`]; bit-identical to the oracle.
+pub fn axpy(out: &mut [C64], xs: &[C64], amp: C64, subtract: bool) {
+    // SAFETY: see `conj_dot`.
+    unsafe { axpy_impl(out, xs, amp, subtract) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn axpy_impl(out: &mut [C64], xs: &[C64], amp: C64, subtract: bool) {
+    let n = out.len().min(xs.len());
+    let px = xs.as_ptr() as *const f64;
+    let po = out.as_mut_ptr() as *mut f64;
+    let amp_re = vdupq_n_f64(amp.re);
+    let amp_im = vdupq_n_f64(amp.im);
+    for i in 0..n {
+        let xv = vld1q_f64(px.add(2 * i));
+        // amp·x with amp as the left operand, matching `amp * x`.
+        let t1 = vmulq_f64(amp_re, xv);
+        let xsw = vextq_f64::<1>(xv, xv);
+        let t2 = vmulq_f64(amp_im, xsw);
+        let m = vaddq_f64(t1, neg_re(t2));
+        let ov = vld1q_f64(po.add(2 * i));
+        let r = if subtract {
+            vsubq_f64(ov, m)
+        } else {
+            vaddq_f64(ov, m)
+        };
+        vst1q_f64(po.add(2 * i), r);
+    }
+}
+
+/// NEON [`super::butterflies`]; bit-identical to the oracle.
+pub fn butterflies(x: &mut [C64], twiddles: &[C64], forward: bool) {
+    // SAFETY: see `conj_dot`.
+    unsafe { butterflies_impl(x, twiddles, forward) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn butterflies_impl(x: &mut [C64], twiddles: &[C64], forward: bool) {
+    let n = x.len();
+    let base = x.as_mut_ptr() as *mut f64;
+    let ptw = twiddles.as_ptr() as *const f64;
+    let mut len = 2;
+    while len <= n {
+        let half = len / 2;
+        let stride = n / len;
+        for start in (0..n).step_by(len) {
+            for k in 0..half {
+                let mut twv = vld1q_f64(ptw.add(2 * (k * stride)));
+                if !forward {
+                    // Inverse conjugates the twiddle as consumed.
+                    twv = neg_im(twv);
+                }
+                let pa = base.add(2 * (start + k));
+                let pb = base.add(2 * (start + k + half));
+                let av = vld1q_f64(pa);
+                let bv = vld1q_f64(pb);
+                // b·tw with the buffer element on the left, matching
+                // `x[start + k + half] * tw`.
+                let bt = cmul1(bv, twv);
+                vst1q_f64(pa, vaddq_f64(av, bt));
+                vst1q_f64(pb, vsubq_f64(av, bt));
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// NEON [`super::dot_rev`]; bit-identical to the oracle.
+pub fn dot_rev(xs: &[C64], kernel: &[f64]) -> C64 {
+    // SAFETY: see `conj_dot`.
+    unsafe { dot_rev_impl(xs, kernel) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn dot_rev_impl(xs: &[C64], kernel: &[f64]) -> C64 {
+    debug_assert_eq!(xs.len(), kernel.len());
+    let l = xs.len();
+    let px = xs.as_ptr() as *const f64;
+    let mut acc = vdupq_n_f64(0.0);
+    for (j, &k) in kernel.iter().enumerate() {
+        let xv = vld1q_f64(px.add(2 * (l - 1 - j)));
+        acc = vaddq_f64(acc, vmulq_n_f64(xv, k));
+    }
+    read_acc(acc)
+}
+
+/// NEON [`super::conj_into`]; bit-identical to the oracle.
+pub fn conj_into(src: &[C64], out: &mut [C64]) {
+    // SAFETY: see `conj_dot`.
+    unsafe { conj_into_impl(src, out) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn conj_into_impl(src: &[C64], out: &mut [C64]) {
+    let n = out.len().min(src.len());
+    let ps = src.as_ptr() as *const f64;
+    let po = out.as_mut_ptr() as *mut f64;
+    for i in 0..n {
+        let v = vld1q_f64(ps.add(2 * i));
+        vst1q_f64(po.add(2 * i), neg_im(v));
+    }
+}

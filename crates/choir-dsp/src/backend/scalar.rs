@@ -1,0 +1,85 @@
+//! The scalar reference oracle.
+//!
+//! These loops are element-for-element the code the rest of the
+//! workspace ran before the backend module existed; they define the
+//! exact bits every other backend must reproduce (see the module-level
+//! ULP policy). Public so tests can compare any backend against the
+//! oracle directly, without going through the dispatcher.
+
+use crate::complex::C64;
+use std::f64::consts::PI;
+
+/// Oracle for [`super::conj_dot`]: `Σ conj(a[i])·b[i]` folded from
+/// `C64::ZERO` in index order over `zip(a, b)`.
+pub fn conj_dot(a: &[C64], b: &[C64]) -> C64 {
+    a.iter().zip(b).map(|(x, y)| x.conj() * y).sum()
+}
+
+/// Oracle for [`super::cmul_into`]: `out[i] = a[i]·b[i]`.
+pub fn cmul_into(a: &[C64], b: &[C64], out: &mut [C64]) {
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o = x * y;
+    }
+}
+
+/// Oracle for [`super::axpy`]: `out[i] ∓= amp·xs[i]`.
+pub fn axpy(out: &mut [C64], xs: &[C64], amp: C64, subtract: bool) {
+    if subtract {
+        for (o, &x) in out.iter_mut().zip(xs) {
+            *o -= amp * x;
+        }
+    } else {
+        for (o, &x) in out.iter_mut().zip(xs) {
+            *o += amp * x;
+        }
+    }
+}
+
+/// Oracle for [`super::tone_into`]: `buf[t] = cis(2π·freq_bins·t/n)`.
+pub fn tone_into(buf: &mut [C64], n: usize, freq_bins: f64) {
+    let w = 2.0 * PI * freq_bins / n as f64;
+    for (t, v) in buf.iter_mut().enumerate() {
+        *v = C64::cis(w * t as f64);
+    }
+}
+
+/// Oracle for [`super::butterflies`]: every radix-2 pass over an
+/// already bit-reversed buffer, in-place.
+pub fn butterflies(x: &mut [C64], twiddles: &[C64], forward: bool) {
+    let n = x.len();
+    let mut len = 2;
+    while len <= n {
+        let half = len / 2;
+        let stride = n / len;
+        for start in (0..n).step_by(len) {
+            for k in 0..half {
+                let tw = twiddles[k * stride];
+                let tw = if forward { tw } else { tw.conj() };
+                let a = x[start + k];
+                let b = x[start + k + half] * tw;
+                x[start + k] = a + b;
+                x[start + k + half] = a - b;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Oracle for [`super::dot_rev`]: `Σ_j xs[L-1-j]·kernel[j]` with `j`
+/// ascending, accumulated from `C64::ZERO`.
+pub fn dot_rev(xs: &[C64], kernel: &[f64]) -> C64 {
+    debug_assert_eq!(xs.len(), kernel.len());
+    let l = xs.len();
+    let mut acc = C64::ZERO;
+    for (j, &k) in kernel.iter().enumerate() {
+        acc += xs[l - 1 - j].scale(k);
+    }
+    acc
+}
+
+/// Oracle for [`super::conj_into`]: `out[i] = conj(src[i])`.
+pub fn conj_into(src: &[C64], out: &mut [C64]) {
+    for (o, &s) in out.iter_mut().zip(src) {
+        *o = s.conj();
+    }
+}

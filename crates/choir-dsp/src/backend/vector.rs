@@ -1,0 +1,101 @@
+//! Portable vector backend: safe Rust, no `std::arch`.
+//!
+//! The element-wise kernels are written over fixed-width chunks so
+//! LLVM's auto-vectorizer can lower them to whatever SIMD the target
+//! baseline offers; every lane computes exactly the oracle's
+//! expression, and rustc never contracts `a*b + c` into an FMA on its
+//! own, so the results are bit-identical to [`super::scalar`]. The
+//! reductions keep the oracle's sequential fold order — products may
+//! vectorize, sums may not reassociate.
+
+use crate::complex::C64;
+
+/// Lane count the element-wise loops are unrolled to. Chosen to fill
+/// a 256-bit register file (4 × complex = 8 × f64) without bloating
+/// the scalar remainder.
+const CHUNK: usize = 4;
+
+/// Portable [`super::conj_dot`]; bit-identical to the oracle.
+pub fn conj_dot(a: &[C64], b: &[C64]) -> C64 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = C64::ZERO;
+    let mut prod = [C64::ZERO; CHUNK];
+    let chunks = n / CHUNK * CHUNK;
+    for (ca, cb) in a[..chunks]
+        .chunks_exact(CHUNK)
+        .zip(b[..chunks].chunks_exact(CHUNK))
+    {
+        // The products are independent and free to vectorize; the fold
+        // below must stay in index order.
+        for i in 0..CHUNK {
+            prod[i] = ca[i].conj() * cb[i];
+        }
+        for p in prod {
+            acc += p;
+        }
+    }
+    for (x, y) in a[chunks..].iter().zip(&b[chunks..]) {
+        acc += x.conj() * y;
+    }
+    acc
+}
+
+/// Portable [`super::cmul_into`]; bit-identical to the oracle.
+pub fn cmul_into(a: &[C64], b: &[C64], out: &mut [C64]) {
+    for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+        *o = x * y;
+    }
+}
+
+/// Portable [`super::axpy`]; bit-identical to the oracle.
+pub fn axpy(out: &mut [C64], xs: &[C64], amp: C64, subtract: bool) {
+    if subtract {
+        for (o, &x) in out.iter_mut().zip(xs) {
+            *o -= amp * x;
+        }
+    } else {
+        for (o, &x) in out.iter_mut().zip(xs) {
+            *o += amp * x;
+        }
+    }
+}
+
+/// Portable [`super::butterflies`]; shares the oracle loop. The
+/// butterfly body is already a lane-independent map over index pairs,
+/// which is as auto-vectorizable as safe indexed code gets — the
+/// explicitly vectorized variant lives in the `avx2`/`neon` backends.
+pub fn butterflies(x: &mut [C64], twiddles: &[C64], forward: bool) {
+    super::scalar::butterflies(x, twiddles, forward);
+}
+
+/// Portable [`super::dot_rev`]; bit-identical to the oracle.
+pub fn dot_rev(xs: &[C64], kernel: &[f64]) -> C64 {
+    debug_assert_eq!(xs.len(), kernel.len());
+    let l = xs.len();
+    let mut acc = C64::ZERO;
+    let mut prod = [C64::ZERO; CHUNK];
+    let chunks = l / CHUNK * CHUNK;
+    let mut j = 0;
+    while j < chunks {
+        for i in 0..CHUNK {
+            prod[i] = xs[l - 1 - (j + i)].scale(kernel[j + i]);
+        }
+        for p in prod {
+            acc += p;
+        }
+        j += CHUNK;
+    }
+    while j < l {
+        acc += xs[l - 1 - j].scale(kernel[j]);
+        j += 1;
+    }
+    acc
+}
+
+/// Portable [`super::conj_into`]; bit-identical to the oracle.
+pub fn conj_into(src: &[C64], out: &mut [C64]) {
+    for (o, &s) in out.iter_mut().zip(src) {
+        *o = s.conj();
+    }
+}

@@ -10,6 +10,11 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A complex number `re + j·im` backed by two `f64`s.
+///
+/// `#[repr(C)]` pins the layout to `re` then `im`, so a `[C64]` is
+/// layout-compatible with interleaved `f64` IQ pairs — the SIMD
+/// backends (`crate::backend`) rely on this for their lane loads.
+#[repr(C)]
 #[derive(Clone, Copy, PartialEq, Default)]
 pub struct C64 {
     /// Real part.
@@ -285,13 +290,20 @@ pub fn power(x: &[C64]) -> f64 {
 /// always a bug upstream.
 pub fn hadamard(a: &[C64], b: &[C64]) -> Vec<C64> {
     assert_eq!(a.len(), b.len(), "hadamard: length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).collect()
+    let mut out = vec![C64::ZERO; a.len()];
+    crate::backend::cmul_into(a, b, &mut out);
+    out
 }
 
 /// Inner product `Σ a[n]·conj(b[n])` (correlation of `a` against `b`).
+///
+/// Dispatches as `conj_dot(b, a)`: complex multiplication is
+/// bit-commutative (each component is the same two products, summed in
+/// either order, and IEEE addition of numbers is commutative), so
+/// `a·conj(b) ≡ conj(b)·a` exactly.
 pub fn inner(a: &[C64], b: &[C64]) -> C64 {
     assert_eq!(a.len(), b.len(), "inner: length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y.conj()).sum()
+    crate::backend::conj_dot(b, a)
 }
 
 // Tests assert on exactly-representable values (0.0, bin centres).

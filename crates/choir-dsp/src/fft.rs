@@ -255,26 +255,9 @@ fn radix2(x: &mut [C64], twiddles: &[C64], dir: Direction) {
         }
         j |= mask;
     }
-    // Butterflies.
-    let mut len = 2;
-    while len <= n {
-        let half = len / 2;
-        let stride = n / len;
-        for start in (0..n).step_by(len) {
-            for k in 0..half {
-                let tw = twiddles[k * stride];
-                let tw = match dir {
-                    Direction::Forward => tw,
-                    Direction::Inverse => tw.conj(),
-                };
-                let a = x[start + k];
-                let b = x[start + k + half] * tw;
-                x[start + k] = a + b;
-                x[start + k + half] = a - b;
-            }
-        }
-        len <<= 1;
-    }
+    // Butterflies: every pass after the permutation is the backend's
+    // job (the scalar oracle and the SIMD paths are bit-identical).
+    crate::backend::butterflies(x, twiddles, dir == Direction::Forward);
 }
 
 /// A thread-safe cache of [`FftPlan`]s keyed by transform size.
@@ -286,12 +269,43 @@ fn radix2(x: &mut [C64], twiddles: &[C64], dir: Direction) {
 /// copying and no locking on the transform itself — the mutex guards only
 /// the map lookup/insert.
 ///
-/// Cached plans live as long as the cache (for [`plan`]'s global cache: the
-/// process). The Choir pipeline touches a handful of sizes (`2^SF`,
-/// `pad·2^SF`, UNB channeliser lengths), so the footprint stays small.
+/// The cache holds at most [`MAX_CACHED_PLANS`] distinct sizes; asking for
+/// more evicts the least-recently-used size (its `Arc` stays valid for
+/// holders, only the cache entry is dropped). The Choir pipeline touches a
+/// handful of sizes (`2^SF`, `pad·2^SF`, UNB channeliser lengths), so
+/// steady-state decoding never evicts — the cap exists so long-lived
+/// daemons sweeping many sizes (city-sim, channel surveys) cannot leak an
+/// unbounded plan set.
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    plans: Mutex<HashMap<usize, Arc<FftPlan>>>,
+    state: Mutex<CacheState>,
+}
+
+/// Upper bound on distinct sizes a [`PlanCache`] retains at once.
+///
+/// Sized with headroom: a full decode pipeline touches ~6 sizes, a
+/// multi-SF/multi-pad survey a couple dozen. Beyond the cap, the
+/// least-recently-used size is evicted and will simply be re-planned on
+/// its next use.
+pub const MAX_CACHED_PLANS: usize = 32;
+
+/// Map plus recency order, guarded by one mutex. `order` lists cached
+/// sizes least-recently-used first; `map` and `order` always hold the
+/// same key set.
+#[derive(Debug, Default)]
+struct CacheState {
+    map: HashMap<usize, Arc<FftPlan>>,
+    order: Vec<usize>,
+}
+
+impl CacheState {
+    /// Marks `n` most-recently-used.
+    fn touch(&mut self, n: usize) {
+        if let Some(pos) = self.order.iter().position(|&k| k == n) {
+            self.order.remove(pos);
+        }
+        self.order.push(n);
+    }
 }
 
 impl PlanCache {
@@ -302,18 +316,56 @@ impl PlanCache {
 
     /// Returns the cached plan for size `n`, planning it on first use.
     ///
+    /// Planning happens *outside* the map lock: a Bluestein size runs two
+    /// inner setup transforms, and holding the lock across that would
+    /// stall every concurrent worker's plan lookup. Two threads racing
+    /// the first request for a size may both plan it; the insert is
+    /// double-checked and the first `Arc` in wins, so all callers still
+    /// share one plan.
+    ///
     /// # Panics
     /// Panics if `n == 0` (as [`FftPlan::new`] does).
     pub fn get(&self, n: usize) -> Arc<FftPlan> {
+        if let Some(plan) = self.lookup(n) {
+            return plan;
+        }
+        let fresh = Arc::new(FftPlan::new(n));
+        self.insert(n, fresh)
+    }
+
+    /// Lock, probe, and touch — one short critical section.
+    fn lookup(&self, n: usize) -> Option<Arc<FftPlan>> {
         // The facade lock recovers from poisoning: another thread
         // panicking mid-insert leaves the map structurally valid.
-        let mut plans = self.plans.lock();
-        Arc::clone(plans.entry(n).or_insert_with(|| Arc::new(FftPlan::new(n))))
+        let mut state = self.state.lock();
+        let plan = state.map.get(&n).map(Arc::clone)?;
+        state.touch(n);
+        Some(plan)
+    }
+
+    /// Double-checked insert of a freshly planned size: if another
+    /// thread won the race, its entry (the first `Arc`) is returned and
+    /// `fresh` is dropped. Evicts the least-recently-used size when the
+    /// cache is full.
+    fn insert(&self, n: usize, fresh: Arc<FftPlan>) -> Arc<FftPlan> {
+        let mut state = self.state.lock();
+        if let Some(existing) = state.map.get(&n) {
+            let plan = Arc::clone(existing);
+            state.touch(n);
+            return plan;
+        }
+        if state.map.len() >= MAX_CACHED_PLANS {
+            let victim = state.order.remove(0);
+            state.map.remove(&victim);
+        }
+        state.map.insert(n, Arc::clone(&fresh));
+        state.order.push(n);
+        fresh
     }
 
     /// Number of distinct sizes currently cached.
     pub fn len(&self) -> usize {
-        self.plans.lock().len()
+        self.state.lock().map.len()
     }
 
     /// True when no size has been planned yet.
@@ -575,5 +627,48 @@ mod tests {
     #[should_panic(expected = "size must be non-zero")]
     fn plan_cache_zero_size_panics() {
         let _ = PlanCache::new().get(0);
+    }
+
+    #[test]
+    fn plan_cache_is_bounded() {
+        let cache = PlanCache::new();
+        for n in 1..=(MAX_CACHED_PLANS + 8) {
+            let _ = cache.get(n);
+            assert!(cache.len() <= MAX_CACHED_PLANS);
+        }
+        assert_eq!(cache.len(), MAX_CACHED_PLANS);
+    }
+
+    #[test]
+    fn plan_cache_evicts_least_recently_used() {
+        let cache = PlanCache::new();
+        let first = cache.get(1);
+        for n in 2..=MAX_CACHED_PLANS {
+            let _ = cache.get(n);
+        }
+        // Touch size 1 so size 2 becomes the LRU victim.
+        assert!(Arc::ptr_eq(&first, &cache.get(1)));
+        let _ = cache.get(MAX_CACHED_PLANS + 1);
+        assert_eq!(cache.len(), MAX_CACHED_PLANS);
+        // Size 1 survived the eviction; size 2 was dropped and is
+        // re-planned (a fresh Arc) on its next request.
+        assert!(Arc::ptr_eq(&first, &cache.get(1)));
+        let two_a = cache.get(2);
+        let two_b = cache.get(2);
+        assert!(Arc::ptr_eq(&two_a, &two_b));
+    }
+
+    #[test]
+    fn plan_cache_raced_insert_first_arc_wins() {
+        // Exercises the double-checked insert path directly: a plan
+        // arriving second for an already-cached size is discarded in
+        // favour of the cached Arc. (The interleaving itself is model-
+        // checked in tests/model.rs.)
+        let cache = PlanCache::new();
+        let winner = cache.get(96);
+        let loser = Arc::new(FftPlan::new(96));
+        let kept = cache.insert(96, loser);
+        assert!(Arc::ptr_eq(&winner, &kept));
+        assert_eq!(cache.len(), 1);
     }
 }

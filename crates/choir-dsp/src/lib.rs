@@ -27,6 +27,7 @@
 
 #![deny(missing_docs)]
 
+pub mod backend;
 pub mod checks;
 pub mod complex;
 pub mod fft;

@@ -218,24 +218,20 @@ pub fn least_squares_refs(basis: &[&[C64]], rhs: &[C64]) -> Option<Vec<C64>> {
     for b in basis {
         assert_eq!(b.len(), n, "least_squares: basis/rhs length mismatch");
     }
-    // Gram matrix G = EᴴE (k×k) and projected rhs p = Eᴴy.
+    // Gram matrix G = EᴴE (k×k) and projected rhs p = Eᴴy, built through
+    // the same `conj_dot` kernel incremental callers use (bit-identical
+    // entries either way, whichever backend is active).
     let mut g = CMat::zeros(k, k);
     for i in 0..k {
         for j in i..k {
-            let v: C64 = basis[i]
-                .iter()
-                .zip(basis[j])
-                .map(|(a, b)| a.conj() * b)
-                .sum();
+            let v = conj_dot(basis[i], basis[j]);
             g[(i, j)] = v;
             if i != j {
                 g[(j, i)] = v.conj();
             }
         }
     }
-    let p: Vec<C64> = (0..k)
-        .map(|i| basis[i].iter().zip(rhs).map(|(a, y)| a.conj() * y).sum())
-        .collect();
+    let p: Vec<C64> = (0..k).map(|i| conj_dot(basis[i], rhs)).collect();
     g.solve(&p)
 }
 
@@ -265,7 +261,7 @@ pub fn residual_energy_refs(basis: &[&[C64]], coeffs: &[C64], rhs: &[C64]) -> f6
 /// produce bit-identical entries to a from-scratch Gram build.
 // hot:noalloc — pure streaming reduction over borrowed slices.
 pub fn conj_dot(a: &[C64], b: &[C64]) -> C64 {
-    a.iter().zip(b).map(|(x, y)| x.conj() * y).sum()
+    crate::backend::conj_dot(a, b)
 }
 
 /// Residual energy of a least-squares fit evaluated through the Gram

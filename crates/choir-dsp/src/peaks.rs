@@ -26,18 +26,40 @@ pub struct Peak {
 /// The median is robust to a handful of strong peaks: with `K` transmitters
 /// and `N` bins, at most `K·pad·O(1)` bins hold main lobes, a small fraction
 /// of the spectrum.
+///
+/// Runs inside the refine loop, so the scratch copy comes from the
+/// per-thread [`workspace`](crate::workspace) arena and the median is
+/// found by `select_nth_unstable_by` (O(n) expected) rather than a full
+/// sort. `total_cmp` is a total order, so the selected ranks hold
+/// exactly the values a full `total_cmp` sort would place there —
+/// the result is bit-identical to the sort-based formulation
+/// (regression-tested below on adversarial inputs).
+// hot:noalloc — scratch comes from the thread-local f64 arena.
 pub fn noise_floor(mags: &[f64]) -> f64 {
     if mags.is_empty() {
         return 0.0;
     }
-    let mut sorted = mags.to_vec();
-    sorted.sort_by(f64::total_cmp);
-    let n = sorted.len();
-    if n % 2 == 1 {
-        sorted[n / 2]
+    let n = mags.len();
+    let mut scratch = crate::workspace::take_f64(n);
+    scratch.copy_from_slice(mags);
+    let (lo, nth, _) = scratch.select_nth_unstable_by(n / 2, f64::total_cmp);
+    let floor = if n % 2 == 1 {
+        *nth
     } else {
-        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
-    }
+        // Even length: the lower median is the total_cmp-maximum of the
+        // lower partition (rank n/2 − 1). Folded with total_cmp rather
+        // than `f64::max` so NaNs and signed zeros keep the exact total
+        // order the sort-based median used.
+        let mut lo_max = lo[0];
+        for &v in &lo[1..] {
+            if lo_max.total_cmp(&v).is_lt() {
+                lo_max = v;
+            }
+        }
+        0.5 * (lo_max + *nth)
+    };
+    crate::workspace::put_f64(scratch);
+    floor
 }
 
 /// Configuration for [`find_peaks`].
@@ -99,12 +121,19 @@ pub fn find_peaks(spectrum: &[C64], cfg: &PeakConfig) -> Vec<Peak> {
         "find_peaks: spectrum length not a multiple of pad"
     );
     let n_sym = np / cfg.pad; // unpadded symbol length, sets the leakage kernel
-    let mags: Vec<f64> = spectrum.iter().map(|z| z.abs()).collect();
+                              // Magnitude and masking scratch are per-call temporaries of spectrum
+                              // length — recycled through the thread arena like the rest of the
+                              // refine loop's buffers.
+    let mut mags = crate::workspace::take_f64(np);
+    for (m, z) in mags.iter_mut().zip(spectrum) {
+        *m = z.abs();
+    }
     let floor = noise_floor(&mags);
     let thresh = floor * cfg.threshold;
     let excl = ((cfg.min_separation * cfg.pad as f64).round() as usize).max(1);
 
-    let mut masked = mags.clone();
+    let mut masked = crate::workspace::take_f64(np);
+    masked.copy_from_slice(&mags);
     let mut peaks: Vec<Peak> = Vec::new();
     // Bound the scan: each iteration masks at least one bin, but cap the
     // number of rejected candidates we are willing to examine.
@@ -161,6 +190,8 @@ pub fn find_peaks(spectrum: &[C64], cfg: &PeakConfig) -> Vec<Peak> {
             masked[(imax + np - d) % np] = f64::NEG_INFINITY;
         }
     }
+    crate::workspace::put_f64(masked);
+    crate::workspace::put_f64(mags);
     peaks
 }
 
@@ -234,6 +265,74 @@ mod tests {
         assert_eq!(noise_floor(&[1.0, 2.0, 3.0]), 2.0);
         assert_eq!(noise_floor(&[1.0, 2.0, 3.0, 4.0]), 2.5);
         assert_eq!(noise_floor(&[]), 0.0);
+    }
+
+    /// The sort-based median `noise_floor` computed before the
+    /// select-based rewrite; kept as the regression reference.
+    fn noise_floor_by_sort(mags: &[f64]) -> f64 {
+        if mags.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = mags.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        }
+    }
+
+    #[test]
+    fn noise_floor_bit_identical_to_sort_reference() {
+        let denorm = f64::MIN_POSITIVE / 4.0;
+        let adversarial: Vec<Vec<f64>> = vec![
+            vec![0.0, -0.0, 0.0, -0.0],
+            vec![-0.0, 0.0],
+            vec![denorm, -denorm, 0.0, denorm, f64::MIN_POSITIVE],
+            vec![1e300, 1e-300, -1e300, 2.5e-308, 3.0],
+            vec![f64::NAN, 1.0, 2.0, 3.0],
+            vec![f64::NAN, -f64::NAN, f64::INFINITY, f64::NEG_INFINITY],
+            vec![5.0; 17],
+            vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0],
+            (0..257)
+                .map(|i| ((i * 2654435761_u64 as usize) % 997) as f64 - 498.0)
+                .collect(),
+            (0..256).rev().map(|i| i as f64 * 1e-200).collect(),
+        ];
+        for (case, mags) in adversarial.iter().enumerate() {
+            let got = noise_floor(mags);
+            let want = noise_floor_by_sort(mags);
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "case {case}: select-based {got:e} != sort-based {want:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn find_peaks_output_unchanged_by_scratch_routing() {
+        // Peak output (positions, heights, values) on a busy spectrum
+        // must be bit-identical run-to-run — pooled scratch re-zeroing
+        // means results cannot depend on arena history.
+        let n = 128;
+        let mut x = tone(n, 20.3, 1.0);
+        for (a, b) in x.iter_mut().zip(tone(n, 70.7, 0.6)) {
+            *a += b;
+        }
+        let spec = spectrum_of(&x, 10);
+        let first = find_peaks(&spec, &PeakConfig::default());
+        for _ in 0..3 {
+            let again = find_peaks(&spec, &PeakConfig::default());
+            assert_eq!(first.len(), again.len());
+            for (p, q) in first.iter().zip(&again) {
+                assert_eq!(p.pos.to_bits(), q.pos.to_bits());
+                assert_eq!(p.height.to_bits(), q.height.to_bits());
+                assert_eq!(p.value.re.to_bits(), q.value.re.to_bits());
+                assert_eq!(p.value.im.to_bits(), q.value.im.to_bits());
+            }
+        }
     }
 
     #[test]

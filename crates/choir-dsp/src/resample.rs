@@ -36,6 +36,16 @@ pub fn fractional_delay(x: &[C64], delay: f64, taps: usize) -> Vec<C64> {
         .collect();
     for (i, o) in out.iter_mut().enumerate() {
         // out[i] = Σ_k x[i - int_shift - k] · sinc(k - frac) · w(k)
+        let lo = i as i64 - int_shift - t;
+        let hi = i as i64 - int_shift + t;
+        if lo >= 0 && hi < n as i64 {
+            // Interior output: every tap's source is in range, and the
+            // source index walks backwards as the tap index walks
+            // forwards — exactly the backend's reversed MAC, which is
+            // bit-identical to the guarded loop below with no skips.
+            *o = crate::backend::dot_rev(&x[lo as usize..=hi as usize], &kernel);
+            continue;
+        }
         let mut acc = C64::ZERO;
         for (ki, k) in (-t..=t).enumerate() {
             let src = i as i64 - int_shift - k;

@@ -26,14 +26,49 @@
 use crate::complex::C64;
 use std::cell::RefCell;
 
-/// A scratch arena of `Vec<C64>` buffers keyed by requested length.
+/// A scratch arena of `Vec<C64>` and `Vec<f64>` buffers keyed by
+/// requested length.
 ///
 /// See the module docs for the ownership model. A `Workspace` is cheap to
 /// construct (no allocation until first use) and deliberately `!Sync`:
-/// share one per thread, not one per process.
+/// share one per thread, not one per process. Complex and real buffers
+/// live in separate pools so a checkout never has to transmute or split
+/// capacity between element types.
 #[derive(Debug, Default)]
 pub struct Workspace {
     free: Vec<Vec<C64>>,
+    free_f64: Vec<Vec<f64>>,
+}
+
+/// Best-fit checkout shared by both pools: prefer the smallest pooled
+/// buffer whose capacity already fits `len` (no allocation); otherwise
+/// grow the largest pooled buffer or, if the pool is empty, allocate a
+/// fresh one. The buffer comes back cleared and zero-filled to `len`.
+fn best_fit<T: Clone + Default>(free: &mut Vec<Vec<T>>, len: usize) -> Vec<T> {
+    let mut pick: Option<usize> = None;
+    for (i, buf) in free.iter().enumerate() {
+        let better = match pick {
+            None => true,
+            Some(j) => {
+                let (pc, bc) = (free[j].capacity(), buf.capacity());
+                if pc >= len {
+                    bc >= len && bc < pc
+                } else {
+                    bc > pc
+                }
+            }
+        };
+        if better {
+            pick = Some(i);
+        }
+    }
+    let mut buf = match pick {
+        Some(i) => free.swap_remove(i),
+        None => Vec::with_capacity(len),
+    };
+    buf.clear();
+    buf.resize(len, T::default());
+    buf
 }
 
 impl Workspace {
@@ -48,30 +83,7 @@ impl Workspace {
     /// `len` (no allocation); otherwise grows the largest pooled buffer
     /// or, if the pool is empty, allocates a fresh one.
     pub fn take(&mut self, len: usize) -> Vec<C64> {
-        let mut pick: Option<usize> = None;
-        for (i, buf) in self.free.iter().enumerate() {
-            let better = match pick {
-                None => true,
-                Some(j) => {
-                    let (pc, bc) = (self.free[j].capacity(), buf.capacity());
-                    if pc >= len {
-                        bc >= len && bc < pc
-                    } else {
-                        bc > pc
-                    }
-                }
-            };
-            if better {
-                pick = Some(i);
-            }
-        }
-        let mut buf = match pick {
-            Some(i) => self.free.swap_remove(i),
-            None => Vec::with_capacity(len),
-        };
-        buf.clear();
-        buf.resize(len, C64::ZERO);
-        buf
+        best_fit(&mut self.free, len)
     }
 
     /// Returns a buffer to the arena for later reuse.
@@ -84,9 +96,25 @@ impl Workspace {
         }
     }
 
-    /// Number of buffers currently pooled (checked in, not checked out).
+    /// Checks out a zero-filled real (`f64`) buffer of exactly `len`
+    /// elements, with the same best-fit policy as [`take`](Self::take).
+    /// Used by the magnitude/median scratch in `peaks`.
+    pub fn take_f64(&mut self, len: usize) -> Vec<f64> {
+        best_fit(&mut self.free_f64, len)
+    }
+
+    /// Returns a real buffer taken via [`take_f64`](Self::take_f64) to
+    /// the arena. Zero-capacity buffers are dropped rather than pooled.
+    pub fn put_f64(&mut self, buf: Vec<f64>) {
+        if buf.capacity() > 0 {
+            self.free_f64.push(buf);
+        }
+    }
+
+    /// Number of buffers currently pooled (checked in, not checked
+    /// out), across both element types.
     pub fn pooled(&self) -> usize {
-        self.free.len()
+        self.free.len() + self.free_f64.len()
     }
 }
 
@@ -120,6 +148,18 @@ pub fn take(len: usize) -> Vec<C64> {
 /// Returns a buffer taken via [`take`] to the calling thread's arena.
 pub fn put(buf: Vec<C64>) {
     with(|ws| ws.put(buf));
+}
+
+/// Checks out a zero-filled `f64` buffer from the calling thread's
+/// arena (see [`take`]).
+pub fn take_f64(len: usize) -> Vec<f64> {
+    with(|ws| ws.take_f64(len))
+}
+
+/// Returns a buffer taken via [`take_f64`] to the calling thread's
+/// arena.
+pub fn put_f64(buf: Vec<f64>) {
+    with(|ws| ws.put_f64(buf));
 }
 
 #[cfg(test)]
@@ -181,6 +221,23 @@ mod tests {
             "should pick the 8-cap buffer, not the 64-cap one"
         );
         assert_eq!(ws.pooled(), 1);
+    }
+
+    #[test]
+    fn f64_pool_is_separate_and_reuses() {
+        let mut ws = Workspace::new();
+        let mut r = ws.take_f64(32);
+        r[5] = 7.25;
+        let ptr = r.as_ptr();
+        ws.put_f64(r);
+        assert_eq!(ws.pooled(), 1);
+        // A complex checkout must not consume the real buffer.
+        let c = ws.take(32);
+        assert_eq!(ws.pooled(), 1);
+        ws.put(c);
+        let again = ws.take_f64(32);
+        assert_eq!(again.as_ptr(), ptr, "same-length take_f64 must reuse");
+        assert!(again.iter().all(|&v| v == 0.0), "re-zeroed");
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! Property suite: every runtime-selectable DSP backend against the
+//! scalar oracle, under the 0-ULP policy.
+//!
+//! The dispatch contract (see `choir_dsp::backend`) is that every
+//! backend is *bit-identical* to `backend::scalar` — not merely close.
+//! These tests force each backend reported by [`backend::available`] in
+//! turn and compare kernel outputs via `f64::to_bits`, on adversarial
+//! inputs: denormals, signed zeros, huge/tiny dynamic range (overflowing
+//! to ±∞ and generating NaNs), and lengths that are not multiples of any
+//! SIMD lane width.
+//!
+//! NaN results compare as "both NaN" rather than bit-equal: IEEE-754
+//! leaves NaN sign/payload propagation unspecified and compilers exploit
+//! that, so NaN bits are explicitly outside the 0-ULP budget (see the
+//! backend module docs).
+
+use choir_dsp::backend::{self, BackendKind};
+use choir_dsp::complex::{c64, C64};
+use proptest::prelude::*;
+use std::f64::consts::PI;
+
+/// Serialises the tests in this binary: `backend::force` steers a
+/// process-global dispatch atomic.
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    GUARD
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Restores env-driven auto selection when a test body exits (including
+/// by panic, so a failing case does not leak its forced backend into
+/// later tests).
+struct RestoreBackend;
+
+impl Drop for RestoreBackend {
+    fn drop(&mut self) {
+        backend::reset();
+    }
+}
+
+/// Maps a (class, seed) pair to an adversarial `f64`: normals, huge and
+/// tiny magnitudes, denormals, and signed zeros.
+fn wild(class: u8, v: f64) -> f64 {
+    match class {
+        0 => v,
+        1 => v * 1e300,
+        2 => v * 1e-300,
+        3 => v * f64::MIN_POSITIVE / 4.0,
+        4 => {
+            if v < 0.0 {
+                -0.0
+            } else {
+                0.0
+            }
+        }
+        _ => v * 1e9,
+    }
+}
+
+type WildPair = (u8, f64);
+
+fn wild_c64((re, im): (WildPair, WildPair)) -> C64 {
+    c64(wild(re.0, re.1), wild(im.0, im.1))
+}
+
+/// Complex vectors of adversarial values with lengths 1..67 — never a
+/// multiple of the 2-complex AVX2 (or 1-complex NEON) step for long
+/// stretches, so every tail path is exercised.
+fn arb_wild_signal(max_len: usize) -> impl Strategy<Value = Vec<C64>> {
+    prop::collection::vec(((0u8..6, -1.0f64..1.0), (0u8..6, -1.0f64..1.0)), 1..max_len)
+        .prop_map(|v| v.into_iter().map(wild_c64).collect())
+}
+
+/// Real vectors of adversarial values (sinc-kernel taps for `dot_rev`).
+fn arb_wild_taps(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec((0u8..6, -1.0f64..1.0), 1..max_len)
+        .prop_map(|v| v.into_iter().map(|(c, x)| wild(c, x)).collect())
+}
+
+/// The backend contract: bit-equal, except NaN matches any NaN (sign
+/// and payload of NaNs are unspecified by IEEE-754 — see module docs).
+fn f64_matches(g: f64, w: f64) -> bool {
+    g.to_bits() == w.to_bits() || (g.is_nan() && w.is_nan())
+}
+
+fn assert_bits_eq(kind: BackendKind, kernel: &str, got: &[C64], want: &[C64]) {
+    assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            f64_matches(g.re, w.re) && f64_matches(g.im, w.im),
+            "{kernel} diverged from the scalar oracle on backend {} at index {i}: \
+             got ({:?}, {:?}) [{:#018x}, {:#018x}], \
+             want ({:?}, {:?}) [{:#018x}, {:#018x}]",
+            kind.name(),
+            g.re,
+            g.im,
+            g.re.to_bits(),
+            g.im.to_bits(),
+            w.re,
+            w.im,
+            w.re.to_bits(),
+            w.im.to_bits(),
+        );
+    }
+}
+
+fn assert_scalar_bits_eq(kind: BackendKind, kernel: &str, got: C64, want: C64) {
+    assert_bits_eq(kind, kernel, &[got], &[want]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn conj_dot_matches_oracle_bit_exactly(
+        a in arb_wild_signal(67),
+        b in arb_wild_signal(67),
+    ) {
+        let _s = serial();
+        let _r = RestoreBackend;
+        let n = a.len().min(b.len());
+        let want = backend::scalar::conj_dot(&a[..n], &b[..n]);
+        for kind in backend::available() {
+            backend::force(kind);
+            let got = backend::conj_dot(&a[..n], &b[..n]);
+            assert_scalar_bits_eq(kind, "conj_dot", got, want);
+        }
+    }
+
+    #[test]
+    fn cmul_and_conj_match_oracle_bit_exactly(
+        a in arb_wild_signal(67),
+        b in arb_wild_signal(67),
+    ) {
+        let _s = serial();
+        let _r = RestoreBackend;
+        let n = a.len().min(b.len());
+        let mut want_mul = vec![C64::ZERO; n];
+        backend::scalar::cmul_into(&a[..n], &b[..n], &mut want_mul);
+        let mut want_conj = vec![C64::ZERO; n];
+        backend::scalar::conj_into(&a[..n], &mut want_conj);
+        for kind in backend::available() {
+            backend::force(kind);
+            let mut got = vec![C64::ZERO; n];
+            backend::cmul_into(&a[..n], &b[..n], &mut got);
+            assert_bits_eq(kind, "cmul_into", &got, &want_mul);
+            let mut got = vec![C64::ZERO; n];
+            backend::conj_into(&a[..n], &mut got);
+            assert_bits_eq(kind, "conj_into", &got, &want_conj);
+        }
+    }
+
+    #[test]
+    fn axpy_matches_oracle_bit_exactly(
+        acc in arb_wild_signal(67),
+        xs in arb_wild_signal(67),
+        amp in ((0u8..6, -1.0f64..1.0), (0u8..6, -1.0f64..1.0)),
+        subtract in 0u8..2,
+    ) {
+        let _s = serial();
+        let _r = RestoreBackend;
+        let n = acc.len().min(xs.len());
+        let amp = wild_c64(amp);
+        let subtract = subtract == 1;
+        let mut want = acc[..n].to_vec();
+        backend::scalar::axpy(&mut want, &xs[..n], amp, subtract);
+        for kind in backend::available() {
+            backend::force(kind);
+            let mut got = acc[..n].to_vec();
+            backend::axpy(&mut got, &xs[..n], amp, subtract);
+            assert_bits_eq(kind, "axpy", &got, &want);
+        }
+    }
+
+    #[test]
+    fn dot_rev_matches_oracle_bit_exactly(
+        xs in arb_wild_signal(67),
+        taps in arb_wild_taps(67),
+    ) {
+        let _s = serial();
+        let _r = RestoreBackend;
+        let k = taps.len().min(xs.len());
+        let want = backend::scalar::dot_rev(&xs[..k], &taps[..k]);
+        for kind in backend::available() {
+            backend::force(kind);
+            let got = backend::dot_rev(&xs[..k], &taps[..k]);
+            assert_scalar_bits_eq(kind, "dot_rev", got, want);
+        }
+    }
+
+    #[test]
+    fn fft_butterflies_match_oracle_bit_exactly(
+        log2n in 1u32..8,
+        seed in arb_wild_signal(129),
+        forward in 0u8..2,
+    ) {
+        let _s = serial();
+        let _r = RestoreBackend;
+        let n = 1usize << log2n;
+        // Cycle the drawn values out to the power-of-two length the
+        // butterfly passes require.
+        let x: Vec<C64> = (0..n).map(|i| seed[i % seed.len()]).collect();
+        let w = -2.0 * PI / n as f64;
+        let twiddles: Vec<C64> =
+            (0..n / 2).map(|k| C64::cis(w * k as f64)).collect();
+        let forward = forward == 1;
+        let mut want = x.clone();
+        backend::scalar::butterflies(&mut want, &twiddles, forward);
+        for kind in backend::available() {
+            backend::force(kind);
+            let mut got = x.clone();
+            backend::butterflies(&mut got, &twiddles, forward);
+            assert_bits_eq(kind, "butterflies", &got, &want);
+        }
+    }
+
+    #[test]
+    fn tone_into_matches_oracle_bit_exactly(
+        len in 1usize..130,
+        freq_bins in -64.0f64..64.0,
+    ) {
+        let _s = serial();
+        let _r = RestoreBackend;
+        let mut want = vec![C64::ZERO; len];
+        backend::scalar::tone_into(&mut want, len, freq_bins);
+        for kind in backend::available() {
+            backend::force(kind);
+            let mut got = vec![C64::ZERO; len];
+            backend::tone_into(&mut got, len, freq_bins);
+            assert_bits_eq(kind, "tone_into", &got, &want);
+        }
+    }
+}
+
+/// Forcing each backend in turn steers dispatch (`active()` reports the
+/// forced kind), and every host always offers at least the scalar oracle
+/// and the portable fallback.
+#[test]
+fn every_available_backend_is_forceable() {
+    let _s = serial();
+    let _r = RestoreBackend;
+    let kinds = backend::available();
+    assert!(kinds.contains(&BackendKind::Scalar));
+    assert!(kinds.contains(&BackendKind::Portable));
+    for kind in kinds {
+        backend::force(kind);
+        assert_eq!(backend::active(), kind);
+    }
+}

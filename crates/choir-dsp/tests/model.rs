@@ -1,0 +1,78 @@
+//! Model-checked suite for the FFT plan cache.
+//!
+//! Drives the real `PlanCache::get` lookup → plan-outside-the-lock →
+//! double-checked-insert path under the `choir-sync` schedule explorer.
+//! Compiled only under `RUSTFLAGS="--cfg choir_model"`
+//! (`cargo xtask ci model-check`).
+#![cfg(choir_model)]
+
+use choir_dsp::fft::PlanCache;
+use choir_sync::model::{explore, Config};
+use choir_sync::thread;
+use std::sync::Arc;
+
+/// Two threads racing the first `get(n)` for a size never deadlock and
+/// always end up sharing one plan: whichever interleaving of the lookup
+/// and insert critical sections the explorer picks, both callers return
+/// the same `Arc` (the first insert wins, the loser's plan is dropped)
+/// and the cache holds exactly one entry.
+#[test]
+fn racing_gets_share_one_plan_and_never_deadlock() {
+    let report = explore(Config::new(300), || {
+        let cache = PlanCache::new();
+        let (a, b) = thread::scope(|s| {
+            let ta = s.spawn(|| cache.get(8));
+            let tb = s.spawn(|| cache.get(8));
+            (ta.join().ok(), tb.join().ok())
+        });
+        assert!(a.is_some() && b.is_some(), "a racing get(8) call panicked");
+        if let (Some(a), Some(b)) = (a, b) {
+            assert!(
+                Arc::ptr_eq(&a, &b),
+                "racing get(8) calls returned distinct plans"
+            );
+            assert_eq!(a.len(), 8);
+        }
+        assert_eq!(
+            cache.len(),
+            1,
+            "a lost insert race must not leave a duplicate entry"
+        );
+    });
+    assert!(
+        report.distinct >= 3,
+        "expected lookup/insert interleaving coverage, got {report:?}"
+    );
+}
+
+/// A `get` for a cached size racing a first-time `get` for another size
+/// stays consistent: the warm size keeps returning the original plan and
+/// both sizes end up cached once each.
+#[test]
+fn warm_hit_racing_cold_insert_stays_consistent() {
+    let report = explore(Config::new(300), || {
+        let cache = PlanCache::new();
+        let warm = cache.get(16);
+        let (hit, cold) = thread::scope(|s| {
+            let th = s.spawn(|| cache.get(16));
+            let tc = s.spawn(|| cache.get(8));
+            (th.join().ok(), tc.join().ok())
+        });
+        assert!(
+            hit.is_some() && cold.is_some(),
+            "a racing get call panicked"
+        );
+        if let (Some(hit), Some(cold)) = (hit, cold) {
+            assert!(
+                Arc::ptr_eq(&warm, &hit),
+                "a warm lookup must return the originally cached plan"
+            );
+            assert_eq!(cold.len(), 8);
+        }
+        assert_eq!(cache.len(), 2);
+    });
+    assert!(
+        report.distinct >= 3,
+        "expected hit-vs-insert interleaving coverage, got {report:?}"
+    );
+}

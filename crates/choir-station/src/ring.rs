@@ -1,7 +1,8 @@
 //! Bounded sample ring with absolute stream addressing and explicit
 //! overflow accounting.
 //!
-//! The workspace forbids `unsafe`, so this is not a literal atomic SPSC
+//! The workspace confines `unsafe` to the SIMD backend leaves (the
+//! `simd_boundary` lint), so this is not a literal atomic SPSC
 //! queue; it is the single-owner safe equivalent with the same contract
 //! the station needs from one: **bounded memory, a never-blocking
 //! producer, and loud accounting**. `push` never blocks and never grows

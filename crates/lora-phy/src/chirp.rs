@@ -49,8 +49,16 @@ pub fn base_upchirp(n: usize) -> Vec<C64> {
 
 /// The base down-chirp: complex conjugate of the base up-chirp. Multiplying
 /// a received symbol by this "dechirps" it into a pure tone.
+///
+/// Conjugation goes through the DSP backend, which is exact (a sign-bit
+/// flip) in every implementation — the table is identical regardless of
+/// the backend active when it was first built, so the process-wide
+/// caches below stay backend-independent.
 pub fn base_downchirp(n: usize) -> Vec<C64> {
-    base_upchirp(n).into_iter().map(|z| z.conj()).collect()
+    let up = base_upchirp(n);
+    let mut down = vec![C64::ZERO; n];
+    choir_dsp::backend::conj_into(&up, &mut down);
+    down
 }
 
 /// Process-wide cached base up-chirp for `n` chips, shared via `Arc`.

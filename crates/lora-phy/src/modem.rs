@@ -59,11 +59,9 @@ impl Modem {
     /// Panics if `window.len() != 2^SF`.
     pub fn dechirp(&self, window: &[C64]) -> Vec<C64> {
         assert_eq!(window.len(), self.n(), "dechirp: wrong window length");
-        window
-            .iter()
-            .zip(self.downchirp.iter())
-            .map(|(a, b)| a * b)
-            .collect()
+        let mut out = vec![C64::ZERO; window.len()];
+        choir_dsp::backend::cmul_into(window, &self.downchirp, &mut out);
+        out
     }
 
     /// Dechirps and transforms one symbol window; returns the `2^SF`-point

@@ -7,8 +7,11 @@
 //!
 //! * `cargo xtask ci bench-smoke` — snapshot the committed
 //!   `BENCH_kernel.json` reference, run the `batch_decode` bench (which
-//!   overwrites the file), then enforce the slots/sec floor (≥ 80 % of
-//!   reference) and cross-thread bit-identity.
+//!   overwrites the file), then enforce the slots/sec floors (≥ 80 % of
+//!   reference, for both the default and the scalar-forced DSP backend),
+//!   cross-thread bit-identity, and cross-backend bit-identity. The
+//!   measured vector-backend throughput is recorded but not floored —
+//!   the speed-up depends on the host ISA.
 //! * `cargo xtask ci station-soak` — same dance with
 //!   `BENCH_station.json` and the `station_soak` bench, plus the
 //!   shed-free nominal profile and the < 5 % tracing-overhead budget.
@@ -35,18 +38,8 @@ const TRACE_OVERHEAD_LIMIT_PCT: f64 = 5.0;
 /// Entry point for `cargo xtask ci <gate>`.
 pub fn run(args: &[String]) -> ExitCode {
     match args.first().map(String::as_str) {
-        Some("bench-smoke") => gate(
-            "BENCH_kernel.json",
-            "after_slots_per_sec",
-            "batch_decode",
-            check_kernel,
-        ),
-        Some("station-soak") => gate(
-            "BENCH_station.json",
-            "slots_per_sec",
-            "station_soak",
-            check_station,
-        ),
+        Some("bench-smoke") => gate("BENCH_kernel.json", "batch_decode", check_kernel),
+        Some("station-soak") => gate("BENCH_station.json", "station_soak", check_station),
         Some("model-check") => model_check(),
         _ => {
             eprintln!("usage: cargo xtask ci <bench-smoke|station-soak|model-check>");
@@ -63,10 +56,11 @@ pub fn run(args: &[String]) -> ExitCode {
 /// The model-checked concurrency suites: (package, test target). Each
 /// compiles to a no-op without `--cfg choir_model`, so they need their
 /// own gate — plain `cargo test` never exercises them.
-const MODEL_SUITES: [(&str, &str); 4] = [
+const MODEL_SUITES: [(&str, &str); 5] = [
     ("choir-sync", "model_smoke"),
     ("choir-pool", "model"),
     ("choir-trace", "model"),
+    ("choir-dsp", "model"),
     ("choir-core", "model"),
 ];
 
@@ -112,14 +106,11 @@ fn model_check() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Shared gate skeleton: read the committed reference throughput, run the
-/// bench (it rewrites the JSON), re-read, and apply the pure checks.
-fn gate(
-    json_name: &str,
-    ref_key: &str,
-    bench: &str,
-    check: fn(f64, &str) -> Vec<String>,
-) -> ExitCode {
+/// Shared gate skeleton: snapshot the committed bench JSON (the
+/// reference), run the bench (it rewrites the JSON), re-read, and apply
+/// the pure checks over (committed, fresh). Each check extracts the
+/// reference keys it gates on itself.
+fn gate(json_name: &str, bench: &str, check: fn(&str, &str) -> Vec<String>) -> ExitCode {
     let root = crate::workspace_root();
     let path = root.join(json_name);
     let committed = match std::fs::read_to_string(&path) {
@@ -129,11 +120,6 @@ fn gate(
             return ExitCode::FAILURE;
         }
     };
-    let Some(reference) = json_f64(&committed, ref_key) else {
-        eprintln!("ci: committed {json_name} has no numeric {ref_key:?}");
-        return ExitCode::FAILURE;
-    };
-    println!("ci: committed reference {reference:.4} slots/s ({json_name} {ref_key})");
 
     let status = std::process::Command::new("cargo")
         .args(["bench", "-p", "choir-bench", "--bench", bench])
@@ -158,7 +144,7 @@ fn gate(
             return ExitCode::FAILURE;
         }
     };
-    let failures = check(reference, &fresh);
+    let failures = check(&committed, &fresh);
     if failures.is_empty() {
         println!("ci: {bench} gate passed");
         ExitCode::SUCCESS
@@ -170,26 +156,58 @@ fn gate(
     }
 }
 
-/// Gate predicates for `BENCH_kernel.json` (the batch-decode kernel
-/// bench): throughput floor and cross-thread bit-identity.
-fn check_kernel(reference: f64, json: &str) -> Vec<String> {
-    let mut out = Vec::new();
+/// Applies the ≥ `FLOOR_FRAC` throughput floor for one JSON key:
+/// extracts the committed reference and the fresh measurement, and
+/// pushes a failure on a missing key or a below-floor reading.
+fn floor_check(label: &str, key: &str, committed: &str, fresh: &str, out: &mut Vec<String>) {
+    let Some(reference) = json_f64(committed, key) else {
+        out.push(format!("committed bench JSON has no numeric {key}"));
+        return;
+    };
+    let Some(sps) = json_f64(fresh, key) else {
+        out.push(format!("fresh bench JSON has no numeric {key}"));
+        return;
+    };
     let floor = FLOOR_FRAC * reference;
-    match json_f64(json, "after_slots_per_sec") {
-        Some(sps) => {
-            println!("ci: fresh {sps:.4} slots/s, floor {floor:.4}");
-            if sps < floor {
-                out.push(format!(
-                    "kernel slots/sec regression >20%: {sps:.4} < floor {floor:.4} (reference {reference:.4})"
-                ));
-            }
-        }
-        None => out.push("fresh BENCH_kernel.json has no numeric after_slots_per_sec".to_string()),
+    println!("ci: {label}: fresh {sps:.4} slots/s, floor {floor:.4} (reference {reference:.4})");
+    if sps < floor {
+        out.push(format!(
+            "{label} slots/sec regression >20%: {sps:.4} < floor {floor:.4} (reference {reference:.4})"
+        ));
     }
-    match json_bool(json, "outputs_bit_identical") {
+}
+
+/// Gate predicates for `BENCH_kernel.json` (the batch-decode kernel
+/// bench): throughput floors for the default and scalar-forced DSP
+/// backends, cross-thread bit-identity, and cross-backend bit-identity.
+/// The per-backend vector slots/sec is recorded (for the committed
+/// artifact) but not floored — vector speed-ups vary by host ISA.
+fn check_kernel(committed: &str, fresh: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    floor_check("kernel", "after_slots_per_sec", committed, fresh, &mut out);
+    floor_check(
+        "kernel scalar backend",
+        "scalar_slots_per_sec",
+        committed,
+        fresh,
+        &mut out,
+    );
+    if let (Some(name), Some(sps)) = (
+        json_value(fresh, "vector_backend"),
+        json_f64(fresh, "vector_slots_per_sec"),
+    ) {
+        let name = name.trim_matches('"');
+        println!("ci: vector backend {name}: {sps:.4} slots/s (recorded, not floored)");
+    }
+    match json_bool(fresh, "outputs_bit_identical") {
         Some(true) => {}
         Some(false) => out.push("kernel outputs diverged across thread counts".to_string()),
         None => out.push("fresh BENCH_kernel.json has no outputs_bit_identical".to_string()),
+    }
+    match json_bool(fresh, "backends_bit_identical") {
+        Some(true) => {}
+        Some(false) => out.push("kernel outputs diverged across DSP backends".to_string()),
+        None => out.push("fresh BENCH_kernel.json has no backends_bit_identical".to_string()),
     }
     out
 }
@@ -197,20 +215,9 @@ fn check_kernel(reference: f64, json: &str) -> Vec<String> {
 /// Gate predicates for `BENCH_station.json` (the streaming soak):
 /// throughput floor, shed-free nominal profile, batch/streaming
 /// bit-identity, and the tracing-overhead budget.
-fn check_station(reference: f64, json: &str) -> Vec<String> {
+fn check_station(committed: &str, json: &str) -> Vec<String> {
     let mut out = Vec::new();
-    let floor = FLOOR_FRAC * reference;
-    match json_f64(json, "slots_per_sec") {
-        Some(sps) => {
-            println!("ci: fresh {sps:.4} slots/s, floor {floor:.4}");
-            if sps < floor {
-                out.push(format!(
-                    "station slots/sec regression >20%: {sps:.4} < floor {floor:.4} (reference {reference:.4})"
-                ));
-            }
-        }
-        None => out.push("fresh BENCH_station.json has no numeric slots_per_sec".to_string()),
-    }
+    floor_check("station", "slots_per_sec", committed, json, &mut out);
     match json_u64(json, "nominal_shed") {
         Some(0) => {}
         Some(n) => out.push(format!("station shed work under nominal load ({n} events)")),
@@ -263,16 +270,23 @@ mod tests {
     use super::*;
 
     /// A synthetic `BENCH_kernel.json` in the exact shape the bench writes.
-    fn kernel_fixture(sps: f64, identical: bool) -> String {
+    fn kernel_fixture(sps: f64, scalar: f64, identical: bool, backends: bool) -> String {
         format!(
             concat!(
                 "{{\n  \"bench\": \"batch_decode\",\n",
                 "  \"after_slots_per_sec\": {sps:.4},\n",
                 "  \"before_slots_per_sec\": 1.1,\n",
-                "  \"outputs_bit_identical\": {identical}\n}}\n"
+                "  \"scalar_slots_per_sec\": {scalar:.4},\n",
+                "  \"vector_backend\": \"avx2\",\n",
+                "  \"vector_slots_per_sec\": {vector:.4},\n",
+                "  \"outputs_bit_identical\": {identical},\n",
+                "  \"backends_bit_identical\": {backends}\n}}\n"
             ),
             sps = sps,
+            scalar = scalar,
+            vector = scalar * 2.5,
             identical = identical,
+            backends = backends,
         )
     }
 
@@ -299,53 +313,86 @@ mod tests {
     #[test]
     fn kernel_gate_passes_at_floor() {
         // Exactly on the floor is a pass; the gate is ≥, not >.
-        assert!(check_kernel(1.0, &kernel_fixture(0.8, true)).is_empty());
-        assert!(check_kernel(2.9240, &kernel_fixture(2.9240, true)).is_empty());
+        let reference = kernel_fixture(1.0, 1.0, true, true);
+        assert!(check_kernel(&reference, &kernel_fixture(0.8, 0.8, true, true)).is_empty());
+        let same = kernel_fixture(2.9240, 0.5514, true, true);
+        assert!(check_kernel(&same, &same).is_empty());
     }
 
     #[test]
     fn kernel_gate_fails_on_regression() {
-        let fails = check_kernel(1.0, &kernel_fixture(0.79, true));
+        let reference = kernel_fixture(1.0, 1.0, true, true);
+        let fails = check_kernel(&reference, &kernel_fixture(0.79, 1.0, true, true));
         assert_eq!(fails.len(), 1);
         assert!(fails[0].contains("regression"), "{fails:?}");
     }
 
     #[test]
-    fn kernel_gate_fails_on_divergence() {
-        let fails = check_kernel(1.0, &kernel_fixture(1.0, false));
+    fn kernel_gate_fails_on_scalar_backend_regression() {
+        // The vector paths must never buy their speed-up by slowing the
+        // scalar oracle: the scalar-forced throughput is floored too.
+        let reference = kernel_fixture(1.0, 1.0, true, true);
+        let fails = check_kernel(&reference, &kernel_fixture(1.0, 0.79, true, true));
         assert_eq!(fails.len(), 1);
-        assert!(fails[0].contains("diverged"), "{fails:?}");
+        assert!(fails[0].contains("scalar"), "{fails:?}");
+    }
+
+    #[test]
+    fn kernel_gate_fails_on_divergence() {
+        let reference = kernel_fixture(1.0, 1.0, true, true);
+        let fails = check_kernel(&reference, &kernel_fixture(1.0, 1.0, false, true));
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("thread counts"), "{fails:?}");
+    }
+
+    #[test]
+    fn kernel_gate_fails_on_backend_divergence() {
+        let reference = kernel_fixture(1.0, 1.0, true, true);
+        let fails = check_kernel(&reference, &kernel_fixture(1.0, 1.0, true, false));
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("DSP backends"), "{fails:?}");
     }
 
     #[test]
     fn kernel_gate_fails_on_missing_keys() {
-        let fails = check_kernel(1.0, "{}");
+        // Fresh JSON missing everything: both floors plus both identity
+        // flags fail.
+        let reference = kernel_fixture(1.0, 1.0, true, true);
+        let fails = check_kernel(&reference, "{}");
+        assert_eq!(fails.len(), 4, "{fails:?}");
+        // A committed reference missing the gated throughput keys is
+        // itself a failure (the gate must never silently skip a floor).
+        let fails = check_kernel("{}", &reference);
         assert_eq!(fails.len(), 2, "{fails:?}");
     }
 
     #[test]
     fn station_gate_passes_nominal() {
-        assert!(check_station(2.9178, &station_fixture(2.9178, 0, true, 1.3)).is_empty());
+        let reference = station_fixture(2.9178, 0, true, 1.3);
+        assert!(check_station(&reference, &station_fixture(2.9178, 0, true, 1.3)).is_empty());
         // Negative overhead (measurement noise) is fine.
-        assert!(check_station(2.9178, &station_fixture(3.0, 0, true, -0.4)).is_empty());
+        assert!(check_station(&reference, &station_fixture(3.0, 0, true, -0.4)).is_empty());
     }
 
     #[test]
     fn station_gate_fails_on_nominal_shed() {
-        let fails = check_station(1.0, &station_fixture(1.0, 3, true, 0.0));
+        let reference = station_fixture(1.0, 0, true, 0.0);
+        let fails = check_station(&reference, &station_fixture(1.0, 3, true, 0.0));
         assert_eq!(fails.len(), 1);
         assert!(fails[0].contains("shed"), "{fails:?}");
     }
 
     #[test]
     fn station_gate_fails_on_divergence_and_regression() {
-        let fails = check_station(2.0, &station_fixture(1.5, 0, false, 0.0));
+        let reference = station_fixture(2.0, 0, true, 0.0);
+        let fails = check_station(&reference, &station_fixture(1.5, 0, false, 0.0));
         assert_eq!(fails.len(), 2, "{fails:?}");
     }
 
     #[test]
     fn station_gate_fails_on_trace_overhead() {
-        let fails = check_station(1.0, &station_fixture(1.0, 0, true, 6.7));
+        let reference = station_fixture(1.0, 0, true, 0.0);
+        let fails = check_station(&reference, &station_fixture(1.0, 0, true, 6.7));
         assert_eq!(fails.len(), 1);
         assert!(fails[0].contains("tracing"), "{fails:?}");
     }

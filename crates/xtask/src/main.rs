@@ -19,7 +19,11 @@
 //! * **atomic_ordering** — every `Ordering::X` argument carries a
 //!   same-line `// ordering:` justification;
 //! * **lock_scope** — no `.lock()` while another `let`-bound guard is
-//!   still in scope, unless the nesting carries a lock-order argument.
+//!   still in scope, unless the nesting carries a lock-order argument;
+//! * **simd_boundary** — `unsafe` and `std::arch` / `core::arch`
+//!   intrinsics are confined to `crates/choir-dsp/src/backend/`; the
+//!   rest of the workspace stays safe Rust dispatching through the
+//!   backend facade.
 //!
 //! Violations are suppressed inside `#[cfg(test)]` scope, or with a
 //! `// lint:allow(<rule>) — <reason>` comment on the site's line or the
@@ -234,6 +238,21 @@ fn selftest() -> ExitCode {
         (
             "crates/choir-mac/src/planted.rs",
             "pub fn f(a: &Mutex<u8>, b: &Mutex<u8>) -> u8 {\n    let g = a.lock();\n    // lint:allow(lock_scope) — a always precedes b, see module docs\n    let h = b.lock();\n    *g + *h\n}\n",
+            &[],
+        ),
+        (
+            "crates/choir-core/src/planted.rs",
+            "pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+            &["simd_boundary"],
+        ),
+        (
+            "crates/choir-core/src/planted.rs",
+            "use std::arch::x86_64::_mm256_add_pd;\n",
+            &["simd_boundary"],
+        ),
+        (
+            "crates/choir-dsp/src/backend/planted.rs",
+            "use core::arch::x86_64::_mm256_add_pd;\npub fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
             &[],
         ),
     ];

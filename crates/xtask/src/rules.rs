@@ -97,6 +97,7 @@ pub fn check_file(f: &SourceFile) -> Vec<Violation> {
     sync_facade(f, &mut out);
     atomic_ordering(f, &mut out);
     lock_scope(f, &mut out);
+    simd_boundary(f, &mut out);
     out
 }
 
@@ -644,6 +645,57 @@ fn lock_scope(f: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
+/// The one directory where `unsafe` and CPU intrinsics are sanctioned:
+/// the SIMD backend leaves, whose safety argument (runtime feature
+/// detection before dispatch, slice-bounded pointer arithmetic) lives in
+/// `choir_dsp::backend`'s module docs.
+const SIMD_BOUNDARY: &str = "crates/choir-dsp/src/backend/";
+
+/// Rule `simd_boundary`: the `unsafe`, `std::arch` and `core::arch`
+/// tokens are banned in library code outside [`SIMD_BOUNDARY`]. The
+/// workspace already denies `unsafe_code` via rustc, but that lint can
+/// be re-allowed by any inner attribute; this rule pins *where* such an
+/// attribute may appear, so the trusted surface cannot quietly spread
+/// beyond the two backend leaf files reviewers audit.
+fn simd_boundary(f: &SourceFile, out: &mut Vec<Violation>) {
+    if !is_library_source(&f.path) || f.path.starts_with(SIMD_BOUNDARY) {
+        return;
+    }
+    let mut search = 0usize;
+    while let Some(rel) = f.code[search..].find("unsafe") {
+        let at = search + rel;
+        search = at + "unsafe".len();
+        if !token_at(&f.code, at, "unsafe") {
+            continue;
+        }
+        push(
+            f,
+            out,
+            at,
+            "simd_boundary",
+            format!(
+                "`unsafe` outside the sanctioned SIMD boundary ({SIMD_BOUNDARY}) — keep the trusted surface in the backend leaves"
+            ),
+        );
+    }
+    for needle in ["std::arch", "core::arch"] {
+        let mut search = 0usize;
+        while let Some(rel) = f.code[search..].find(needle) {
+            let at = search + rel;
+            search = at + needle.len();
+            push(
+                f,
+                out,
+                at,
+                "simd_boundary",
+                format!(
+                    "`{needle}` outside the sanctioned SIMD boundary ({SIMD_BOUNDARY}) — intrinsics belong in the backend leaves"
+                ),
+            );
+        }
+    }
+}
+
 /// Rule `missing_docs_gate` + `lints_inherit`: every library crate must
 /// hard-deny missing docs and inherit the workspace lint table. Returns
 /// violations with pseudo-positions (line 1).
@@ -940,6 +992,46 @@ mod tests {
         assert!(violations(
             "crates/choir-mac/src/planted.rs",
             "pub fn f(a: &Mutex<u8>, b: &Mutex<u8>) -> u8 {\n    let x = { let g = a.lock(); *g };\n    let h = b.lock();\n    x + *h\n}\n",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn unsafe_and_arch_are_confined_to_the_simd_boundary() {
+        // `unsafe` in ordinary library code: flagged.
+        let v = violations(
+            "crates/choir-core/src/planted.rs",
+            "pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+        );
+        assert_eq!(v, ["simd_boundary"]);
+        // Intrinsic paths are flagged even without an `unsafe` block.
+        let v = violations(
+            "crates/choir-station/src/planted.rs",
+            "use std::arch::x86_64::_mm256_add_pd;\n",
+        );
+        assert_eq!(v, ["simd_boundary"]);
+        let v = violations(
+            "crates/lora-phy/src/planted.rs",
+            "use core::arch::aarch64::vaddq_f64;\n",
+        );
+        assert_eq!(v, ["simd_boundary"]);
+        // The backend directory itself is the sanctioned exception.
+        assert!(violations(
+            "crates/choir-dsp/src/backend/planted.rs",
+            "use std::arch::x86_64::_mm256_add_pd;\npub fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+        )
+        .is_empty());
+        // Identifier boundaries: idents merely containing the word are
+        // not the keyword.
+        assert!(violations(
+            "crates/choir-core/src/planted.rs",
+            "pub fn f(unsafe_marker: u8) -> u8 { unsafe_marker }\n",
+        )
+        .is_empty());
+        // Test code and justified sites are exempt like everywhere else.
+        assert!(violations(
+            "crates/choir-core/src/planted.rs",
+            "#[cfg(test)]\nmod tests { pub fn f(p: *const u8) -> u8 { unsafe { *p } } }\n",
         )
         .is_empty());
     }
