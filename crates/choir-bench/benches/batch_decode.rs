@@ -19,14 +19,32 @@
 //! vector slots/sec so the CI gate can floor the scalar path and track
 //! the vector speedup.
 //!
+//! A third sweep re-decodes the batch at every candidate-block width
+//! (`W = 1, 2, 4, 8` in the refine prefilter), verifying the decoded
+//! streams are bit-identical at every width and recording the per-width
+//! throughput. `BENCH_kernel.json` gains `refine_s` (single-thread
+//! refine-stage seconds), `block_width` (the default width) and
+//! `blocked_slots_per_sec` (throughput at that width), all gated by
+//! `cargo xtask ci bench-smoke`.
+//!
+//! Stage accounting: workers accumulate stage time per thread, so the
+//! multi-thread rows of `BENCH_parallel.json` report both the raw
+//! cumulative CPU seconds (`stages_cpu_s`, summed across workers — it
+//! can exceed the elapsed wall time) and the per-worker average
+//! (`stages_s = stages_cpu_s / threads`, comparable to wall time). The
+//! CI gate floors neither: it gates the single-thread `stages_s` of
+//! `BENCH_kernel.json` (via `refine_s`), where the two accountings
+//! coincide.
+//!
 //! Speedup is bounded by the host's core count: on a single-core
 //! container every thread count measures the same throughput (plus a few
 //! percent of pool overhead), which is expected and recorded as such.
 
 use std::time::Instant;
 
-use choir_bench::two_user_scenario;
-use choir_core::decoder::{ChoirDecoder, SlotCapture, SlotResult};
+use choir_bench::{merge_bench_json, two_user_scenario};
+use choir_core::decoder::{ChoirConfig, ChoirDecoder, SlotCapture, SlotResult};
+use choir_core::estimator::EstimatorConfig;
 use choir_core::profile;
 use choir_dsp::backend::{self, BackendKind};
 use choir_pool::ThreadPool;
@@ -34,6 +52,9 @@ use lora_phy::params::PhyParams;
 
 const SLOTS: usize = 16;
 const PAYLOAD_LEN: usize = 8;
+
+/// Candidate-block widths the refine prefilter is re-decoded at.
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
 
 /// PR-2 single-thread baseline (slots/sec) on this host, captured in
 /// `BENCH_parallel.json` before the allocation-free offset-search kernel
@@ -106,12 +127,19 @@ fn main() {
         println!(
             "batch_decode/{SLOTS}slots_2users_t{threads:<2}      {sps:8.3} slots/s  ({elapsed:.3} s elapsed)"
         );
-        // Per-stage latency breakdown (CPU seconds summed across workers).
+        // Per-stage latency breakdown. Workers accumulate per thread, so
+        // the raw sums are cumulative CPU seconds; the per-worker
+        // average (cpu / threads) is the number comparable to elapsed
+        // wall time. Shares are identical either way.
         let total: f64 = stages.iter().sum();
-        for (name, s) in profile::STAGE_NAMES.iter().zip(&stages) {
+        let per_worker: [f64; profile::NUM_STAGES] = stages.map(|s| s / threads as f64);
+        for (name, (cpu, avg)) in profile::STAGE_NAMES
+            .iter()
+            .zip(stages.iter().zip(&per_worker))
+        {
             println!(
-                "    stage {name:<8} {s:7.3} s  ({:5.1}%)",
-                100.0 * s / total.max(1e-12)
+                "    stage {name:<8} {avg:7.3} s/worker  ({cpu:7.3} s cpu, {:5.1}%)",
+                100.0 * cpu / total.max(1e-12)
             );
         }
         if threads == 1 {
@@ -119,7 +147,8 @@ fn main() {
             single_thread_stages = stages;
         }
         rows.push(format!(
-            "    {{\"threads\": {threads}, \"slots_per_sec\": {sps:.4}, \"elapsed_s\": {elapsed:.4}, \"stages_s\": {}}}",
+            "    {{\"threads\": {threads}, \"slots_per_sec\": {sps:.4}, \"elapsed_s\": {elapsed:.4}, \"stages_s\": {}, \"stages_cpu_s\": {}}}",
+            stages_json(&per_worker),
             stages_json(&stages)
         ));
     }
@@ -162,6 +191,34 @@ fn main() {
         std::process::exit(1);
     }
 
+    // Candidate-block width sweep: the refine prefilter must produce the
+    // exact same decode at every block width (the width only chunks the
+    // surrogate grid into kernel calls), and the throughput at the
+    // default width is what the CI gate floors as blocked_slots_per_sec.
+    let default_width = EstimatorConfig::default().block_width;
+    let mut widths_identical = true;
+    let mut width_sps = Vec::new();
+    let mut blocked_sps = 0.0f64;
+    for bw in WIDTHS {
+        let (sps, d) = run_width(bw, &slots);
+        let same = baseline.as_ref() == Some(&d);
+        if !same {
+            widths_identical = false;
+        }
+        println!(
+            "batch_decode/{SLOTS}slots_2users_w{bw:<9} {sps:8.3} slots/s  (bit-identical: {same})"
+        );
+        width_sps.push(format!("\"w{bw}\": {sps:.4}"));
+        if bw == default_width {
+            blocked_sps = sps;
+        }
+    }
+    println!("outputs bit-identical across block widths: {widths_identical}");
+    if !widths_identical {
+        eprintln!("ERROR: a candidate-block width diverged from the default decode");
+        std::process::exit(1);
+    }
+
     let json = format!(
         "{{\n  \"bench\": \"batch_decode\",\n  \"slots\": {SLOTS},\n  \"users_per_slot\": 2,\n  \"payload_len\": {PAYLOAD_LEN},\n  \"host_cores\": {},\n  \"outputs_bit_identical\": {identical},\n  \"runs\": [\n{}\n  ]\n}}\n",
         std::thread::available_parallelism().map_or(1, |n| n.get()),
@@ -184,16 +241,65 @@ fn main() {
         vector_backend.name(),
         vector_sps / scalar_sps.max(1e-12)
     );
-    let kernel_json = format!(
-        "{{\n  \"bench\": \"offset_search_kernel\",\n  \"slots\": {SLOTS},\n  \"users_per_slot\": 2,\n  \"payload_len\": {PAYLOAD_LEN},\n  \"before_slots_per_sec\": {PR2_BASELINE_SLOTS_PER_SEC},\n  \"after_slots_per_sec\": {single_thread_sps:.4},\n  \"speedup\": {speedup:.3},\n  \"scalar_slots_per_sec\": {scalar_sps:.4},\n  \"vector_backend\": \"{}\",\n  \"vector_slots_per_sec\": {vector_sps:.4},\n  \"outputs_bit_identical\": {identical},\n  \"backends_bit_identical\": {backends_identical},\n  \"stages_s\": {}\n}}\n",
-        vector_backend.name(),
-        stages_json(&single_thread_stages),
+    let refine_s = profile::STAGE_NAMES
+        .iter()
+        .position(|n| *n == "refine")
+        .map_or(0.0, |i| single_thread_stages[i]);
+    println!("single-thread refine stage: {refine_s:.4} s (block width {default_width}, {blocked_sps:.4} slots/s)");
+    // Merge (rather than rewrite) so the blocked per-width kernel
+    // timings `dsp_micro` owns survive a batch_decode refresh.
+    let kpath = std::path::Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_kernel.json"
+    ));
+    merge_bench_json(
+        kpath,
+        &[
+            ("bench", "\"offset_search_kernel\"".into()),
+            ("slots", SLOTS.to_string()),
+            ("users_per_slot", "2".into()),
+            ("payload_len", PAYLOAD_LEN.to_string()),
+            (
+                "before_slots_per_sec",
+                PR2_BASELINE_SLOTS_PER_SEC.to_string(),
+            ),
+            ("after_slots_per_sec", format!("{single_thread_sps:.4}")),
+            ("speedup", format!("{speedup:.3}")),
+            ("scalar_slots_per_sec", format!("{scalar_sps:.4}")),
+            ("vector_backend", format!("\"{}\"", vector_backend.name())),
+            ("vector_slots_per_sec", format!("{vector_sps:.4}")),
+            ("outputs_bit_identical", identical.to_string()),
+            ("backends_bit_identical", backends_identical.to_string()),
+            ("widths_bit_identical", widths_identical.to_string()),
+            ("block_width", default_width.to_string()),
+            ("blocked_slots_per_sec", format!("{blocked_sps:.4}")),
+            ("refine_s", format!("{refine_s:.4}")),
+            (
+                "width_slots_per_sec",
+                format!("{{{}}}", width_sps.join(", ")),
+            ),
+            ("stages_s", stages_json(&single_thread_stages)),
+        ],
     );
-    let kpath = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernel.json");
-    match std::fs::write(kpath, kernel_json) {
-        Ok(()) => println!("wrote {kpath}"),
-        Err(e) => eprintln!("could not write {kpath}: {e}"),
-    }
+}
+
+/// Measures single-thread slots/sec with the refine candidate-block
+/// width forced to `bw`, returning the throughput and output digest.
+fn run_width(bw: usize, slots: &[SlotCapture]) -> (f64, Vec<u64>) {
+    let cfg = ChoirConfig {
+        estimator: EstimatorConfig {
+            block_width: bw,
+            ..EstimatorConfig::default()
+        },
+        ..ChoirConfig::default()
+    };
+    let dec = ChoirDecoder::with_config(PhyParams::default(), cfg);
+    // Warm-up: FFT plans, tone bases, scratch arenas.
+    let _ = dec.decode_slots_with_pool(&slots[..2], ThreadPool::sequential());
+    let t = Instant::now();
+    let out = dec.decode_slots_with_pool(slots, ThreadPool::sequential());
+    let elapsed = t.elapsed().as_secs_f64();
+    (slots.len() as f64 / elapsed, digest(&out))
 }
 
 /// Measures single-thread slots/sec with `kind` forced, on a fresh

@@ -94,10 +94,87 @@ fn bench_backend_kernels(b: &mut Bench) {
     backend::reset();
 }
 
+/// The blocked candidate-scoring kernels swept over block widths `W =
+/// 1, 2, 4, 8` on every backend: one iteration synthesizes, projects
+/// and scores a full prefilter grid of [`GRID`] candidates in
+/// `ceil(GRID/W)` chunks — exactly the work one refine line search
+/// spends per coordinate. The per-width throughput on the dispatched
+/// (auto) backend is merged into `BENCH_kernel.json` as
+/// `micro_block_candidates_per_sec` so width regressions show up next
+/// to the end-to-end numbers. A width above the ISA's
+/// `MAX_BLOCK_WIDTH` is skipped with a note rather than failing, so
+/// the sweep list can outrun narrow ISAs.
+fn bench_blocked_kernels(b: &mut Bench) -> Vec<(usize, f64)> {
+    const GRID: usize = 8;
+    let n = 256;
+    let y = tone(n, 33.31);
+    let grid: Vec<f64> = (0..GRID).map(|g| 33.0 + 0.1 * g as f64).collect();
+    let mut auto_widths = Vec::new();
+    let kinds = backend::available();
+    for &w in &[1usize, 2, 4, 8] {
+        if w > backend::MAX_BLOCK_WIDTH {
+            println!(
+                "dsp_micro/blocked_w{w}: skipped (width exceeds MAX_BLOCK_WIDTH = {} on this ISA)",
+                backend::MAX_BLOCK_WIDTH
+            );
+            continue;
+        }
+        let mut block = vec![C64::ZERO; n * w];
+        let mut proj = vec![C64::ZERO; w];
+        let mut coeffs = vec![C64::ZERO; w];
+        let mut scores = vec![0.0f64; w];
+        let mut run = |name: &str| {
+            b.bench(name, || {
+                let mut acc = 0.0f64;
+                let mut q = 0;
+                while q < GRID {
+                    let cw = w.min(GRID - q);
+                    let blk = &mut block[..n * cw];
+                    backend::tone_block_into(blk, n, &grid[q..q + cw]);
+                    backend::conj_dot_block(blk, &y, &mut proj[..cw]);
+                    let inv_n = 1.0 / n as f64;
+                    for (c, &p) in coeffs[..cw].iter_mut().zip(&proj[..cw]) {
+                        *c = p.scale(inv_n);
+                    }
+                    backend::residual_block(blk, &y, &coeffs[..cw], &mut scores[..cw]);
+                    acc += scores[..cw].iter().sum::<f64>();
+                    q += cw;
+                }
+                acc
+            })
+        };
+        // Dispatched path first — this is the number the artifact records.
+        let median_ns = run(&format!("blocked_grid{GRID}_w{w}_auto"));
+        auto_widths.push((w, GRID as f64 / (median_ns * 1e-9)));
+        for kind in kinds.clone() {
+            backend::force(kind);
+            run(&format!("blocked_grid{GRID}_w{w}_{}", kind.name()));
+            backend::reset();
+        }
+    }
+    auto_widths
+}
+
 fn main() {
     let mut b = Bench::group("dsp_micro");
     bench_fft(&mut b);
     bench_least_squares(&mut b);
     bench_modem(&mut b);
     bench_backend_kernels(&mut b);
+    let widths = bench_blocked_kernels(&mut b);
+    let fields: Vec<String> = widths
+        .iter()
+        .map(|(w, cps)| format!("\"w{w}\": {cps:.0}"))
+        .collect();
+    let kpath = std::path::Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_kernel.json"
+    ));
+    choir_bench::merge_bench_json(
+        kpath,
+        &[(
+            "micro_block_candidates_per_sec",
+            format!("{{{}}}", fields.join(", ")),
+        )],
+    );
 }

@@ -32,8 +32,10 @@ impl Bench {
     }
 
     /// Times `f`, which is run repeatedly and must return a value that is
-    /// `black_box`ed to keep the optimiser honest.
-    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+    /// `black_box`ed to keep the optimiser honest. Returns the median
+    /// per-iteration time in nanoseconds so callers can record it in a
+    /// bench artifact.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> f64 {
         // Warm-up: also discovers how many iterations fit in one batch.
         let warm_start = Instant::now();
         let mut warm_iters: u64 = 0;
@@ -64,6 +66,7 @@ impl Bench {
             a = fmt_ns(mean),
             lo = fmt_ns(min),
         );
+        median
     }
 }
 

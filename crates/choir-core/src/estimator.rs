@@ -8,16 +8,24 @@
 //! offsets that minimise the residual (Eqn. 4). The residual surface is
 //! locally convex (Fig. 4), so cyclic coordinate descent with a shrinking
 //! bracket converges quickly; multi-start guards against side-lobe minima.
+//!
+//! The descent's first sweep batches its line searches: a fixed grid of
+//! candidate offsets per coordinate is scored `block_width` at a time
+//! through the AoSoA blocked kernels (see [`CandidateBlock`]) against a
+//! cheap deflated-residual surrogate, and only the bracket around the
+//! grid argmin gets the exact golden-section polish. The refined output
+//! is bit-identical at every block width and on every DSP backend.
 
 use crate::error::DecodeError;
 use crate::profile::{scope, Stage};
+use choir_dsp::backend::MAX_BLOCK_WIDTH;
 use choir_dsp::checks;
 use choir_dsp::complex::C64;
 use choir_dsp::fft::FftPlan;
 use choir_dsp::linalg::{
     conj_dot, gram_residual, least_squares_refs, residual_energy_refs, CholeskyFactor,
 };
-use choir_dsp::optim::cyclic_coordinate_descent;
+use choir_dsp::optim::{golden_section, Optimum};
 use choir_dsp::peaks::{find_peaks, Peak, PeakConfig};
 use choir_dsp::workspace;
 use choir_pool::ThreadPool;
@@ -89,6 +97,14 @@ pub struct EstimatorConfig {
     pub fit_steps: bool,
     /// Minimum relative residual improvement for a step term to be kept.
     pub step_gain_threshold: f64,
+    /// Candidate-block width of the line-search grid prefilter: how many
+    /// offset hypotheses each blocked kernel invocation evaluates at
+    /// once (AoSoA layout, see [`CandidateBlock`]). Must be in
+    /// `1..=MAX_BLOCK_WIDTH`. The refined output is bit-identical at
+    /// every width — the blocked kernels keep one accumulator per
+    /// candidate, so the width only chooses how the fixed surrogate
+    /// grid is chunked into kernel calls.
+    pub block_width: usize,
 }
 
 impl Default for EstimatorConfig {
@@ -105,7 +121,97 @@ impl Default for EstimatorConfig {
             max_sweeps: 12,
             fit_steps: true,
             step_gain_threshold: 0.02,
+            block_width: 4,
         }
+    }
+}
+
+/// Number of surrogate grid points the first-sweep prefilter of
+/// [`OffsetEstimator::refine`] evaluates per coordinate before handing a
+/// narrowed bracket to the exact golden-section polish. Grid geometry is
+/// fixed (independent of the configured block width), which is what
+/// keeps the refined output bit-identical across widths.
+const PREFILTER_GRID: usize = 8;
+
+/// AoSoA block of candidate tone hypotheses, the unit of work of the
+/// blocked line-search kernels: `W` basis columns stored interleaved as
+/// `block[t·W + j]` (row `t` holds sample `t` of every candidate `j`),
+/// so one kernel pass over the samples scores all `W` candidates with
+/// one accumulator each. Scoring projects a target window onto each
+/// candidate tone and measures the deflated residual
+/// `‖y − ⟨b_j,y⟩/n · b_j‖²` — a cheap separable surrogate for the joint
+/// least-squares residual the exact polish later minimises.
+pub struct CandidateBlock {
+    n: usize,
+    /// Capacity width (the configured block width).
+    w: usize,
+    /// Width of the current fill (`≤ w`; short tail chunks shrink it).
+    cw: usize,
+    block: Vec<C64>,
+    proj: Vec<C64>,
+    coeffs: Vec<C64>,
+    scores: Vec<f64>,
+}
+
+impl CandidateBlock {
+    /// Allocates a block for up to `w` candidates over `n`-chip symbols.
+    ///
+    /// # Panics
+    /// Panics if `w` is outside `1..=MAX_BLOCK_WIDTH`.
+    pub fn new(n: usize, w: usize) -> Self {
+        assert!(
+            (1..=MAX_BLOCK_WIDTH).contains(&w),
+            "CandidateBlock: width {w} outside 1..={MAX_BLOCK_WIDTH}"
+        );
+        CandidateBlock {
+            n,
+            w,
+            cw: 0,
+            block: vec![C64::ZERO; n * w],
+            proj: vec![C64::ZERO; w],
+            coeffs: vec![C64::ZERO; w],
+            scores: vec![0.0; w],
+        }
+    }
+
+    /// The block's capacity width.
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// Synthesizes the candidate tones `e^{j2π f_j t / n}` into the
+    /// interleaved block. `freqs.len()` becomes the current width.
+    ///
+    /// # Panics
+    /// Panics if `freqs` is empty or longer than the capacity width.
+    // hot:noalloc — columns are synthesized into the owned block.
+    pub fn fill(&mut self, freqs: &[f64]) {
+        assert!(
+            !freqs.is_empty() && freqs.len() <= self.w,
+            "CandidateBlock::fill: {} candidates into width-{} block",
+            freqs.len(),
+            self.w
+        );
+        self.cw = freqs.len();
+        choir_dsp::backend::tone_block_into(&mut self.block[..self.n * self.cw], self.n, freqs);
+    }
+
+    /// Scores every filled candidate against `y`: projects
+    /// (`c_j = ⟨b_j, y⟩ / n`, exact for unit tones whose Gram diagonal
+    /// is `n`) and returns the per-candidate deflated residual energies
+    /// `‖y − c_j·b_j‖²`, one blocked-kernel pass each. Lower is better.
+    // hot:noalloc — both kernel passes write owned buffers.
+    pub fn score(&mut self, y: &[C64]) -> &[f64] {
+        let cw = self.cw;
+        debug_assert!(cw > 0, "CandidateBlock::score before fill");
+        let block = &self.block[..self.n * cw];
+        choir_dsp::backend::conj_dot_block(block, y, &mut self.proj[..cw]);
+        let inv_n = 1.0 / self.n as f64;
+        for (c, &p) in self.coeffs[..cw].iter_mut().zip(&self.proj[..cw]) {
+            *c = p.scale(inv_n);
+        }
+        choir_dsp::backend::residual_block(block, y, &self.coeffs[..cw], &mut self.scores[..cw]);
+        &self.scores[..cw]
     }
 }
 
@@ -208,6 +314,7 @@ pub struct GramFit<'a> {
     chol: CholeskyFactor,
     coeffs: Vec<C64>,
     primed: bool,
+    solved: bool,
 }
 
 impl<'a> GramFit<'a> {
@@ -232,6 +339,32 @@ impl<'a> GramFit<'a> {
             chol: CholeskyFactor::new(),
             coeffs: vec![C64::ZERO; k],
             primed: false,
+            solved: false,
+        }
+    }
+
+    /// Whether the most recent [`Self::eval`] produced a non-singular
+    /// solve, i.e. whether the held coefficients match the held bases.
+    /// After a singular probe the coefficients are stale and
+    /// [`Self::deflate_into`] must not be used.
+    pub fn solved(&self) -> bool {
+        self.solved
+    }
+
+    /// Writes the deflated window `y′ = y − Σ_{j≠i} c_j·b_j` into `out`:
+    /// every component's current model except coordinate `i`'s is
+    /// subtracted, leaving (approximately) coordinate `i`'s lone tone
+    /// plus noise — the target the blocked line-search prefilter scores
+    /// its candidate grid against. Only meaningful when [`Self::solved`].
+    // hot:noalloc — streams the held bases through one axpy each.
+    pub fn deflate_into(&self, i: usize, out: &mut [C64]) {
+        debug_assert!(self.solved, "deflate_into with stale coefficients");
+        debug_assert_eq!(out.len(), self.y.len());
+        out.copy_from_slice(self.y);
+        for j in 0..self.k {
+            if j != i {
+                choir_dsp::backend::axpy(out, &self.bases[j], self.coeffs[j], true);
+            }
         }
     }
 
@@ -269,9 +402,11 @@ impl<'a> GramFit<'a> {
             }
         }
         if !self.chol.factor(k, &self.gram) {
+            self.solved = false;
             return self.y_energy;
         }
         self.chol.solve_into(&self.p, &mut self.coeffs);
+        self.solved = true;
         gram_residual(k, &self.gram, &self.p, &self.coeffs, self.y_energy)
     }
 }
@@ -299,6 +434,11 @@ impl OffsetEstimator {
     pub fn new(n: usize, cfg: EstimatorConfig) -> Self {
         assert!(n.is_power_of_two(), "symbol length must be a power of two");
         assert!(cfg.pad >= 1);
+        assert!(
+            (1..=MAX_BLOCK_WIDTH).contains(&cfg.block_width),
+            "block_width {} outside 1..={MAX_BLOCK_WIDTH}",
+            cfg.block_width
+        );
         OffsetEstimator {
             n,
             cfg,
@@ -404,25 +544,117 @@ impl OffsetEstimator {
         }
     }
 
+    /// Cyclic coordinate descent over the joint residual, with a blocked
+    /// grid prefilter on the first sweep. Mirrors
+    /// [`cyclic_coordinate_descent`](choir_dsp::optim::cyclic_coordinate_descent)
+    /// exactly — same radius halving, same golden-section polish, same
+    /// convergence test — except that the first sweep's line searches
+    /// first score a fixed [`PREFILTER_GRID`]-point grid of candidate
+    /// offsets against the coordinate's deflated window through the
+    /// blocked AoSoA kernels ([`CandidateBlock`]), then golden-polish
+    /// only the bracket around the grid argmin. Exact-objective probes
+    /// drop roughly threefold; the polish still runs on the true
+    /// [`GramFit`] residual, so accuracy is untouched.
+    ///
+    /// The surrogate grid geometry and kernel semantics are independent
+    /// of the configured block width, so the returned optimum is
+    /// bit-identical for every `block_width` (the width only chunks the
+    /// grid into `ceil(G/W)` kernel calls). A coordinate whose last
+    /// exact probe was singular skips the prefilter for that sweep (the
+    /// deflation coefficients would be stale) and polishes the full
+    /// bracket, exactly as the un-prefiltered descent would.
+    // Entry-time setup allocates once (the coordinate vector and the
+    // candidate block); the per-probe loop itself is allocation-free
+    // through the noalloc-annotated kernels it drives
+    // (`CandidateBlock::fill` / `score`, `GramFit::deflate_into`) and
+    // the workspace-arena deflation buffer.
+    fn ccd_refine(&self, gfit: &mut GramFit<'_>, x0: &[f64], radius: f64) -> Optimum {
+        let tol = self.cfg.tol_bins;
+        let mut x = x0.to_vec();
+        let mut best = gfit.eval(&x);
+        let mut evals = 1usize;
+        let mut r = radius;
+        let mut deflated = workspace::take(self.n);
+        let mut cand = CandidateBlock::new(self.n, self.cfg.block_width);
+        for sweep in 0..self.cfg.max_sweeps {
+            let before = best;
+            for i in 0..x.len() {
+                let xi = x[i];
+                let gtol = tol.max(r * 1e-4);
+                let (mut lo, mut hi) = (xi - r, xi + r);
+                if sweep == 0 && gfit.solved() {
+                    gfit.deflate_into(i, &mut deflated);
+                    let step = (hi - lo) / (PREFILTER_GRID - 1) as f64;
+                    let mut grid = [0.0f64; PREFILTER_GRID];
+                    for (g, gv) in grid.iter_mut().enumerate() {
+                        *gv = lo + g as f64 * step;
+                    }
+                    let mut scores = [0.0f64; PREFILTER_GRID];
+                    let mut q = 0;
+                    while q < PREFILTER_GRID {
+                        let cw = cand.width().min(PREFILTER_GRID - q);
+                        cand.fill(&grid[q..q + cw]);
+                        scores[q..q + cw].copy_from_slice(cand.score(&deflated));
+                        q += cw;
+                    }
+                    evals += PREFILTER_GRID;
+                    // Argmin; ties keep the lowest index.
+                    let mut m = 0;
+                    for (g, &s) in scores.iter().enumerate().skip(1) {
+                        if s < scores[m] {
+                            m = g;
+                        }
+                    }
+                    lo = grid[m.saturating_sub(1)];
+                    hi = grid[(m + 1).min(PREFILTER_GRID - 1)];
+                }
+                let (xmin, fmin) = golden_section(
+                    |v| {
+                        x[i] = v;
+                        let fv = gfit.eval(&x);
+                        x[i] = xi;
+                        fv
+                    },
+                    lo,
+                    hi,
+                    gtol,
+                );
+                // golden_section spends ~2 + log_φ(range/tol) evals.
+                evals += 2 + (((hi - lo) / gtol).ln() / 0.481).max(0.0).ceil() as usize;
+                if fmin < best {
+                    best = fmin;
+                    x[i] = xmin;
+                }
+            }
+            r *= 0.5;
+            // Absolute-plus-relative improvement test — see
+            // `cyclic_coordinate_descent`, whose semantics this mirrors.
+            if before - best < tol * tol + 1e-9 * before.abs() {
+                break;
+            }
+        }
+        workspace::put(deflated);
+        Optimum {
+            x,
+            value: best,
+            evals,
+        }
+    }
+
     /// Fine stage (Eqn. 4): jointly refines the coarse positions by
     /// minimising the reconstruction residual. The search probes the
     /// residual through an incremental [`GramFit`] (allocation-free,
-    /// `O(K²)` per probe); the converged positions then get one full
-    /// time-domain verification fit, which is what the returned channels
-    /// come from. Returns one estimate per input position (order
-    /// preserved).
+    /// `O(K²)` per probe) and narrows each first-sweep line search with
+    /// the blocked candidate-grid prefilter (see `ccd_refine`);
+    /// the converged positions then get one full time-domain
+    /// verification fit, which is what the returned channels come from.
+    /// Returns one estimate per input position (order preserved).
     pub fn refine(&self, window: &[C64], coarse_bins: &[f64]) -> Vec<ComponentEstimate> {
         assert!(!coarse_bins.is_empty(), "refine: no coarse positions");
         scope(Stage::Refine, || {
             let de = self.dechirp(window);
             let mut gfit = GramFit::new(self.n, &de, coarse_bins.len());
-            let opt = cyclic_coordinate_descent(
-                |f: &[f64]| gfit.eval(f),
-                coarse_bins,
-                self.cfg.search_radius_bins,
-                self.cfg.tol_bins,
-                self.cfg.max_sweeps,
-            );
+            let opt = self.ccd_refine(&mut gfit, coarse_bins, self.cfg.search_radius_bins);
             let (channels, _) = self.fit(&de, &opt.x);
             // Provenance: the coarse candidates entering the Algorithm-1
             // search, where they converged, and the joint residual there.
@@ -707,14 +939,15 @@ impl OffsetEstimator {
                 let _ = pass;
                 let steps_model = {
                     let mut m = vec![C64::ZERO; self.n];
+                    // A step term is constant over `[0, boundary)`, so
+                    // its contribution is one segment axpy (same
+                    // multiply-adds, same order, per element as the
+                    // per-sample guard it replaces).
                     for c in comps.iter() {
                         if let Some(st) = &c.step {
                             let b = self.basis(c.freq_bins);
-                            for (t, &bv) in b.iter().enumerate() {
-                                if t < st.boundary {
-                                    m[t] += st.coeff * bv;
-                                }
-                            }
+                            let split = st.boundary.min(self.n);
+                            choir_dsp::backend::axpy(&mut m[..split], &b[..split], st.coeff, false);
                         }
                     }
                     m
@@ -722,13 +955,7 @@ impl OffsetEstimator {
                 let corrected: Vec<C64> = de.iter().zip(&steps_model).map(|(d, s)| d - s).collect();
                 let freqs: Vec<f64> = comps.iter().map(|c| c.freq_bins).collect();
                 let mut gfit = GramFit::new(self.n, &corrected, freqs.len());
-                let opt = cyclic_coordinate_descent(
-                    |f: &[f64]| gfit.eval(f),
-                    &freqs,
-                    radius,
-                    self.cfg.tol_bins,
-                    self.cfg.max_sweeps,
-                );
+                let opt = self.ccd_refine(&mut gfit, &freqs, radius);
                 let (channels, _) = self.fit(&corrected, &opt.x);
                 for ((c, &f), h) in comps.iter_mut().zip(&opt.x).zip(channels) {
                     c.freq_bins = f.rem_euclid(self.n as f64);
@@ -929,6 +1156,83 @@ mod tests {
             "weak at {}",
             comps[1].freq_bins
         );
+    }
+
+    /// Stable bit pattern of a component list, for exact comparisons.
+    fn comp_bits(comps: &[ComponentEstimate]) -> Vec<u64> {
+        let mut out = Vec::new();
+        for c in comps {
+            out.push(c.freq_bins.to_bits());
+            out.push(c.channel.re.to_bits());
+            out.push(c.channel.im.to_bits());
+            match &c.step {
+                Some(st) => {
+                    out.push(st.coeff.re.to_bits());
+                    out.push(st.coeff.im.to_bits());
+                    out.push(st.boundary as u64);
+                }
+                None => out.push(u64::MAX),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn refine_bits_invariant_across_block_widths() {
+        // The block width only chunks the prefilter grid into kernel
+        // calls; the refined components must be bit-identical at every
+        // width (the CI gate re-checks this end-to-end on full frames).
+        let (f1, f2) = (10.17, 60.57);
+        let mut w = chirp_with_offset(f1, c64(0.9, 0.3));
+        add(&mut w, &chirp_with_offset(f2, c64(-0.2, 0.8)));
+        let coarse: Vec<f64> = est().coarse(&w).iter().map(|p| p.pos).collect();
+        assert!(coarse.len() >= 2);
+        let reference: Vec<u64> = {
+            let cfg = EstimatorConfig {
+                block_width: 1,
+                ..EstimatorConfig::default()
+            };
+            let e = OffsetEstimator::new(N, cfg);
+            comp_bits(&e.refine_with_steps(&w, &coarse))
+        };
+        for bw in [2usize, 4, 8] {
+            let cfg = EstimatorConfig {
+                block_width: bw,
+                ..EstimatorConfig::default()
+            };
+            let e = OffsetEstimator::new(N, cfg);
+            let got = comp_bits(&e.refine_with_steps(&w, &coarse));
+            assert_eq!(got, reference, "width {bw} diverged from width 1");
+        }
+    }
+
+    #[test]
+    fn candidate_block_score_matches_width_one() {
+        let truth = 33.31;
+        let w = chirp_with_offset(truth, c64(0.8, -0.1));
+        let de = est().dechirp(&w);
+        let freqs = [33.05, 33.21, 33.37, 33.53, 33.69];
+        let mut wide = CandidateBlock::new(N, 5);
+        wide.fill(&freqs);
+        let wide_scores = wide.score(&de).to_vec();
+        for (j, &f) in freqs.iter().enumerate() {
+            let mut one = CandidateBlock::new(N, 1);
+            one.fill(std::slice::from_ref(&f));
+            assert_eq!(
+                one.score(&de)[0].to_bits(),
+                wide_scores[j].to_bits(),
+                "candidate {j}"
+            );
+        }
+        // And the best surrogate score sits at the grid point nearest
+        // the true tone.
+        let best = wide_scores
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(best, 2, "scores {wide_scores:?}");
     }
 
     #[test]

@@ -51,12 +51,16 @@ fn window(users: &[User], noise: &[(f64, f64)]) -> Vec<C64> {
 }
 
 /// The exact basis formula the estimator synthesises, rebuilt naively.
+/// Tone synthesis owns its deterministic sincos (not libm), so the
+/// naive reference replays that same kernel.
 fn fresh_bases(freqs: &[f64]) -> Vec<Vec<C64>> {
     freqs
         .iter()
         .map(|&f| {
             let w = 2.0 * std::f64::consts::PI * f / N as f64;
-            (0..N).map(|t| C64::cis(w * t as f64)).collect()
+            (0..N)
+                .map(|t| choir_dsp::backend::sincos::cis(w * t as f64))
+                .collect()
         })
         .collect()
 }

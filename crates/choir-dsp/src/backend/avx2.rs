@@ -32,11 +32,15 @@
 
 use crate::complex::C64;
 use std::arch::x86_64::{
-    __m128d, __m256d, _mm256_add_pd, _mm256_addsub_pd, _mm256_castpd256_pd128,
-    _mm256_extractf128_pd, _mm256_loadu_pd, _mm256_movedup_pd, _mm256_mul_pd, _mm256_permute_pd,
-    _mm256_set1_pd, _mm256_setr_pd, _mm256_storeu_pd, _mm256_sub_pd, _mm256_xor_pd, _mm_add_pd,
-    _mm_setzero_pd, _mm_storeu_pd,
+    __m128d, __m256d, _mm256_add_pd, _mm256_addsub_pd, _mm256_and_pd, _mm256_and_si256,
+    _mm256_blendv_pd, _mm256_castpd256_pd128, _mm256_castpd_si256, _mm256_castsi256_pd,
+    _mm256_cmpeq_epi64, _mm256_extractf128_pd, _mm256_loadu_pd, _mm256_movedup_pd, _mm256_mul_pd,
+    _mm256_permute2f128_pd, _mm256_permute_pd, _mm256_set1_epi64x, _mm256_set1_pd,
+    _mm256_set_m128d, _mm256_setr_pd, _mm256_storeu_pd, _mm256_sub_pd, _mm256_unpackhi_pd,
+    _mm256_unpacklo_pd, _mm256_xor_pd, _mm_add_pd, _mm_loadu_pd, _mm_setzero_pd, _mm_storeu_pd,
 };
+
+use super::sincos;
 
 /// Two packed complex multiplies `p[i]·q[i]` (`i = 0, 1`), matching
 /// `C64`'s `Mul` component expressions exactly (two roundings each).
@@ -73,6 +77,267 @@ unsafe fn read_acc(acc: __m128d) -> C64 {
 #[target_feature(enable = "avx2")]
 unsafe fn conj_mask() -> __m256d {
     _mm256_setr_pd(0.0, -0.0, 0.0, -0.0)
+}
+
+/// Four lanes of the deterministic [`sincos`] kernel: returns
+/// `(cos, sin)` — i.e. `(re, im)` of `cis(x)` — for each lane of `x`.
+/// Every instruction mirrors one operation of `sincos::cis`, in the
+/// same order, with no FMA, so each lane's result is bit-identical to
+/// the scalar call on that lane's value (quadrant selection included:
+/// the blends and sign masks read the same shifted-mantissa bits the
+/// scalar `match` reads).
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn cis4(x: __m256d) -> (__m256d, __m256d) {
+    let shift = _mm256_set1_pd(sincos::SHIFT);
+    let kk = _mm256_add_pd(_mm256_mul_pd(x, _mm256_set1_pd(sincos::FRAC_2_PI)), shift);
+    let quad = _mm256_castpd_si256(kk);
+    let k = _mm256_sub_pd(kk, shift);
+    let r = _mm256_sub_pd(
+        _mm256_sub_pd(
+            _mm256_sub_pd(x, _mm256_mul_pd(k, _mm256_set1_pd(sincos::PIO2_HI))),
+            _mm256_mul_pd(k, _mm256_set1_pd(sincos::PIO2_MID)),
+        ),
+        _mm256_mul_pd(k, _mm256_set1_pd(sincos::PIO2_LO)),
+    );
+    let z = _mm256_mul_pd(r, r);
+    // Horner chains, innermost coefficient first — same order as the
+    // scalar expressions.
+    let mut ps = _mm256_set1_pd(sincos::S[5]);
+    for i in (0..5).rev() {
+        ps = _mm256_add_pd(_mm256_set1_pd(sincos::S[i]), _mm256_mul_pd(z, ps));
+    }
+    let sin_r = _mm256_add_pd(r, _mm256_mul_pd(_mm256_mul_pd(r, z), ps));
+    let mut pc = _mm256_set1_pd(sincos::C[5]);
+    for i in (0..5).rev() {
+        pc = _mm256_add_pd(_mm256_set1_pd(sincos::C[i]), _mm256_mul_pd(z, pc));
+    }
+    let cos_r = _mm256_add_pd(
+        _mm256_sub_pd(_mm256_set1_pd(1.0), _mm256_mul_pd(_mm256_set1_pd(0.5), z)),
+        _mm256_mul_pd(_mm256_mul_pd(z, z), pc),
+    );
+    // Quadrant recombination: q0 (cos, sin), q1 (−sin, cos),
+    // q2 (−cos, −sin), q3 (sin, −cos). Bit 0 swaps the magnitudes,
+    // bit 0 ⊕ bit 1 negates re, bit 1 negates im — all exact ops.
+    let one = _mm256_set1_epi64x(1);
+    let two = _mm256_set1_epi64x(2);
+    let b0 = _mm256_castsi256_pd(_mm256_cmpeq_epi64(_mm256_and_si256(quad, one), one));
+    let b1 = _mm256_castsi256_pd(_mm256_cmpeq_epi64(_mm256_and_si256(quad, two), two));
+    let neg = _mm256_set1_pd(-0.0);
+    let re = _mm256_xor_pd(
+        _mm256_blendv_pd(cos_r, sin_r, b0),
+        _mm256_and_pd(_mm256_xor_pd(b0, b1), neg),
+    );
+    let im = _mm256_xor_pd(_mm256_blendv_pd(sin_r, cos_r, b0), _mm256_and_pd(b1, neg));
+    (re, im)
+}
+
+/// AVX2 [`super::tone_into`]; bit-identical to the oracle (each lane
+/// replays the scalar [`sincos::cis`] op sequence).
+pub fn tone_into(buf: &mut [C64], n: usize, freq_bins: f64) {
+    // SAFETY: see `conj_dot`.
+    unsafe { tone_into_impl(buf, n, freq_bins) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn tone_into_impl(buf: &mut [C64], n: usize, freq_bins: f64) {
+    let w = 2.0 * std::f64::consts::PI * freq_bins / n as f64;
+    let len = buf.len();
+    let wv = _mm256_set1_pd(w);
+    let po = buf.as_mut_ptr() as *mut f64;
+    let mut t = 0usize;
+    while t + 4 <= len {
+        let tv = _mm256_setr_pd(t as f64, (t + 1) as f64, (t + 2) as f64, (t + 3) as f64);
+        let (re, im) = cis4(_mm256_mul_pd(wv, tv));
+        // Interleave [re0..re3]/[im0..im3] into (re, im) pairs.
+        let lo = _mm256_unpacklo_pd(re, im); // [r0, i0, r2, i2]
+        let hi = _mm256_unpackhi_pd(re, im); // [r1, i1, r3, i3]
+        _mm256_storeu_pd(po.add(2 * t), _mm256_permute2f128_pd::<0x20>(lo, hi));
+        _mm256_storeu_pd(po.add(2 * t + 4), _mm256_permute2f128_pd::<0x31>(lo, hi));
+        t += 4;
+    }
+    while t < len {
+        buf[t] = sincos::cis(w * t as f64);
+        t += 1;
+    }
+}
+
+/// AVX2 [`super::tone_block_into`]: per-candidate strided column fill.
+/// Each column reuses the dense four-lane sincos pipeline and scatters
+/// the four `(re, im)` pairs to `block[t·W + j]`; element values are
+/// bit-identical to the dense kernel's at the same `(n, freq, t)`.
+pub fn tone_block_into(block: &mut [C64], n: usize, freqs: &[f64]) {
+    // SAFETY: see `conj_dot`.
+    unsafe { tone_block_into_impl(block, n, freqs) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn tone_block_into_impl(block: &mut [C64], n: usize, freqs: &[f64]) {
+    let w = freqs.len();
+    debug_assert!(
+        w > 0 && block.len().is_multiple_of(w),
+        "tone_block_into: ragged block"
+    );
+    let rows = block.len() / w;
+    let po = block.as_mut_ptr() as *mut f64;
+    for (j, &f) in freqs.iter().enumerate() {
+        let wj = 2.0 * std::f64::consts::PI * f / n as f64;
+        let wv = _mm256_set1_pd(wj);
+        let mut t = 0usize;
+        while t + 4 <= rows {
+            let tv = _mm256_setr_pd(t as f64, (t + 1) as f64, (t + 2) as f64, (t + 3) as f64);
+            let (re, im) = cis4(_mm256_mul_pd(wv, tv));
+            let lo = _mm256_unpacklo_pd(re, im);
+            let hi = _mm256_unpackhi_pd(re, im);
+            // Scatter the four pairs to strided slots.
+            _mm_storeu_pd(po.add(2 * (t * w + j)), _mm256_castpd256_pd128(lo));
+            _mm_storeu_pd(po.add(2 * ((t + 1) * w + j)), _mm256_castpd256_pd128(hi));
+            _mm_storeu_pd(
+                po.add(2 * ((t + 2) * w + j)),
+                _mm256_extractf128_pd::<1>(lo),
+            );
+            _mm_storeu_pd(
+                po.add(2 * ((t + 3) * w + j)),
+                _mm256_extractf128_pd::<1>(hi),
+            );
+            t += 4;
+        }
+        while t < rows {
+            block[t * w + j] = sincos::cis(wj * t as f64);
+            t += 1;
+        }
+    }
+}
+
+/// AVX2 [`super::conj_dot_block`]; bit-identical to the oracle.
+/// Candidate pairs share each broadcast `y[t]` load: one 256-bit load
+/// covers two adjacent candidates' row entries, and each candidate's
+/// `(re, im)` half-register accumulates in ascending `t` — the
+/// oracle's per-candidate fold.
+pub fn conj_dot_block(block: &[C64], y: &[C64], out: &mut [C64]) {
+    // SAFETY: see `conj_dot`.
+    unsafe { conj_dot_block_impl(block, y, out) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn conj_dot_block_impl(block: &[C64], y: &[C64], out: &mut [C64]) {
+    let w = out.len();
+    debug_assert!(w > 0, "conj_dot_block: empty block");
+    let rows = (block.len() / w).min(y.len());
+    let pb = block.as_ptr() as *const f64;
+    let py = y.as_ptr() as *const f64;
+    let neg = _mm256_set1_pd(-0.0);
+    let mut j = 0usize;
+    while j + 2 <= w {
+        let mut acc = _mm256_setr_pd(0.0, 0.0, 0.0, 0.0);
+        for t in 0..rows {
+            let av = _mm256_loadu_pd(pb.add(2 * (t * w + j))); // candidates j, j+1
+            let yl = _mm_loadu_pd(py.add(2 * t));
+            let yv = _mm256_set_m128d(yl, yl);
+            let are = _mm256_movedup_pd(av);
+            let aim = _mm256_xor_pd(_mm256_permute_pd::<0xF>(av), neg);
+            let t1 = _mm256_mul_pd(are, yv);
+            let ysw = _mm256_permute_pd::<0x5>(yv);
+            let t2 = _mm256_mul_pd(aim, ysw);
+            acc = _mm256_add_pd(acc, _mm256_addsub_pd(t1, t2));
+        }
+        let mut parts = [0.0f64; 4];
+        _mm256_storeu_pd(parts.as_mut_ptr(), acc);
+        out[j] = crate::complex::c64(parts[0], parts[1]);
+        out[j + 1] = crate::complex::c64(parts[2], parts[3]);
+        j += 2;
+    }
+    while j < w {
+        let mut acc = C64::ZERO;
+        for (t, &yt) in y.iter().enumerate().take(rows) {
+            acc += block[t * w + j].conj() * yt;
+        }
+        out[j] = acc;
+        j += 1;
+    }
+}
+
+/// AVX2 [`super::residual_block`]; bit-identical to the oracle.
+/// Each candidate keeps its `(Σ re², Σ im²)` half-register accumulator
+/// pair (the oracle's definition) updated in ascending `t`.
+pub fn residual_block(block: &[C64], y: &[C64], coeffs: &[C64], out: &mut [f64]) {
+    // SAFETY: see `conj_dot`.
+    unsafe { residual_block_impl(block, y, coeffs, out) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn residual_block_impl(block: &[C64], y: &[C64], coeffs: &[C64], out: &mut [f64]) {
+    let w = out.len();
+    assert!(
+        w > 0 && w <= super::MAX_BLOCK_WIDTH && coeffs.len() == w,
+        "residual_block: width out of range"
+    );
+    let rows = (block.len() / w).min(y.len());
+    let pb = block.as_ptr() as *const f64;
+    let py = y.as_ptr() as *const f64;
+    let mut j = 0usize;
+    while j + 2 <= w {
+        // c_j and c_{j+1} broadcast once; `cmul2` keeps the coefficient
+        // on the left, matching the oracle's `c * b`.
+        let cv = _mm256_loadu_pd(coeffs.as_ptr().add(j) as *const f64);
+        let cre = _mm256_movedup_pd(cv);
+        let cim = _mm256_permute_pd::<0xF>(cv);
+        let mut acc = _mm256_setr_pd(0.0, 0.0, 0.0, 0.0);
+        for t in 0..rows {
+            let bv = _mm256_loadu_pd(pb.add(2 * (t * w + j)));
+            let t1 = _mm256_mul_pd(cre, bv);
+            let bsw = _mm256_permute_pd::<0x5>(bv);
+            let t2 = _mm256_mul_pd(cim, bsw);
+            let m = _mm256_addsub_pd(t1, t2);
+            let yl = _mm_loadu_pd(py.add(2 * t));
+            let yv = _mm256_set_m128d(yl, yl);
+            let d = _mm256_sub_pd(yv, m);
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+        }
+        let mut parts = [0.0f64; 4];
+        _mm256_storeu_pd(parts.as_mut_ptr(), acc);
+        out[j] = parts[0] + parts[1];
+        out[j + 1] = parts[2] + parts[3];
+        j += 2;
+    }
+    while j < w {
+        let c = coeffs[j];
+        let (mut sre, mut sim) = (0.0f64, 0.0f64);
+        for (t, &yt) in y.iter().enumerate().take(rows) {
+            let d = yt - c * block[t * w + j];
+            sre += d.re * d.re;
+            sim += d.im * d.im;
+        }
+        out[j] = sre + sim;
+        j += 1;
+    }
+}
+
+/// AVX2 [`super::dot`]; bit-identical to the oracle — `conj_dot`
+/// without the sign flip on the broadcast imaginary parts.
+pub fn dot(a: &[C64], b: &[C64]) -> C64 {
+    // SAFETY: see `conj_dot`.
+    unsafe { dot_impl(a, b) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn dot_impl(a: &[C64], b: &[C64]) -> C64 {
+    let n = a.len().min(b.len());
+    let (pa, pb) = (a.as_ptr() as *const f64, b.as_ptr() as *const f64);
+    let mut acc = _mm_setzero_pd();
+    let mut i = 0;
+    while i + 2 <= n {
+        let av = _mm256_loadu_pd(pa.add(2 * i));
+        let bv = _mm256_loadu_pd(pb.add(2 * i));
+        acc = fold2(acc, cmul2(av, bv));
+        i += 2;
+    }
+    let mut out = read_acc(acc);
+    while i < n {
+        out += a[i] * b[i];
+        i += 1;
+    }
+    out
 }
 
 /// AVX2 [`super::conj_dot`]; bit-identical to the oracle.
@@ -245,6 +510,12 @@ unsafe fn butterflies_impl(x: &mut [C64], twiddles: &[C64], forward: bool) {
 }
 
 /// AVX2 [`super::dot_rev`]; bit-identical to the oracle.
+///
+/// Four taps per iteration from two contiguous 256-bit source loads and
+/// one contiguous 256-bit kernel load; the kernel's tap order is
+/// reversed *in registers* (duplicate-shuffle + cross-half permute)
+/// instead of rebuilding reversed pairs from scalar loads per
+/// iteration, which is what kept the previous version gather-bound.
 pub fn dot_rev(xs: &[C64], kernel: &[f64]) -> C64 {
     // SAFETY: see `conj_dot`.
     unsafe { dot_rev_impl(xs, kernel) }
@@ -255,19 +526,33 @@ unsafe fn dot_rev_impl(xs: &[C64], kernel: &[f64]) -> C64 {
     debug_assert_eq!(xs.len(), kernel.len());
     let l = xs.len();
     let px = xs.as_ptr() as *const f64;
+    let pk = kernel.as_ptr();
     let mut acc = _mm_setzero_pd();
     let mut j = 0;
-    while j + 2 <= l {
-        // Kernel taps j and j+1 hit sources xs[l-1-j] and xs[l-2-j]:
-        // one contiguous load in memory order
-        // [xs[l-2-j], xs[l-1-j]], so tap j rides the high lanes.
-        let xv = _mm256_loadu_pd(px.add(2 * (l - 2 - j)));
-        let kv = _mm256_setr_pd(kernel[j + 1], kernel[j + 1], kernel[j], kernel[j]);
-        let prod = _mm256_mul_pd(xv, kv);
-        // Fold tap j (high) before tap j+1 (low) — oracle order.
-        acc = _mm_add_pd(acc, _mm256_extractf128_pd::<1>(prod));
-        acc = _mm_add_pd(acc, _mm256_castpd256_pd128(prod));
-        j += 2;
+    while j + 4 <= l {
+        // Taps j..j+3 hit sources xs[l-1-j]..xs[l-4-j]. Two contiguous
+        // loads cover them in memory order:
+        //   xv_lo = [xs[l-4-j], xs[l-3-j]]  (taps j+3, j+2)
+        //   xv_hi = [xs[l-2-j], xs[l-1-j]]  (taps j+1, j)
+        let xv_lo = _mm256_loadu_pd(px.add(2 * (l - 4 - j)));
+        let xv_hi = _mm256_loadu_pd(px.add(2 * (l - 2 - j)));
+        // One contiguous kernel load [k0, k1, k2, k3], then in-register
+        // reverse + pair-duplicate:
+        //   dup_even = [k0, k0, k2, k2], dup_odd = [k1, k1, k3, k3]
+        //   kv_lo = [k3, k3, k2, k2], kv_hi = [k1, k1, k0, k0]
+        let kvec = _mm256_loadu_pd(pk.add(j));
+        let dup_even = _mm256_movedup_pd(kvec);
+        let dup_odd = _mm256_permute_pd::<0xF>(kvec);
+        let kv_lo = _mm256_permute2f128_pd::<0x31>(dup_odd, dup_even);
+        let kv_hi = _mm256_permute2f128_pd::<0x20>(dup_odd, dup_even);
+        let prod_lo = _mm256_mul_pd(xv_lo, kv_lo); // [tap j+3, tap j+2]
+        let prod_hi = _mm256_mul_pd(xv_hi, kv_hi); // [tap j+1, tap j]
+                                                   // Fold taps j, j+1, j+2, j+3 — the oracle's ascending order.
+        acc = _mm_add_pd(acc, _mm256_extractf128_pd::<1>(prod_hi));
+        acc = _mm_add_pd(acc, _mm256_castpd256_pd128(prod_hi));
+        acc = _mm_add_pd(acc, _mm256_extractf128_pd::<1>(prod_lo));
+        acc = _mm_add_pd(acc, _mm256_castpd256_pd128(prod_lo));
+        j += 4;
     }
     let mut out = read_acc(acc);
     while j < l {

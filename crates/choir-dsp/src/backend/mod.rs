@@ -32,9 +32,12 @@
 //!   compute products in parallel, but sums accumulate sequentially in
 //!   the oracle's order;
 //! * flip signs by XOR with the IEEE sign bit (exact, matching `Neg`);
-//! * share the scalar `sin`/`cos` loop for tone synthesis, because libm
-//!   transcendentals cannot be reproduced lane-exactly by vector
-//!   polynomials.
+//! * synthesize tones through the repo's own deterministic [`sincos`]
+//!   kernel, never libm. Libm transcendentals cannot be reproduced
+//!   lane-exactly by vector polynomials, which is why `tone_into` was
+//!   originally pinned to the oracle; owning the polynomial (one fixed
+//!   IEEE op sequence, replayed identically per lane) makes tone
+//!   synthesis dispatchable like every other kernel.
 //!
 //! Within those rules the SIMD win comes from vectorizing the
 //! multiplies and the element-wise passes, which is where the cycles
@@ -77,6 +80,7 @@ use crate::complex::C64;
 use choir_sync::atomic::{AtomicU8, Ordering};
 
 pub mod scalar;
+pub mod sincos;
 mod vector;
 
 #[cfg(target_arch = "x86_64")]
@@ -272,16 +276,108 @@ pub fn axpy(out: &mut [C64], xs: &[C64], amp: C64, subtract: bool) {
     }
 }
 
+/// Maximum candidate-block width the blocked kernels accept. Wide
+/// enough for the W ∈ {1, 2, 4, 8} sweep; small enough that per-width
+/// scratch lives on the stack.
+pub const MAX_BLOCK_WIDTH: usize = 8;
+
+/// Unconjugated dot product `Σ a[i]·b[i]` over `zip(a, b)`, accumulated
+/// in index order from `C64::ZERO` — the reduction inside the Cholesky
+/// forward/back substitution.
+pub fn dot(a: &[C64], b: &[C64]) -> C64 {
+    match active() {
+        BackendKind::Scalar => scalar::dot(a, b),
+        BackendKind::Portable => vector::dot(a, b),
+        #[cfg(target_arch = "x86_64")]
+        BackendKind::Avx2 => avx2::dot(a, b),
+        #[cfg(target_arch = "aarch64")]
+        BackendKind::Neon => neon::dot(a, b),
+        #[allow(unreachable_patterns)]
+        _ => scalar::dot(a, b),
+    }
+}
+
 /// Tone-basis synthesis `buf[t] = cis(2π·freq_bins·t / n)`.
 ///
-/// All backends share the scalar evaluation: `sin`/`cos` come from the
-/// platform libm and cannot be re-derived lane-exactly by vector
-/// polynomials, and phasor recurrences drift — either would violate
-/// the 0-ULP budget. The per-thread basis cache in `choir_core`
-/// already amortises this kernel, so it is pinned to the oracle by
-/// policy rather than dispatched.
+/// `cis` here is the deterministic [`sincos`] kernel, *not* libm: libm
+/// transcendentals cannot be re-derived lane-exactly by a vector
+/// routine (which is why this kernel used to be pinned to the scalar
+/// oracle), and phasor recurrences drift. Owning the polynomial gives
+/// every backend the same fixed IEEE op sequence per element, so tone
+/// synthesis now dispatches — and it is the dominant per-probe cost of
+/// the Algorithm-1 refine loop, so this is where batching pays.
 pub fn tone_into(buf: &mut [C64], n: usize, freq_bins: f64) {
-    scalar::tone_into(buf, n, freq_bins);
+    match active() {
+        BackendKind::Scalar => scalar::tone_into(buf, n, freq_bins),
+        BackendKind::Portable => vector::tone_into(buf, n, freq_bins),
+        #[cfg(target_arch = "x86_64")]
+        BackendKind::Avx2 => avx2::tone_into(buf, n, freq_bins),
+        #[cfg(target_arch = "aarch64")]
+        BackendKind::Neon => neon::tone_into(buf, n, freq_bins),
+        #[allow(unreachable_patterns)]
+        _ => scalar::tone_into(buf, n, freq_bins),
+    }
+}
+
+/// AoSoA tone fill for a candidate block: `block[t·W + j] =
+/// cis(2π·freqs[j]·t / n)` with `W = freqs.len()` and
+/// `block.len() % W == 0`. Element values are bit-identical to
+/// [`tone_into`]'s at the same `(n, freq, t)`, at every width — the
+/// blocked layout changes memory order, never arithmetic.
+pub fn tone_block_into(block: &mut [C64], n: usize, freqs: &[f64]) {
+    assert!(
+        !freqs.is_empty() && freqs.len() <= MAX_BLOCK_WIDTH,
+        "tone_block_into: width out of range"
+    );
+    match active() {
+        BackendKind::Scalar => scalar::tone_block_into(block, n, freqs),
+        BackendKind::Portable => vector::tone_block_into(block, n, freqs),
+        #[cfg(target_arch = "x86_64")]
+        BackendKind::Avx2 => avx2::tone_block_into(block, n, freqs),
+        #[cfg(target_arch = "aarch64")]
+        BackendKind::Neon => neon::tone_block_into(block, n, freqs),
+        #[allow(unreachable_patterns)]
+        _ => scalar::tone_block_into(block, n, freqs),
+    }
+}
+
+/// Blocked conjugated projection: `out[j] = Σ_t conj(block[t·W + j])·
+/// y[t]` with `W = out.len()`, each candidate folded from `C64::ZERO`
+/// in ascending `t` — the same per-candidate order as [`conj_dot`], so
+/// results match `W` separate dense dots bit-for-bit at every width.
+pub fn conj_dot_block(block: &[C64], y: &[C64], out: &mut [C64]) {
+    assert!(
+        !out.is_empty() && out.len() <= MAX_BLOCK_WIDTH,
+        "conj_dot_block: width out of range"
+    );
+    match active() {
+        BackendKind::Scalar => scalar::conj_dot_block(block, y, out),
+        BackendKind::Portable => vector::conj_dot_block(block, y, out),
+        #[cfg(target_arch = "x86_64")]
+        BackendKind::Avx2 => avx2::conj_dot_block(block, y, out),
+        #[cfg(target_arch = "aarch64")]
+        BackendKind::Neon => neon::conj_dot_block(block, y, out),
+        #[allow(unreachable_patterns)]
+        _ => scalar::conj_dot_block(block, y, out),
+    }
+}
+
+/// Blocked residual energies: `out[j] = ‖y − coeffs[j]·b_j‖²` against
+/// candidate `j`'s strided column, accumulated as separate `t`-ascending
+/// real/imaginary square sums added once at the end (the oracle's
+/// definition — see `scalar::residual_block`). Per-candidate results
+/// are independent of the block width.
+pub fn residual_block(block: &[C64], y: &[C64], coeffs: &[C64], out: &mut [f64]) {
+    match active() {
+        BackendKind::Scalar => scalar::residual_block(block, y, coeffs, out),
+        BackendKind::Portable => vector::residual_block(block, y, coeffs, out),
+        #[cfg(target_arch = "x86_64")]
+        BackendKind::Avx2 => avx2::residual_block(block, y, coeffs, out),
+        #[cfg(target_arch = "aarch64")]
+        BackendKind::Neon => neon::residual_block(block, y, coeffs, out),
+        #[allow(unreachable_patterns)]
+        _ => scalar::residual_block(block, y, coeffs, out),
+    }
 }
 
 /// All radix-2 butterfly passes over an already bit-reversed buffer.

@@ -87,6 +87,107 @@ unsafe fn conj_dot_impl(a: &[C64], b: &[C64]) -> C64 {
     read_acc(acc)
 }
 
+/// NEON [`super::dot`]; bit-identical to the oracle — `conj_dot`
+/// without the sign flip on the broadcast imaginary part.
+pub fn dot(a: &[C64], b: &[C64]) -> C64 {
+    // SAFETY: see `conj_dot`.
+    unsafe { dot_impl(a, b) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn dot_impl(a: &[C64], b: &[C64]) -> C64 {
+    let n = a.len().min(b.len());
+    let (pa, pb) = (a.as_ptr() as *const f64, b.as_ptr() as *const f64);
+    let mut acc = vdupq_n_f64(0.0);
+    for i in 0..n {
+        let av = vld1q_f64(pa.add(2 * i));
+        let bv = vld1q_f64(pb.add(2 * i));
+        acc = vaddq_f64(acc, cmul1(av, bv));
+    }
+    read_acc(acc)
+}
+
+/// NEON [`super::tone_into`]: delegates to the scalar oracle. One
+/// `float64x2_t` holds a single complex sample, so a NEON sincos would
+/// evaluate the same one-element polynomial chain the scalar kernel
+/// already runs — there is no cross-element parallelism to win at this
+/// register width, and the scalar path is the deterministic kernel by
+/// definition.
+pub fn tone_into(buf: &mut [C64], n: usize, freq_bins: f64) {
+    super::scalar::tone_into(buf, n, freq_bins);
+}
+
+/// NEON [`super::tone_block_into`]: delegates to the scalar oracle
+/// (see [`tone_into`] — same register-width argument).
+pub fn tone_block_into(block: &mut [C64], n: usize, freqs: &[f64]) {
+    super::scalar::tone_block_into(block, n, freqs);
+}
+
+/// NEON [`super::conj_dot_block`]; bit-identical to the oracle. Each
+/// candidate keeps its own `(re, im)` accumulator register, updated in
+/// ascending `t`; candidates in a row share the broadcast `y[t]` load.
+pub fn conj_dot_block(block: &[C64], y: &[C64], out: &mut [C64]) {
+    // SAFETY: see `conj_dot`.
+    unsafe { conj_dot_block_impl(block, y, out) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn conj_dot_block_impl(block: &[C64], y: &[C64], out: &mut [C64]) {
+    let w = out.len();
+    debug_assert!(w > 0, "conj_dot_block: empty block");
+    let rows = (block.len() / w).min(y.len());
+    let pb = block.as_ptr() as *const f64;
+    let py = y.as_ptr() as *const f64;
+    for (j, o) in out.iter_mut().enumerate() {
+        let mut acc = vdupq_n_f64(0.0);
+        for t in 0..rows {
+            let av = vld1q_f64(pb.add(2 * (t * w + j)));
+            let yv = vld1q_f64(py.add(2 * t));
+            let are = vdupq_laneq_f64::<0>(av);
+            let aim = neg_re(neg_im(vdupq_laneq_f64::<1>(av)));
+            let t1 = vmulq_f64(are, yv);
+            let ysw = vextq_f64::<1>(yv, yv);
+            let t2 = vmulq_f64(aim, ysw);
+            acc = vaddq_f64(acc, vaddq_f64(t1, neg_re(t2)));
+        }
+        *o = read_acc(acc);
+    }
+}
+
+/// NEON [`super::residual_block`]; bit-identical to the oracle. Each
+/// candidate accumulates `(Σ re², Σ im²)` in one register (the
+/// oracle's split), combined by a single add at the end.
+pub fn residual_block(block: &[C64], y: &[C64], coeffs: &[C64], out: &mut [f64]) {
+    // SAFETY: see `conj_dot`.
+    unsafe { residual_block_impl(block, y, coeffs, out) }
+}
+
+#[target_feature(enable = "neon")]
+unsafe fn residual_block_impl(block: &[C64], y: &[C64], coeffs: &[C64], out: &mut [f64]) {
+    let w = out.len();
+    assert!(
+        w > 0 && w <= super::MAX_BLOCK_WIDTH && coeffs.len() == w,
+        "residual_block: width out of range"
+    );
+    let rows = (block.len() / w).min(y.len());
+    let pb = block.as_ptr() as *const f64;
+    let py = y.as_ptr() as *const f64;
+    let pc = coeffs.as_ptr() as *const f64;
+    for (j, o) in out.iter_mut().enumerate() {
+        let cv = vld1q_f64(pc.add(2 * j));
+        let mut acc = vdupq_n_f64(0.0);
+        for t in 0..rows {
+            let bv = vld1q_f64(pb.add(2 * (t * w + j)));
+            // `c · b` with the coefficient on the left (oracle order).
+            let m = cmul1(cv, bv);
+            let yv = vld1q_f64(py.add(2 * t));
+            let d = vsubq_f64(yv, m);
+            acc = vaddq_f64(acc, vmulq_f64(d, d));
+        }
+        *o = vgetq_lane_f64::<0>(acc) + vgetq_lane_f64::<1>(acc);
+    }
+}
+
 /// NEON [`super::cmul_into`]; bit-identical to the oracle.
 pub fn cmul_into(a: &[C64], b: &[C64], out: &mut [C64]) {
     // SAFETY: see `conj_dot`.

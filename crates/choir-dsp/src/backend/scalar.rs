@@ -15,6 +15,13 @@ pub fn conj_dot(a: &[C64], b: &[C64]) -> C64 {
     a.iter().zip(b).map(|(x, y)| x.conj() * y).sum()
 }
 
+/// Oracle for [`super::dot`]: unconjugated `Σ a[i]·b[i]` folded from
+/// `C64::ZERO` in index order over `zip(a, b)` — the substitution
+/// kernel of the Cholesky solve.
+pub fn dot(a: &[C64], b: &[C64]) -> C64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
 /// Oracle for [`super::cmul_into`]: `out[i] = a[i]·b[i]`.
 pub fn cmul_into(a: &[C64], b: &[C64], out: &mut [C64]) {
     for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
@@ -35,11 +42,82 @@ pub fn axpy(out: &mut [C64], xs: &[C64], amp: C64, subtract: bool) {
     }
 }
 
-/// Oracle for [`super::tone_into`]: `buf[t] = cis(2π·freq_bins·t/n)`.
+/// Oracle for [`super::tone_into`]: `buf[t] = cis(2π·freq_bins·t/n)`,
+/// with `cis` being the deterministic [`super::sincos`] kernel (not
+/// libm) so vector backends can replay the exact op sequence per lane.
 pub fn tone_into(buf: &mut [C64], n: usize, freq_bins: f64) {
     let w = 2.0 * PI * freq_bins / n as f64;
     for (t, v) in buf.iter_mut().enumerate() {
-        *v = C64::cis(w * t as f64);
+        *v = super::sincos::cis(w * t as f64);
+    }
+}
+
+/// Oracle for [`super::tone_block_into`]: strided AoSoA tone fill.
+/// Candidate `j`'s basis occupies `block[t·W + j]` (`W = freqs.len()`);
+/// each element is produced by the exact expression [`tone_into`] uses
+/// for `(n, freqs[j], t)`, so a blocked column is bit-identical to a
+/// dense basis at the same frequency, at every width.
+pub fn tone_block_into(block: &mut [C64], n: usize, freqs: &[f64]) {
+    let w = freqs.len();
+    debug_assert!(
+        w > 0 && block.len().is_multiple_of(w),
+        "tone_block_into: ragged block"
+    );
+    let rows = block.len() / w;
+    for (j, &f) in freqs.iter().enumerate() {
+        let wj = 2.0 * PI * f / n as f64;
+        for t in 0..rows {
+            block[t * w + j] = super::sincos::cis(wj * t as f64);
+        }
+    }
+}
+
+/// Oracle for [`super::conj_dot_block`]: `out[j] = Σ_t
+/// conj(block[t·W + j])·y[t]` with `W = out.len()`, each candidate's
+/// accumulator folded from `C64::ZERO` in ascending `t` — the same
+/// per-candidate order as [`conj_dot`], so a blocked projection is
+/// bit-identical to `W` separate dense dots, at every width.
+pub fn conj_dot_block(block: &[C64], y: &[C64], out: &mut [C64]) {
+    let w = out.len();
+    debug_assert!(w > 0, "conj_dot_block: empty block");
+    let rows = (block.len() / w).min(y.len());
+    out.fill(C64::ZERO);
+    for (t, &yt) in y.iter().enumerate().take(rows) {
+        let row = &block[t * w..t * w + w];
+        for (o, b) in out.iter_mut().zip(row) {
+            *o += b.conj() * yt;
+        }
+    }
+}
+
+/// Oracle for [`super::residual_block`]: `out[j] = ‖y − c_j·b_j‖²` for
+/// candidate `j`'s strided column, with real and imaginary squares
+/// accumulated in *separate* `t`-ascending sums that are added once at
+/// the end. That split is the oracle's definition (chosen so vector
+/// lanes can keep one `(Σre², Σim²)` accumulator pair per candidate);
+/// per-candidate results are independent of the block width.
+pub fn residual_block(block: &[C64], y: &[C64], coeffs: &[C64], out: &mut [f64]) {
+    let w = out.len();
+    assert!(
+        w > 0 && w <= super::MAX_BLOCK_WIDTH && coeffs.len() == w,
+        "residual_block: width out of range"
+    );
+    let rows = (block.len() / w).min(y.len());
+    let mut acc = [[0.0f64; 2]; super::MAX_BLOCK_WIDTH];
+    let acc = &mut acc[..w];
+    for a in acc.iter_mut() {
+        *a = [0.0; 2];
+    }
+    for (t, &yt) in y.iter().enumerate().take(rows) {
+        let row = &block[t * w..t * w + w];
+        for ((a, &c), &b) in acc.iter_mut().zip(coeffs).zip(row) {
+            let d = yt - c * b;
+            a[0] += d.re * d.re;
+            a[1] += d.im * d.im;
+        }
+    }
+    for (o, a) in out.iter_mut().zip(acc.iter()) {
+        *o = a[0] + a[1];
     }
 }
 

@@ -41,6 +41,57 @@ pub fn conj_dot(a: &[C64], b: &[C64]) -> C64 {
     acc
 }
 
+/// Portable [`super::dot`]; bit-identical to the oracle.
+pub fn dot(a: &[C64], b: &[C64]) -> C64 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = C64::ZERO;
+    let mut prod = [C64::ZERO; CHUNK];
+    let chunks = n / CHUNK * CHUNK;
+    for (ca, cb) in a[..chunks]
+        .chunks_exact(CHUNK)
+        .zip(b[..chunks].chunks_exact(CHUNK))
+    {
+        for i in 0..CHUNK {
+            prod[i] = ca[i] * cb[i];
+        }
+        for p in prod {
+            acc += p;
+        }
+    }
+    for (x, y) in a[chunks..].iter().zip(&b[chunks..]) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Portable [`super::tone_into`]; the deterministic sincos chain is a
+/// fixed scalar op sequence, so the oracle loop *is* the portable
+/// implementation (LLVM may vectorize the polynomial across `t` — each
+/// element's chain is independent, so widening cannot reassociate).
+pub fn tone_into(buf: &mut [C64], n: usize, freq_bins: f64) {
+    super::scalar::tone_into(buf, n, freq_bins);
+}
+
+/// Portable [`super::tone_block_into`]; see [`tone_into`].
+pub fn tone_block_into(block: &mut [C64], n: usize, freqs: &[f64]) {
+    super::scalar::tone_block_into(block, n, freqs);
+}
+
+/// Portable [`super::conj_dot_block`]; bit-identical to the oracle —
+/// the inner per-row loop over candidates is lane-independent (each
+/// candidate owns its accumulator), which is exactly the shape the
+/// auto-vectorizer can widen without reassociating any sum.
+pub fn conj_dot_block(block: &[C64], y: &[C64], out: &mut [C64]) {
+    super::scalar::conj_dot_block(block, y, out);
+}
+
+/// Portable [`super::residual_block`]; bit-identical to the oracle
+/// (see `conj_dot_block` — same lane-per-candidate argument).
+pub fn residual_block(block: &[C64], y: &[C64], coeffs: &[C64], out: &mut [f64]) {
+    super::scalar::residual_block(block, y, coeffs, out);
+}
+
 /// Portable [`super::cmul_into`]; bit-identical to the oracle.
 pub fn cmul_into(a: &[C64], b: &[C64], out: &mut [C64]) {
     for ((o, x), y) in out.iter_mut().zip(a).zip(b) {

@@ -310,6 +310,12 @@ pub struct CholeskyFactor {
     k: usize,
     /// Row-major k×k; entries strictly above the diagonal are unused.
     l: Vec<C64>,
+    /// Conjugate-transpose mirror (`u[i·k+m] = conj(l[m·k+i])`,
+    /// entries strictly below the diagonal unused), maintained so back
+    /// substitution walks a contiguous row instead of a strided,
+    /// conjugated column — that is what lets both substitutions run
+    /// through the vectorized [`crate::backend::dot`] kernel.
+    u: Vec<C64>,
 }
 
 /// A diagonal pivot below this fraction of its untouched Gram diagonal is
@@ -353,10 +359,14 @@ impl CholeskyFactor {
                     self.k = 0;
                     return false;
                 }
-                self.l[i * k + i] = c64(pr.sqrt(), 0.0);
+                let d = c64(pr.sqrt(), 0.0);
+                self.l[i * k + i] = d;
+                self.u[i * k + i] = d;
             } else {
                 let inv = 1.0 / self.l[j * k + j].re;
-                self.l[i * k + j] = s.scale(inv);
+                let v = s.scale(inv);
+                self.l[i * k + j] = v;
+                self.u[j * k + i] = v.conj();
             }
         }
         true
@@ -371,6 +381,8 @@ impl CholeskyFactor {
         self.k = k;
         self.l.clear();
         self.l.resize(k * k, C64::ZERO);
+        self.u.clear();
+        self.u.resize(k * k, C64::ZERO);
         for i in 0..k {
             if !self.fill_row(i, |j| g[i * k + j]) {
                 return false;
@@ -392,9 +404,12 @@ impl CholeskyFactor {
         self.k = k;
         self.l.clear();
         self.l.resize(k * k, C64::ZERO);
+        self.u.clear();
+        self.u.resize(k * k, C64::ZERO);
         for i in 0..kp {
             for j in 0..=i {
                 self.l[i * k + j] = prev.l[i * kp + j];
+                self.u[j * k + i] = prev.u[j * kp + i];
             }
         }
         self.fill_row(k - 1, |j| if j < kp { row[j] } else { diag })
@@ -403,24 +418,44 @@ impl CholeskyFactor {
     /// Solves `L·Lᴴ·x = b` into `x` (both length k) by forward and back
     /// substitution. Must only be called after a successful
     /// [`Self::factor`] / [`Self::border`].
+    ///
+    /// Each substitution row's reduction is a contiguous unconjugated
+    /// dot product — `L`'s row against the solved prefix going forward,
+    /// the `Lᴴ` mirror's row against the solved suffix going back — and
+    /// runs through [`crate::backend::dot`], which is 0-ULP identical across
+    /// backends. The reduction accumulates the products in index order
+    /// from zero and subtracts the sum once (`b[i] − Σ`), the only
+    /// shape a vector lane can produce without reassociating; the
+    /// short-row fallback below replays that exact fold, so results do
+    /// not depend on the row length, only on the row values.
     // hot:noalloc — substitution runs in the caller's output buffer.
     pub fn solve_into(&self, b: &[C64], x: &mut [C64]) {
         let k = self.k;
         debug_assert!(k > 0, "solve_into on an unfactored CholeskyFactor");
         debug_assert_eq!(b.len(), k);
         debug_assert_eq!(x.len(), k);
-        for i in 0..k {
-            let mut s = b[i];
-            for (m, &xm) in x.iter().enumerate().take(i) {
-                s -= self.l[i * k + m] * xm;
+        // Below this row length the vector kernel's dispatch + call
+        // overhead exceeds the reduction itself (K ≤ 3 systems dominate
+        // the refine loop); the inline fold is bit-identical to it.
+        const MIN_KERNEL_ROW: usize = 4;
+        #[inline]
+        fn row_dot(a: &[C64], b: &[C64]) -> C64 {
+            if a.len() >= MIN_KERNEL_ROW {
+                crate::backend::dot(a, b)
+            } else {
+                let mut acc = C64::ZERO;
+                for (&am, &bm) in a.iter().zip(b) {
+                    acc += am * bm;
+                }
+                acc
             }
+        }
+        for i in 0..k {
+            let s = b[i] - row_dot(&self.l[i * k..i * k + i], &x[..i]);
             x[i] = s.scale(1.0 / self.l[i * k + i].re);
         }
         for i in (0..k).rev() {
-            let mut s = x[i];
-            for (m, &xm) in x.iter().enumerate().take(k).skip(i + 1) {
-                s -= self.l[m * k + i].conj() * xm;
-            }
+            let s = x[i] - row_dot(&self.u[i * k + i + 1..i * k + k], &x[i + 1..k]);
             x[i] = s.scale(1.0 / self.l[i * k + i].re);
         }
     }

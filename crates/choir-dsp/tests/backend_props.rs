@@ -231,6 +231,121 @@ proptest! {
             assert_bits_eq(kind, "tone_into", &got, &want);
         }
     }
+
+    #[test]
+    fn dot_matches_oracle_bit_exactly(
+        a in arb_wild_signal(67),
+        b in arb_wild_signal(67),
+    ) {
+        let _s = serial();
+        let _r = RestoreBackend;
+        let n = a.len().min(b.len());
+        let want = backend::scalar::dot(&a[..n], &b[..n]);
+        for kind in backend::available() {
+            backend::force(kind);
+            let got = backend::dot(&a[..n], &b[..n]);
+            assert_scalar_bits_eq(kind, "dot", got, want);
+        }
+    }
+
+    // The strided tone fill at every block width `1..=MAX_BLOCK_WIDTH`,
+    // on every backend, against the scalar oracle — and every blocked
+    // column against a plain width-1 `tone_into` at the same frequency,
+    // which is the bit contract the estimator's width sweep rests on.
+    #[test]
+    fn tone_block_matches_oracle_and_width_one(
+        rows in 1usize..67,
+        width in 1usize..9,
+        freqs in prop::collection::vec(-64.0f64..64.0, 8..9),
+    ) {
+        let _s = serial();
+        let _r = RestoreBackend;
+        let freqs = &freqs[..width];
+        let mut want = vec![C64::ZERO; rows * width];
+        backend::scalar::tone_block_into(&mut want, rows, freqs);
+        // Blocked column j == dense tone at freqs[j], bit for bit.
+        for (j, &f) in freqs.iter().enumerate() {
+            let mut dense = vec![C64::ZERO; rows];
+            backend::scalar::tone_into(&mut dense, rows, f);
+            let col: Vec<C64> = (0..rows).map(|t| want[t * width + j]).collect();
+            assert_bits_eq(BackendKind::Scalar, "tone_block column", &col, &dense);
+        }
+        for kind in backend::available() {
+            backend::force(kind);
+            let mut got = vec![C64::ZERO; rows * width];
+            backend::tone_block_into(&mut got, rows, freqs);
+            assert_bits_eq(kind, "tone_block_into", &got, &want);
+        }
+    }
+
+    // The blocked projection and residual kernels on adversarial block
+    // contents (NaNs, denormals, huge/tiny magnitudes cycled into the
+    // AoSoA layout) at every width, on every backend — and each blocked
+    // lane against its per-candidate width-1 reference, so a width-W
+    // call is provably just W independent candidates.
+    #[test]
+    fn blocked_projection_and_residual_match_oracle_bit_exactly(
+        rows in 1usize..67,
+        width in 1usize..9,
+        seed in arb_wild_signal(129),
+        y in arb_wild_signal(67),
+        coeffs in prop::collection::vec(((0u8..6, -1.0f64..1.0), (0u8..6, -1.0f64..1.0)), 8..9),
+    ) {
+        let _s = serial();
+        let _r = RestoreBackend;
+        // Cycle the drawn values out to the strided block length.
+        let block: Vec<C64> = (0..rows * width).map(|i| seed[i % seed.len()]).collect();
+        let coeffs: Vec<C64> = coeffs.into_iter().take(width).map(wild_c64).collect();
+
+        let mut want_proj = vec![C64::ZERO; width];
+        backend::scalar::conj_dot_block(&block, &y, &mut want_proj);
+        let mut want_res = vec![0.0f64; width];
+        backend::scalar::residual_block(&block, &y, &coeffs, &mut want_res);
+
+        // Width-W lane j == the width-1 call on candidate j's dense column.
+        for j in 0..width {
+            let col: Vec<C64> = (0..rows).map(|t| block[t * width + j]).collect();
+            let dense_proj = backend::scalar::conj_dot(&col, &y[..rows.min(y.len())]);
+            assert_scalar_bits_eq(
+                BackendKind::Scalar,
+                "conj_dot_block lane vs conj_dot",
+                want_proj[j],
+                dense_proj,
+            );
+            let mut dense_res = [0.0f64];
+            backend::scalar::residual_block(&col, &y, &coeffs[j..j + 1], &mut dense_res);
+            prop_assert!(
+                f64_matches(want_res[j], dense_res[0]),
+                "residual_block lane {j} at width {width} diverged from its width-1 \
+                 reference: got {:?} [{:#018x}], want {:?} [{:#018x}]",
+                want_res[j],
+                want_res[j].to_bits(),
+                dense_res[0],
+                dense_res[0].to_bits(),
+            );
+        }
+
+        for kind in backend::available() {
+            backend::force(kind);
+            let mut got_proj = vec![C64::ZERO; width];
+            backend::conj_dot_block(&block, &y, &mut got_proj);
+            assert_bits_eq(kind, "conj_dot_block", &got_proj, &want_proj);
+            let mut got_res = vec![0.0f64; width];
+            backend::residual_block(&block, &y, &coeffs, &mut got_res);
+            for (j, (g, w)) in got_res.iter().zip(&want_res).enumerate() {
+                prop_assert!(
+                    f64_matches(*g, *w),
+                    "residual_block diverged from the scalar oracle on backend {} at \
+                     lane {j}: got {:?} [{:#018x}], want {:?} [{:#018x}]",
+                    kind.name(),
+                    g,
+                    g.to_bits(),
+                    w,
+                    w.to_bits(),
+                );
+            }
+        }
+    }
 }
 
 /// Forcing each backend in turn steers dispatch (`active()` reports the

@@ -177,17 +177,55 @@ fn floor_check(label: &str, key: &str, committed: &str, fresh: &str, out: &mut V
     }
 }
 
+/// Applies the ≤ `1/FLOOR_FRAC` ceiling for one stage-time key (lower
+/// is better): fails on a missing key or when the fresh reading exceeds
+/// the committed reference by more than the same >20 % margin the
+/// throughput floors allow.
+fn ceiling_check(label: &str, key: &str, committed: &str, fresh: &str, out: &mut Vec<String>) {
+    let Some(reference) = json_f64(committed, key) else {
+        out.push(format!("committed bench JSON has no numeric {key}"));
+        return;
+    };
+    let Some(secs) = json_f64(fresh, key) else {
+        out.push(format!("fresh bench JSON has no numeric {key}"));
+        return;
+    };
+    let ceiling = reference / FLOOR_FRAC;
+    println!("ci: {label}: fresh {secs:.4} s, ceiling {ceiling:.4} (reference {reference:.4})");
+    if secs > ceiling {
+        out.push(format!(
+            "{label} stage-time regression >20%: {secs:.4} > ceiling {ceiling:.4} (reference {reference:.4})"
+        ));
+    }
+}
+
 /// Gate predicates for `BENCH_kernel.json` (the batch-decode kernel
-/// bench): throughput floors for the default and scalar-forced DSP
-/// backends, cross-thread bit-identity, and cross-backend bit-identity.
-/// The per-backend vector slots/sec is recorded (for the committed
-/// artifact) but not floored — vector speed-ups vary by host ISA.
+/// bench): throughput floors for the default, scalar-forced and
+/// blocked-width decode paths, a stage-time ceiling on the single-thread
+/// refine stage, cross-thread bit-identity, cross-backend bit-identity,
+/// and cross-block-width bit-identity. The per-backend vector slots/sec
+/// is recorded (for the committed artifact) but not floored — vector
+/// speed-ups vary by host ISA.
 fn check_kernel(committed: &str, fresh: &str) -> Vec<String> {
     let mut out = Vec::new();
     floor_check("kernel", "after_slots_per_sec", committed, fresh, &mut out);
     floor_check(
         "kernel scalar backend",
         "scalar_slots_per_sec",
+        committed,
+        fresh,
+        &mut out,
+    );
+    floor_check(
+        "kernel blocked width",
+        "blocked_slots_per_sec",
+        committed,
+        fresh,
+        &mut out,
+    );
+    ceiling_check(
+        "kernel refine stage",
+        "refine_s",
         committed,
         fresh,
         &mut out,
@@ -208,6 +246,13 @@ fn check_kernel(committed: &str, fresh: &str) -> Vec<String> {
         Some(true) => {}
         Some(false) => out.push("kernel outputs diverged across DSP backends".to_string()),
         None => out.push("fresh BENCH_kernel.json has no backends_bit_identical".to_string()),
+    }
+    match json_bool(fresh, "widths_bit_identical") {
+        Some(true) => {}
+        Some(false) => {
+            out.push("kernel outputs diverged across candidate-block widths".to_string())
+        }
+        None => out.push("fresh BENCH_kernel.json has no widths_bit_identical".to_string()),
     }
     out
 }
@@ -271,6 +316,23 @@ mod tests {
 
     /// A synthetic `BENCH_kernel.json` in the exact shape the bench writes.
     fn kernel_fixture(sps: f64, scalar: f64, identical: bool, backends: bool) -> String {
+        // The blocked/refine readings track the healthier of the two
+        // throughputs so the single-regression tests stay single.
+        let healthy = sps.max(scalar);
+        kernel_fixture_blocked(sps, scalar, healthy, 0.4, true, identical, backends)
+    }
+
+    /// Fixture with explicit blocked-width and refine-stage readings.
+    #[allow(clippy::too_many_arguments)]
+    fn kernel_fixture_blocked(
+        sps: f64,
+        scalar: f64,
+        blocked: f64,
+        refine_s: f64,
+        widths: bool,
+        identical: bool,
+        backends: bool,
+    ) -> String {
         format!(
             concat!(
                 "{{\n  \"bench\": \"batch_decode\",\n",
@@ -279,12 +341,20 @@ mod tests {
                 "  \"scalar_slots_per_sec\": {scalar:.4},\n",
                 "  \"vector_backend\": \"avx2\",\n",
                 "  \"vector_slots_per_sec\": {vector:.4},\n",
+                "  \"block_width\": 4,\n",
+                "  \"blocked_slots_per_sec\": {blocked:.4},\n",
+                "  \"refine_s\": {refine_s:.4},\n",
+                "  \"width_slots_per_sec\": {{\"w1\": {blocked:.4}, \"w4\": {blocked:.4}}},\n",
+                "  \"widths_bit_identical\": {widths},\n",
                 "  \"outputs_bit_identical\": {identical},\n",
                 "  \"backends_bit_identical\": {backends}\n}}\n"
             ),
             sps = sps,
             scalar = scalar,
             vector = scalar * 2.5,
+            blocked = blocked,
+            refine_s = refine_s,
+            widths = widths,
             identical = identical,
             backends = backends,
         )
@@ -355,15 +425,55 @@ mod tests {
 
     #[test]
     fn kernel_gate_fails_on_missing_keys() {
-        // Fresh JSON missing everything: both floors plus both identity
-        // flags fail.
+        // Fresh JSON missing everything: three floors, the refine
+        // ceiling, and the three identity flags fail.
         let reference = kernel_fixture(1.0, 1.0, true, true);
         let fails = check_kernel(&reference, "{}");
-        assert_eq!(fails.len(), 4, "{fails:?}");
+        assert_eq!(fails.len(), 7, "{fails:?}");
         // A committed reference missing the gated throughput keys is
         // itself a failure (the gate must never silently skip a floor).
         let fails = check_kernel("{}", &reference);
-        assert_eq!(fails.len(), 2, "{fails:?}");
+        assert_eq!(fails.len(), 4, "{fails:?}");
+    }
+
+    #[test]
+    fn kernel_gate_fails_on_blocked_width_regression() {
+        let reference = kernel_fixture(1.0, 1.0, true, true);
+        let fails = check_kernel(
+            &reference,
+            &kernel_fixture_blocked(1.0, 1.0, 0.79, 0.4, true, true, true),
+        );
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("blocked"), "{fails:?}");
+    }
+
+    #[test]
+    fn kernel_gate_fails_on_refine_stage_regression() {
+        // refine_s is a time: larger is worse. Reference 0.4 s allows up
+        // to 0.5 s; 0.51 s must fail, 0.49 s must pass.
+        let reference = kernel_fixture(1.0, 1.0, true, true);
+        let fails = check_kernel(
+            &reference,
+            &kernel_fixture_blocked(1.0, 1.0, 1.0, 0.51, true, true, true),
+        );
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("refine"), "{fails:?}");
+        let fails = check_kernel(
+            &reference,
+            &kernel_fixture_blocked(1.0, 1.0, 1.0, 0.49, true, true, true),
+        );
+        assert!(fails.is_empty(), "{fails:?}");
+    }
+
+    #[test]
+    fn kernel_gate_fails_on_width_divergence() {
+        let reference = kernel_fixture(1.0, 1.0, true, true);
+        let fails = check_kernel(
+            &reference,
+            &kernel_fixture_blocked(1.0, 1.0, 1.0, 0.4, false, true, true),
+        );
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("block widths"), "{fails:?}");
     }
 
     #[test]
