@@ -24,6 +24,7 @@
 
 pub mod adc;
 pub mod antenna;
+pub mod async_scenario;
 pub mod fading;
 pub mod impairments;
 pub mod link;
@@ -32,6 +33,7 @@ pub mod noise;
 pub mod pathloss;
 pub mod scenario;
 
+pub use async_scenario::{ArrivalGroundTruth, AsyncScenario, AsyncScenarioBuilder};
 pub use impairments::{HardwareProfile, OscillatorModel};
 pub use link::LinkBudget;
 pub use mix::{mix, MixConfig, Transmission};

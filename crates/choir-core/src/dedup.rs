@@ -1,0 +1,115 @@
+//! Overlapping-view admission policy for unslotted detection.
+//!
+//! A multi-hypothesis tracker confirms *frame alignments*, not frames: a
+//! fractional-CFO straddle, a near-far pair on adjacent bins, or two CFO
+//! hypotheses of the same transmitter can all confirm within a symbol or
+//! two of one another. Cutting a [`crate::SlotView`] per confirmation
+//! would decode the same samples twice. The policy here is the one the
+//! station applies before cutting: a confirmed start is admitted only if
+//! it lies at least a minimum separation from *every* previously admitted
+//! start — otherwise it is folded into the earlier admission (the views
+//! would cover the same frame). Distinct frames that genuinely overlap
+//! (partial collision, zero-gap back-to-back) are farther apart than a
+//! preamble and always admitted; their views may then share ring samples,
+//! which is the point — shared *samples*, not shared *decodes*.
+
+use std::collections::VecDeque;
+
+/// Deduplicates confirmed packet starts by minimum separation.
+///
+/// Admission is order-independent for the separations the tracker can
+/// produce in one window batch, and `O(k)` in the number of *retained*
+/// admissions — callers prune with [`StartDedup::prune_below`] as their
+/// ring discards history.
+#[derive(Clone, Debug)]
+pub struct StartDedup {
+    admitted: VecDeque<u64>,
+    min_separation: u64,
+}
+
+impl StartDedup {
+    /// A policy admitting starts at least `min_separation` samples apart.
+    /// One preamble length is the natural choice: two confirmations
+    /// closer than a preamble cannot be distinct frames.
+    pub fn new(min_separation: u64) -> Self {
+        StartDedup {
+            admitted: VecDeque::new(),
+            min_separation,
+        }
+    }
+
+    /// Admits `start` if no previously admitted start is within the
+    /// minimum separation; returns whether the caller should cut a view.
+    pub fn admit(&mut self, start: u64) -> bool {
+        let dup = self
+            .admitted
+            .iter()
+            .any(|&a| a.abs_diff(start) < self.min_separation);
+        if !dup {
+            self.admitted.push_back(start);
+        }
+        !dup
+    }
+
+    /// Drops retained admissions strictly below `watermark` (they can no
+    /// longer collide with future confirmations once the tracker has
+    /// moved past them).
+    pub fn prune_below(&mut self, watermark: u64) {
+        while let Some(&front) = self.admitted.front() {
+            if front < watermark {
+                self.admitted.pop_front();
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// Currently retained admissions (diagnostics / tests).
+    pub fn retained(&self) -> usize {
+        self.admitted.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_within_separation_fold() {
+        let mut d = StartDedup::new(2048);
+        assert!(d.admit(10_000));
+        assert!(!d.admit(10_000), "exact duplicate");
+        assert!(!d.admit(10_256), "one symbol later: same frame");
+        assert!(!d.admit(8_200), "just under a preamble earlier");
+        assert!(d.admit(12_048), "exactly the separation: distinct");
+        assert_eq!(d.retained(), 2);
+    }
+
+    #[test]
+    fn overlapping_distinct_frames_both_admit() {
+        // Two frames overlapping 50%: starts a frame-length/2 apart,
+        // far beyond one preamble.
+        let mut d = StartDedup::new(8 * 256);
+        assert!(d.admit(512));
+        assert!(d.admit(512 + 17 * 256));
+    }
+
+    #[test]
+    fn prune_discards_only_passed_history() {
+        let mut d = StartDedup::new(1000);
+        assert!(d.admit(1_000));
+        assert!(d.admit(5_000));
+        assert!(d.admit(9_000));
+        d.prune_below(5_000);
+        assert_eq!(d.retained(), 2);
+        // 1_000 is gone: a (hypothetical) nearby start admits again.
+        assert!(d.admit(1_500));
+    }
+
+    #[test]
+    fn zero_separation_admits_everything() {
+        let mut d = StartDedup::new(0);
+        assert!(d.admit(7));
+        assert!(d.admit(7));
+    }
+}

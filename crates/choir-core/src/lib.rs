@@ -44,6 +44,7 @@
 
 pub mod cluster;
 pub mod decoder;
+pub mod dedup;
 pub mod error;
 pub mod estimator;
 pub mod hmrf;
@@ -56,6 +57,7 @@ pub mod unb;
 pub use decoder::{
     ChoirConfig, ChoirDecoder, DecodedUser, SlotCapture, SlotResult, SlotView, UserEstimate,
 };
+pub use dedup::StartDedup;
 pub use error::DecodeError;
 pub use estimator::{ComponentEstimate, EstimatorConfig, OffsetEstimator};
 pub use lowsnr::{TeamConfig, TeamDecoder, TeamDetection};

@@ -19,9 +19,21 @@ pub struct StationMetrics {
     pub chunks_ingested: u64,
     /// Symbol windows examined by the online detector / occupancy gate.
     pub windows_scanned: u64,
-    /// Detector firings: free-running preamble hits, or scheduled slots
-    /// whose occupancy gate saw energy.
+    /// Detector firings: free-running preamble confirmations admitted by
+    /// the start-dedup policy, or scheduled slots whose occupancy gate
+    /// saw energy.
     pub detector_triggers: u64,
+    /// Free-running confirmations folded into an earlier admission by the
+    /// start-dedup policy (same frame, duplicate hypothesis).
+    pub detections_deduped: u64,
+    /// Tracker hypotheses born (candidate frame alignments opened).
+    pub hyp_born: u64,
+    /// Tracker hypotheses confirmed as packet starts.
+    pub hyp_confirmed: u64,
+    /// Tracker hypotheses expired (support ran out / evicted) unconfirmed.
+    pub hyp_expired: u64,
+    /// Tracker hypotheses merged into a duplicate of the same bin.
+    pub hyp_merged: u64,
     /// Triggers that decoded to nothing (`NoUsersFound`) — the numerator
     /// of [`StationMetrics::false_trigger_rate`].
     pub false_triggers: u64,
@@ -66,6 +78,11 @@ impl StationMetrics {
             && self.chunks_ingested >= prev.chunks_ingested
             && self.windows_scanned >= prev.windows_scanned
             && self.detector_triggers >= prev.detector_triggers
+            && self.detections_deduped >= prev.detections_deduped
+            && self.hyp_born >= prev.hyp_born
+            && self.hyp_confirmed >= prev.hyp_confirmed
+            && self.hyp_expired >= prev.hyp_expired
+            && self.hyp_merged >= prev.hyp_merged
             && self.false_triggers >= prev.false_triggers
             && self.slots_seen >= prev.slots_seen
             && self.slots_empty >= prev.slots_empty
@@ -85,6 +102,13 @@ impl StationMetrics {
             == self.slots_decoded + self.slots_empty + self.slots_shed + self.queue_depth
     }
 
+    /// Tracker accounting identity for a *finished* stream (`finish`
+    /// flushes the tracker, leaving no live hypotheses): every born
+    /// hypothesis ended in exactly one terminal transition.
+    pub fn hypotheses_accounted(&self) -> bool {
+        self.hyp_born == self.hyp_confirmed + self.hyp_expired + self.hyp_merged
+    }
+
     /// Records the current counters as an `Outcome`-level
     /// `metrics_snapshot` trace event (the station calls this once per
     /// `finish`, so every drained log ends with the final accounting).
@@ -101,7 +125,10 @@ impl StationMetrics {
             concat!(
                 "{{\"samples_ingested\": {}, \"samples_dropped\": {}, ",
                 "\"chunks_ingested\": {}, \"windows_scanned\": {}, ",
-                "\"detector_triggers\": {}, \"false_triggers\": {}, ",
+                "\"detector_triggers\": {}, \"detections_deduped\": {}, ",
+                "\"hyp_born\": {}, \"hyp_confirmed\": {}, ",
+                "\"hyp_expired\": {}, \"hyp_merged\": {}, ",
+                "\"false_triggers\": {}, ",
                 "\"false_trigger_rate\": {:.6}, ",
                 "\"slots_seen\": {}, \"slots_empty\": {}, ",
                 "\"slots_decoded\": {}, \"slots_shed\": {}, ",
@@ -114,6 +141,11 @@ impl StationMetrics {
             self.chunks_ingested,
             self.windows_scanned,
             self.detector_triggers,
+            self.detections_deduped,
+            self.hyp_born,
+            self.hyp_confirmed,
+            self.hyp_expired,
+            self.hyp_merged,
             self.false_triggers,
             self.false_trigger_rate(),
             self.slots_seen,
@@ -179,6 +211,11 @@ mod tests {
             "chunks_ingested",
             "windows_scanned",
             "detector_triggers",
+            "detections_deduped",
+            "hyp_born",
+            "hyp_confirmed",
+            "hyp_expired",
+            "hyp_merged",
             "false_triggers",
             "false_trigger_rate",
             "slots_seen",
@@ -196,6 +233,20 @@ mod tests {
         }
         assert!(j.contains("0.250000"), "{j}");
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn hypothesis_accounting_identity() {
+        let mut m = StationMetrics {
+            hyp_born: 5,
+            hyp_confirmed: 2,
+            hyp_expired: 2,
+            hyp_merged: 1,
+            ..StationMetrics::default()
+        };
+        assert!(m.hypotheses_accounted());
+        m.hyp_merged = 0;
+        assert!(!m.hypotheses_accounted());
     }
 
     #[test]

@@ -31,12 +31,14 @@
 use std::collections::VecDeque;
 
 use choir_core::decoder::{ChoirConfig, ChoirDecoder, SlotResult, SlotView};
+use choir_core::dedup::StartDedup;
 use choir_core::error::DecodeError;
 use choir_core::profile::{scope, Stage};
 use choir_dsp::checks;
 use choir_dsp::complex::C64;
 use choir_pool::ThreadPool;
-use lora_phy::detect::StreamScanner;
+use choir_trace::HypothesisTransition;
+use lora_phy::detect::{HypothesisEvent, StreamScanner};
 use lora_phy::modem::Modem;
 use lora_phy::params::PhyParams;
 
@@ -139,6 +141,13 @@ pub struct StationConfig {
     /// scheduled-mode occupancy gate; set to 0.0 to decode every
     /// scheduled slot unconditionally.
     pub detect_threshold: f64,
+    /// Free-running start-dedup separation, in symbols (default: one
+    /// preamble length). Confirmed starts closer than this are the same
+    /// frame seen by duplicate hypotheses (CFO straddle, near-far
+    /// adjacency) and fold into one capture; genuinely distinct frames —
+    /// even zero-gap back-to-back ones — are at least a frame apart and
+    /// always cut. 0 disables dedup.
+    pub detect_dedup_symbols: usize,
     /// Queue depth beyond which decodes run degraded.
     pub pressure_watermark: usize,
     /// Packet-level SIC passes under pressure (nominal decodes use
@@ -167,6 +176,7 @@ impl StationConfig {
             max_in_flight: 8,
             service_batch: 4,
             detect_threshold: 40.0,
+            detect_dedup_symbols: params.preamble_len,
             pressure_watermark: 6,
             pressure_sic_passes: 1,
             reject_non_finite: false,
@@ -238,14 +248,26 @@ pub struct Station {
     explicit: VecDeque<u64>,
     /// Next slot boundary and period (Periodic mode).
     periodic: Option<(u64, u64)>,
-    /// Detected-but-not-yet-cut slot boundaries (FreeRunning mode).
+    /// Detected-but-not-yet-cut slot boundaries (FreeRunning mode), kept
+    /// sorted — confirmations arrive in confirmation order, which for
+    /// overlapping frames is not start order.
     pending_detects: VecDeque<u64>,
+    /// Start-dedup policy applied to confirmed starts before cutting.
+    dedup: StartDedup,
+    /// End sample of the most recently cut free-running frame. A later
+    /// capture's lead-in is clamped to this so the previous frame's tail
+    /// (possibly 20 dB hotter) is not re-decoded inside the next slot's
+    /// view, where it would capture timing acquisition away from the
+    /// frame the slot was cut for.
+    prev_frame_end: Option<u64>,
     queue: VecDeque<PendingCapture>,
     slots: Vec<StationSlot>,
     shed: Vec<SheddingEvent>,
     metrics: StationMetrics,
     /// Scratch for detector hits (no per-chunk allocation).
     hit_scratch: Vec<u64>,
+    /// Scratch for drained hypothesis lifecycle events.
+    event_scratch: Vec<HypothesisEvent>,
     /// Absolute positions of components zeroed by the ingest sanitizer
     /// (`true` = was NaN), ascending; pruned with the ring tail.
     corrupt: VecDeque<(u64, bool)>,
@@ -277,6 +299,8 @@ impl Station {
                 (None, VecDeque::new(), Some((first, period.max(1))))
             }
         };
+        let n = cfg.params.samples_per_symbol() as u64;
+        let dedup = StartDedup::new(cfg.detect_dedup_symbols as u64 * n);
         Station {
             cfg,
             modem,
@@ -288,11 +312,14 @@ impl Station {
             explicit,
             periodic,
             pending_detects: VecDeque::new(),
+            dedup,
+            prev_frame_end: None,
             queue: VecDeque::new(),
             slots: Vec::new(),
             shed: Vec::new(),
             metrics: StationMetrics::default(),
             hit_scratch: Vec::new(),
+            event_scratch: Vec::new(),
             corrupt: VecDeque::new(),
             was_degraded: false,
         }
@@ -375,12 +402,12 @@ impl Station {
     /// slot (including ones truncated by end-of-stream), and returns the
     /// final report.
     pub fn finish(mut self) -> StationReport {
-        if let Some(scanner) = self.scanner.as_mut() {
-            self.metrics.windows_scanned = scanner.windows_scanned();
-            if let Some(start) = scanner.flush() {
-                self.metrics.detector_triggers += 1;
-                self.pending_detects.push_back(start);
+        if self.scanner.is_some() {
+            self.hit_scratch.clear();
+            if let Some(scanner) = self.scanner.as_mut() {
+                scanner.flush(&mut self.hit_scratch);
             }
+            self.ingest_detections();
         }
         self.cut_ready(true);
         while !self.queue.is_empty() {
@@ -430,17 +457,122 @@ impl Station {
         cleaned
     }
 
-    /// Feeds the incremental scanner and registers preamble hits.
+    /// Feeds the incremental scanner and registers its output.
     fn detect(&mut self, chunk: &[C64]) {
         let Some(scanner) = self.scanner.as_mut() else {
             return;
         };
         self.hit_scratch.clear();
         scanner.push(chunk, &mut self.hit_scratch);
-        self.metrics.windows_scanned = scanner.windows_scanned();
+        self.ingest_detections();
+    }
+
+    /// Registers tracker output after a scanner push or flush: lifecycle
+    /// events into the metrics counters and the trace log, confirmed
+    /// starts (in `hit_scratch`) through the dedup policy into the
+    /// sorted pending-detect queue.
+    fn ingest_detections(&mut self) {
+        if let Some(scanner) = self.scanner.as_mut() {
+            self.metrics.windows_scanned = scanner.windows_scanned();
+            self.event_scratch.clear();
+            scanner.drain_events(&mut self.event_scratch);
+        }
+        for e in &self.event_scratch {
+            match *e {
+                HypothesisEvent::Born {
+                    id,
+                    window,
+                    start,
+                    bin,
+                    score,
+                } => {
+                    self.metrics.hyp_born += 1;
+                    choir_trace::full(|| {
+                        choir_trace::TraceEvent::hypothesis(
+                            HypothesisTransition::Born,
+                            id,
+                            window,
+                            start,
+                            bin,
+                            score,
+                            1,
+                        )
+                    });
+                }
+                HypothesisEvent::Confirmed {
+                    id,
+                    window,
+                    start,
+                    bin,
+                    score,
+                    support,
+                } => {
+                    self.metrics.hyp_confirmed += 1;
+                    choir_trace::outcome(|| {
+                        choir_trace::TraceEvent::hypothesis(
+                            HypothesisTransition::Confirmed,
+                            id,
+                            window,
+                            start,
+                            bin,
+                            score,
+                            support,
+                        )
+                    });
+                }
+                HypothesisEvent::Expired {
+                    id,
+                    window,
+                    start,
+                    bin,
+                    support,
+                } => {
+                    self.metrics.hyp_expired += 1;
+                    choir_trace::full(|| {
+                        choir_trace::TraceEvent::hypothesis(
+                            HypothesisTransition::Expired,
+                            id,
+                            window,
+                            start,
+                            bin,
+                            0.0,
+                            support,
+                        )
+                    });
+                }
+                HypothesisEvent::Merged {
+                    id,
+                    window,
+                    start,
+                    bin,
+                    ..
+                } => {
+                    self.metrics.hyp_merged += 1;
+                    choir_trace::full(|| {
+                        choir_trace::TraceEvent::hypothesis(
+                            HypothesisTransition::Merged,
+                            id,
+                            window,
+                            start,
+                            bin,
+                            0.0,
+                            0,
+                        )
+                    });
+                }
+            }
+        }
         for i in 0..self.hit_scratch.len() {
-            self.metrics.detector_triggers += 1;
-            self.pending_detects.push_back(self.hit_scratch[i]);
+            let start = self.hit_scratch[i];
+            if self.dedup.admit(start) {
+                self.metrics.detector_triggers += 1;
+                // Sorted insert: overlapping frames confirm out of start
+                // order, and the cutter consumes boundaries front-first.
+                let pos = self.pending_detects.partition_point(|&s| s <= start);
+                self.pending_detects.insert(pos, start);
+            } else {
+                self.metrics.detections_deduped += 1;
+            }
         }
     }
 
@@ -477,7 +609,18 @@ impl Station {
     /// (stream finished), also cuts slots truncated by end-of-stream.
     fn cut_ready(&mut self, at_end: bool) {
         while let Some(slot_start) = self.peek_next_slot() {
-            let (a, b) = self.capture_span(slot_start);
+            let (mut a, b) = self.capture_span(slot_start);
+            if self.scanner.is_some() {
+                // Free-running slots are cut in confirmed-start order, so
+                // the previous frame's span is known: exclude it from this
+                // capture's lead-in (shared samples are decoded once, in
+                // the slot they belong to). A genuine overlap keeps the
+                // intersection — those samples are inside *this* slot's
+                // own span and cannot be cut away.
+                if let Some(prev_end) = self.prev_frame_end {
+                    a = a.max(prev_end.min(slot_start));
+                }
+            }
             if at_end {
                 // Nothing of this slot was ever received → it wasn't seen.
                 if a >= self.ring.head() {
@@ -487,6 +630,10 @@ impl Station {
                 break; // wait for more samples
             }
             self.advance_slot();
+            if self.scanner.is_some() {
+                let n = self.cfg.params.samples_per_symbol() as u64;
+                self.prev_frame_end = Some(slot_start + self.cfg.slot_symbols() as u64 * n);
+            }
             self.cut_one(slot_start, a, b.min(self.ring.head()));
         }
     }
@@ -586,12 +733,13 @@ impl Station {
 
     /// Discards ring samples no future capture can need.
     fn trim_ring(&mut self) {
-        let keep_from = match self.peek_next_slot() {
+        let mut keep_from = match self.peek_next_slot() {
             Some(s) => self.capture_span(s).0,
             None => {
                 if self.scanner.is_some() {
-                    // A detection can arrive one quiet window after a full
-                    // packet run: retain a capture plus that lag.
+                    // A confirmation lands at the sync word, roughly a
+                    // preamble behind the stream head: retain a capture
+                    // plus that lag.
                     let n = self.cfg.params.samples_per_symbol() as u64;
                     let retain =
                         self.cfg.capture_len() as u64 + (self.cfg.lead_symbols as u64 + 2) * n;
@@ -601,6 +749,20 @@ impl Station {
                 }
             }
         };
+        // A live hypothesis may yet confirm with a start at its birth
+        // window — its capture must still be cuttable then.
+        if let Some(start) = self.scanner.as_ref().and_then(|s| s.earliest_live_start()) {
+            keep_from = keep_from.min(self.capture_span(start).0);
+        }
+        // Dedup history behind every possible future confirmation is dead.
+        if let Some(scanner) = self.scanner.as_ref() {
+            let horizon = scanner
+                .earliest_live_start()
+                .unwrap_or_else(|| scanner.position());
+            let n = self.cfg.params.samples_per_symbol() as u64;
+            let sep = self.cfg.detect_dedup_symbols as u64 * n;
+            self.dedup.prune_below(horizon.saturating_sub(sep));
+        }
         self.ring.discard_until(keep_from);
         let tail = self.ring.tail();
         while self.corrupt.front().is_some_and(|&(abs, _)| abs < tail) {

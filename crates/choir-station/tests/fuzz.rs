@@ -159,6 +159,13 @@ fn station_survives_mangled_streams() {
             "slot leak: {:?}",
             report.metrics
         );
+        // finish() flushes the tracker, so every born hypothesis must have
+        // reached exactly one terminal transition — even on mangled input.
+        assert!(
+            report.metrics.hypotheses_accounted(),
+            "hypothesis leak: {:?}",
+            report.metrics
+        );
         assert_eq!(report.metrics.slots_shed, report.shed.len() as u64);
     });
 }

@@ -153,6 +153,30 @@ pub enum TraceEvent {
         /// `StationMetrics::to_json()` output (a valid JSON object).
         json: String,
     },
+    /// One lifecycle transition of a multi-hypothesis tracker candidate
+    /// (born / confirmed / expired / merged) inside the station's
+    /// unslotted detection path. Construct via [`TraceEvent::hypothesis`]
+    /// only — the `trace_event` lint rule rejects literal construction
+    /// outside this crate, which keeps the transition vocabulary closed
+    /// to [`HypothesisTransition`]. (`Full` for births/expiries/merges;
+    /// stations emit confirmations at `Outcome`.)
+    Hypothesis {
+        /// Transition tag — always one of [`HypothesisTransition::tag`].
+        transition: &'static str,
+        /// Tracker-unique hypothesis id.
+        id: u64,
+        /// Symbol-window index of the transition.
+        window: u64,
+        /// Absolute sample index of the candidate packet start.
+        start: u64,
+        /// Dechirped bin the candidate persisted at.
+        bin: u16,
+        /// Deflated peak score (single-window at birth, accumulated at
+        /// confirmation; 0 where not meaningful).
+        score: f64,
+        /// Supporting windows accumulated at the transition.
+        support: u32,
+    },
     /// One MAC-simulation slot outcome from a Choir-backed PHY. (`Full`)
     MacSlot {
         /// Slot number within the simulation.
@@ -164,7 +188,59 @@ pub enum TraceEvent {
     },
 }
 
+/// The closed set of tracker-hypothesis lifecycle transitions. The typed
+/// enum (rather than a free string) is what makes
+/// [`TraceEvent::hypothesis`] the blessed constructor: emission sites
+/// cannot invent new transition names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HypothesisTransition {
+    /// A peak no live hypothesis claimed started a new candidate.
+    Born,
+    /// The hypothesis met the confirmation criteria and was reported.
+    Confirmed,
+    /// The hypothesis ran out of support (or was evicted) unconfirmed.
+    Expired,
+    /// The hypothesis was folded into a duplicate tracking the same bin.
+    Merged,
+}
+
+impl HypothesisTransition {
+    /// Stable snake_case tag used in exported logs.
+    pub fn tag(self) -> &'static str {
+        match self {
+            HypothesisTransition::Born => "born",
+            HypothesisTransition::Confirmed => "confirmed",
+            HypothesisTransition::Expired => "expired",
+            HypothesisTransition::Merged => "merged",
+        }
+    }
+}
+
 impl TraceEvent {
+    /// The blessed constructor for [`TraceEvent::Hypothesis`]: lifecycle
+    /// transitions may only be emitted through here (lint-enforced), so
+    /// the transition tags stay closed to [`HypothesisTransition`].
+    pub fn hypothesis(
+        transition: HypothesisTransition,
+        id: u64,
+        window: u64,
+        start: u64,
+        bin: u16,
+        score: f64,
+        support: u32,
+    ) -> TraceEvent {
+        // lint:allow(trace_event) — this *is* the blessed constructor.
+        TraceEvent::Hypothesis {
+            transition: transition.tag(),
+            id,
+            window,
+            start,
+            bin,
+            score,
+            support,
+        }
+    }
+
     /// Stable snake_case tag identifying the variant in exported logs.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -182,6 +258,7 @@ impl TraceEvent {
             TraceEvent::StationShed { .. } => "station_shed",
             TraceEvent::StationDegrade { .. } => "station_degrade",
             TraceEvent::MetricsSnapshot { .. } => "metrics_snapshot",
+            TraceEvent::Hypothesis { .. } => "hypothesis",
             TraceEvent::MacSlot { .. } => "mac_slot",
         }
     }
@@ -302,6 +379,23 @@ impl TraceEvent {
                 // Already a JSON object; embed verbatim.
                 out.push_str(", \"metrics\": ");
                 out.push_str(json);
+            }
+            TraceEvent::Hypothesis {
+                transition,
+                id,
+                window,
+                start,
+                bin,
+                score,
+                support,
+            } => {
+                jstr(out, "transition", transition);
+                jint(out, "id", *id);
+                jint(out, "window", *window);
+                jint(out, "start", *start);
+                jint(out, "bin", u64::from(*bin));
+                jnum(out, "score", *score);
+                jint(out, "support", u64::from(*support));
             }
             TraceEvent::MacSlot {
                 slot,
@@ -429,6 +523,25 @@ mod tests {
         };
         e.write_json_fields(&mut out);
         assert!(out.contains("\"pos_bins\": 17.0"), "got: {out}");
+    }
+
+    #[test]
+    fn hypothesis_constructor_serialises_transition_tag() {
+        let e = TraceEvent::hypothesis(
+            HypothesisTransition::Confirmed,
+            7,
+            42,
+            10752,
+            219,
+            1290.5,
+            8,
+        );
+        assert_eq!(e.kind(), "hypothesis");
+        let mut out = String::new();
+        e.write_json_fields(&mut out);
+        assert!(out.contains("\"transition\": \"confirmed\""), "got: {out}");
+        assert!(out.contains("\"start\": 10752"), "got: {out}");
+        assert!(out.contains("\"score\": 1290.5"), "got: {out}");
     }
 
     #[test]

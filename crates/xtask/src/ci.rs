@@ -14,7 +14,10 @@
 //!   the speed-up depends on the host ISA.
 //! * `cargo xtask ci station-soak` — same dance with
 //!   `BENCH_station.json` and the `station_soak` bench, plus the
-//!   shed-free nominal profile and the < 5 % tracing-overhead budget.
+//!   shed-free nominal profile, the < 5 % tracing-overhead budget, and
+//!   the unslotted profile's gates: < 10 % online-detection overhead
+//!   (free-running vs an explicit schedule at the same window-floored
+//!   starts) and zero missed slot decodes.
 //! * `cargo xtask ci model-check` — run the schedule-exploring
 //!   concurrency suites (`choir-sync` smoke plus the pool / trace /
 //!   profile invariants) under `--cfg choir_model`; they compile to
@@ -34,6 +37,10 @@ use std::process::ExitCode;
 const FLOOR_FRAC: f64 = 0.8;
 /// Maximum slots/sec cost of `Outcome`-level tracing, in percent.
 const TRACE_OVERHEAD_LIMIT_PCT: f64 = 5.0;
+/// Ceiling on what the multi-hypothesis tracker may cost in free-running
+/// mode versus an explicit schedule at the same window-floored starts
+/// (identical decode work, so the gap is the detection machinery alone).
+const ASYNC_DETECT_OVERHEAD_LIMIT_PCT: f64 = 10.0;
 
 /// Entry point for `cargo xtask ci <gate>`.
 pub fn run(args: &[String]) -> ExitCode {
@@ -46,7 +53,7 @@ pub fn run(args: &[String]) -> ExitCode {
             eprintln!(
                 "  bench-smoke   run batch_decode, enforce kernel slots/sec floor + bit-identity"
             );
-            eprintln!("  station-soak  run station_soak, enforce station floor + shed-free + trace overhead");
+            eprintln!("  station-soak  run station_soak, enforce station floor + shed-free + trace/detect overhead + unslotted slots");
             eprintln!("  model-check   run every schedule-explored concurrency suite under --cfg choir_model");
             ExitCode::from(2)
         }
@@ -280,6 +287,21 @@ fn check_station(committed: &str, json: &str) -> Vec<String> {
         )),
         None => out.push("fresh BENCH_station.json has no trace_overhead_pct".to_string()),
     }
+    match json_f64(json, "async_detect_overhead_pct") {
+        Some(pct) if pct <= ASYNC_DETECT_OVERHEAD_LIMIT_PCT => {}
+        Some(pct) => out.push(format!(
+            "online detection costs {pct:.2}% slots/sec over an explicit schedule \
+             at the same window-floored starts (limit {ASYNC_DETECT_OVERHEAD_LIMIT_PCT}%)"
+        )),
+        None => out.push("fresh BENCH_station.json has no async_detect_overhead_pct".to_string()),
+    }
+    match json_u64(json, "unslotted_slot_miscount") {
+        Some(0) => {}
+        Some(n) => out.push(format!(
+            "free-running tracker missed a slot's decode in {n} rounds"
+        )),
+        None => out.push("fresh BENCH_station.json has no unslotted_slot_miscount".to_string()),
+    }
     out
 }
 
@@ -360,21 +382,43 @@ mod tests {
         )
     }
 
-    /// A synthetic `BENCH_station.json` covering every gated key.
+    /// A synthetic `BENCH_station.json` covering every gated key, with a
+    /// healthy unslotted profile.
     fn station_fixture(sps: f64, shed: u64, identical: bool, overhead: f64) -> String {
+        station_fixture_unslotted(sps, shed, identical, overhead, 2.1, 0)
+    }
+
+    /// Fixture with explicit unslotted readings (detect overhead and
+    /// slot miscount).
+    fn station_fixture_unslotted(
+        sps: f64,
+        shed: u64,
+        identical: bool,
+        overhead: f64,
+        async_overhead: f64,
+        miscount: u64,
+    ) -> String {
         format!(
             concat!(
                 "{{\n  \"bench\": \"station_soak\",\n",
                 "  \"slots_per_sec\": {sps:.4},\n",
                 "  \"slots_per_sec_traced\": {tr:.4},\n",
+                "  \"slots_per_sec_unslotted\": {un:.4},\n",
                 "  \"trace_overhead_pct\": {overhead:.2},\n",
+                "  \"async_detect_overhead_pct\": {async_overhead:.2},\n",
+                "  \"unslotted_total_overhead_pct\": {total:.2},\n",
+                "  \"unslotted_slot_miscount\": {miscount},\n",
                 "  \"outputs_bit_identical\": {identical},\n",
                 "  \"nominal_shed\": {shed},\n",
                 "  \"last_round_metrics\": {{\"slots_shed\": 0, \"queue_depth\": 0}}\n}}\n"
             ),
             sps = sps,
             tr = sps * (1.0 - overhead / 100.0),
+            un = sps * 0.75,
             overhead = overhead,
+            async_overhead = async_overhead,
+            total = async_overhead + 25.0,
+            miscount = miscount,
             identical = identical,
             shed = shed,
         )
@@ -505,6 +549,31 @@ mod tests {
         let fails = check_station(&reference, &station_fixture(1.0, 0, true, 6.7));
         assert_eq!(fails.len(), 1);
         assert!(fails[0].contains("tracing"), "{fails:?}");
+    }
+
+    #[test]
+    fn station_gate_fails_on_async_detect_overhead() {
+        // The gated number compares free-running against an explicit
+        // schedule at the *same floored starts* — the residual-absorption
+        // cost carried by unslotted_total_overhead_pct is not gated.
+        let reference = station_fixture(1.0, 0, true, 0.0);
+        let fails = check_station(
+            &reference,
+            &station_fixture_unslotted(1.0, 0, true, 0.0, 11.3, 0),
+        );
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("online detection"), "{fails:?}");
+    }
+
+    #[test]
+    fn station_gate_fails_on_unslotted_miscount() {
+        let reference = station_fixture(1.0, 0, true, 0.0);
+        let fails = check_station(
+            &reference,
+            &station_fixture_unslotted(1.0, 0, true, 0.0, 2.1, 4),
+        );
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("missed a slot"), "{fails:?}");
     }
 
     #[test]

@@ -212,6 +212,11 @@ fn selftest() -> ExitCode {
         ),
         (
             "crates/choir-station/src/planted.rs",
+            "pub fn f() -> TraceEvent {\n    TraceEvent::Hypothesis { transition: \"born\", id: 1, window: 2, start: 3, bin: 4, score: 5.0, support: 6 }\n}\n",
+            &["trace_event"],
+        ),
+        (
+            "crates/choir-station/src/planted.rs",
             "pub fn f() { std::thread::spawn(|| ()); }\n",
             &["sync_facade"],
         ),

@@ -409,6 +409,13 @@ fn no_hot_allocs(f: &SourceFile, out: &mut Vec<Violation>) {
 /// arms (`=>` after the variant), rest patterns (`..` inside the field
 /// braces, as in `DecodeError::Frame { .. }`), and `==`/`!=` comparisons
 /// against an error that already exists.
+///
+/// The rule's second contract guards the tracker lifecycle log the same
+/// way: `TraceEvent::Hypothesis { .. }` may only be built literally
+/// inside `crates/choir-trace/` — everyone else goes through the blessed
+/// `TraceEvent::hypothesis(...)` constructor, whose typed
+/// `HypothesisTransition` argument keeps the transition-tag vocabulary
+/// closed. Match arms and rest patterns are skipped as above.
 fn trace_event(f: &SourceFile, out: &mut Vec<Violation>) {
     if !is_library_source(&f.path) {
         return;
@@ -477,6 +484,63 @@ fn trace_event(f: &SourceFile, out: &mut Vec<Violation>) {
                 "`DecodeError` constructed without `.traced()` — emit the decode_failed trace event at the origination site".to_string(),
             );
         }
+    }
+
+    // Second contract: hypothesis lifecycle transitions only emit through
+    // the blessed constructor. choir-trace itself is the one place the
+    // literal is the implementation.
+    if f.path.starts_with("crates/choir-trace/") {
+        return;
+    }
+    const HYP: &str = "TraceEvent::Hypothesis";
+    let mut search = 0usize;
+    while let Some(rel) = f.code[search..].find(HYP) {
+        let at = search + rel;
+        search = at + HYP.len();
+        // Identifier boundaries on both sides (`MyTraceEvent::` is not
+        // ours; the lowercase constructor never matches the needle).
+        if at > 0 {
+            let p = bytes[at - 1];
+            if p.is_ascii_alphanumeric() || p == b'_' {
+                continue;
+            }
+        }
+        let mut rest = at + HYP.len();
+        if bytes
+            .get(rest)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+        {
+            continue;
+        }
+        while rest < bytes.len() && bytes[rest].is_ascii_whitespace() {
+            rest += 1;
+        }
+        // Only a `{ ... }` field block can construct the variant; a bare
+        // path mention (imports, docs) cannot.
+        if bytes.get(rest) != Some(&b'{') {
+            continue;
+        }
+        let Some(close) = brace_close(&f.code, rest) else {
+            continue;
+        };
+        // Rest patterns and match arms are destructuring, not emission.
+        if f.code[rest..close].contains("..") {
+            continue;
+        }
+        rest = close;
+        while rest < bytes.len() && bytes[rest].is_ascii_whitespace() {
+            rest += 1;
+        }
+        if f.code[rest..].starts_with("=>") {
+            continue;
+        }
+        push(
+            f,
+            out,
+            at,
+            "trace_event",
+            "`TraceEvent::Hypothesis` built literally — lifecycle transitions must emit via `TraceEvent::hypothesis(...)` so the transition tags stay closed to `HypothesisTransition`".to_string(),
+        );
     }
 }
 
@@ -909,6 +973,34 @@ mod tests {
         assert!(violations(
             "crates/choir-core/src/planted.rs",
             "#[cfg(test)]\nmod tests { fn f() -> DecodeError { DecodeError::NoUsersFound { window_hits: 0 } } }\n",
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn hypothesis_literals_need_blessed_constructor() {
+        // Literal construction outside choir-trace: flagged.
+        let v = violations(
+            "crates/choir-station/src/planted.rs",
+            "pub fn f() -> TraceEvent {\n    TraceEvent::Hypothesis { transition: \"born\", id: 1, window: 2, start: 3, bin: 4, score: 5.0, support: 6 }\n}\n",
+        );
+        assert_eq!(v, ["trace_event"]);
+        // The blessed constructor is the sanctioned path.
+        assert!(violations(
+            "crates/choir-station/src/planted.rs",
+            "pub fn f() -> TraceEvent {\n    TraceEvent::hypothesis(HypothesisTransition::Born, 1, 2, 3, 4, 5.0, 6)\n}\n",
+        )
+        .is_empty());
+        // Match arms and rest patterns destructure, they don't emit.
+        assert!(violations(
+            "crates/choir-station/src/planted.rs",
+            "pub fn kind(e: &TraceEvent) -> &'static str {\n    match e {\n        TraceEvent::Hypothesis { .. } => \"hypothesis\",\n        TraceEvent::Hypothesis { transition, id, window, start, bin, score, support } => transition,\n        _ => \"other\",\n    }\n}\n",
+        )
+        .is_empty());
+        // Inside choir-trace the literal *is* the implementation.
+        assert!(violations(
+            "crates/choir-trace/src/planted.rs",
+            "pub fn f() -> TraceEvent {\n    TraceEvent::Hypothesis { transition: \"born\", id: 1, window: 2, start: 3, bin: 4, score: 5.0, support: 6 }\n}\n",
         )
         .is_empty());
     }
