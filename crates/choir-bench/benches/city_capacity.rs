@@ -1,0 +1,193 @@
+//! City-scale capacity curves: delivered frames/sec and energy per
+//! delivered frame versus offered load, for unslotted ALOHA, slotted
+//! ALOHA with capture, Choir collision decoding, and SS5G-style
+//! collision resolution — 10⁶ duty-cycled clients across 100 gateways.
+//!
+//! Unlike the IQ benches this is not a wall-clock horse race: every
+//! number here is a *deterministic* output of `choir-city`'s integer
+//! closed-form model, so the committed `BENCH_city.json` reference is
+//! reproduced exactly on every machine and the `cargo xtask ci
+//! city-capacity` gate can hold hard floors instead of fuzzy ratios.
+//! The bench still enforces its own two hard gates before writing JSON:
+//!
+//! * the highest-load Choir run must produce bit-identical transcripts
+//!   on a 1-worker and a 4-worker pool (`transcripts_bit_identical`);
+//! * Choir must deliver at least as many frames/sec as slotted ALOHA at
+//!   the highest load — the paper's headline capacity claim.
+
+use std::time::Instant;
+
+use choir_city::model::Scheme;
+use choir_city::sim::{run_city, CityConfig, CityStats};
+use choir_pool::ThreadPool;
+
+const GATEWAYS: u32 = 100;
+const CLIENTS_PER_GW: u32 = 10_000;
+const SLOTS: u32 = 400;
+const SEED: u64 = 0x00C1_7C17;
+
+/// Offered load points, frames per slot per gateway.
+const LOADS: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
+
+fn cfg_for_load(load: f64) -> CityConfig {
+    let mut cfg = CityConfig::new(SEED, GATEWAYS, CLIENTS_PER_GW, SLOTS);
+    // One frame per client per period: period = clients / load makes the
+    // fleet offer `load` fresh frames per slot per gateway.
+    cfg.client.period_slots = ((f64::from(CLIENTS_PER_GW) / load).round() as u32).max(1);
+    cfg.shards = 16;
+    cfg
+}
+
+/// JSON has no `inf`: a scheme that delivered nothing reports 0 energy
+/// per frame (its fps floor is 0 too, so the gate reads it correctly).
+fn fin(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
+fn fmt_curve(vals: &[f64]) -> String {
+    let items: Vec<String> = vals.iter().map(|v| format!("{:.4}", fin(*v))).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn main() {
+    let t = Instant::now();
+    println!(
+        "## bench group: city_capacity ({GATEWAYS} gateways x {CLIENTS_PER_GW} clients = {} clients, {SLOTS} slots)",
+        u64::from(GATEWAYS) * u64::from(CLIENTS_PER_GW)
+    );
+
+    let pool = choir_pool::global();
+    let mut fps: Vec<Vec<f64>> = vec![Vec::new(); Scheme::ALL.len()];
+    let mut uj: Vec<Vec<f64>> = vec![Vec::new(); Scheme::ALL.len()];
+    let mut ratio: Vec<Vec<f64>> = vec![Vec::new(); Scheme::ALL.len()];
+    let mut top: Vec<Option<CityStats>> = vec![None; Scheme::ALL.len()];
+    for &load in &LOADS {
+        let cfg = cfg_for_load(load);
+        for (i, &scheme) in Scheme::ALL.iter().enumerate() {
+            let st = run_city(&cfg, scheme, pool);
+            println!(
+                "city_capacity/{:<7} load {load:4.2}  {:9.2} fps  {:9.2} uJ/frame  (delivered {}/{} offered)",
+                scheme.tag(),
+                st.delivered_fps,
+                st.energy_uj_per_delivered,
+                st.totals.delivered,
+                st.totals.offered,
+            );
+            fps[i].push(st.delivered_fps);
+            uj[i].push(st.energy_uj_per_delivered);
+            ratio[i].push(st.delivery_ratio);
+            top[i] = Some(st);
+        }
+    }
+    let top: Vec<CityStats> = top.into_iter().map(|s| s.unwrap_or_default()).collect();
+
+    // Determinism gate: the heaviest Choir run, explicitly on 1 vs 4
+    // workers (independent of however the global pool is sized).
+    let hi_cfg = cfg_for_load(LOADS[LOADS.len() - 1]);
+    let a = run_city(&hi_cfg, Scheme::Choir, &ThreadPool::with_threads(1));
+    let b = run_city(&hi_cfg, Scheme::Choir, &ThreadPool::with_threads(4));
+    let identical = a.digest == b.digest && a.totals == b.totals;
+    println!(
+        "city_capacity/identity  1-thread digest {:#018x}, 4-thread digest {:#018x} ({})",
+        a.digest,
+        b.digest,
+        if identical {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+
+    let wall_s = t.elapsed().as_secs_f64();
+    let scheme_scalars: Vec<String> = Scheme::ALL
+        .iter()
+        .zip(&top)
+        .enumerate()
+        .map(|(i, (s, st))| {
+            // The peak over the whole load sweep is the per-scheme
+            // capacity number the gate floors: end-of-curve values hit
+            // 0 for schemes that collapse, which would gate nothing.
+            let peak = fps[i].iter().fold(0.0f64, |a, &v| a.max(v));
+            format!(
+                concat!(
+                    "  \"{tag}_delivered_fps\": {fps:.4},\n",
+                    "  \"{tag}_peak_fps\": {peak:.4},\n",
+                    "  \"{tag}_energy_uj_per_frame\": {uj:.4},\n",
+                    "  \"{tag}_delivery_ratio\": {ratio:.6},\n"
+                ),
+                tag = s.tag(),
+                fps = st.delivered_fps,
+                peak = peak,
+                uj = fin(st.energy_uj_per_delivered),
+                ratio = st.delivery_ratio,
+            )
+        })
+        .collect();
+    let scheme_curves: Vec<String> = Scheme::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            format!(
+                concat!(
+                    "  \"curve_{tag}_fps\": {fps},\n",
+                    "  \"curve_{tag}_uj\": {uj},\n",
+                    "  \"curve_{tag}_ratio\": {ratio},\n"
+                ),
+                tag = s.tag(),
+                fps = fmt_curve(&fps[i]),
+                uj = fmt_curve(&uj[i]),
+                ratio = fmt_curve(&ratio[i]),
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"city_capacity\",\n",
+            "  \"gateways\": {gw},\n",
+            "  \"clients_per_gw\": {cpg},\n",
+            "  \"clients_total\": {total},\n",
+            "  \"slots\": {slots},\n",
+            "  \"loads\": {loads},\n",
+            "{scalars}",
+            "{curves}",
+            "  \"choir_digest_hi_load\": {digest},\n",
+            "  \"transcripts_bit_identical\": {identical},\n",
+            "  \"wall_s\": {wall:.2}\n",
+            "}}\n"
+        ),
+        gw = GATEWAYS,
+        cpg = CLIENTS_PER_GW,
+        total = u64::from(GATEWAYS) * u64::from(CLIENTS_PER_GW),
+        slots = SLOTS,
+        loads = fmt_curve(&LOADS),
+        scalars = scheme_scalars.join(""),
+        curves = scheme_curves.join(""),
+        digest = a.digest,
+        identical = identical,
+        wall = wall_s,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_city.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    if !identical {
+        eprintln!("ERROR: city transcript diverged between 1 and 4 worker threads");
+        std::process::exit(1);
+    }
+    let choir_hi = top[2].delivered_fps;
+    let slotted_hi = top[1].delivered_fps;
+    if choir_hi < slotted_hi {
+        eprintln!(
+            "ERROR: Choir ({choir_hi:.2} fps) under slotted ALOHA ({slotted_hi:.2} fps) at peak load"
+        );
+        std::process::exit(1);
+    }
+    println!("city_capacity done in {wall_s:.2} s");
+}

@@ -1,0 +1,222 @@
+//! The per-client state machine: a 24-byte `Copy` record plus pure
+//! transition functions, designed to live in dense arrays (one `Vec`
+//! per gateway) and to be driven either by the gateway slot loop or —
+//! under property tests — by arbitrary synthetic outcome sequences.
+//!
+//! The machine's contract, pinned by `tests/client_props.rs`:
+//!
+//! * consecutive transmissions of one client are always ≥
+//!   [`ClientCfg::duty_gap_slots`] apart (the duty-cycle gate);
+//! * the backoff exponent never exceeds [`ClientCfg::max_be`] and the
+//!   retry counter never exceeds [`ClientCfg::max_retries`];
+//! * every transition schedules a wake strictly after the slot it
+//!   resolves, so the event calendar never runs backwards.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Behavioural knobs shared by every client of a simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClientCfg {
+    /// Sensor reporting period in slots (offered-load knob: each client
+    /// generates one frame per period).
+    pub period_slots: u32,
+    /// Minimum slots between two transmissions of the same client — the
+    /// duty-cycle gate, scaled from the regulatory ratio down to
+    /// simulation horizons. Must be ≥ 2 (the unslotted-ALOHA resolver
+    /// relies on rescheduling never landing in the immediately next
+    /// slot).
+    pub duty_gap_slots: u32,
+    /// Maximum binary-exponential-backoff exponent (window `2^be`).
+    pub max_be: u8,
+    /// Retransmissions before a frame is dropped as lost.
+    pub max_retries: u8,
+}
+
+impl Default for ClientCfg {
+    fn default() -> Self {
+        ClientCfg {
+            period_slots: 1000,
+            duty_gap_slots: 8,
+            max_be: 5,
+            max_retries: 4,
+        }
+    }
+}
+
+/// What the gateway decided about one transmission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The frame was decoded and delivered.
+    Delivered,
+    /// The frame was not decoded this attempt (collision or below
+    /// floor); the client backs off and may retry.
+    Lost,
+}
+
+/// Compact per-client state. 24 bytes, `Copy`, no heap — a gateway holds
+/// all its clients in one dense `Vec<Client>`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Client {
+    /// Static link SNR to the owning gateway, quarter-dB units.
+    pub snr_qdb: i16,
+    /// Team-combining boost (quarter-dB) granted by the Choir beacon
+    /// scheduler; 0 for solo clients and non-Choir schemes.
+    pub boost_qdb: i16,
+    /// Current backoff exponent.
+    pub be: u8,
+    /// Retransmissions already spent on the current frame.
+    pub retries: u8,
+    /// Earliest slot the duty-cycle gate allows the next transmission.
+    pub next_allowed: u32,
+    /// Slot the current pending frame was generated.
+    pub frame_born: u32,
+    /// Battery ledger: energy spent so far, nanojoules.
+    pub energy_nj: u64,
+}
+
+impl Client {
+    /// A fresh client with its first frame born at `first_born`.
+    pub fn new(snr_qdb: i16, first_born: u32) -> Self {
+        Client {
+            snr_qdb,
+            boost_qdb: 0,
+            be: 0,
+            retries: 0,
+            next_allowed: 0,
+            frame_born: first_born,
+            energy_nj: 0,
+        }
+    }
+
+    /// Effective SNR entering the decode model: link SNR plus any
+    /// team-combining boost.
+    pub fn eff_snr_qdb(&self) -> i16 {
+        self.snr_qdb.saturating_add(self.boost_qdb)
+    }
+
+    /// Records a transmission in slot `slot`: arms the duty-cycle gate
+    /// and charges `tx_nj` to the battery. Returns `true` when this was
+    /// the frame's *first* attempt (the frame becomes "offered").
+    pub fn on_tx(&mut self, slot: u32, tx_nj: u64, cfg: &ClientCfg) -> bool {
+        self.next_allowed = slot.saturating_add(cfg.duty_gap_slots.max(2));
+        self.energy_nj = self.energy_nj.saturating_add(tx_nj);
+        self.retries == 0
+    }
+
+    /// Applies the gateway's verdict for a transmission resolved at
+    /// `slot` and returns the next wake slot (`≥ min_wake`, strictly
+    /// after `slot`). `Some(wake)` always — the caller drops wakes past
+    /// the horizon. The second tuple field is `true` when the current
+    /// frame was dropped as lost (retry budget exhausted).
+    pub fn on_outcome(
+        &mut self,
+        slot: u32,
+        outcome: Outcome,
+        min_wake: u32,
+        cfg: &ClientCfg,
+        rng: &mut StdRng,
+    ) -> (u32, bool) {
+        match outcome {
+            Outcome::Delivered => (self.next_frame_wake(slot, min_wake, cfg), false),
+            Outcome::Lost => {
+                if self.retries >= cfg.max_retries {
+                    // Retry budget exhausted: drop the frame, move on to
+                    // the next sensor reading.
+                    (self.next_frame_wake(slot, min_wake, cfg), true)
+                } else {
+                    self.retries += 1;
+                    self.be = (self.be + 1).min(cfg.max_be);
+                    let window = 1u32 << u32::from(self.be);
+                    let backoff = rng.gen_range(0..window);
+                    let wake = slot
+                        .saturating_add(cfg.duty_gap_slots.max(2))
+                        .saturating_add(backoff)
+                        .max(min_wake);
+                    (wake, false)
+                }
+            }
+        }
+    }
+
+    /// Finishes the current frame (delivered or dropped) and schedules
+    /// the wake for the next one: generated one period after this one,
+    /// gated by the duty cycle, never before `min_wake`.
+    fn next_frame_wake(&mut self, slot: u32, min_wake: u32, cfg: &ClientCfg) -> u32 {
+        self.retries = 0;
+        self.be = 0;
+        let born = self.frame_born.saturating_add(cfg.period_slots.max(1));
+        self.frame_born = born;
+        born.max(self.next_allowed)
+            .max(slot.saturating_add(1))
+            .max(min_wake)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn cfg() -> ClientCfg {
+        ClientCfg {
+            period_slots: 50,
+            duty_gap_slots: 8,
+            max_be: 5,
+            max_retries: 3,
+        }
+    }
+
+    #[test]
+    fn delivery_schedules_next_period() {
+        let c = cfg();
+        let mut cl = Client::new(20, 10);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(cl.on_tx(10, 100, &c));
+        let (wake, dropped) = cl.on_outcome(10, Outcome::Delivered, 11, &c, &mut rng);
+        assert!(!dropped);
+        assert_eq!(cl.frame_born, 60);
+        assert_eq!(wake, 60);
+        assert_eq!(cl.energy_nj, 100);
+    }
+
+    #[test]
+    fn loss_backs_off_at_least_a_duty_gap() {
+        let c = cfg();
+        let mut cl = Client::new(20, 0);
+        let mut rng = StdRng::seed_from_u64(2);
+        cl.on_tx(0, 1, &c);
+        let (wake, dropped) = cl.on_outcome(0, Outcome::Lost, 1, &c, &mut rng);
+        assert!(!dropped);
+        assert!(wake >= 8, "wake {wake}");
+        assert_eq!(cl.retries, 1);
+        assert_eq!(cl.be, 1);
+    }
+
+    #[test]
+    fn retry_budget_drops_the_frame() {
+        let c = cfg();
+        let mut cl = Client::new(20, 0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut slot = 0;
+        let mut dropped = false;
+        for _ in 0..=c.max_retries {
+            cl.on_tx(slot, 1, &c);
+            let (wake, d) = cl.on_outcome(slot, Outcome::Lost, slot + 1, &c, &mut rng);
+            dropped = d;
+            slot = wake;
+        }
+        assert!(dropped, "4th loss must drop the frame");
+        assert_eq!(cl.retries, 0, "drop resets the retry counter");
+    }
+
+    #[test]
+    fn second_attempt_is_not_offered_again() {
+        let c = cfg();
+        let mut cl = Client::new(20, 0);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(cl.on_tx(0, 1, &c), "first attempt offers the frame");
+        cl.on_outcome(0, Outcome::Lost, 1, &c, &mut rng);
+        assert!(!cl.on_tx(20, 1, &c), "retry is the same offered frame");
+    }
+}

@@ -1,0 +1,318 @@
+//! Closed-form slot-outcome bookkeeping — the cheap tier of the city
+//! simulator's two-tier PHY.
+//!
+//! Every decision here is **integer arithmetic over quarter-dB units**:
+//! no transcendental ever touches an outcome-deciding path, so the
+//! delivered-frame transcript (and its FNV digest) is bit-identical
+//! across platforms, thread counts and shard groupings. The expensive
+//! tier — real IQ synthesis through `choir-core` — lives in
+//! [`crate::gateway`] behind a per-gateway escalation budget.
+//!
+//! The capture/decode rules are deliberately simple, calibrated against
+//! the same fidelity ladder `choir-mac` established (collision-fatal →
+//! tabulated → IQ): slotted ALOHA resolves by strongest-signal capture,
+//! Choir decodes bounded-order collisions with a per-order SNR penalty
+//! (the joint-decoding degradation the paper's Fig. 8 measures), and the
+//! SS5G-style scheme resolves small collisions losslessly by slot-shift
+//! combining (El Rachkidy et al.) at the cost of busy resolution slots.
+//! A CoRa-style detection gate (Álamos et al.) runs first: slots whose
+//! strongest component is undetectable are rejected before any decode
+//! bookkeeping is paid.
+
+use lora_phy::params::PhyParams;
+
+/// Quarter-dB units per dB.
+pub const QDB_PER_DB: i32 = 4;
+
+/// The MAC scheme a city run simulates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheme {
+    /// Unslotted ALOHA: a frame survives only if no other transmission
+    /// overlaps it — same slot *or* either adjacent slot (the classic
+    /// 2·T vulnerability window, slot-quantised).
+    Aloha,
+    /// Slotted ALOHA with strongest-signal capture.
+    Slotted,
+    /// Choir: beacon-slot collisions decoded up to
+    /// [`CityModel::choir_max_order`] concurrent users, with beacon
+    /// teams boosting beyond-range clients.
+    Choir,
+    /// SS5G-style collision resolution: collisions up to
+    /// [`CityModel::ss5g_max_resolve`] users are disentangled by
+    /// slot-shift combining, occupying the channel for extra resolution
+    /// slots.
+    Ss5g,
+}
+
+impl Scheme {
+    /// All four schemes, in reporting order.
+    pub const ALL: [Scheme; 4] = [Scheme::Aloha, Scheme::Slotted, Scheme::Choir, Scheme::Ss5g];
+
+    /// Stable snake_case tag (matches the trace vocabulary).
+    pub fn tag(self) -> &'static str {
+        self.trace().tag()
+    }
+
+    /// The closed trace-vocabulary tag for this scheme.
+    pub fn trace(self) -> choir_trace::CityScheme {
+        match self {
+            Scheme::Aloha => choir_trace::CityScheme::Aloha,
+            Scheme::Slotted => choir_trace::CityScheme::Slotted,
+            Scheme::Choir => choir_trace::CityScheme::Choir,
+            Scheme::Ss5g => choir_trace::CityScheme::Ss5g,
+        }
+    }
+
+    /// Whether clients listen to a coordination beacon before
+    /// transmitting (charges listen energy; unslotted ALOHA does not).
+    pub fn coordinated(self) -> bool {
+        !matches!(self, Scheme::Aloha)
+    }
+}
+
+/// Integer decision thresholds for the closed-form tier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CityModel {
+    /// Single-user demodulation floor (quarter-dB) — from
+    /// `SpreadingFactor::demod_floor_db`.
+    pub floor_qdb: i16,
+    /// Capture margin: in a slotted-ALOHA collision the strongest frame
+    /// survives if it clears the second-strongest by this much.
+    pub capture_qdb: i16,
+    /// Choir joint-decoding penalty per collision-order doubling: a user
+    /// in an order-`k` collision needs `floor + penalty·⌈log2 k⌉`.
+    pub choir_penalty_qdb: i16,
+    /// Largest collision order Choir disentangles.
+    pub choir_max_order: u32,
+    /// Largest collision order the SS5G-style resolver disentangles.
+    pub ss5g_max_resolve: u32,
+    /// CoRa-style detection margin: a slot is detectable while its
+    /// strongest component is above `floor − detect_margin`.
+    pub detect_margin_qdb: i16,
+}
+
+impl CityModel {
+    /// Thresholds derived from the PHY parameters: the demod floor comes
+    /// from the spreading factor; the margins are the workspace's
+    /// calibrated defaults (6 dB capture, 2 dB per-order Choir penalty,
+    /// 2 dB detection margin).
+    pub fn from_params(params: &PhyParams) -> Self {
+        let floor_db = params.sf.demod_floor_db();
+        CityModel {
+            floor_qdb: quantize_qdb(floor_db),
+            capture_qdb: (6 * QDB_PER_DB) as i16,
+            choir_penalty_qdb: (2 * QDB_PER_DB) as i16,
+            choir_max_order: 16,
+            ss5g_max_resolve: 3,
+            detect_margin_qdb: (2 * QDB_PER_DB) as i16,
+        }
+    }
+
+    /// The Choir per-user floor for an order-`order` collision.
+    pub fn choir_floor_qdb(&self, order: u32) -> i16 {
+        let steps = ceil_log2(order.max(1)) as i32;
+        let f = i32::from(self.floor_qdb) + i32::from(self.choir_penalty_qdb) * steps;
+        f.clamp(i32::from(i16::MIN), i32::from(i16::MAX)) as i16
+    }
+}
+
+/// ⌈log2 k⌉ for k ≥ 1 (0 for k = 1).
+pub fn ceil_log2(k: u32) -> u32 {
+    32 - k.max(1).saturating_sub(1).leading_zeros()
+}
+
+/// Quantises a dB value to quarter-dB integer units (round-to-nearest).
+pub fn quantize_qdb(db: f64) -> i16 {
+    let q = (db * QDB_PER_DB as f64).round();
+    q.clamp(f64::from(i16::MIN), f64::from(i16::MAX)) as i16
+}
+
+/// Back-conversion for the IQ escalation tier and reporting.
+pub fn qdb_to_db(qdb: i16) -> f64 {
+    f64::from(qdb) / QDB_PER_DB as f64
+}
+
+// hot:noalloc — per-active-slot decision kernel; scratch reused by caller
+/// Resolves one slot's transmissions closed-form, writing one verdict
+/// per transmission into `ok` (cleared first, capacity reused).
+/// `adjacent` is the number of transmissions in the two adjacent slots
+/// (unslotted ALOHA's extra vulnerability window; 0 for slotted
+/// schemes).
+pub fn resolve_closed_form(
+    model: &CityModel,
+    scheme: Scheme,
+    snrs_qdb: &[i16],
+    adjacent: u32,
+    ok: &mut Vec<bool>,
+) {
+    ok.clear();
+    let n = snrs_qdb.len();
+    if n == 0 {
+        return;
+    }
+    // CoRa-style detection gate: if even the strongest component is
+    // undetectable, the gateway never attempts a decode.
+    let mut strongest = i16::MIN;
+    let mut second = i16::MIN;
+    for &s in snrs_qdb {
+        if s > strongest {
+            second = strongest;
+            strongest = s;
+        } else if s > second {
+            second = s;
+        }
+    }
+    if strongest < model.floor_qdb.saturating_sub(model.detect_margin_qdb) {
+        for _ in 0..n {
+            ok.push(false);
+        }
+        return;
+    }
+    match scheme {
+        Scheme::Aloha => {
+            let solo = n == 1 && adjacent == 0;
+            for &s in snrs_qdb {
+                ok.push(solo && s >= model.floor_qdb);
+            }
+        }
+        Scheme::Slotted => {
+            // Strongest-signal capture: the strongest frame survives a
+            // collision when it clears the runner-up by the capture
+            // margin. Equal-strength leaders jam each other.
+            let captured = n == 1 || strongest >= second.saturating_add(model.capture_qdb);
+            let mut winner_taken = false;
+            for &s in snrs_qdb {
+                let win = captured && !winner_taken && s == strongest && s >= model.floor_qdb;
+                if win {
+                    winner_taken = true;
+                }
+                ok.push(win);
+            }
+        }
+        Scheme::Choir => {
+            let order = n as u32;
+            if order > model.choir_max_order {
+                for _ in 0..n {
+                    ok.push(false);
+                }
+            } else {
+                let floor = model.choir_floor_qdb(order);
+                for &s in snrs_qdb {
+                    ok.push(s >= floor);
+                }
+            }
+        }
+        Scheme::Ss5g => {
+            // Slot-shift resolution disentangles small collisions
+            // losslessly; larger pile-ups are unrecoverable. The
+            // channel-time cost (busy resolution slots) is charged by
+            // the gateway loop, not here.
+            let resolvable = (n as u32) <= model.ss5g_max_resolve;
+            for &s in snrs_qdb {
+                ok.push(resolvable && s >= model.floor_qdb);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CityModel {
+        CityModel::from_params(&PhyParams::default())
+    }
+
+    #[test]
+    fn ceil_log2_table() {
+        let want = [
+            (1, 0),
+            (2, 1),
+            (3, 2),
+            (4, 2),
+            (5, 3),
+            (8, 3),
+            (9, 4),
+            (16, 4),
+        ];
+        for (k, e) in want {
+            assert_eq!(ceil_log2(k), e, "k={k}");
+        }
+    }
+
+    #[test]
+    fn floor_tracks_spreading_factor() {
+        let m = model();
+        // SF8 floor is −10 dB → −40 quarter-dB.
+        assert_eq!(m.floor_qdb, -40);
+        assert_eq!(m.choir_floor_qdb(1), -40);
+        assert_eq!(m.choir_floor_qdb(4), -40 + 2 * 8);
+    }
+
+    #[test]
+    fn aloha_needs_an_empty_neighbourhood() {
+        let m = model();
+        let mut ok = Vec::new();
+        resolve_closed_form(&m, Scheme::Aloha, &[0], 0, &mut ok);
+        assert_eq!(ok, [true]);
+        resolve_closed_form(&m, Scheme::Aloha, &[0], 1, &mut ok);
+        assert_eq!(ok, [false], "adjacent-slot overlap is fatal");
+        resolve_closed_form(&m, Scheme::Aloha, &[0, 0], 0, &mut ok);
+        assert_eq!(ok, [false, false]);
+    }
+
+    #[test]
+    fn slotted_capture_picks_one_strong_winner() {
+        let m = model();
+        let mut ok = Vec::new();
+        // 10 dB over the runner-up: captured.
+        resolve_closed_form(&m, Scheme::Slotted, &[40, 0], 0, &mut ok);
+        assert_eq!(ok, [true, false]);
+        // 4 dB gap < 6 dB capture margin: both lost.
+        resolve_closed_form(&m, Scheme::Slotted, &[16, 0], 0, &mut ok);
+        assert_eq!(ok, [false, false]);
+        // Equal leaders jam each other even far above the floor.
+        resolve_closed_form(&m, Scheme::Slotted, &[40, 40], 0, &mut ok);
+        assert_eq!(ok, [false, false]);
+    }
+
+    #[test]
+    fn choir_decodes_bounded_orders_with_penalty() {
+        let m = model();
+        let mut ok = Vec::new();
+        // Order 4 needs floor + 4 dB = −6 dB = −24 qdb.
+        resolve_closed_form(&m, Scheme::Choir, &[-23, -25, 0, 0], 0, &mut ok);
+        assert_eq!(ok, [true, false, true, true]);
+        // Order 17 is beyond the decoder.
+        let snrs = [40i16; 17];
+        resolve_closed_form(&m, Scheme::Choir, &snrs, 0, &mut ok);
+        assert!(ok.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn ss5g_resolves_small_collisions_only() {
+        let m = model();
+        let mut ok = Vec::new();
+        resolve_closed_form(&m, Scheme::Ss5g, &[0, 0, 0], 0, &mut ok);
+        assert_eq!(ok, [true, true, true]);
+        resolve_closed_form(&m, Scheme::Ss5g, &[0, 0, 0, 0], 0, &mut ok);
+        assert_eq!(ok, [false, false, false, false]);
+    }
+
+    #[test]
+    fn detection_gate_rejects_undetectable_slots() {
+        let m = model();
+        let mut ok = Vec::new();
+        // Strongest at floor − 3 dB, below the 2 dB detection margin.
+        resolve_closed_form(&m, Scheme::Choir, &[-52, -60], 0, &mut ok);
+        assert_eq!(ok, [false, false]);
+    }
+
+    #[test]
+    fn scheme_tags_match_trace_vocabulary() {
+        assert_eq!(Scheme::Aloha.tag(), "aloha");
+        assert_eq!(Scheme::Ss5g.tag(), "ss5g");
+        assert!(!Scheme::Aloha.coordinated());
+        assert!(Scheme::Choir.coordinated());
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the client state machine and the city simulator's
+//! sharding contract.
+//!
+//! 1. Under *arbitrary* outcome sequences (any interleaving of
+//!    deliveries and losses, any backoff draws), a client never violates
+//!    its duty-cycle gate, never exceeds its backoff/retry bounds, and
+//!    never schedules a wake at or before the slot being resolved.
+//! 2. The delivered-frame transcript of a city run is a function of
+//!    `(config, scheme, seed)` alone — never of how gateways are grouped
+//!    into shards (1 vs 4 vs 16) or how many pool workers run them.
+
+use choir_city::model::Scheme;
+use choir_city::sim::{run_city, CityConfig};
+use choir_city::{Client, ClientCfg, Outcome};
+use choir_pool::ThreadPool;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Drive one client through a long random life: every transition must
+    // respect the duty gate, the backoff bounds and calendar monotonicity.
+    #[test]
+    fn client_invariants_under_arbitrary_outcomes(
+        seed in any::<u64>(),
+        period in 1u32..200,
+        duty_gap in 0u32..40,
+        max_be in 0u8..8,
+        max_retries in 0u8..6,
+        loss_bias in 0u32..100,
+    ) {
+        let cfg = ClientCfg { period_slots: period, duty_gap_slots: duty_gap, max_be, max_retries };
+        let gap = duty_gap.max(2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cl = Client::new(0, 0);
+        let mut slot = cl.frame_born;
+        let mut last_tx: Option<u32> = None;
+        let mut energy_before = 0u64;
+        for _ in 0..200 {
+            let first = cl.on_tx(slot, 3, &cfg);
+            prop_assert_eq!(first, cl.retries == 0);
+            prop_assert!(cl.energy_nj == energy_before + 3, "tx always charges energy");
+            energy_before = cl.energy_nj;
+            if let Some(prev) = last_tx {
+                prop_assert!(
+                    slot - prev >= gap,
+                    "duty gate violated: tx at {} then {} (gap {})", prev, slot, gap
+                );
+            }
+            last_tx = Some(slot);
+            let lost = rng.gen_range(0..100u32) < loss_bias;
+            let min_wake = slot + 1 + rng.gen_range(0..3u32);
+            let outcome = if lost { Outcome::Lost } else { Outcome::Delivered };
+            let (wake, dropped) = cl.on_outcome(slot, outcome, min_wake, &cfg, &mut rng);
+            prop_assert!(wake > slot, "wake {} not after slot {}", wake, slot);
+            prop_assert!(wake >= min_wake, "wake {} below min_wake {}", wake, min_wake);
+            prop_assert!(cl.be <= max_be, "backoff exponent escaped its bound");
+            prop_assert!(cl.retries <= max_retries, "retry counter escaped its bound");
+            if dropped || !lost {
+                prop_assert_eq!(cl.retries, 0, "frame completion must reset retries");
+                prop_assert_eq!(cl.be, 0, "frame completion must reset backoff");
+            }
+            slot = wake;
+        }
+    }
+
+    // Sharding and threading are pure work-division: the transcript
+    // digest and every tally are bit-identical across 1/4/16 shards and
+    // 1/4 workers.
+    #[test]
+    fn transcript_invariant_to_shards_and_threads(
+        seed in any::<u64>(),
+        scheme_ix in 0usize..4,
+        period in 20u32..90,
+    ) {
+        let scheme = Scheme::ALL[scheme_ix];
+        let mut cfg = CityConfig::new(seed, 5, 30, 250);
+        cfg.client.period_slots = period;
+        let pool1 = ThreadPool::with_threads(1);
+        let pool4 = ThreadPool::with_threads(4);
+        let mut reference = None;
+        for shards in [1u32, 4, 16] {
+            cfg.shards = shards;
+            for pool in [&pool1, &pool4] {
+                let st = run_city(&cfg, scheme, pool);
+                let got = (st.digest, st.totals);
+                match &reference {
+                    None => reference = Some(got),
+                    Some(want) => prop_assert_eq!(
+                        &got, want,
+                        "{:?} diverged at shards={} threads={}",
+                        scheme, shards, pool.threads()
+                    ),
+                }
+            }
+        }
+    }
+}

@@ -40,6 +40,31 @@ pub enum Traffic {
     },
 }
 
+impl Traffic {
+    /// When node `node` of `num_nodes` has its first packet ready.
+    /// Periodic traffic staggers first arrivals uniformly across the
+    /// period (sensors are not phase-locked); saturated traffic starts
+    /// everyone backlogged at t = 0.
+    pub fn first_ready_s(&self, node: usize, num_nodes: usize) -> f64 {
+        match *self {
+            Traffic::Saturated => 0.0,
+            Traffic::Periodic { period_s } => period_s * node as f64 / num_nodes.max(1) as f64,
+        }
+    }
+
+    /// When the *next* packet is ready after delivering one that was
+    /// generated at `generated_at_s`, for a slot ending at
+    /// `end_of_slot_s`. Saturated queues refill immediately; periodic
+    /// sensors generate one period after the delivered reading (queue
+    /// depth one — a sensor overwrites stale readings).
+    pub fn next_ready_s(&self, generated_at_s: f64, end_of_slot_s: f64) -> f64 {
+        match *self {
+            Traffic::Saturated => end_of_slot_s,
+            Traffic::Periodic { period_s } => generated_at_s + period_s,
+        }
+    }
+}
+
 /// Simulation configuration.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
@@ -115,11 +140,7 @@ pub fn run_sim<P: SlotPhy + ?Sized>(scheme: MacScheme, cfg: &SimConfig, phy: &mu
     let mut nodes: Vec<NodeState> = (0..cfg.num_nodes)
         .map(|i| NodeState {
             snr_db: rng.gen_range(cfg.snr_range_db.0..=cfg.snr_range_db.1),
-            // Periodic traffic staggers first arrivals across the period.
-            ready_at_s: match cfg.traffic {
-                Traffic::Saturated => Some(0.0),
-                Traffic::Periodic { period_s } => Some(period_s * i as f64 / cfg.num_nodes as f64),
-            },
+            ready_at_s: Some(cfg.traffic.first_ready_s(i, cfg.num_nodes)),
             backoff: 0,
             be: 0,
         })
@@ -189,14 +210,7 @@ pub fn run_sim<P: SlotPhy + ?Sized>(scheme: MacScheme, cfg: &SimConfig, phy: &mu
             if ok {
                 let ready = node.ready_at_s.unwrap_or(now);
                 metrics.record_delivery(cfg.payload_bits(), end_of_slot - ready);
-                node.ready_at_s = match cfg.traffic {
-                    // Saturated: the next packet is ready immediately.
-                    Traffic::Saturated => Some(end_of_slot),
-                    // Periodic: the next packet arrives one period after
-                    // this one was generated (queue depth one: a sensor
-                    // overwrites stale readings).
-                    Traffic::Periodic { period_s } => Some((ready + period_s).max(ready)),
-                };
+                node.ready_at_s = Some(cfg.traffic.next_ready_s(ready, end_of_slot));
                 node.be = 0;
                 node.backoff = 0;
             } else if scheme == MacScheme::Aloha {

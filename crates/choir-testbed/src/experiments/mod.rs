@@ -3,6 +3,7 @@
 //! plots; `Scale::Quick` keeps CI runtimes sane, `Scale::Full` is the
 //! bench-harness setting.
 
+pub mod city;
 pub mod fig03;
 pub mod fig04;
 pub mod fig07;
@@ -47,5 +48,6 @@ pub fn run_all(scale: Scale) -> Vec<crate::report::FigureReport> {
         fig11::run_end_to_end(scale),
         fig12::run(scale),
         station::run(scale),
+        city::run(scale),
     ]
 }

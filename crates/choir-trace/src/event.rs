@@ -186,6 +186,52 @@ pub enum TraceEvent {
         /// Frames delivered after collision decoding.
         delivered: u32,
     },
+    /// One city-simulator slot outcome at a gateway shard — the
+    /// `mac_slot` analogue for `choir-city`, with the gateway and MAC
+    /// scheme identifying the shard the slot belongs to. Construct via
+    /// [`TraceEvent::city_slot`] only — the `trace_event` lint rule
+    /// rejects literal construction outside this crate, which keeps the
+    /// scheme vocabulary closed to [`CityScheme`]. (`Full`)
+    CitySlot {
+        /// Scheme tag — always one of [`CityScheme::tag`].
+        scheme: &'static str,
+        /// Gateway (shard) index within the city.
+        gateway: u32,
+        /// Slot number within the gateway's simulation.
+        slot: u64,
+        /// Frames offered to the slot (concurrent transmissions).
+        offered: u32,
+        /// Frames delivered out of the slot.
+        delivered: u32,
+    },
+}
+
+/// The closed set of MAC schemes the city simulator traces. The typed
+/// enum (rather than a free string) is what makes
+/// [`TraceEvent::city_slot`] the blessed constructor: emission sites
+/// cannot invent new scheme names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CityScheme {
+    /// Unslotted ALOHA (adjacent-slot vulnerability, no coordination).
+    Aloha,
+    /// Slotted ALOHA with strongest-signal capture.
+    Slotted,
+    /// Choir beacon slots with collision decoding.
+    Choir,
+    /// SS5G-style collision resolution (slot-shift decoding).
+    Ss5g,
+}
+
+impl CityScheme {
+    /// Stable snake_case tag used in exported logs.
+    pub fn tag(self) -> &'static str {
+        match self {
+            CityScheme::Aloha => "aloha",
+            CityScheme::Slotted => "slotted",
+            CityScheme::Choir => "choir",
+            CityScheme::Ss5g => "ss5g",
+        }
+    }
 }
 
 /// The closed set of tracker-hypothesis lifecycle transitions. The typed
@@ -241,6 +287,26 @@ impl TraceEvent {
         }
     }
 
+    /// The blessed constructor for [`TraceEvent::CitySlot`]: city slot
+    /// provenance may only be emitted through here (lint-enforced), so
+    /// the scheme tags stay closed to [`CityScheme`].
+    pub fn city_slot(
+        scheme: CityScheme,
+        gateway: u32,
+        slot: u64,
+        offered: u32,
+        delivered: u32,
+    ) -> TraceEvent {
+        // lint:allow(trace_event) — this *is* the blessed constructor.
+        TraceEvent::CitySlot {
+            scheme: scheme.tag(),
+            gateway,
+            slot,
+            offered,
+            delivered,
+        }
+    }
+
     /// Stable snake_case tag identifying the variant in exported logs.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -260,6 +326,7 @@ impl TraceEvent {
             TraceEvent::MetricsSnapshot { .. } => "metrics_snapshot",
             TraceEvent::Hypothesis { .. } => "hypothesis",
             TraceEvent::MacSlot { .. } => "mac_slot",
+            TraceEvent::CitySlot { .. } => "city_slot",
         }
     }
 
@@ -406,6 +473,19 @@ impl TraceEvent {
                 jint(out, "offered", u64::from(*offered));
                 jint(out, "delivered", u64::from(*delivered));
             }
+            TraceEvent::CitySlot {
+                scheme,
+                gateway,
+                slot,
+                offered,
+                delivered,
+            } => {
+                jstr(out, "scheme", scheme);
+                jint(out, "gateway", u64::from(*gateway));
+                jint(out, "slot", *slot);
+                jint(out, "offered", u64::from(*offered));
+                jint(out, "delivered", u64::from(*delivered));
+            }
         }
     }
 }
@@ -542,6 +622,17 @@ mod tests {
         assert!(out.contains("\"transition\": \"confirmed\""), "got: {out}");
         assert!(out.contains("\"start\": 10752"), "got: {out}");
         assert!(out.contains("\"score\": 1290.5"), "got: {out}");
+    }
+
+    #[test]
+    fn city_slot_constructor_serialises_scheme_tag() {
+        let e = TraceEvent::city_slot(CityScheme::Ss5g, 12, 480, 3, 3);
+        assert_eq!(e.kind(), "city_slot");
+        let mut out = String::new();
+        e.write_json_fields(&mut out);
+        assert!(out.contains("\"scheme\": \"ss5g\""), "got: {out}");
+        assert!(out.contains("\"gateway\": 12"), "got: {out}");
+        assert!(out.contains("\"offered\": 3"), "got: {out}");
     }
 
     #[test]

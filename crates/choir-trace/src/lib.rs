@@ -44,7 +44,7 @@
 mod event;
 mod recorder;
 
-pub use event::{HypothesisTransition, TraceEvent};
+pub use event::{CityScheme, HypothesisTransition, TraceEvent};
 pub use recorder::{active_rings, clear, drain, dropped, set_capacity, CapacityFrozen, Record};
 
 use choir_sync::atomic::{AtomicU8, Ordering};

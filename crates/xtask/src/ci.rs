@@ -47,13 +47,15 @@ pub fn run(args: &[String]) -> ExitCode {
     match args.first().map(String::as_str) {
         Some("bench-smoke") => gate("BENCH_kernel.json", "batch_decode", check_kernel),
         Some("station-soak") => gate("BENCH_station.json", "station_soak", check_station),
+        Some("city-capacity") => gate("BENCH_city.json", "city_capacity", check_city),
         Some("model-check") => model_check(),
         _ => {
-            eprintln!("usage: cargo xtask ci <bench-smoke|station-soak|model-check>");
+            eprintln!("usage: cargo xtask ci <bench-smoke|station-soak|city-capacity|model-check>");
             eprintln!(
                 "  bench-smoke   run batch_decode, enforce kernel slots/sec floor + bit-identity"
             );
             eprintln!("  station-soak  run station_soak, enforce station floor + shed-free + trace/detect overhead + unslotted slots");
+            eprintln!("  city-capacity run city_capacity, enforce per-scheme capacity floors + Choir>=slotted + 1-vs-N-thread transcript identity");
             eprintln!("  model-check   run every schedule-explored concurrency suite under --cfg choir_model");
             ExitCode::from(2)
         }
@@ -305,6 +307,86 @@ fn check_station(committed: &str, json: &str) -> Vec<String> {
     out
 }
 
+/// Minimum city-simulation scale the capacity gate accepts: the paper's
+/// urban claim is only reproduced at ≥ 10⁶ clients over ≥ 10² gateways,
+/// so a bench quietly shrunk below that must fail, not pass faster.
+const CITY_MIN_CLIENTS: u64 = 1_000_000;
+const CITY_MIN_GATEWAYS: u64 = 100;
+
+/// Applies the ≥ `FLOOR_FRAC` delivered-frames/sec floor for one city
+/// scheme. The city bench is deterministic (integer closed-form model),
+/// so in practice fresh == committed; the 20 % allowance only matters
+/// when the model itself is deliberately retuned.
+fn city_floor_check(tag: &str, committed: &str, fresh: &str, out: &mut Vec<String>) {
+    let key = format!("{tag}_peak_fps");
+    let Some(reference) = json_f64(committed, &key) else {
+        out.push(format!("committed bench JSON has no numeric {key}"));
+        return;
+    };
+    let Some(fps) = json_f64(fresh, &key) else {
+        out.push(format!("fresh bench JSON has no numeric {key}"));
+        return;
+    };
+    let floor = FLOOR_FRAC * reference;
+    println!(
+        "ci: city {tag}: fresh {fps:.4} delivered-fps, floor {floor:.4} (reference {reference:.4})"
+    );
+    if fps < floor {
+        out.push(format!(
+            "city {tag} delivered-fps regression >20%: {fps:.4} < floor {floor:.4} (reference {reference:.4})"
+        ));
+    }
+}
+
+/// Gate predicates for `BENCH_city.json` (the city-scale capacity
+/// curves): per-scheme peak delivered-fps floors, the paper's headline
+/// ordering (Choir ≥ slotted ALOHA at the highest offered load), the
+/// 1-vs-4-worker transcript identity, and the minimum urban scale.
+fn check_city(committed: &str, fresh: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for tag in ["aloha", "slotted", "choir", "ss5g"] {
+        city_floor_check(tag, committed, fresh, &mut out);
+    }
+    match (
+        json_f64(fresh, "choir_delivered_fps"),
+        json_f64(fresh, "slotted_delivered_fps"),
+    ) {
+        (Some(choir), Some(slotted)) => {
+            println!("ci: city peak-load ordering: choir {choir:.4} vs slotted {slotted:.4} delivered-fps");
+            if choir < slotted {
+                out.push(format!(
+                    "Choir under slotted ALOHA at peak load: {choir:.4} < {slotted:.4} delivered-fps"
+                ));
+            }
+        }
+        _ => out.push(
+            "fresh BENCH_city.json lacks choir_delivered_fps/slotted_delivered_fps".to_string(),
+        ),
+    }
+    match json_bool(fresh, "transcripts_bit_identical") {
+        Some(true) => {}
+        Some(false) => {
+            out.push("city transcript diverged between 1 and 4 worker threads".to_string())
+        }
+        None => out.push("fresh BENCH_city.json has no transcripts_bit_identical".to_string()),
+    }
+    match json_u64(fresh, "clients_total") {
+        Some(n) if n >= CITY_MIN_CLIENTS => {}
+        Some(n) => out.push(format!(
+            "city bench ran only {n} clients (urban claim needs >= {CITY_MIN_CLIENTS})"
+        )),
+        None => out.push("fresh BENCH_city.json has no clients_total".to_string()),
+    }
+    match json_u64(fresh, "gateways") {
+        Some(n) if n >= CITY_MIN_GATEWAYS => {}
+        Some(n) => out.push(format!(
+            "city bench ran only {n} gateways (urban claim needs >= {CITY_MIN_GATEWAYS})"
+        )),
+        None => out.push("fresh BENCH_city.json has no gateways".to_string()),
+    }
+    out
+}
+
 /// Returns the raw value token following `"key":`. Only sound because
 /// every key the gates read is unique within its bench file (the nested
 /// `last_round_metrics` object shares no key names with the gates).
@@ -422,6 +504,103 @@ mod tests {
             identical = identical,
             shed = shed,
         )
+    }
+
+    /// A synthetic `BENCH_city.json` covering every gated key. Peak fps
+    /// per scheme is scaled off `choir_fps` so one knob builds healthy
+    /// and regressed fixtures alike.
+    fn city_fixture(choir_fps: f64, slotted_fps: f64, identical: bool, clients: u64) -> String {
+        format!(
+            concat!(
+                "{{\n  \"bench\": \"city_capacity\",\n",
+                "  \"gateways\": {gws},\n",
+                "  \"clients_per_gw\": 10000,\n",
+                "  \"clients_total\": {clients},\n",
+                "  \"aloha_delivered_fps\": 0.0000,\n",
+                "  \"aloha_peak_fps\": {aloha_peak:.4},\n",
+                "  \"slotted_delivered_fps\": {slotted:.4},\n",
+                "  \"slotted_peak_fps\": {slotted_peak:.4},\n",
+                "  \"choir_delivered_fps\": {choir:.4},\n",
+                "  \"choir_peak_fps\": {choir:.4},\n",
+                "  \"ss5g_delivered_fps\": 0.0000,\n",
+                "  \"ss5g_peak_fps\": {ss5g_peak:.4},\n",
+                "  \"curve_choir_fps\": [1.0, {choir:.4}],\n",
+                "  \"transcripts_bit_identical\": {identical},\n",
+                "  \"wall_s\": 0.60\n}}\n"
+            ),
+            gws = clients / 10_000,
+            clients = clients,
+            // Only choir's peak tracks the knob: regression tests stay
+            // single-failure. The other peaks are fixed healthy values.
+            aloha_peak = 1.0,
+            slotted = slotted_fps,
+            slotted_peak = slotted_fps.max(1.0),
+            choir = choir_fps,
+            ss5g_peak = 1.0,
+            identical = identical,
+        )
+    }
+
+    #[test]
+    fn city_gate_passes_on_reproduction() {
+        // The city model is deterministic: the normal case is fresh ==
+        // committed, and exactly the 80 % floor still passes (the gate
+        // is >=, not >).
+        let reference = city_fixture(2676.0, 23.9, true, 1_000_000);
+        assert!(check_city(&reference, &reference).is_empty());
+        let reference = city_fixture(1.0, 0.5, true, 1_000_000);
+        let at_floor = city_fixture(0.8, 0.5, true, 1_000_000);
+        assert!(check_city(&reference, &at_floor).is_empty());
+    }
+
+    #[test]
+    fn city_gate_fails_on_capacity_regression() {
+        let reference = city_fixture(1.0, 0.5, true, 1_000_000);
+        let fails = check_city(&reference, &city_fixture(0.79, 0.5, true, 1_000_000));
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(
+            fails[0].contains("choir delivered-fps regression"),
+            "{fails:?}"
+        );
+    }
+
+    #[test]
+    fn city_gate_fails_on_thread_divergence() {
+        let reference = city_fixture(2676.0, 23.9, true, 1_000_000);
+        let fails = check_city(&reference, &city_fixture(2676.0, 23.9, false, 1_000_000));
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("1 and 4 worker threads"), "{fails:?}");
+    }
+
+    #[test]
+    fn city_gate_fails_when_choir_loses_to_slotted() {
+        let reference = city_fixture(100.0, 23.9, true, 1_000_000);
+        // Fresh run where slotted out-delivers Choir at peak load.
+        let fails = check_city(&reference, &city_fixture(100.0, 140.0, true, 1_000_000));
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("Choir under slotted ALOHA"), "{fails:?}");
+    }
+
+    #[test]
+    fn city_gate_fails_below_urban_scale() {
+        let reference = city_fixture(2676.0, 23.9, true, 1_000_000);
+        let fails = check_city(&reference, &city_fixture(2676.0, 23.9, true, 500_000));
+        // 500k clients over 50 gateways: both scale contracts break.
+        assert_eq!(fails.len(), 2, "{fails:?}");
+        assert!(fails[0].contains("clients"), "{fails:?}");
+        assert!(fails[1].contains("gateways"), "{fails:?}");
+    }
+
+    #[test]
+    fn city_gate_fails_on_missing_keys() {
+        let reference = city_fixture(2676.0, 23.9, true, 1_000_000);
+        // Empty fresh JSON: four peak floors, the ordering pair, the
+        // identity flag, and the two scale keys all report.
+        let fails = check_city(&reference, "{}");
+        assert_eq!(fails.len(), 8, "{fails:?}");
+        // A committed reference without the floors is itself a failure.
+        let fails = check_city("{}", &reference);
+        assert_eq!(fails.len(), 4, "{fails:?}");
     }
 
     #[test]

@@ -216,6 +216,16 @@ fn selftest() -> ExitCode {
             &["trace_event"],
         ),
         (
+            "crates/choir-city/src/planted.rs",
+            "pub fn f() -> TraceEvent {\n    TraceEvent::CitySlot { scheme: \"aloha\", gateway: 1, slot: 2, offered: 3, delivered: 4 }\n}\n",
+            &["trace_event"],
+        ),
+        (
+            "crates/choir-city/src/planted.rs",
+            "pub fn f() -> TraceEvent {\n    TraceEvent::city_slot(CityScheme::Aloha, 1, 2, 3, 4)\n}\n",
+            &[],
+        ),
+        (
             "crates/choir-station/src/planted.rs",
             "pub fn f() { std::thread::spawn(|| ()); }\n",
             &["sync_facade"],

@@ -31,6 +31,7 @@
 #![deny(missing_docs)]
 
 pub use choir_channel as channel;
+pub use choir_city as city;
 pub use choir_core as core;
 pub use choir_dsp as dsp;
 pub use choir_mac as mac;
